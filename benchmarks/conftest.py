@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures: it runs
+the experiment pipeline, asserts the paper's qualitative claims (the
+"shape"), times the hot computation with pytest-benchmark, and writes the
+regenerated table/series to ``benchmarks/out/`` (also echoed to stdout with
+``-s``).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def save_report():
+    """Persist a regenerated report and echo it."""
+    OUT_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> Path:
+        path = OUT_DIR / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        print(f"\n{text}\n[report saved to {path}]")
+        return path
+
+    return _save

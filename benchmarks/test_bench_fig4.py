@@ -1,0 +1,82 @@
+"""E2 — regenerate Figure 4 (robustness vs slack) for the HiPer-D system
+(paper Section 4.3).
+
+Workload: generated 19-path system (3 sensors with the paper's relative
+rates, 20 applications, 5 machines, latency limits with the U[750, 1250]
+shape, calibrated feasibility — see DESIGN.md), 1000 random mappings at
+initial loads (962, 380, 240).
+
+Shape claims checked:
+- robustness generally grows with slack, but mappings with nearly equal
+  slack differ in robustness by large factors (Table 2 found 3.3x);
+- a flat band exists: many mappings share one binding constraint and hence
+  (nearly) one robustness value across a range of slacks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.alloc.mapping import Mapping
+from repro.experiments.experiment2 import (
+    find_ab_pair,
+    find_flat_band,
+    run_experiment_two,
+)
+from repro.experiments.reporting import report_figure4
+from repro.hiperd.robustness import robustness
+
+SEED = 7
+N_MAPPINGS = 1000
+
+
+@pytest.fixture(scope="module")
+def result(save_report):
+    res = run_experiment_two(n_mappings=N_MAPPINGS, seed=SEED)
+    save_report("figure4", report_figure4(res))
+    return res
+
+
+def test_figure4_report(result):
+    assert "Figure 4" in report_figure4(result)
+
+
+def test_figure4_shape_correlation_with_spread(result):
+    feas = result.feasible
+    assert feas.mean() > 0.6, "calibrated instance should be mostly feasible"
+    corr = np.corrcoef(result.slack[feas], result.robustness[feas])[0, 1]
+    assert corr > 0.5, "larger slack should generally mean more robust"
+    pair = find_ab_pair(result, slack_tolerance=0.01)
+    # The paper's instance exhibited 3.3x (Table 2 — reproduced exactly in
+    # the E3 benchmark); generated instances show 2.1x-2.9x depending on the
+    # seed.  The qualitative claim is a large factor at nearly equal slack.
+    assert pair.ratio >= 2.0, (
+        "nearly-equal-slack mappings should differ in robustness by a large "
+        f"factor (paper's instance: 3.3x); found {pair.ratio:.2f}x"
+    )
+
+
+def test_figure4_flat_band(result):
+    """Figure 4's 'same robustness across a slack range' band: the paper saw
+    one across slack ~0.2-0.5; generated instances show a narrower but
+    clearly visible band."""
+    band = find_flat_band(result)
+    assert band.size >= 5
+    assert band.slack_range > 0.01, (
+        "the flat band should span a visible slack range "
+        f"(got {band.slack_range:.4f})"
+    )
+
+
+def test_bench_figure4_robustness_sweep(result, benchmark):
+    """Time Eq. 11 over 100 mappings (constraint assembly + radii)."""
+    system = result.system
+    load = result.initial_load
+    mappings = [Mapping(row, system.n_machines) for row in result.assignments[:100]]
+
+    def sweep():
+        return [robustness(system, m, load).value for m in mappings]
+
+    values = benchmark(sweep)
+    np.testing.assert_allclose(values, result.robustness[:100])

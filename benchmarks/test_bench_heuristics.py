@@ -1,0 +1,84 @@
+"""E5 (extension) — mapping-heuristic sweep under the robustness metric.
+
+Motivated by the paper's framing ("how to determine a mapping ... so as to
+maximize robustness"): evaluate every heuristic on the E1 workload for
+makespan AND robustness, against the 1000-random-mapping baseline.  Shape
+claims: makespan-oriented heuristics beat random on makespan; the
+robustness-objective variants beat their makespan-oriented counterparts on
+the metric.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.alloc.generators import random_assignments
+from repro.alloc.heuristics import HEURISTICS, min_min
+from repro.alloc.makespan import batch_makespan, load_balance_index, makespan
+from repro.alloc.robustness import batch_robustness, robustness
+from repro.etcgen import cvb_etc_matrix
+from repro.utils.tables import format_table
+
+SEED = 2003
+TAU = 1.2
+
+
+@pytest.fixture(scope="module")
+def etc():
+    return cvb_etc_matrix(20, 5, seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def sweep(etc, save_report):
+    rows = []
+    results = {}
+    for name in sorted(HEURISTICS):
+        mapping = HEURISTICS[name](etc, seed=0)
+        ms = makespan(mapping, etc)
+        rho = robustness(mapping, etc, TAU).value
+        lbi = load_balance_index(mapping, etc)
+        results[name] = (ms, rho)
+        rows.append([name, ms, rho, lbi])
+    rand = random_assignments(1000, 20, 5, seed=SEED + 1)
+    rand_ms = batch_makespan(rand, etc)
+    rand_rho = batch_robustness(rand, etc, TAU)
+    rows.append(["random (mean of 1000)", rand_ms.mean(), rand_rho.mean(), float("nan")])
+    results["random"] = (float(rand_ms.mean()), float(rand_rho.mean()))
+    save_report(
+        "heuristics",
+        format_table(
+            ["heuristic", "makespan", "robustness (tau=1.2)", "load balance"],
+            rows,
+            title="=== E5 — heuristic sweep on the E1 workload ===",
+        ),
+    )
+    return results
+
+
+def test_makespan_heuristics_beat_random(sweep):
+    rand_ms = sweep["random"][0]
+    for name in ("min_min", "max_min", "mct", "ga", "duplex", "sufferage", "tabu"):
+        assert sweep[name][0] < rand_ms, f"{name} should beat random makespan"
+
+
+def test_robustness_variants_beat_seeds(sweep):
+    assert sweep["greedy_robust"][1] >= sweep["min_min"][1] - 1e-12
+    assert sweep["robust_mct"][1] >= sweep["random"][1]
+
+
+def test_bench_heuristic_min_min(etc, sweep, benchmark):
+    m = benchmark(min_min, etc)
+    assert m.n_tasks == 20
+
+
+def test_bench_heuristic_ga(etc, benchmark):
+    from repro.alloc.heuristics import genetic_algorithm
+
+    benchmark.pedantic(
+        genetic_algorithm,
+        args=(etc,),
+        kwargs={"seed": 0, "generations": 30, "population": 30},
+        rounds=3,
+        iterations=1,
+    )

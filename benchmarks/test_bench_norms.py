@@ -1,0 +1,75 @@
+"""Ablation — the perturbation norm (l2 vs l1 vs linf vs weighted l2).
+
+The paper fixes the Euclidean norm; Ali's thesis [1] discusses alternatives.
+This ablation evaluates the same systems under the four norms and checks the
+dual-norm ordering ``rho_linf <= rho_l2 <= rho_l1`` that must hold for any
+single upper-bound constraint set (unit balls are nested), plus timing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.alloc.generators import random_mapping
+from repro.alloc.robustness import fepia_analysis, makespan
+from repro.core.fepia import FePIAAnalysis
+from repro.core.norms import L1Norm, L2Norm, LInfNorm, WeightedL2Norm
+from repro.etcgen import cvb_etc_matrix
+from repro.utils.tables import format_table
+
+SEED = 21
+TAU = 1.2
+
+
+def _analysis(etc, mapping):
+    m_orig = makespan(mapping, etc)
+    a = FePIAAnalysis("norms").with_perturbation("C", mapping.executed_times(etc))
+    indicator = mapping.indicator_matrix()
+    for j in range(mapping.n_machines):
+        if indicator[j].sum():
+            a.add_feature(f"F_{j}", impact=indicator[j], upper=TAU * m_orig)
+    return a
+
+
+@pytest.fixture(scope="module")
+def case():
+    etc = cvb_etc_matrix(20, 5, seed=SEED)
+    mapping = random_mapping(20, 5, seed=SEED + 1)
+    return etc, mapping, _analysis(etc, mapping)
+
+
+def test_norm_ordering_and_report(case, save_report):
+    etc, mapping, analysis = case
+    norms = {
+        "l2 (paper)": L2Norm(),
+        "l1": L1Norm(),
+        "linf": LInfNorm(),
+        "weighted l2 (w=2)": WeightedL2Norm(np.full(20, 2.0)),
+    }
+    values = {name: analysis.analyze(norm=n).value for name, n in norms.items()}
+    save_report(
+        "norms_ablation",
+        format_table(
+            ["norm", "robustness"],
+            [[k, v] for k, v in values.items()],
+            title="=== ablation — robustness of one mapping under different norms ===",
+        ),
+    )
+    assert values["linf"] <= values["l2 (paper)"] <= values["l1"]
+    # ||x||_w = sqrt(2) ||x||_2 shrinks every radius by exactly sqrt(2)... in
+    # the dual: radius_w = gap / ||c||_{w*} = gap / (||c||_2 / sqrt(2)).
+    assert values["weighted l2 (w=2)"] == pytest.approx(
+        values["l2 (paper)"] * np.sqrt(2.0), rel=1e-9
+    )
+
+
+@pytest.mark.parametrize(
+    "norm",
+    [L2Norm(), L1Norm(), LInfNorm()],
+    ids=lambda n: n.name,
+)
+def test_bench_norm_analysis(case, norm, benchmark):
+    _, _, analysis = case
+    out = benchmark(analysis.analyze, norm=norm)
+    assert np.isfinite(out.value)

@@ -1,0 +1,101 @@
+"""Ablation — closed-form vs generic-framework vs numeric solver, and batch
+vs per-mapping evaluation (DESIGN.md Section 6).
+
+All three solver routes compute the same Eq. 7 metric; the ablation
+quantifies what the specialization buys:
+
+- closed form (Eq. 6, vectorized)  — the fast path;
+- generic FePIA framework          — object-per-feature, analytic solve;
+- numeric SLSQP                    — pretending the impacts were nonlinear.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.alloc.generators import random_assignments, random_mapping
+from repro.alloc.mapping import Mapping
+from repro.alloc.robustness import batch_robustness, fepia_analysis, robustness
+from repro.core.boundary import boundary_relations
+from repro.core.features import FeatureBounds, PerformanceFeature
+from repro.core.impact import CallableImpact
+from repro.core.perturbation import PerturbationParameter
+from repro.core.radius import robustness_radius
+from repro.etcgen import cvb_etc_matrix
+
+SEED = 11
+TAU = 1.2
+
+
+@pytest.fixture(scope="module")
+def workload():
+    etc = cvb_etc_matrix(20, 5, seed=SEED)
+    assignments = random_assignments(100, 20, 5, seed=SEED + 1)
+    return etc, assignments
+
+
+def test_all_routes_agree(workload):
+    etc, assignments = workload
+    mapping = Mapping(assignments[0], 5)
+    closed = robustness(mapping, etc, TAU).value
+    generic = fepia_analysis(mapping, etc, TAU).value
+    assert generic == pytest.approx(closed, rel=1e-9)
+    # Numeric route on the binding machine's feature.
+    res = robustness(mapping, etc, TAU)
+    j = res.critical_machine
+    indicator = mapping.indicator_matrix()[j]
+    feature = PerformanceFeature(
+        "F",
+        CallableImpact(lambda c, ind=indicator: float(ind @ c)),
+        FeatureBounds(upper=TAU * res.makespan),
+    )
+    p = PerturbationParameter("C", mapping.executed_times(etc))
+    numeric = robustness_radius(feature, p).radius
+    assert numeric == pytest.approx(closed, rel=1e-5)
+
+
+def test_bench_closed_form_batch(workload, benchmark):
+    etc, assignments = workload
+    out = benchmark(batch_robustness, assignments, etc, TAU)
+    assert out.shape == (100,)
+
+
+def test_bench_closed_form_loop(workload, benchmark):
+    etc, assignments = workload
+    mappings = [Mapping(a, 5) for a in assignments]
+
+    def loop():
+        return [robustness(m, etc, TAU).value for m in mappings]
+
+    out = benchmark(loop)
+    np.testing.assert_allclose(out, batch_robustness(assignments, etc, TAU))
+
+
+def test_bench_generic_fepia(workload, benchmark):
+    etc, assignments = workload
+    mappings = [Mapping(a, 5) for a in assignments[:10]]
+
+    def generic():
+        return [fepia_analysis(m, etc, TAU).value for m in mappings]
+
+    out = benchmark(generic)
+    np.testing.assert_allclose(
+        out, batch_robustness(assignments[:10], etc, TAU), rtol=1e-9
+    )
+
+
+def test_bench_numeric_solver_single(workload, benchmark):
+    etc, _ = workload
+    mapping = random_mapping(20, 5, seed=SEED + 2)
+    res = robustness(mapping, etc, TAU)
+    indicator = mapping.indicator_matrix()[res.critical_machine]
+    feature = PerformanceFeature(
+        "F",
+        CallableImpact(lambda c: float(indicator @ c)),
+        FeatureBounds(upper=TAU * res.makespan),
+    )
+    p = PerturbationParameter("C", mapping.executed_times(etc))
+
+    out = benchmark(robustness_radius, feature, p)
+    assert out.radius == pytest.approx(res.value, rel=1e-5)

@@ -1,0 +1,87 @@
+"""E3 — regenerate Table 2 (mappings A and B) from the reconstructed
+instance (paper Section 4.3).
+
+The published computation-time functions, assignments and initial loads are
+encoded verbatim; the unpublished DAG/limits are reconstructed as described
+in :mod:`repro.hiperd.table2`.  Expected agreement:
+
+- robustness 353 (A) and 1166 (B) — exact;
+- boundary loads lambda* (962, 380, 593) and (962, 1546, 240) — exact;
+- slack(B) = 0.5914 — exact; slack(A) = 0.5953 vs the paper's 0.5961 (the
+  published lambda_3* = 593 forces 1 - 240/593; the 8e-4 gap is a rounding
+  inconsistency inside the published table itself).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.reporting import report_table2
+from repro.hiperd.robustness import robustness
+from repro.hiperd.slack import slack
+from repro.hiperd.table2 import PAPER_TABLE2, build_table2_system
+
+
+@pytest.fixture(scope="module")
+def inst():
+    return build_table2_system()
+
+
+@pytest.fixture(scope="module")
+def measured(inst, save_report):
+    out = {}
+    for which, mapping in (("A", inst.mapping_a), ("B", inst.mapping_b)):
+        r = robustness(inst.system, mapping, inst.initial_load)
+        out[which] = {
+            "robustness": r.value,
+            "slack": slack(inst.system, mapping, inst.initial_load),
+            "lambda_star": tuple(r.boundary),
+        }
+    save_report("table2", report_table2(out, PAPER_TABLE2))
+    return out
+
+
+def test_table2_report(measured):
+    assert "Table 2" in report_table2(measured, PAPER_TABLE2)
+
+
+def test_table2_robustness_exact(measured):
+    assert measured["A"]["robustness"] == PAPER_TABLE2["A"]["robustness"]
+    assert measured["B"]["robustness"] == PAPER_TABLE2["B"]["robustness"]
+
+
+def test_table2_lambda_star_exact(measured):
+    for which in ("A", "B"):
+        np.testing.assert_allclose(
+            measured[which]["lambda_star"],
+            PAPER_TABLE2[which]["lambda_star"],
+            atol=1e-6,
+        )
+
+
+def test_table2_slack(measured):
+    assert measured["B"]["slack"] == pytest.approx(PAPER_TABLE2["B"]["slack"], abs=5e-5)
+    # A: forced to 1 - 240/593 by the published lambda* (see module doc).
+    assert measured["A"]["slack"] == pytest.approx(1 - 240 / 593, abs=5e-5)
+    assert abs(measured["A"]["slack"] - PAPER_TABLE2["A"]["slack"]) < 1e-3
+
+
+def test_table2_headline_ratio(measured):
+    ratio = measured["B"]["robustness"] / measured["A"]["robustness"]
+    assert ratio == pytest.approx(3.3, abs=0.05)
+
+
+def test_bench_table2_evaluation(inst, measured, benchmark):
+    """Time the A+B evaluation (constraint assembly + Eq. 11 + slack)."""
+
+    def evaluate():
+        out = []
+        for m in (inst.mapping_a, inst.mapping_b):
+            r = robustness(inst.system, m, inst.initial_load)
+            out.append((r.value, slack(inst.system, m, inst.initial_load)))
+        return out
+
+    values = benchmark(evaluate)
+    assert values[0][0] == 353.0
+    assert values[1][0] == 1166.0

@@ -1,0 +1,63 @@
+"""Online robustness monitoring and adaptive remapping under load drift.
+
+The paper motivates the metric with dynamic systems whose loads drift away
+from assumed values.  This example closes that loop on a generated HiPer-D
+instance:
+
+1. loads follow a random walk with upward drift;
+2. a static mapping's live robustness decays until a QoS violation;
+3. an adaptive policy remaps whenever the live robustness falls below a
+   threshold, sustaining QoS through the same trajectory.
+
+Run:  python examples/dynamic_monitoring.py [seed]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.dynamics import adaptive_remap, monitor, random_walk_loads
+from repro.hiperd import generate_system, random_hiperd_mappings, robustness
+
+seed = int(sys.argv[1]) if len(sys.argv) > 1 else 8
+LOAD0 = np.array([962.0, 380.0, 240.0])
+
+system = generate_system(seed=seed)
+mapping = max(
+    random_hiperd_mappings(system, 20, seed=seed + 1),
+    key=lambda m: robustness(system, m, LOAD0, apply_floor=False).raw_value,
+)
+anchor = robustness(system, mapping, LOAD0, apply_floor=False)
+print(f"anchor robustness: {anchor.raw_value:.1f} objects/data set "
+      f"(binding {anchor.binding_name})")
+
+trajectory = random_walk_loads(
+    LOAD0, 150, step_scale=5.0, drift=[18.0, 8.0, 5.0], seed=seed + 2
+)
+
+static = monitor(system, mapping, trajectory)
+print("\n--- static mapping ---")
+print(f"first violation at step : {static.first_violation}")
+print(f"violating steps         : {int(static.violated.sum())} / {len(trajectory)}")
+
+adaptive = adaptive_remap(
+    system, mapping, trajectory, threshold=200.0, n_candidates=64, seed=seed + 3
+)
+print("\n--- adaptive policy (remap when live robustness < 200) ---")
+print(f"violating steps         : {adaptive.violation_steps} / {len(trajectory)}")
+print(f"remap events            : {len(adaptive.events)}")
+for ev in adaptive.events:
+    print(
+        f"  step {ev.step:3d}: robustness {ev.old_robustness:8.1f} "
+        f"-> {ev.new_robustness:8.1f}"
+    )
+
+# The guarantee that makes monitoring meaningful: no violation can occur
+# while the displacement from the anchor stays below the anchor robustness.
+disp = np.linalg.norm(trajectory - LOAD0, axis=1)
+inside = disp < anchor.raw_value
+assert not static.violated[inside].any()
+print(
+    f"\nguarantee check: 0 violations among the {int(inside.sum())} steps "
+    f"whose load displacement stayed below the anchor radius"
+)

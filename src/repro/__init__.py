@@ -1,0 +1,55 @@
+"""repro — reproduction of "Definition of a Robustness Metric for Resource
+Allocation" (Ali, Maciejewski, Siegel, Kim — IPPS 2003).
+
+The package implements the paper's FePIA procedure and robustness metric
+(:mod:`repro.core`), the two example systems it derives the metric for —
+independent application allocation (:mod:`repro.alloc`) and a HiPer-D-like
+sensor/application DAG system (:mod:`repro.hiperd`) — together with the
+supporting substrates: heterogeneous ETC generation (:mod:`repro.etcgen`),
+mapping heuristics (:mod:`repro.alloc.heuristics`), a discrete-event
+execution simulator (:mod:`repro.sim`), and the experiment pipelines that
+regenerate the paper's figures and tables (:mod:`repro.experiments`).
+"""
+
+from repro.core import (
+    AffineImpact,
+    CallableImpact,
+    FeatureBounds,
+    FeatureSet,
+    FePIAAnalysis,
+    MetricResult,
+    PerformanceFeature,
+    PerturbationParameter,
+    RadiusResult,
+    robustness_metric,
+    robustness_radius,
+)
+from repro.exceptions import (
+    InfeasibleAtOriginError,
+    ModelError,
+    ReproError,
+    SolverError,
+    ValidationError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AffineImpact",
+    "CallableImpact",
+    "FeatureBounds",
+    "FeatureSet",
+    "FePIAAnalysis",
+    "MetricResult",
+    "PerformanceFeature",
+    "PerturbationParameter",
+    "RadiusResult",
+    "robustness_metric",
+    "robustness_radius",
+    "InfeasibleAtOriginError",
+    "ModelError",
+    "ReproError",
+    "SolverError",
+    "ValidationError",
+    "__version__",
+]

@@ -1,0 +1,74 @@
+"""Independent application allocation (paper Section 3.1 / Section 4.2).
+
+The first example system: a set ``A`` of independent applications mapped to
+a set ``M`` of machines using estimated computation times (ETC); the
+robustness requirement bounds the actual makespan by ``tau`` times its
+predicted value against errors in the ETC estimates.
+
+Public surface:
+
+- :class:`~repro.alloc.mapping.Mapping`;
+- :func:`~repro.alloc.makespan.finishing_times`,
+  :func:`~repro.alloc.makespan.makespan`,
+  :func:`~repro.alloc.makespan.load_balance_index` (and batch variants);
+- :func:`~repro.alloc.robustness.robustness` (Eqs. 6-7),
+  :func:`~repro.alloc.robustness.batch_robustness`,
+  :func:`~repro.alloc.robustness.fepia_analysis`;
+- :func:`~repro.alloc.generators.random_mappings`;
+- :mod:`~repro.alloc.heuristics` — mapping heuristics (Min-min, Max-min,
+  GA, ...) as baselines and robustness-aware variants.
+"""
+
+from repro.alloc.generators import random_assignments, random_mapping, random_mappings
+from repro.alloc.makespan import (
+    batch_finishing_times,
+    batch_load_balance_index,
+    batch_makespan,
+    finishing_times,
+    load_balance_index,
+    makespan,
+)
+from repro.alloc.mapping import Mapping
+from repro.alloc.robustness import (
+    AllocationRobustness,
+    batch_robustness,
+    boundary_etc_vector,
+    critical_machine,
+    fepia_analysis,
+    robustness,
+    robustness_radii,
+    weighted_robustness_radii,
+)
+from repro.alloc.sensitivity import app_criticality, etc_gradient, move_improvements
+from repro.alloc.slowdown import (
+    joint_slowdown_etc_analysis,
+    slowdown_analysis,
+    slowdown_radii,
+)
+
+__all__ = [
+    "Mapping",
+    "random_assignments",
+    "random_mapping",
+    "random_mappings",
+    "finishing_times",
+    "makespan",
+    "load_balance_index",
+    "batch_finishing_times",
+    "batch_makespan",
+    "batch_load_balance_index",
+    "AllocationRobustness",
+    "robustness",
+    "robustness_radii",
+    "batch_robustness",
+    "boundary_etc_vector",
+    "critical_machine",
+    "fepia_analysis",
+    "weighted_robustness_radii",
+    "app_criticality",
+    "etc_gradient",
+    "move_improvements",
+    "joint_slowdown_etc_analysis",
+    "slowdown_analysis",
+    "slowdown_radii",
+]

@@ -1,0 +1,60 @@
+"""Mapping heuristics for independent application allocation.
+
+The paper frames the metric as a tool for evaluating mappings produced by
+heuristics (its references [7, 21] catalogue them).  This subpackage
+implements the standard ones as baselines plus robustness-aware variants:
+
+- immediate-mode baselines (:mod:`~repro.alloc.heuristics.baselines`):
+  OLB, MET, MCT, round-robin;
+- batch-mode list heuristics (:mod:`~repro.alloc.heuristics.listsched`):
+  Min-min, Max-min, Sufferage, Duplex;
+- iterative metaheuristics: genetic algorithm
+  (:mod:`~repro.alloc.heuristics.genetic`), simulated annealing
+  (:mod:`~repro.alloc.heuristics.annealing`), tabu search
+  (:mod:`~repro.alloc.heuristics.tabu`);
+- robustness-maximizing variants (:mod:`~repro.alloc.heuristics.robust`)
+  that greedily maximize the Eq. 7 metric instead of minimizing makespan.
+
+All heuristics share the signature ``heuristic(etc, *, seed=None, **params)
+-> Mapping`` and are listed in :data:`HEURISTICS` for sweeps.
+"""
+
+from repro.alloc.heuristics.baselines import mct, met, olb, round_robin
+from repro.alloc.heuristics.listsched import duplex, max_min, min_min, sufferage
+from repro.alloc.heuristics.genetic import genetic_algorithm
+from repro.alloc.heuristics.annealing import simulated_annealing
+from repro.alloc.heuristics.tabu import tabu_search
+from repro.alloc.heuristics.robust import greedy_robust, robust_mct
+
+HEURISTICS = {
+    "round_robin": round_robin,
+    "olb": olb,
+    "met": met,
+    "mct": mct,
+    "min_min": min_min,
+    "max_min": max_min,
+    "sufferage": sufferage,
+    "duplex": duplex,
+    "ga": genetic_algorithm,
+    "sa": simulated_annealing,
+    "tabu": tabu_search,
+    "robust_mct": robust_mct,
+    "greedy_robust": greedy_robust,
+}
+
+__all__ = [
+    "HEURISTICS",
+    "olb",
+    "met",
+    "mct",
+    "round_robin",
+    "min_min",
+    "max_min",
+    "sufferage",
+    "duplex",
+    "genetic_algorithm",
+    "simulated_annealing",
+    "tabu_search",
+    "robust_mct",
+    "greedy_robust",
+]

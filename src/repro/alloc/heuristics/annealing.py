@@ -1,0 +1,73 @@
+"""Simulated-annealing mapper.
+
+Single-solution metaheuristic over assignment vectors: a move reassigns one
+random task to a random machine; worse moves are accepted with probability
+``exp(-delta / T)`` under a geometric cooling schedule.  Fitness is pluggable
+(makespan or robustness), as in the GA.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.alloc.heuristics.listsched import min_min
+from repro.alloc.heuristics.objective import make_objective
+from repro.alloc.mapping import Mapping
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import as_2d_float_array, check_positive, check_positive_int
+
+__all__ = ["simulated_annealing"]
+
+
+def simulated_annealing(
+    etc,
+    *,
+    seed=None,
+    objective="makespan",
+    tau: float = 1.2,
+    iterations: int = 4000,
+    t_start: float | None = None,
+    cooling: float = 0.995,
+    start_from_min_min: bool = True,
+) -> Mapping:
+    """Anneal a mapping; returns the best solution ever visited.
+
+    ``t_start`` defaults to the initial objective value (a scale-free
+    choice); ``cooling`` is the geometric decay applied every iteration.
+    """
+    etc = as_2d_float_array(etc, "etc")
+    n_tasks, n_machines = etc.shape
+    iterations = check_positive_int(iterations, "iterations")
+    cooling = check_positive(cooling, "cooling")
+    if cooling >= 1.0:
+        raise ValueError("cooling must be < 1")
+    rng = ensure_rng(seed)
+    score = make_objective(objective, etc, tau=tau)
+
+    current = (
+        min_min(etc).assignment.copy()
+        if start_from_min_min
+        else rng.integers(0, n_machines, size=n_tasks, dtype=np.int64)
+    )
+    cur_fit = float(score(current[None, :])[0])
+    best, best_fit = current.copy(), cur_fit
+    temp = float(t_start) if t_start is not None else max(abs(cur_fit), 1.0)
+
+    for _ in range(iterations):
+        task = int(rng.integers(n_tasks))
+        machine = int(rng.integers(n_machines))
+        if machine == current[task]:
+            temp *= cooling
+            continue
+        cand = current.copy()
+        cand[task] = machine
+        cand_fit = float(score(cand[None, :])[0])
+        delta = cand_fit - cur_fit
+        if delta <= 0 or rng.random() < math.exp(-delta / max(temp, 1e-300)):
+            current, cur_fit = cand, cand_fit
+            if cur_fit < best_fit:
+                best, best_fit = current.copy(), cur_fit
+        temp *= cooling
+    return Mapping(best, n_machines)

@@ -1,0 +1,64 @@
+"""Immediate-mode mapping baselines (Braun et al. / Maheswaran et al.).
+
+Each heuristic considers the applications one at a time in index order and
+assigns greedily; they differ in what they look at:
+
+- **round_robin** — machine ``i mod |M|`` (ignores ETCs entirely);
+- **OLB** (Opportunistic Load Balancing) — the machine that becomes ready
+  earliest, ignoring the task's ETC on it;
+- **MET** (Minimum Execution Time) — the machine with the smallest ETC for
+  the task, ignoring machine load;
+- **MCT** (Minimum Completion Time) — the machine minimizing ready time +
+  ETC; the standard greedy baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.alloc.mapping import Mapping
+from repro.utils.validation import as_2d_float_array
+
+__all__ = ["round_robin", "olb", "met", "mct"]
+
+
+def round_robin(etc, *, seed=None) -> Mapping:
+    """Assign application ``i`` to machine ``i mod |M|``."""
+    etc = as_2d_float_array(etc, "etc")
+    n_tasks, n_machines = etc.shape
+    return Mapping(np.arange(n_tasks) % n_machines, n_machines)
+
+
+def olb(etc, *, seed=None) -> Mapping:
+    """Opportunistic Load Balancing: next task goes to the earliest-ready
+    machine (ties broken by lowest index)."""
+    etc = as_2d_float_array(etc, "etc")
+    n_tasks, n_machines = etc.shape
+    ready = np.zeros(n_machines)
+    out = np.empty(n_tasks, dtype=np.int64)
+    for i in range(n_tasks):
+        j = int(np.argmin(ready))
+        out[i] = j
+        ready[j] += etc[i, j]
+    return Mapping(out, n_machines)
+
+
+def met(etc, *, seed=None) -> Mapping:
+    """Minimum Execution Time: each task to its fastest machine (can pile
+    all work on one machine in consistent ETCs — a known pathology)."""
+    etc = as_2d_float_array(etc, "etc")
+    return Mapping(np.argmin(etc, axis=1), etc.shape[1])
+
+
+def mct(etc, *, seed=None) -> Mapping:
+    """Minimum Completion Time: each task to the machine where it finishes
+    earliest given current loads."""
+    etc = as_2d_float_array(etc, "etc")
+    n_tasks, n_machines = etc.shape
+    ready = np.zeros(n_machines)
+    out = np.empty(n_tasks, dtype=np.int64)
+    for i in range(n_tasks):
+        j = int(np.argmin(ready + etc[i]))
+        out[i] = j
+        ready[j] += etc[i, j]
+    return Mapping(out, n_machines)

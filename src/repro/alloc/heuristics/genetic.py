@@ -1,0 +1,105 @@
+"""Genetic-algorithm mapper (Braun et al. [7] / Wang et al. [25] style).
+
+Chromosomes are assignment vectors.  The population is seeded with the
+Min-min solution plus random mappings; each generation applies elitist
+selection, uniform crossover and point mutation.  The fitness is pluggable
+(makespan by default, or the robustness metric — see
+:mod:`~repro.alloc.heuristics.objective`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.alloc.heuristics.listsched import min_min
+from repro.alloc.heuristics.objective import make_objective
+from repro.alloc.mapping import Mapping
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import as_2d_float_array, check_positive_int, check_probability
+
+__all__ = ["genetic_algorithm"]
+
+
+def genetic_algorithm(
+    etc,
+    *,
+    seed=None,
+    objective="makespan",
+    tau: float = 1.2,
+    population: int = 60,
+    generations: int = 120,
+    crossover_rate: float = 0.9,
+    mutation_rate: float = 0.05,
+    elite: int = 2,
+    seed_with_min_min: bool = True,
+    patience: int = 40,
+) -> Mapping:
+    """Evolve a mapping; returns the best individual ever seen.
+
+    Parameters
+    ----------
+    objective, tau:
+        See :func:`repro.alloc.heuristics.objective.make_objective`.
+    population, generations:
+        GA size knobs; defaults are sized for 20x5 problems.
+    crossover_rate, mutation_rate:
+        Per-pair crossover probability and per-gene mutation probability.
+    elite:
+        Number of best individuals copied unchanged each generation.
+    seed_with_min_min:
+        Include the Min-min solution in the initial population (standard
+        practice in [7]; disable for a pure random start).
+    patience:
+        Stop early after this many generations without improvement.
+    """
+    etc = as_2d_float_array(etc, "etc")
+    n_tasks, n_machines = etc.shape
+    population = max(check_positive_int(population, "population"), 2 + elite)
+    generations = check_positive_int(generations, "generations")
+    check_probability(crossover_rate, "crossover_rate")
+    check_probability(mutation_rate, "mutation_rate")
+    rng = ensure_rng(seed)
+    score = make_objective(objective, etc, tau=tau)
+
+    pop = rng.integers(0, n_machines, size=(population, n_tasks), dtype=np.int64)
+    if seed_with_min_min:
+        pop[0] = min_min(etc).assignment
+    fitness = score(pop)
+
+    best_idx = int(np.argmin(fitness))
+    best = pop[best_idx].copy()
+    best_fit = float(fitness[best_idx])
+    stale = 0
+
+    for _ in range(generations):
+        order = np.argsort(fitness)
+        pop = pop[order]
+        fitness = fitness[order]
+        new_pop = [pop[k].copy() for k in range(elite)]
+        # Binary-tournament selection over the sorted population.
+        while len(new_pop) < population:
+            i1, i2 = rng.integers(0, population, size=2)
+            p1 = pop[min(i1, i2)]
+            i3, i4 = rng.integers(0, population, size=2)
+            p2 = pop[min(i3, i4)]
+            c1, c2 = p1.copy(), p2.copy()
+            if rng.random() < crossover_rate:
+                mask = rng.random(n_tasks) < 0.5
+                c1[mask], c2[mask] = p2[mask], p1[mask]
+            for child in (c1, c2):
+                mut = rng.random(n_tasks) < mutation_rate
+                if mut.any():
+                    child[mut] = rng.integers(0, n_machines, size=int(mut.sum()))
+                new_pop.append(child)
+        pop = np.array(new_pop[:population], dtype=np.int64)
+        fitness = score(pop)
+        gen_best = int(np.argmin(fitness))
+        if fitness[gen_best] < best_fit - 1e-15:
+            best_fit = float(fitness[gen_best])
+            best = pop[gen_best].copy()
+            stale = 0
+        else:
+            stale += 1
+            if stale >= patience:
+                break
+    return Mapping(best, n_machines)

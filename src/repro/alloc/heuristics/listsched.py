@@ -1,0 +1,75 @@
+"""Batch-mode list heuristics: Min-min, Max-min, Sufferage, Duplex.
+
+These consider the whole unmapped set every round (Braun et al. [7] found
+Min-min and GA the strongest of eleven heuristics):
+
+- **Min-min**: each round compute every unmapped task's minimum completion
+  time (MCT over machines); map the task with the *smallest* such MCT.
+- **Max-min**: same, but map the task with the *largest* minimum MCT (gets
+  long tasks out of the way first).
+- **Sufferage**: map the task that would "suffer" most if denied its best
+  machine (largest difference between second-best and best completion time).
+- **Duplex**: run Min-min and Max-min, keep the better makespan.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.alloc.makespan import makespan
+from repro.alloc.mapping import Mapping
+from repro.utils.validation import as_2d_float_array
+
+__all__ = ["min_min", "max_min", "sufferage", "duplex"]
+
+
+def _list_schedule(etc: np.ndarray, pick: str) -> Mapping:
+    n_tasks, n_machines = etc.shape
+    unmapped = np.ones(n_tasks, dtype=bool)
+    ready = np.zeros(n_machines)
+    out = np.empty(n_tasks, dtype=np.int64)
+    for _ in range(n_tasks):
+        idx = np.flatnonzero(unmapped)
+        completion = ready[None, :] + etc[idx]  # (k, n_machines)
+        best_machine = np.argmin(completion, axis=1)
+        best_time = completion[np.arange(idx.size), best_machine]
+        if pick == "min":
+            k = int(np.argmin(best_time))
+        elif pick == "max":
+            k = int(np.argmax(best_time))
+        else:  # sufferage
+            if n_machines == 1:
+                k = int(np.argmin(best_time))
+            else:
+                part = np.partition(completion, 1, axis=1)
+                suffer = part[:, 1] - part[:, 0]
+                k = int(np.argmax(suffer))
+        task = int(idx[k])
+        machine = int(best_machine[k])
+        out[task] = machine
+        ready[machine] += etc[task, machine]
+        unmapped[task] = False
+    return Mapping(out, n_machines)
+
+
+def min_min(etc, *, seed=None) -> Mapping:
+    """Min-min list scheduling."""
+    return _list_schedule(as_2d_float_array(etc, "etc"), "min")
+
+
+def max_min(etc, *, seed=None) -> Mapping:
+    """Max-min list scheduling."""
+    return _list_schedule(as_2d_float_array(etc, "etc"), "max")
+
+
+def sufferage(etc, *, seed=None) -> Mapping:
+    """Sufferage list scheduling."""
+    return _list_schedule(as_2d_float_array(etc, "etc"), "sufferage")
+
+
+def duplex(etc, *, seed=None) -> Mapping:
+    """Duplex: the better of Min-min and Max-min by makespan."""
+    etc = as_2d_float_array(etc, "etc")
+    a = min_min(etc)
+    b = max_min(etc)
+    return a if makespan(a, etc) <= makespan(b, etc) else b

@@ -1,0 +1,45 @@
+"""Objectives shared by the iterative metaheuristics (GA / SA / tabu).
+
+An objective scores an assignment vector; the metaheuristics *minimize* it.
+Two built-ins cover the paper's two viewpoints:
+
+- ``"makespan"`` — classic performance (minimize ``M_orig``);
+- ``"robustness"`` — maximize the Eq. 7 metric ``rho_mu(Phi, C)`` for a
+  given tolerance ``tau`` (implemented as minimizing ``-rho``), turning any
+  metaheuristic into a robustness-maximizing mapper.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.alloc.makespan import batch_makespan
+from repro.alloc.robustness import batch_robustness
+from repro.exceptions import ValidationError
+
+__all__ = ["make_objective"]
+
+
+def make_objective(
+    objective: str | Callable[[np.ndarray, np.ndarray], np.ndarray],
+    etc: np.ndarray,
+    *,
+    tau: float = 1.2,
+) -> Callable[[np.ndarray], np.ndarray]:
+    """Build a batch scoring function ``scores = f(assignments)`` to minimize.
+
+    ``objective`` may be ``"makespan"``, ``"robustness"`` or a callable
+    ``f(assignments, etc) -> scores`` (lower is better).
+    """
+    etc = np.asarray(etc, dtype=float)
+    if callable(objective):
+        return lambda assignments: np.asarray(objective(assignments, etc), dtype=float)
+    if objective == "makespan":
+        return lambda assignments: batch_makespan(assignments, etc)
+    if objective == "robustness":
+        return lambda assignments: -batch_robustness(assignments, etc, tau)
+    raise ValidationError(
+        f"unknown objective {objective!r}; expected 'makespan', 'robustness' or a callable"
+    )

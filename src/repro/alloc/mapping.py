@@ -1,0 +1,113 @@
+"""Mappings of independent applications onto machines (paper Section 3.1).
+
+A *mapping* ``mu`` assigns each application in the set ``A`` to exactly one
+machine in the set ``M``.  It is represented compactly as an integer vector
+``assignment`` of length ``|A|`` whose ``i``-th entry is the machine index of
+application ``a_i`` — the layout used by all vectorized code paths (batch
+robustness over 1000 mappings is a couple of matrix operations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+__all__ = ["Mapping"]
+
+
+@dataclass(frozen=True)
+class Mapping:
+    """An assignment of ``n_tasks`` applications to ``n_machines`` machines.
+
+    Immutable; all derived quantities (per-machine task lists, counts) are
+    computed on demand.
+    """
+
+    assignment: np.ndarray
+    n_machines: int
+
+    def __post_init__(self) -> None:
+        arr = np.asarray(self.assignment)
+        if arr.ndim != 1 or arr.size == 0:
+            raise ValidationError("assignment must be a non-empty 1-D array")
+        if not np.issubdtype(arr.dtype, np.integer):
+            rounded = np.asarray(arr, dtype=float)
+            if not np.all(rounded == np.floor(rounded)):
+                raise ValidationError("assignment entries must be integers")
+            arr = rounded.astype(np.int64)
+        else:
+            arr = arr.astype(np.int64)
+        n_machines = int(self.n_machines)
+        if n_machines <= 0:
+            raise ValidationError(f"n_machines must be >= 1, got {n_machines}")
+        if arr.min() < 0 or arr.max() >= n_machines:
+            raise ValidationError(
+                f"assignment entries must lie in [0, {n_machines - 1}]"
+            )
+        arr.setflags(write=False)
+        object.__setattr__(self, "assignment", arr)
+        object.__setattr__(self, "n_machines", n_machines)
+
+    @property
+    def n_tasks(self) -> int:
+        """Number of applications ``|A|``."""
+        return self.assignment.size
+
+    def machine_of(self, task: int) -> int:
+        """Machine index application ``task`` is mapped to."""
+        return int(self.assignment[task])
+
+    def tasks_on(self, machine: int) -> np.ndarray:
+        """Indices of the applications mapped to ``machine``."""
+        if not (0 <= machine < self.n_machines):
+            raise ValidationError(f"machine index {machine} out of range")
+        return np.flatnonzero(self.assignment == machine)
+
+    def counts(self) -> np.ndarray:
+        """``n(m_j)`` for every machine: number of applications per machine."""
+        return np.bincount(self.assignment, minlength=self.n_machines)
+
+    def indicator_matrix(self) -> np.ndarray:
+        """0/1 matrix ``I`` of shape ``(n_machines, n_tasks)`` with
+        ``I[j, i] = 1`` iff ``a_i`` is mapped to ``m_j`` — the affine impact
+        coefficients of the machine finishing times (paper Eq. 4)."""
+        ind = np.zeros((self.n_machines, self.n_tasks))
+        ind[self.assignment, np.arange(self.n_tasks)] = 1.0
+        return ind
+
+    def executed_times(self, etc: np.ndarray) -> np.ndarray:
+        """``C_i^orig`` for each application: its ETC on its assigned machine.
+
+        ``etc`` has shape ``(n_tasks, n_machines)``.
+        """
+        etc = np.asarray(etc, dtype=float)
+        if etc.shape != (self.n_tasks, self.n_machines):
+            raise ValidationError(
+                f"etc has shape {etc.shape}, expected ({self.n_tasks}, {self.n_machines})"
+            )
+        return etc[np.arange(self.n_tasks), self.assignment]
+
+    def move(self, task: int, machine: int) -> "Mapping":
+        """Return a new mapping with ``task`` reassigned to ``machine``."""
+        arr = self.assignment.copy()
+        arr[task] = machine
+        return Mapping(arr, self.n_machines)
+
+    def swap(self, task_a: int, task_b: int) -> "Mapping":
+        """Return a new mapping with the machines of two tasks exchanged."""
+        arr = self.assignment.copy()
+        arr[task_a], arr[task_b] = arr[task_b], arr[task_a]
+        return Mapping(arr, self.n_machines)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Mapping):
+            return NotImplemented
+        return self.n_machines == other.n_machines and np.array_equal(
+            self.assignment, other.assignment
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.n_machines, self.assignment.tobytes()))

@@ -1,0 +1,206 @@
+"""Command-line interface: regenerate the paper's experiments from a shell.
+
+Usage::
+
+    python -m repro fig3      [--seed N] [--n-mappings N] [--tau X] [--out FILE]
+    python -m repro fig4      [--seed N] [--n-mappings N] [--out FILE]
+    python -m repro table2    [--out FILE]
+    python -m repro validate  [--seed N] [--samples N] [--tau X]
+    python -m repro heuristics [--seed N] [--tau X]
+    python -m repro monitor   [--seed N] [--steps N] [--threshold X]
+
+Each subcommand prints the regenerated table/figure report (and optionally
+writes it to ``--out``).  Exit status is 0 on success, 2 on bad arguments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Robustness metric for resource allocation (IPPS 2003) — "
+        "experiment runner",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p3 = sub.add_parser("fig3", help="Figure 3: robustness vs makespan")
+    p3.add_argument("--seed", type=int, default=2003)
+    p3.add_argument("--n-mappings", type=int, default=1000)
+    p3.add_argument("--tau", type=float, default=1.2)
+    p3.add_argument("--out", type=Path, default=None)
+
+    p4 = sub.add_parser("fig4", help="Figure 4: robustness vs slack (HiPer-D)")
+    p4.add_argument("--seed", type=int, default=7)
+    p4.add_argument("--n-mappings", type=int, default=1000)
+    p4.add_argument("--out", type=Path, default=None)
+
+    pt = sub.add_parser("table2", help="Table 2: mappings A and B")
+    pt.add_argument("--out", type=Path, default=None)
+
+    pv = sub.add_parser("validate", help="simulated validation of the radius (E4)")
+    pv.add_argument("--seed", type=int, default=99)
+    pv.add_argument("--samples", type=int, default=200)
+    pv.add_argument("--tau", type=float, default=1.2)
+
+    ph = sub.add_parser("heuristics", help="heuristic sweep under the metric (E5)")
+    ph.add_argument("--seed", type=int, default=42)
+    ph.add_argument("--tau", type=float, default=1.2)
+
+    pm = sub.add_parser(
+        "monitor", help="online robustness monitoring under load drift"
+    )
+    pm.add_argument("--seed", type=int, default=8)
+    pm.add_argument("--steps", type=int, default=150)
+    pm.add_argument("--threshold", type=float, default=200.0)
+
+    return parser
+
+
+def _emit(text: str, out: Path | None) -> None:
+    print(text)
+    if out is not None:
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(text + "\n", encoding="utf-8")
+        print(f"[written to {out}]")
+
+
+def _cmd_fig3(args) -> int:
+    from repro.experiments import report_figure3, run_experiment_one
+
+    result = run_experiment_one(
+        n_mappings=args.n_mappings, tau=args.tau, seed=args.seed
+    )
+    _emit(report_figure3(result), args.out)
+    return 0
+
+
+def _cmd_fig4(args) -> int:
+    from repro.experiments import report_figure4, run_experiment_two
+
+    result = run_experiment_two(n_mappings=args.n_mappings, seed=args.seed)
+    _emit(report_figure4(result), args.out)
+    return 0
+
+
+def _cmd_table2(args) -> int:
+    from repro.experiments import report_table2
+    from repro.hiperd import PAPER_TABLE2, build_table2_system, robustness, slack
+
+    inst = build_table2_system()
+    measured = {}
+    for which, mapping in (("A", inst.mapping_a), ("B", inst.mapping_b)):
+        r = robustness(inst.system, mapping, inst.initial_load)
+        measured[which] = {
+            "robustness": r.value,
+            "slack": slack(inst.system, mapping, inst.initial_load),
+            "lambda_star": tuple(r.boundary),
+        }
+    _emit(report_table2(measured, PAPER_TABLE2), args.out)
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    from repro.alloc.generators import random_mapping
+    from repro.etcgen import cvb_etc_matrix
+    from repro.sim import validate_allocation_robustness
+
+    etc = cvb_etc_matrix(20, 5, seed=args.seed)
+    mapping = random_mapping(20, 5, seed=args.seed + 1)
+    report = validate_allocation_robustness(
+        mapping, etc, args.tau, n_samples=args.samples, seed=args.seed + 2
+    )
+    limit = report.tau * report.makespan_orig
+    print(f"robustness rho        : {report.robustness:.4f}")
+    print(f"predicted makespan    : {report.makespan_orig:.4f} (limit {limit:.4f})")
+    print(f"interior samples      : {report.n_samples}, violations {report.interior_violations}")
+    print(f"makespan at C*        : {report.boundary_makespan:.4f}")
+    print(f"makespan beyond C*    : {report.beyond_makespan:.4f}")
+    print(f"sound: {report.sound}, tight: {report.tight}")
+    return 0 if (report.sound and report.tight) else 1
+
+
+def _cmd_heuristics(args) -> int:
+    from repro.alloc import load_balance_index, makespan, robustness
+    from repro.alloc.heuristics import HEURISTICS
+    from repro.etcgen import cvb_etc_matrix
+    from repro.utils.tables import format_table
+
+    etc = cvb_etc_matrix(20, 5, seed=args.seed)
+    rows = []
+    for name in sorted(HEURISTICS):
+        mapping = HEURISTICS[name](etc, seed=0)
+        rows.append(
+            [
+                name,
+                makespan(mapping, etc),
+                robustness(mapping, etc, args.tau).value,
+                load_balance_index(mapping, etc),
+            ]
+        )
+    print(
+        format_table(
+            ["heuristic", "makespan", f"robustness (tau={args.tau})", "load balance"],
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_monitor(args) -> int:
+    from repro.dynamics import adaptive_remap, monitor, random_walk_loads
+    from repro.hiperd import generate_system, random_hiperd_mappings, robustness
+
+    load0 = np.array([962.0, 380.0, 240.0])
+    system = generate_system(seed=args.seed)
+    mapping = max(
+        random_hiperd_mappings(system, 20, seed=args.seed + 1),
+        key=lambda m: robustness(system, m, load0, apply_floor=False).raw_value,
+    )
+    traj = random_walk_loads(
+        load0, args.steps, step_scale=5.0, drift=[18.0, 8.0, 5.0], seed=args.seed + 2
+    )
+    static = monitor(system, mapping, traj)
+    adaptive = adaptive_remap(
+        system, mapping, traj, threshold=args.threshold, seed=args.seed + 3
+    )
+    print(f"anchor robustness       : {static.anchor_robustness:.1f}")
+    print(f"static first violation  : step {static.first_violation}")
+    print(f"static violating steps  : {int(static.violated.sum())} / {len(traj)}")
+    print(f"adaptive violating steps: {adaptive.violation_steps} / {len(traj)}")
+    print(f"remap events            : {len(adaptive.events)}")
+    for ev in adaptive.events:
+        print(
+            f"  step {ev.step:3d}: {ev.old_robustness:8.1f} -> {ev.new_robustness:8.1f}"
+        )
+    return 0
+
+
+_COMMANDS = {
+    "fig3": _cmd_fig3,
+    "fig4": _cmd_fig4,
+    "table2": _cmd_table2,
+    "validate": _cmd_validate,
+    "heuristics": _cmd_heuristics,
+    "monitor": _cmd_monitor,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit status."""
+    args = build_parser().parse_args(argv)
+    np.set_printoptions(legacy=False)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,62 @@
+"""Core FePIA robustness framework (paper Section 2).
+
+Public surface:
+
+- :class:`~repro.core.features.PerformanceFeature`,
+  :class:`~repro.core.features.FeatureBounds`,
+  :class:`~repro.core.features.FeatureSet` — step 1;
+- :class:`~repro.core.perturbation.PerturbationParameter` — step 2;
+- :class:`~repro.core.impact.AffineImpact`,
+  :class:`~repro.core.impact.CallableImpact` — step 3;
+- :func:`~repro.core.radius.robustness_radius` (Eq. 1),
+  :func:`~repro.core.metric.robustness_metric` (Eq. 2) — step 4;
+- :class:`~repro.core.fepia.FePIAAnalysis` — the whole procedure as a builder;
+- :mod:`~repro.core.norms` — the perturbation norms.
+"""
+
+from repro.core.boundary import Bound, BoundaryRelation, boundary_relations
+from repro.core.features import FeatureBounds, FeatureSet, PerformanceFeature
+from repro.core.fepia import FePIAAnalysis
+from repro.core.impact import (
+    AffineImpact,
+    CallableImpact,
+    ImpactFunction,
+    ScaledImpact,
+    SumImpact,
+    affine_sum,
+    as_impact,
+)
+from repro.core.metric import MetricResult, robustness_metric
+from repro.core.multi import MultiParameterAnalysis
+from repro.core.norms import L1Norm, L2Norm, LInfNorm, Norm, WeightedL2Norm, get_norm
+from repro.core.perturbation import PerturbationParameter
+from repro.core.radius import RadiusResult, robustness_radius
+
+__all__ = [
+    "Bound",
+    "BoundaryRelation",
+    "boundary_relations",
+    "FeatureBounds",
+    "FeatureSet",
+    "PerformanceFeature",
+    "FePIAAnalysis",
+    "AffineImpact",
+    "CallableImpact",
+    "ImpactFunction",
+    "ScaledImpact",
+    "SumImpact",
+    "affine_sum",
+    "as_impact",
+    "MetricResult",
+    "robustness_metric",
+    "MultiParameterAnalysis",
+    "L1Norm",
+    "L2Norm",
+    "LInfNorm",
+    "Norm",
+    "WeightedL2Norm",
+    "get_norm",
+    "PerturbationParameter",
+    "RadiusResult",
+    "robustness_radius",
+]

@@ -1,0 +1,80 @@
+"""Boundary relationships — the sets ``{pi : f_ij(pi) = beta}`` of FePIA step 4.
+
+Each finite bound of each feature induces one boundary relationship that
+separates robust from non-robust operation (paper Section 2, step 4 and
+Figure 1).  :func:`boundary_relations` expands a feature into its (one or
+two) relationships; each knows how to report whether the origin sits on the
+feasible side and which sign a distance to it should carry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.features import PerformanceFeature
+from repro.exceptions import ValidationError
+
+__all__ = ["Bound", "BoundaryRelation", "boundary_relations"]
+
+
+class Bound:
+    """Which end of the tolerable interval a relationship belongs to."""
+
+    LOWER = "lower"
+    UPPER = "upper"
+
+
+@dataclass(frozen=True)
+class BoundaryRelation:
+    """One equation ``f(pi) = beta`` for a feature's finite bound.
+
+    ``signed_gap(pi)`` is positive while the feature value is strictly inside
+    the bound (robust side), zero on the boundary, negative beyond it — so
+    dividing by the appropriate dual norm (for affine impacts) yields the
+    *signed* robustness radius directly.
+    """
+
+    feature: PerformanceFeature
+    bound: str  # Bound.LOWER or Bound.UPPER
+    beta: float
+
+    def __post_init__(self) -> None:
+        if self.bound not in (Bound.LOWER, Bound.UPPER):
+            raise ValidationError(f"bound must be 'lower' or 'upper', got {self.bound!r}")
+        if not np.isfinite(self.beta):
+            raise ValidationError("boundary value beta must be finite")
+
+    @property
+    def name(self) -> str:
+        op = ">=" if self.bound == Bound.LOWER else "<="
+        return f"{self.feature.name} {op} {self.beta:g}"
+
+    def value_gap(self, pi) -> float:
+        """Signed gap in *feature units*: ``beta - f(pi)`` for an upper bound,
+        ``f(pi) - beta`` for a lower bound (positive = robust side)."""
+        v = self.feature.value_at(pi)
+        return (self.beta - v) if self.bound == Bound.UPPER else (v - self.beta)
+
+    def residual(self, pi) -> float:
+        """``f(pi) - beta`` (zero exactly on the boundary)."""
+        return self.feature.value_at(pi) - self.beta
+
+    def satisfied_at(self, pi, *, tol: float = 0.0) -> bool:
+        """True when the origin-side inequality holds at ``pi``."""
+        return self.value_gap(pi) >= -tol
+
+
+def boundary_relations(feature: PerformanceFeature) -> list[BoundaryRelation]:
+    """Expand ``feature`` into its finite-bound boundary relationships.
+
+    A feature with two finite bounds yields two relationships (the paper's
+    ``f = beta_min`` and ``f = beta_max``); an unbounded side yields none.
+    """
+    rels: list[BoundaryRelation] = []
+    if np.isfinite(feature.bounds.lower):
+        rels.append(BoundaryRelation(feature, Bound.LOWER, float(feature.bounds.lower)))
+    if np.isfinite(feature.bounds.upper):
+        rels.append(BoundaryRelation(feature, Bound.UPPER, float(feature.bounds.upper)))
+    return rels

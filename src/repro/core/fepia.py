@@ -1,0 +1,152 @@
+"""FePIA — the paper's four-step derivation procedure as an explicit API.
+
+The FePIA procedure (Section 2) derives a robustness metric for an arbitrary
+system:
+
+1. **Fe** — identify the performance features ``Phi`` and their tolerable
+   variation ``<beta_min, beta_max>``;
+2. **P**  — identify the perturbation parameter ``pi`` and its assumed value
+   ``pi_orig``;
+3. **I**  — identify the impact of ``pi`` on each feature
+   (``phi_i = f_ij(pi)``);
+4. **A**  — analyze: find the boundary relationships and the smallest
+   perturbation reaching any of them (Eqs. 1-2).
+
+:class:`FePIAAnalysis` is a builder that walks these steps and produces a
+:class:`~repro.core.metric.MetricResult`; the worked systems in
+:mod:`repro.alloc` and :mod:`repro.hiperd` are implemented on top of it (and
+cross-checked against their closed forms in the test suite).
+
+Example
+-------
+The paper's running makespan example (two machines, tolerance 30%)::
+
+    analysis = (
+        FePIAAnalysis("makespan-robustness")
+        .with_perturbation("C", origin=[5.0, 3.0, 4.0])   # step 2: ETC values
+        .add_feature("F_0", impact=[1, 0, 1], upper=1.3 * 9.0)  # steps 1+3
+        .add_feature("F_1", impact=[0, 1, 0], upper=1.3 * 9.0)
+    )
+    result = analysis.analyze()          # step 4
+    result.value                         # rho_mu(Phi, C)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.features import FeatureBounds, FeatureSet, PerformanceFeature
+from repro.core.impact import as_impact
+from repro.core.metric import MetricResult, robustness_metric
+from repro.core.norms import Norm
+from repro.core.perturbation import PerturbationParameter
+from repro.exceptions import ValidationError
+
+__all__ = ["FePIAAnalysis"]
+
+
+class FePIAAnalysis:
+    """Builder for a robustness analysis following the FePIA steps.
+
+    The builder is order-tolerant (features may be added before or after the
+    perturbation parameter is set) but :meth:`analyze` insists that both
+    steps were completed and that every impact function matches the
+    parameter's dimension where that is checkable.
+    """
+
+    def __init__(self, name: str = "analysis") -> None:
+        self.name = name
+        self._features = FeatureSet()
+        self._parameter: PerturbationParameter | None = None
+
+    # -- step 2 -----------------------------------------------------------
+    def with_perturbation(
+        self,
+        name: str,
+        origin,
+        *,
+        discrete: bool = False,
+        component_names: list[str] | None = None,
+    ) -> "FePIAAnalysis":
+        """Declare the perturbation parameter ``pi`` and its assumed value."""
+        if self._parameter is not None:
+            raise ValidationError(
+                "perturbation parameter already set; single-parameter analyses "
+                "only (the multi-parameter case is discussed in [1])"
+            )
+        self._parameter = PerturbationParameter(
+            name=name, origin=origin, discrete=discrete, component_names=component_names
+        )
+        return self
+
+    # -- steps 1 + 3 ------------------------------------------------------
+    def add_feature(
+        self,
+        name: str,
+        impact,
+        *,
+        lower: float = -np.inf,
+        upper: float = np.inf,
+        meta: dict | None = None,
+    ) -> "FePIAAnalysis":
+        """Declare one performance feature: its tolerable variation (step 1)
+        and its impact function (step 3)."""
+        feature = PerformanceFeature(
+            name=name,
+            impact=as_impact(impact),
+            bounds=FeatureBounds(lower, upper),
+            meta=meta or {},
+        )
+        self._features.add(feature)
+        return self
+
+    # -- introspection ----------------------------------------------------
+    @property
+    def features(self) -> FeatureSet:
+        """The feature set ``Phi`` assembled so far."""
+        return self._features
+
+    @property
+    def parameter(self) -> PerturbationParameter:
+        """The perturbation parameter (raises if step 2 not done)."""
+        if self._parameter is None:
+            raise ValidationError("perturbation parameter not set (FePIA step 2)")
+        return self._parameter
+
+    def boundary_relationships(self):
+        """The step-4 boundary relationship set (for inspection/printing)."""
+        from repro.core.boundary import boundary_relations
+
+        rels = []
+        for f in self._features:
+            rels.extend(boundary_relations(f))
+        return rels
+
+    # -- step 4 -----------------------------------------------------------
+    def analyze(
+        self,
+        *,
+        norm: Norm | str | None = None,
+        require_feasible: bool = False,
+        apply_floor: bool | None = None,
+        solver_options: dict | None = None,
+    ) -> MetricResult:
+        """Run the analysis step and return the robustness metric."""
+        parameter = self.parameter
+        if len(self._features) == 0:
+            raise ValidationError("no performance features declared (FePIA step 1)")
+        for f in self._features:
+            dim = getattr(f.impact, "dimension", None)
+            if dim is not None and dim != parameter.dimension:
+                raise ValidationError(
+                    f"feature {f.name!r} impact has dimension {dim}, parameter "
+                    f"{parameter.name!r} has dimension {parameter.dimension}"
+                )
+        return robustness_metric(
+            self._features,
+            parameter,
+            norm=norm,
+            require_feasible=require_feasible,
+            apply_floor=apply_floor,
+            solver_options=solver_options,
+        )

@@ -1,0 +1,118 @@
+"""The robustness metric ``rho_mu(Phi, pi_j)`` — paper Equation 2.
+
+The metric is the minimum robustness radius over the performance-feature set
+``Phi``: the largest collective perturbation (in the chosen norm, in any
+direction) that is guaranteed not to violate *any* feature's requirement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.features import FeatureSet, PerformanceFeature
+from repro.core.norms import Norm
+from repro.core.perturbation import PerturbationParameter
+from repro.core.radius import RadiusResult, robustness_radius
+from repro.core.solvers.discrete import floor_radius
+from repro.exceptions import ValidationError
+
+__all__ = ["MetricResult", "robustness_metric"]
+
+
+@dataclass(frozen=True)
+class MetricResult:
+    """The robustness metric with its full per-feature breakdown."""
+
+    #: ``rho_mu(Phi, pi_j)`` — min over radii (floored if the parameter is
+    #: discrete, per Section 3.2)
+    value: float
+    #: the unfloored minimum radius
+    raw_value: float
+    #: per-feature radii, in feature-set order
+    radii: tuple[RadiusResult, ...]
+    #: name of the binding feature (argmin); None when all radii are infinite
+    binding_feature: str | None
+    #: parameter name
+    parameter: str
+    #: True when every feature is feasible at the origin
+    feasible_at_origin: bool
+
+    @property
+    def boundary_point(self) -> np.ndarray | None:
+        """The boundary point ``pi*`` of the binding feature."""
+        if self.binding_feature is None:
+            return None
+        for r in self.radii:
+            if r.feature == self.binding_feature:
+                return r.boundary_point
+        return None  # pragma: no cover - binding feature always in radii
+
+    def radius_of(self, feature_name: str) -> RadiusResult:
+        """Look up the radius result of one feature by name."""
+        for r in self.radii:
+            if r.feature == feature_name:
+                return r
+        raise KeyError(feature_name)
+
+    def sorted_radii(self) -> list[RadiusResult]:
+        """Radii sorted ascending (most critical feature first)."""
+        return sorted(self.radii, key=lambda r: r.radius)
+
+
+def robustness_metric(
+    features: FeatureSet | list[PerformanceFeature],
+    parameter: PerturbationParameter,
+    *,
+    norm: Norm | str | None = None,
+    require_feasible: bool = False,
+    apply_floor: bool | None = None,
+    solver_options: dict | None = None,
+) -> MetricResult:
+    """Compute ``rho_mu(Phi, pi_j) = min_i r_mu(phi_i, pi_j)`` (Equation 2).
+
+    Parameters mirror :func:`repro.core.radius.robustness_radius`; the floor
+    for discrete parameters is applied once to the minimum (matching Eq. 11's
+    discussion), while the per-feature radii in the result are unfloored so
+    the breakdown stays exact.
+    """
+    if isinstance(features, FeatureSet):
+        feats = list(features)
+    else:
+        feats = list(features)
+        if not all(isinstance(f, PerformanceFeature) for f in feats):
+            raise ValidationError("features must be PerformanceFeature instances")
+    if not feats:
+        raise ValidationError("the feature set Phi must be non-empty")
+
+    results = tuple(
+        robustness_radius(
+            f,
+            parameter,
+            norm=norm,
+            require_feasible=require_feasible,
+            apply_floor=False,
+            solver_options=solver_options,
+        )
+        for f in feats
+    )
+    radii = np.array([r.radius for r in results], dtype=float)
+    raw = float(np.min(radii))
+    finite_min = int(np.argmin(radii))
+    binding = results[finite_min].feature if np.isfinite(raw) or raw == -np.inf else None
+    if raw == np.inf:
+        binding = None
+
+    if apply_floor is None:
+        apply_floor = parameter.discrete
+    value = floor_radius(raw) if apply_floor else raw
+
+    return MetricResult(
+        value=float(value),
+        raw_value=raw,
+        radii=results,
+        binding_feature=binding,
+        parameter=parameter.name,
+        feasible_at_origin=all(r.feasible_at_origin for r in results),
+    )

@@ -1,0 +1,250 @@
+"""Multiple simultaneous perturbation parameters.
+
+Section 2's step 3 "assumes that each ``pi_j`` affects a given ``phi_i``
+independently" and notes that "the case where multiple perturbation
+parameters can affect a given ``phi_i`` simultaneously is discussed in
+[1]" (Ali's thesis).  This module implements both natural treatments:
+
+- **marginal analysis** — one metric per parameter, holding the others at
+  their assumed values (the paper's "rest of this discussion ... assuming
+  only one element in Pi", applied to each element in turn);
+- **joint analysis** — concatenate the parameters into one vector and
+  compute a single radius in the product space, i.e. the smallest
+  *combined* perturbation (in a norm over all components at once) that
+  violates any feature.
+
+Joint and marginal metrics relate by ``rho_joint <= min_j rho_marginal_j``:
+allowing simultaneous variation can only reach a boundary sooner (verified
+as a property test).
+
+Features are declared with per-parameter impacts; for affine impacts the
+joint impact is the concatenation of coefficient blocks and everything stays
+closed-form.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.features import FeatureBounds, FeatureSet, PerformanceFeature
+from repro.core.impact import AffineImpact, CallableImpact, ImpactFunction, as_impact
+from repro.core.metric import MetricResult, robustness_metric
+from repro.core.norms import Norm
+from repro.core.perturbation import PerturbationParameter
+from repro.exceptions import ValidationError
+
+__all__ = ["MultiParameterAnalysis"]
+
+
+class _BlockFeature:
+    """A feature whose impact is declared per parameter block."""
+
+    def __init__(self, name: str, impacts: dict[str, ImpactFunction], bounds: FeatureBounds):
+        self.name = name
+        self.impacts = impacts
+        self.bounds = bounds
+
+
+class MultiParameterAnalysis:
+    """FePIA analysis with several perturbation parameters.
+
+    Example
+    -------
+    A machine finishing time affected by both execution-time errors ``C``
+    and a machine slowdown factor ``s``::
+
+        analysis = (
+            MultiParameterAnalysis()
+            .with_parameter("C", origin=[5.0, 4.0])
+            .with_parameter("s", origin=[1.0])
+            .add_feature(
+                "F_0",
+                impacts={"C": [1.0, 1.0], "s": [9.0]},   # affine blocks
+                upper=13.0,
+            )
+        )
+        joint = analysis.analyze_joint()        # one radius in R^3
+        per_param = analysis.analyze_marginal() # {"C": ..., "s": ...}
+    """
+
+    def __init__(self, name: str = "multi-analysis") -> None:
+        self.name = name
+        self._parameters: list[PerturbationParameter] = []
+        self._features: list[_BlockFeature] = []
+
+    # -- step 2 (repeated) -------------------------------------------------
+    def with_parameter(self, name: str, origin, *, discrete: bool = False) -> "MultiParameterAnalysis":
+        """Declare one perturbation parameter (call once per parameter)."""
+        if any(p.name == name for p in self._parameters):
+            raise ValidationError(f"duplicate parameter name {name!r}")
+        self._parameters.append(
+            PerturbationParameter(name=name, origin=origin, discrete=discrete)
+        )
+        return self
+
+    # -- steps 1 + 3 --------------------------------------------------------
+    def add_feature(
+        self,
+        name: str,
+        impacts: dict,
+        *,
+        lower: float = -np.inf,
+        upper: float = np.inf,
+    ) -> "MultiParameterAnalysis":
+        """Declare a feature with one impact per parameter it depends on.
+
+        ``impacts`` maps parameter names to impact functions (affine
+        coefficient arrays or callables).  A parameter not mentioned does not
+        affect the feature.  The feature value is the *sum* of the block
+        impacts (the additive-decomposition model of [1]); wrap interactions
+        into a single block over a combined parameter if needed.
+        """
+        if any(f.name == name for f in self._features):
+            raise ValidationError(f"duplicate feature name {name!r}")
+        if not impacts:
+            raise ValidationError("impacts must name at least one parameter")
+        known = {p.name for p in self._parameters}
+        resolved: dict[str, ImpactFunction] = {}
+        for pname, imp in impacts.items():
+            if pname not in known:
+                raise ValidationError(
+                    f"feature {name!r} references unknown parameter {pname!r}"
+                )
+            resolved[pname] = as_impact(imp)
+        self._features.append(_BlockFeature(name, resolved, FeatureBounds(lower, upper)))
+        return self
+
+    # -- helpers -------------------------------------------------------------
+    @property
+    def parameters(self) -> list[PerturbationParameter]:
+        return list(self._parameters)
+
+    def _require_ready(self) -> None:
+        if not self._parameters:
+            raise ValidationError("no perturbation parameters declared")
+        if not self._features:
+            raise ValidationError("no features declared")
+
+    def _offsets(self) -> dict[str, tuple[int, int]]:
+        """Block start/end of each parameter in the concatenated vector."""
+        out = {}
+        k = 0
+        for p in self._parameters:
+            out[p.name] = (k, k + p.dimension)
+            k += p.dimension
+        return out
+
+    def _joint_feature(self, bf: _BlockFeature) -> PerformanceFeature:
+        offsets = self._offsets()
+        total_dim = sum(p.dimension for p in self._parameters)
+        if all(isinstance(i, AffineImpact) for i in bf.impacts.values()):
+            coeff = np.zeros(total_dim)
+            intercept = 0.0
+            for pname, imp in bf.impacts.items():
+                lo, hi = offsets[pname]
+                if imp.coefficients.size != hi - lo:
+                    raise ValidationError(
+                        f"feature {bf.name!r} block {pname!r} has dimension "
+                        f"{imp.coefficients.size}, parameter has {hi - lo}"
+                    )
+                coeff[lo:hi] = imp.coefficients
+                intercept += imp.intercept
+            return PerformanceFeature(bf.name, AffineImpact(coeff, intercept), bf.bounds)
+
+        blocks = dict(bf.impacts)
+
+        def joint(pi: np.ndarray, _blocks=blocks, _off=offsets) -> float:
+            return float(sum(imp(pi[_off[p][0] : _off[p][1]]) for p, imp in _blocks.items()))
+
+        def joint_grad(pi: np.ndarray, _blocks=blocks, _off=offsets):
+            g = np.zeros_like(pi)
+            for p, imp in _blocks.items():
+                lo, hi = _off[p]
+                gb = imp.gradient(pi[lo:hi])
+                if gb is None:
+                    return None
+                g[lo:hi] = gb
+            return g
+
+        return PerformanceFeature(
+            bf.name, CallableImpact(joint, grad=joint_grad, name=bf.name), bf.bounds
+        )
+
+    def _marginal_feature(self, bf: _BlockFeature, pname: str) -> PerformanceFeature:
+        """Feature restricted to one parameter, others frozen at origin."""
+        frozen = 0.0
+        for other, imp in bf.impacts.items():
+            if other != pname:
+                origin = next(p for p in self._parameters if p.name == other).origin
+                frozen += imp(origin)
+        imp = bf.impacts[pname]
+        if isinstance(imp, AffineImpact):
+            restricted: ImpactFunction = AffineImpact(
+                imp.coefficients, imp.intercept + frozen
+            )
+        else:
+            restricted = CallableImpact(
+                lambda pi, _imp=imp, _f=frozen: _imp(pi) + _f,
+                grad=imp.gradient,
+                name=f"{bf.name}|{pname}",
+            )
+        return PerformanceFeature(bf.name, restricted, bf.bounds)
+
+    # -- step 4 ----------------------------------------------------------------
+    def analyze_joint(
+        self,
+        *,
+        norm: Norm | str | None = None,
+        require_feasible: bool = False,
+        solver_options: dict | None = None,
+    ) -> MetricResult:
+        """One metric over the concatenated parameter vector.
+
+        The result's boundary points live in the product space; the metric is
+        floored when *all* declared parameters are discrete.
+        """
+        self._require_ready()
+        joint_param = PerturbationParameter(
+            name="+".join(p.name for p in self._parameters),
+            origin=np.concatenate([p.origin for p in self._parameters]),
+            discrete=all(p.discrete for p in self._parameters),
+        )
+        features = FeatureSet(self._joint_feature(bf) for bf in self._features)
+        return robustness_metric(
+            features,
+            joint_param,
+            norm=norm,
+            require_feasible=require_feasible,
+            solver_options=solver_options,
+        )
+
+    def analyze_marginal(
+        self,
+        *,
+        norm: Norm | str | None = None,
+        require_feasible: bool = False,
+        solver_options: dict | None = None,
+    ) -> dict[str, MetricResult]:
+        """One metric per parameter, holding the others at their origins.
+
+        Features unaffected by a parameter are skipped for that parameter
+        (they would contribute an infinite radius anyway).
+        """
+        self._require_ready()
+        out: dict[str, MetricResult] = {}
+        for p in self._parameters:
+            feats = [
+                self._marginal_feature(bf, p.name)
+                for bf in self._features
+                if p.name in bf.impacts
+            ]
+            if not feats:
+                continue
+            out[p.name] = robustness_metric(
+                FeatureSet(feats),
+                p,
+                norm=norm,
+                require_feasible=require_feasible,
+                solver_options=solver_options,
+            )
+        return out

@@ -1,0 +1,136 @@
+"""The robustness radius ``r_mu(phi_i, pi_j)`` — paper Equation 1.
+
+:func:`robustness_radius` computes, for one performance feature, the smallest
+(in the chosen norm) displacement of the perturbation parameter from its
+assumed value that drives the feature onto a boundary of its tolerable
+interval.  Dispatch:
+
+- affine impact  -> closed-form hyperplane distance
+  (:mod:`repro.core.solvers.analytic`);
+- anything else -> constrained numeric minimization
+  (:mod:`repro.core.solvers.numeric`).
+
+Radii are *signed*: positive while the origin is strictly robust, zero on a
+boundary, negative when the requirement is already violated at the origin
+(``require_feasible=True`` turns that case into
+:class:`~repro.exceptions.InfeasibleAtOriginError` to match the paper's
+assumption of a feasible starting point).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.boundary import boundary_relations
+from repro.core.features import PerformanceFeature
+from repro.core.impact import AffineImpact
+from repro.core.norms import Norm, get_norm
+from repro.core.perturbation import PerturbationParameter
+from repro.core.solvers.analytic import affine_boundary_distance
+from repro.core.solvers.discrete import floor_radius
+from repro.core.solvers.numeric import boundary_min_norm
+from repro.exceptions import InfeasibleAtOriginError, ValidationError
+
+__all__ = ["RadiusResult", "robustness_radius"]
+
+
+@dataclass(frozen=True)
+class RadiusResult:
+    """The robustness radius of one feature against one perturbation parameter."""
+
+    #: feature name (``phi_i``)
+    feature: str
+    #: perturbation parameter name (``pi_j``)
+    parameter: str
+    #: signed radius ``r_mu(phi_i, pi_j)``; ``inf`` when no finite bound is
+    #: reachable, negative when the origin already violates a bound
+    radius: float
+    #: minimizing boundary point ``pi*(phi_i)`` (None when radius is infinite)
+    boundary_point: np.ndarray | None
+    #: which bound binds (``"lower"``/``"upper"``; None when radius infinite)
+    binding_bound: str | None
+    #: feature value at the origin, ``f_ij(pi_orig)``
+    value_at_origin: float
+    #: True when the origin satisfies the feature's requirement
+    feasible_at_origin: bool
+    #: solver used (``"analytic"``/``"numeric"``)
+    solver: str
+
+    def __post_init__(self) -> None:
+        if self.binding_bound not in (None, "lower", "upper"):
+            raise ValidationError(f"bad binding_bound {self.binding_bound!r}")
+
+
+def robustness_radius(
+    feature: PerformanceFeature,
+    parameter: PerturbationParameter,
+    *,
+    norm: Norm | str | None = None,
+    require_feasible: bool = False,
+    apply_floor: bool | None = None,
+    solver_options: dict | None = None,
+) -> RadiusResult:
+    """Compute ``r_mu(phi_i, pi_j)`` per Equation 1.
+
+    Parameters
+    ----------
+    feature:
+        The performance feature ``phi_i`` (with bounds and impact attached).
+    parameter:
+        The perturbation parameter ``pi_j`` (provides ``pi_orig``).
+    norm:
+        Perturbation norm; default l2 as in the paper.
+    require_feasible:
+        Raise :class:`InfeasibleAtOriginError` when the feature's requirement
+        is already violated at ``pi_orig`` instead of returning a negative
+        radius.
+    apply_floor:
+        Floor the radius for discrete parameters (Section 3.2).  ``None``
+        (default) floors exactly when ``parameter.discrete``.
+    solver_options:
+        Extra keyword arguments for the numeric solver (ignored by the
+        analytic path).
+    """
+    norm = get_norm(norm)
+    origin = parameter.origin
+    value0 = feature.value_at(origin)
+    feasible = feature.bounds.contains(value0)
+    if require_feasible and not feasible:
+        raise InfeasibleAtOriginError(
+            f"feature {feature.name!r} = {value0:g} violates bounds "
+            f"[{feature.bounds.lower:g}, {feature.bounds.upper:g}] at the origin"
+        )
+
+    rels = boundary_relations(feature)
+    best = np.inf
+    best_point: np.ndarray | None = None
+    best_bound: str | None = None
+    solver_name = "analytic" if isinstance(feature.impact, AffineImpact) else "numeric"
+
+    for rel in rels:
+        if solver_name == "analytic":
+            dist, point = affine_boundary_distance(rel, origin, norm)
+        else:
+            res = boundary_min_norm(rel, origin, norm, **(solver_options or {}))
+            dist, point = res.distance, res.point
+        if dist < best:
+            best, best_point, best_bound = dist, point, rel.bound
+
+    radius = float(best)
+    if apply_floor is None:
+        apply_floor = parameter.discrete
+    if apply_floor:
+        radius = floor_radius(radius)
+
+    return RadiusResult(
+        feature=feature.name,
+        parameter=parameter.name,
+        radius=radius,
+        boundary_point=best_point,
+        binding_bound=best_bound,
+        value_at_origin=value0,
+        feasible_at_origin=feasible,
+        solver=solver_name,
+    )

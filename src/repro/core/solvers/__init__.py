@@ -1,0 +1,26 @@
+"""Boundary-minimization solvers behind the robustness radius (Eq. 1).
+
+- :mod:`~repro.core.solvers.analytic` — closed-form radii for affine impacts
+  (point-to-hyperplane distance, paper Eq. 6).
+- :mod:`~repro.core.solvers.numeric` — constrained minimization for general
+  (ideally convex) impacts via SLSQP with multi-start.
+- :mod:`~repro.core.solvers.discrete` — discrete perturbation parameters
+  (flooring per Section 3.2, and the bracketing of step 4's parenthetical).
+- :mod:`~repro.core.solvers.montecarlo` — sampling-based radius estimation and
+  empirical validation of a claimed radius.
+"""
+
+from repro.core.solvers.analytic import affine_boundary_distance, affine_radius
+from repro.core.solvers.numeric import boundary_min_norm
+from repro.core.solvers.discrete import bracket_boundary_1d, floor_radius
+from repro.core.solvers.montecarlo import estimate_radius_mc, validate_radius
+
+__all__ = [
+    "affine_boundary_distance",
+    "affine_radius",
+    "boundary_min_norm",
+    "bracket_boundary_1d",
+    "floor_radius",
+    "estimate_radius_mc",
+    "validate_radius",
+]

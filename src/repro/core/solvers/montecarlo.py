@@ -1,0 +1,197 @@
+"""Monte-Carlo estimation and empirical validation of robustness radii.
+
+The robustness radius has an operational meaning (Section 2): *no*
+perturbation of norm at most ``r`` may push any feature outside its bounds.
+This module provides
+
+- :func:`estimate_radius_mc` — a sampling estimator of the radius: shoot rays
+  in random directions from ``pi_orig``, bisect each ray for its boundary
+  crossing, and take the minimum crossing distance.  For star-shaped robust
+  regions (all convex regions qualify) this converges to the true radius from
+  above as the number of directions grows.
+- :func:`validate_radius` — empirical verification that a *claimed* radius is
+  sound (no sampled perturbation strictly inside the ball violates any
+  feature) and tight (some perturbation of norm ``r (1 + tol)`` violates, if
+  a violating boundary point is supplied or can be found by ray search).
+
+These are the basis of the E4 validation benchmark (see DESIGN.md): the
+closed-form Eq. 6 radii are checked against brute-force perturbation
+sampling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.features import FeatureSet
+from repro.core.norms import L2Norm, Norm, get_norm
+from repro.exceptions import SolverError, ValidationError
+from repro.utils.rng import ensure_rng
+
+__all__ = ["estimate_radius_mc", "validate_radius", "RadiusValidation"]
+
+
+def _ray_crossing(
+    features: FeatureSet,
+    origin: np.ndarray,
+    direction: np.ndarray,
+    *,
+    max_scale: float,
+    tol: float,
+) -> float:
+    """Distance along ``direction`` (unit norm) at which some feature first
+    leaves its bounds; ``inf`` if none within ``max_scale``."""
+    lo, hi = 0.0, None
+    # Geometric expansion to find a violating scale.
+    scale = 1.0
+    while scale <= max_scale:
+        if not features.all_satisfied_at(origin + scale * direction):
+            hi = scale
+            break
+        lo = scale
+        scale *= 2.0
+    if hi is None:
+        return np.inf
+    # Bisection between the last satisfied and first violated scales.
+    while hi - lo > tol * max(1.0, hi):
+        mid = 0.5 * (lo + hi)
+        if features.all_satisfied_at(origin + mid * direction):
+            lo = mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)
+
+
+def estimate_radius_mc(
+    features: FeatureSet,
+    origin,
+    *,
+    n_directions: int = 256,
+    norm: Norm | str | None = None,
+    seed: int | np.random.Generator | None = None,
+    max_scale: float = 1e9,
+    tol: float = 1e-9,
+) -> float:
+    """Estimate the robustness radius by random ray search.
+
+    Always an *over*-estimate of the true radius for star-shaped robust
+    regions (it can only miss the worst direction, never find a
+    better-than-possible one), so tests assert ``estimate >= exact`` and
+    convergence from above.
+    """
+    norm = get_norm(norm)
+    origin = np.asarray(origin, dtype=float)
+    if origin.ndim != 1:
+        raise ValidationError("origin must be a vector")
+    if not features.all_satisfied_at(origin):
+        raise ValidationError(
+            "origin violates the robustness requirement; MC estimation assumes "
+            "a feasible starting point"
+        )
+    rng = ensure_rng(seed)
+    best = np.inf
+    for _ in range(n_directions):
+        d = rng.standard_normal(origin.size)
+        n = np.linalg.norm(d)
+        if n == 0:
+            continue
+        d = d / n
+        # Re-normalize in the requested norm so the crossing scale is the
+        # perturbation size in that norm.
+        size = norm(d)
+        if size == 0:
+            continue
+        d = d / size
+        crossing = _ray_crossing(features, origin, d, max_scale=max_scale, tol=tol)
+        best = min(best, crossing)
+    if best is np.inf and n_directions > 0:
+        return np.inf
+    return float(best)
+
+
+@dataclass(frozen=True)
+class RadiusValidation:
+    """Report of an empirical radius validation."""
+
+    radius: float
+    n_samples: int
+    #: number of sampled interior perturbations (all must be violation-free)
+    interior_violations: int
+    #: smallest ray-crossing distance found (>= radius for a sound radius)
+    min_crossing: float
+    sound: bool
+    tight: bool
+
+
+def validate_radius(
+    features: FeatureSet,
+    origin,
+    radius: float,
+    *,
+    n_samples: int = 512,
+    norm: Norm | str | None = None,
+    seed: int | np.random.Generator | None = None,
+    slack: float = 1e-9,
+    tightness_factor: float = 1.05,
+    boundary_point=None,
+) -> RadiusValidation:
+    """Empirically validate a claimed robustness radius.
+
+    Soundness: samples ``n_samples`` perturbations with norm strictly below
+    ``radius`` — none may violate any feature.  Tightness: either a known
+    ``boundary_point`` (the minimizing ``pi*`` from a solver) demonstrates a
+    crossing at distance ``~radius`` along its direction, or ray search must
+    find a crossing at distance at most ``radius * tightness_factor`` in some
+    sampled direction (so the claimed radius is not a gross under-estimate —
+    with random directions only, this may require many samples in high
+    dimension).
+    """
+    norm = get_norm(norm)
+    origin = np.asarray(origin, dtype=float)
+    radius = float(radius)
+    if radius < 0 or not np.isfinite(radius):
+        raise ValidationError(f"radius must be finite and non-negative, got {radius}")
+    rng = ensure_rng(seed)
+    interior_violations = 0
+    min_crossing = np.inf
+    if boundary_point is not None:
+        bp = np.asarray(boundary_point, dtype=float)
+        disp = bp - origin
+        size = norm(disp)
+        if size > 0:
+            direction = disp / size
+            min_crossing = _ray_crossing(
+                features, origin, direction, max_scale=max(size * 16.0, 1.0), tol=1e-9
+            )
+    for _ in range(n_samples):
+        d = rng.standard_normal(origin.size)
+        nl2 = np.linalg.norm(d)
+        if nl2 == 0:
+            continue
+        d = d / nl2
+        size = norm(d)
+        if size == 0:
+            continue
+        d = d / size
+        # Soundness probe strictly inside the ball (random magnitude so the
+        # whole interior is exercised, not just the shell).
+        mag = radius * (1.0 - slack) * rng.uniform(0.0, 1.0) ** (1.0 / max(origin.size, 1))
+        if not features.all_satisfied_at(origin + mag * d):
+            interior_violations += 1
+        # Tightness probe: crossing distance along this direction.
+        crossing = _ray_crossing(
+            features, origin, d, max_scale=max(radius * 16.0, 1.0), tol=1e-9
+        )
+        min_crossing = min(min_crossing, crossing)
+    sound = interior_violations == 0
+    tight = bool(min_crossing <= radius * tightness_factor) if np.isfinite(radius) else True
+    return RadiusValidation(
+        radius=radius,
+        n_samples=n_samples,
+        interior_violations=interior_violations,
+        min_crossing=float(min_crossing),
+        sound=sound,
+        tight=tight,
+    )

@@ -1,0 +1,37 @@
+"""Heterogeneous workload (ETC / coefficient) generation.
+
+The paper's experiments sample estimated-time-to-compute (ETC) values and
+HiPer-D complexity coefficients "from a Gamma distribution" with given mean
+and *heterogeneity* (standard deviation over mean), "see [3] for a
+description" — Ali et al., *Representing task and machine heterogeneities
+for heterogeneous computing systems*, 2000.  This package implements:
+
+- :func:`~repro.etcgen.gamma.gamma_mean_cov` — Gamma sampling parameterized
+  by (mean, coefficient of variation);
+- :func:`~repro.etcgen.cvb.cvb_etc_matrix` — the Coefficient-of-Variation-
+  Based (CVB) two-stage ETC generation of [3];
+- :func:`~repro.etcgen.range_based.range_based_etc_matrix` — the older
+  range-based method (Braun et al. [7]) as a baseline;
+- :mod:`~repro.etcgen.consistency` — consistent / semi-consistent /
+  inconsistent ETC shaping, and heterogeneity measurement.
+"""
+
+from repro.etcgen.gamma import gamma_mean_cov
+from repro.etcgen.cvb import cvb_etc_matrix
+from repro.etcgen.range_based import range_based_etc_matrix
+from repro.etcgen.consistency import (
+    heterogeneity,
+    make_consistent,
+    make_semi_consistent,
+    task_machine_heterogeneity,
+)
+
+__all__ = [
+    "gamma_mean_cov",
+    "cvb_etc_matrix",
+    "range_based_etc_matrix",
+    "heterogeneity",
+    "make_consistent",
+    "make_semi_consistent",
+    "task_machine_heterogeneity",
+]

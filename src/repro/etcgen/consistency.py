@@ -1,0 +1,83 @@
+"""ETC consistency shaping and heterogeneity measurement.
+
+Heterogeneous-computing studies distinguish *consistent* ETC matrices (if
+machine A is faster than B for one task it is faster for all), *inconsistent*
+ones (no such order) and *semi-consistent* ones (a consistent sub-matrix).
+The paper's experiments use inconsistent matrices (raw CVB output); the
+shaping helpers here let users reproduce the other standard regimes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import as_2d_float_array, check_probability
+
+__all__ = [
+    "heterogeneity",
+    "task_machine_heterogeneity",
+    "make_consistent",
+    "make_semi_consistent",
+]
+
+
+def heterogeneity(values) -> float:
+    """Coefficient of variation (sigma / mean) of a set of numbers.
+
+    The paper (Section 4.2): "the heterogeneity of a set of numbers is the
+    standard deviation divided by the mean".  Uses the population standard
+    deviation.  Returns ``nan`` for an empty set and ``inf`` when the mean is
+    zero but values are not.
+    """
+    arr = np.asarray(values, dtype=float).ravel()
+    if arr.size == 0:
+        return float("nan")
+    mean = float(arr.mean())
+    std = float(arr.std())
+    if mean == 0.0:
+        return 0.0 if std == 0.0 else float("inf")
+    return std / abs(mean)
+
+
+def task_machine_heterogeneity(etc) -> tuple[float, float]:
+    """Measure (task heterogeneity, machine heterogeneity) of an ETC matrix.
+
+    Task heterogeneity is the COV of the per-task row means; machine
+    heterogeneity is the mean over tasks of each row's COV — the empirical
+    counterparts of the two CVB generation stages.
+    """
+    etc = as_2d_float_array(etc, "etc")
+    row_means = etc.mean(axis=1)
+    task_het = heterogeneity(row_means)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        row_cov = etc.std(axis=1) / np.where(row_means != 0, row_means, np.nan)
+    machine_het = float(np.nanmean(row_cov))
+    return task_het, machine_het
+
+
+def make_consistent(etc) -> np.ndarray:
+    """Return a consistent copy of ``etc``: every row sorted ascending.
+
+    After sorting, machine 0 is uniformly the fastest and machine ``m-1`` the
+    slowest for every task.
+    """
+    etc = as_2d_float_array(etc, "etc")
+    return np.sort(etc, axis=1)
+
+
+def make_semi_consistent(etc, fraction: float = 0.5, seed=None) -> np.ndarray:
+    """Return a semi-consistent copy: a random ``fraction`` of the columns is
+    made mutually consistent (sorted as a block), the rest left inconsistent.
+    """
+    etc = as_2d_float_array(etc, "etc").copy()
+    fraction = check_probability(fraction, "fraction")
+    rng = ensure_rng(seed)
+    m = etc.shape[1]
+    k = int(round(fraction * m))
+    if k <= 1:
+        return etc
+    cols = np.sort(rng.choice(m, size=k, replace=False))
+    block = etc[:, cols]
+    etc[:, cols] = np.sort(block, axis=1)
+    return etc

@@ -1,0 +1,40 @@
+"""Range-based ETC matrix generation (Braun et al. [7] style).
+
+The older alternative to the CVB method: task magnitudes are drawn uniformly
+from ``[1, r_task]`` and each row is scaled by uniform machine multipliers
+from ``[1, r_machine]``.  Provided as a baseline workload generator so
+mapping heuristics and robustness studies can be exercised on both
+generation models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_positive_int
+
+__all__ = ["range_based_etc_matrix"]
+
+
+def range_based_etc_matrix(
+    n_tasks: int,
+    n_machines: int,
+    *,
+    r_task: float = 100.0,
+    r_machine: float = 10.0,
+    seed: int | None | np.random.Generator = None,
+) -> np.ndarray:
+    """Generate an ``(n_tasks, n_machines)`` ETC matrix with the range method.
+
+    ``C[i, j] = tau_i * u_ij`` with ``tau_i ~ U[1, r_task]`` and
+    ``u_ij ~ U[1, r_machine]``.
+    """
+    n_tasks = check_positive_int(n_tasks, "n_tasks")
+    n_machines = check_positive_int(n_machines, "n_machines")
+    if r_task < 1 or r_machine < 1:
+        raise ValueError("r_task and r_machine must be >= 1")
+    rng = ensure_rng(seed)
+    tau = rng.uniform(1.0, r_task, size=n_tasks)
+    u = rng.uniform(1.0, r_machine, size=(n_tasks, n_machines))
+    return tau[:, None] * u

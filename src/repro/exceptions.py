@@ -1,0 +1,44 @@
+"""Exception hierarchy for :mod:`repro`.
+
+All exceptions raised by this library derive from :class:`ReproError` so
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ValidationError",
+    "InfeasibleAtOriginError",
+    "SolverError",
+    "ModelError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An input failed validation (bad shape, negative size, NaN, ...)."""
+
+
+class InfeasibleAtOriginError(ReproError):
+    """The system violates a robustness requirement at the assumed operating
+    point ``pi_orig`` and the caller asked for strict feasibility.
+
+    The paper (Section 2, step 4) assumes the system starts inside the robust
+    region.  Most APIs in this library instead return *signed* radii (negative
+    when the origin already violates a bound) and only raise this error when
+    ``require_feasible=True`` is passed.
+    """
+
+
+class SolverError(ReproError):
+    """A numeric boundary-minimization solve failed to converge."""
+
+
+class ModelError(ReproError):
+    """A system model is structurally invalid (cyclic DAG, dangling edge,
+    application mapped to an unknown machine, ...)."""

@@ -1,0 +1,40 @@
+"""Experiment pipelines regenerating the paper's Section 4 results.
+
+- :mod:`~repro.experiments.experiment1` — E1/E1b: the independent-allocation
+  study (Figure 3: robustness vs makespan; the load-balance-index view; the
+  ``S1(x)`` linear-cluster structure).
+- :mod:`~repro.experiments.experiment2` — E2/E3: the HiPer-D study (Figure 4:
+  robustness vs slack; Table 2: the A/B pair).
+- :mod:`~repro.experiments.reporting` — plain-text rendering of the figures
+  (as series + ASCII scatter) and tables.
+"""
+
+from repro.experiments.experiment1 import (
+    ExperimentOneResult,
+    cluster_analysis,
+    run_experiment_one,
+)
+from repro.experiments.experiment2 import (
+    ExperimentTwoResult,
+    find_ab_pair,
+    find_flat_band,
+    run_experiment_two,
+)
+from repro.experiments.reporting import (
+    report_figure3,
+    report_figure4,
+    report_table2,
+)
+
+__all__ = [
+    "ExperimentOneResult",
+    "run_experiment_one",
+    "cluster_analysis",
+    "ExperimentTwoResult",
+    "run_experiment_two",
+    "find_ab_pair",
+    "find_flat_band",
+    "report_figure3",
+    "report_figure4",
+    "report_table2",
+]

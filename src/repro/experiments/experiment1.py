@@ -1,0 +1,164 @@
+"""Experiment 1 (paper Section 4.2 / Figure 3): independent allocation.
+
+1000 random mappings of 20 applications onto 5 machines; ETC values from the
+CVB Gamma method (mean 10, task and machine heterogeneity 0.7); tolerance
+``tau = 1.2``.  Each mapping is evaluated for robustness (Eq. 7), makespan
+and load-balance index.
+
+Beyond regenerating the scatter, :func:`cluster_analysis` verifies the
+paper's structural explanation of Figure 3: for mappings whose
+makespan-determining machine also has the most applications (the set
+``S1(x)``), robustness is exactly ``(tau - 1) * M_orig / sqrt(x)`` — a line
+through the origin per ``x`` — and every other mapping (the outliers,
+``S2(x) - S1(x)``) falls strictly below its ``x``-line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.alloc.generators import random_assignments
+from repro.alloc.makespan import batch_finishing_times, batch_load_balance_index
+from repro.alloc.robustness import batch_robustness
+from repro.etcgen.cvb import cvb_etc_matrix
+from repro.utils.rng import spawn_rngs
+from repro.utils.validation import check_positive, check_positive_int
+
+__all__ = ["ExperimentOneResult", "run_experiment_one", "cluster_analysis"]
+
+
+@dataclass(frozen=True)
+class ExperimentOneResult:
+    """All per-mapping measurements of the Figure 3 experiment."""
+
+    etc: np.ndarray
+    assignments: np.ndarray
+    tau: float
+    #: predicted makespan per mapping
+    makespans: np.ndarray
+    #: robustness metric (Eq. 7) per mapping
+    robustness: np.ndarray
+    #: load-balance index per mapping (Section 4.2)
+    load_balance: np.ndarray
+    #: x = n(m(C_orig)): applications on the makespan-determining machine
+    group_x: np.ndarray
+    #: the largest per-machine application count of each mapping
+    max_count: np.ndarray
+
+    @property
+    def in_s1(self) -> np.ndarray:
+        """Mask of mappings in ``S1(x)`` (makespan machine has the most apps)."""
+        return self.group_x == self.max_count
+
+    @property
+    def n_mappings(self) -> int:
+        return self.assignments.shape[0]
+
+
+def run_experiment_one(
+    *,
+    n_tasks: int = 20,
+    n_machines: int = 5,
+    n_mappings: int = 1000,
+    tau: float = 1.2,
+    mean_task: float = 10.0,
+    task_het: float = 0.7,
+    machine_het: float = 0.7,
+    seed=None,
+) -> ExperimentOneResult:
+    """Run the Section 4.2 experiment with the paper's default parameters."""
+    n_tasks = check_positive_int(n_tasks, "n_tasks")
+    n_machines = check_positive_int(n_machines, "n_machines")
+    n_mappings = check_positive_int(n_mappings, "n_mappings")
+    tau = check_positive(tau, "tau")
+    rng_etc, rng_maps = spawn_rngs(seed, 2)
+
+    etc = cvb_etc_matrix(
+        n_tasks,
+        n_machines,
+        mean_task=mean_task,
+        task_het=task_het,
+        machine_het=machine_het,
+        seed=rng_etc,
+    )
+    assignments = random_assignments(n_mappings, n_tasks, n_machines, seed=rng_maps)
+
+    f = batch_finishing_times(assignments, etc)
+    makespans = f.max(axis=1)
+    rho = batch_robustness(assignments, etc, tau)
+    lbi = batch_load_balance_index(assignments, etc)
+
+    counts = np.zeros_like(f)
+    np.add.at(
+        counts,
+        (np.repeat(np.arange(n_mappings), n_tasks), assignments.ravel()),
+        1.0,
+    )
+    makespan_machine = f.argmax(axis=1)
+    group_x = counts[np.arange(n_mappings), makespan_machine].astype(np.int64)
+    max_count = counts.max(axis=1).astype(np.int64)
+
+    return ExperimentOneResult(
+        etc=etc,
+        assignments=assignments,
+        tau=tau,
+        makespans=makespans,
+        robustness=rho,
+        load_balance=lbi,
+        group_x=group_x,
+        max_count=max_count,
+    )
+
+
+@dataclass(frozen=True)
+class ClusterAnalysis:
+    """Verification of the Figure 3 linear-cluster structure."""
+
+    #: distinct x values observed
+    xs: np.ndarray
+    #: number of S1(x) mappings per x
+    s1_sizes: np.ndarray
+    #: max |rho - (tau-1) M / sqrt(x)| over S1(x), per x (should be ~0)
+    s1_max_residual: np.ndarray
+    #: number of outliers (S2(x) - S1(x)) per x
+    outlier_sizes: np.ndarray
+    #: True when every outlier sits strictly below its S1(x) line
+    outliers_below_line: bool
+
+
+def cluster_analysis(result: ExperimentOneResult) -> ClusterAnalysis:
+    """Check the paper's explanation of the Figure 3 clusters (Section 4.2)."""
+    slope_base = result.tau - 1.0
+    line = slope_base * result.makespans / np.sqrt(result.group_x)
+    in_s1 = result.in_s1
+
+    xs = np.unique(result.group_x)
+    s1_sizes = np.empty(xs.size, dtype=np.int64)
+    outlier_sizes = np.empty(xs.size, dtype=np.int64)
+    s1_max_residual = np.zeros(xs.size)
+    below = True
+    for k, x in enumerate(xs):
+        sel = result.group_x == x
+        s1 = sel & in_s1
+        out = sel & ~in_s1
+        s1_sizes[k] = int(s1.sum())
+        outlier_sizes[k] = int(out.sum())
+        if s1.any():
+            s1_max_residual[k] = float(
+                np.max(np.abs(result.robustness[s1] - line[s1]))
+            )
+        if out.any():
+            # Outliers are bounded above by their own x-line and strictly
+            # below it (another machine binds), modulo float tolerance.
+            below = below and bool(
+                np.all(result.robustness[out] <= line[out] + 1e-9)
+            )
+    return ClusterAnalysis(
+        xs=xs,
+        s1_sizes=s1_sizes,
+        s1_max_residual=s1_max_residual,
+        outlier_sizes=outlier_sizes,
+        outliers_below_line=below,
+    )

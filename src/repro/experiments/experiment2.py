@@ -1,0 +1,221 @@
+"""Experiment 2 (paper Section 4.3 / Figure 4 / Table 2): HiPer-D.
+
+A generated Section-4.3 system (19 paths, 3 sensors, 20 applications, 5
+machines), 1000 random mappings, each evaluated for robustness (Eq. 11) and
+system-wide percentage slack at the initial loads (962, 380, 240).
+
+Helpers reproduce the paper's two headline observations:
+
+- :func:`find_ab_pair` — the Table-2 phenomenon: two mappings with nearly
+  equal slack whose robustness differs by a large factor;
+- :func:`find_flat_band` — the Figure-4 phenomenon: a set of mappings with a
+  wide range of slack values but (nearly) the same robustness, i.e. slack
+  cannot distinguish them while the metric pins them to one binding
+  constraint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hiperd.generators import (
+    PAPER_INITIAL_LOAD,
+    generate_system,
+    random_hiperd_mappings,
+)
+from repro.hiperd.model import HiperDSystem
+from repro.hiperd.robustness import robustness
+from repro.hiperd.slack import slack_from_constraints
+from repro.utils.rng import spawn_rngs
+from repro.utils.validation import check_positive_int
+
+__all__ = [
+    "ExperimentTwoResult",
+    "run_experiment_two",
+    "find_ab_pair",
+    "find_flat_band",
+]
+
+
+@dataclass(frozen=True)
+class ExperimentTwoResult:
+    """All per-mapping measurements of the Figure 4 experiment."""
+
+    system: HiperDSystem
+    assignments: np.ndarray
+    initial_load: np.ndarray
+    #: robustness metric (Eq. 11, floored) per mapping
+    robustness: np.ndarray
+    #: system-wide percentage slack per mapping
+    slack: np.ndarray
+    #: name of each mapping's binding constraint
+    binding_names: tuple[str, ...]
+    #: kind of each mapping's binding constraint ("comp"/"comm"/"latency")
+    binding_kinds: tuple[str, ...]
+
+    @property
+    def feasible(self) -> np.ndarray:
+        """Mask of mappings satisfying all QoS constraints at the initial load."""
+        return self.slack > 0
+
+    @property
+    def n_mappings(self) -> int:
+        return self.assignments.shape[0]
+
+
+def run_experiment_two(
+    *,
+    n_mappings: int = 1000,
+    initial_load=PAPER_INITIAL_LOAD,
+    seed=None,
+    **system_kwargs,
+) -> ExperimentTwoResult:
+    """Run the Section 4.3 experiment.
+
+    Extra keyword arguments are forwarded to
+    :func:`repro.hiperd.generators.generate_system` (e.g. ``n_paths``,
+    ``target_fraction``).
+    """
+    n_mappings = check_positive_int(n_mappings, "n_mappings")
+    rng_sys, rng_maps = spawn_rngs(seed, 2)
+    system = generate_system(seed=rng_sys, **system_kwargs)
+    mappings = random_hiperd_mappings(system, n_mappings, seed=rng_maps)
+    load = np.asarray(initial_load, dtype=float)
+
+    rho = np.empty(n_mappings)
+    sl = np.empty(n_mappings)
+    names: list[str] = []
+    kinds: list[str] = []
+    for k, m in enumerate(mappings):
+        r = robustness(system, m, load)
+        rho[k] = r.value
+        sl[k] = slack_from_constraints(r.constraints, load)
+        names.append(r.binding_name)
+        kinds.append(r.binding_kind)
+
+    return ExperimentTwoResult(
+        system=system,
+        assignments=np.array([m.assignment for m in mappings]),
+        initial_load=load,
+        robustness=rho,
+        slack=sl,
+        binding_names=tuple(names),
+        binding_kinds=tuple(kinds),
+    )
+
+
+@dataclass(frozen=True)
+class ABPair:
+    """A Table-2-style pair: similar slack, very different robustness."""
+
+    index_a: int
+    index_b: int
+    robustness_a: float
+    robustness_b: float
+    slack_a: float
+    slack_b: float
+
+    @property
+    def ratio(self) -> float:
+        return self.robustness_b / self.robustness_a
+
+
+def find_ab_pair(
+    result: ExperimentTwoResult,
+    *,
+    slack_tolerance: float = 0.01,
+    min_robustness: float = 1.0,
+) -> ABPair:
+    """Find the feasible pair with the largest robustness ratio among pairs
+    whose slacks differ by at most ``slack_tolerance`` (B is the more robust
+    of the pair, as in the paper's Table 2)."""
+    feas = np.flatnonzero(result.feasible & (result.robustness >= min_robustness))
+    if feas.size < 2:
+        raise ValueError("not enough feasible mappings to form a pair")
+    order = feas[np.argsort(result.slack[feas])]
+    best: ABPair | None = None
+    sl = result.slack
+    rho = result.robustness
+    # Sorted sweep: for each mapping, scan forward while slack stays within
+    # tolerance (O(n k) with k the window size).
+    for ii in range(order.size):
+        i = order[ii]
+        jj = ii + 1
+        while jj < order.size and sl[order[jj]] - sl[i] <= slack_tolerance:
+            j = order[jj]
+            lo, hi = (i, j) if rho[i] <= rho[j] else (j, i)
+            pair = ABPair(
+                index_a=int(lo),
+                index_b=int(hi),
+                robustness_a=float(rho[lo]),
+                robustness_b=float(rho[hi]),
+                slack_a=float(sl[lo]),
+                slack_b=float(sl[hi]),
+            )
+            if best is None or pair.ratio > best.ratio:
+                best = pair
+            jj += 1
+    assert best is not None
+    return best
+
+
+@dataclass(frozen=True)
+class FlatBand:
+    """A set of mappings with (nearly) equal robustness across a slack range."""
+
+    indices: np.ndarray
+    robustness: float
+    slack_min: float
+    slack_max: float
+    binding_name: str
+
+    @property
+    def size(self) -> int:
+        return self.indices.size
+
+    @property
+    def slack_range(self) -> float:
+        return self.slack_max - self.slack_min
+
+
+def find_flat_band(
+    result: ExperimentTwoResult,
+    *,
+    min_size: int = 5,
+) -> FlatBand:
+    """Find the Figure-4 flat band: the group of feasible mappings with
+    *identical* robustness (Eq. 11 is floored, so ties are exact) spanning
+    the widest slack range.
+
+    This is the paper's "set of mappings with slack values ranging from
+    approximately 0.2 to approximately 0.5, but ... the same robustness
+    value": the binding constraint pins the metric while the rest of the
+    mapping — and hence the slack — varies.
+    """
+    feas = np.flatnonzero(result.feasible)
+    if feas.size == 0:
+        raise ValueError("no feasible mappings to form a band")
+    groups: dict[float, list[int]] = {}
+    for k in feas:
+        groups.setdefault(float(result.robustness[k]), []).append(int(k))
+    best: FlatBand | None = None
+    for rho, idxs in groups.items():
+        if len(idxs) < min_size:
+            continue
+        idx = np.asarray(idxs)
+        names = [result.binding_names[k] for k in idxs]
+        dominant = max(set(names), key=names.count)
+        band = FlatBand(
+            indices=idx,
+            robustness=rho,
+            slack_min=float(result.slack[idx].min()),
+            slack_max=float(result.slack[idx].max()),
+            binding_name=dominant,
+        )
+        if best is None or band.slack_range > best.slack_range:
+            best = band
+    if best is None:
+        raise ValueError(f"no robustness group of size >= {min_size}")
+    return best

@@ -1,0 +1,85 @@
+"""HiPer-D-like distributed real-time system (paper Section 3.2 / 4.3).
+
+The second example system: continuously executing, communicating
+applications on multitasking machines, fed by periodic sensors; the
+robustness requirement bounds per-application throughput and per-path
+end-to-end latency against unforeseen increases in the sensor loads
+``lambda``.
+
+Public surface:
+
+- :class:`~repro.hiperd.model.HiperDSystem`, :class:`~repro.hiperd.model.Sensor`,
+  :class:`~repro.hiperd.model.Path`;
+- :func:`~repro.hiperd.dag.enumerate_paths_from_edges` (Figure 2 semantics);
+- :func:`~repro.hiperd.timing.computation_times`,
+  :func:`~repro.hiperd.timing.latencies`;
+- :func:`~repro.hiperd.constraints.build_constraints` (the Eq. 9 feature set);
+- :func:`~repro.hiperd.slack.slack` (Section 4.3);
+- :func:`~repro.hiperd.robustness.robustness` (Eqs. 10-11),
+  :func:`~repro.hiperd.robustness.fepia_analysis`;
+- :func:`~repro.hiperd.generators.generate_system` (Section 4.3 instances);
+- :func:`~repro.hiperd.table2.build_table2_system` (the published Table 2).
+"""
+
+from repro.hiperd.constraints import ConstraintSet, build_constraints
+from repro.hiperd.dag import build_graph, enumerate_paths_from_edges, validate_dag
+from repro.hiperd.generators import (
+    PAPER_INITIAL_LOAD,
+    PAPER_RATES,
+    generate_system,
+    random_hiperd_mappings,
+)
+from repro.hiperd.model import HiperDSystem, Path, Sensor, multitasking_factors
+from repro.hiperd.robustness import (
+    HiperdRobustness,
+    boundary_load,
+    fepia_analysis,
+    robustness,
+)
+from repro.hiperd.nonlinear import power_law_analysis, power_law_robustness
+from repro.hiperd.sensitivity import app_criticality, load_gradient, move_improvements
+from repro.hiperd.slack import slack, slack_breakdown, slack_from_constraints
+from repro.hiperd.table2 import PAPER_TABLE2, Table2Instance, build_table2_system
+from repro.hiperd.timing import (
+    communication_coefficients,
+    computation_coefficients,
+    computation_times,
+    latencies,
+    latency_coefficients,
+)
+
+__all__ = [
+    "HiperDSystem",
+    "Path",
+    "Sensor",
+    "multitasking_factors",
+    "ConstraintSet",
+    "build_constraints",
+    "build_graph",
+    "enumerate_paths_from_edges",
+    "validate_dag",
+    "generate_system",
+    "random_hiperd_mappings",
+    "PAPER_RATES",
+    "PAPER_INITIAL_LOAD",
+    "HiperdRobustness",
+    "robustness",
+    "boundary_load",
+    "fepia_analysis",
+    "slack",
+    "slack_breakdown",
+    "slack_from_constraints",
+    "power_law_analysis",
+    "power_law_robustness",
+    "app_criticality",
+    "load_gradient",
+    "move_improvements",
+    "PAPER_TABLE2",
+    "Table2Instance",
+    "build_table2_system",
+    "computation_coefficients",
+    "communication_coefficients",
+    "computation_times",
+    "latencies",
+    "latency_coefficients",
+]

@@ -1,0 +1,120 @@
+"""The QoS constraint set of a mapped HiPer-D system (FePIA steps 1+3).
+
+Assembles the feature set ``Phi`` of Eq. 9 with its bounds as a flat list of
+affine constraints ``coeff . lambda <= limit``:
+
+- **throughput (computation)** — for every application on a path:
+  ``T^c_i(lambda) <= 1 / R(a_i)``;
+- **throughput (communication)** — for every app-to-app transfer on a path:
+  ``T^n_ip(lambda) <= 1 / R(a_i)``;
+- **latency** — for every path: ``L_k(lambda) <= L_k^max``.
+
+Transfers with zero communication coefficients are constant (never violate)
+and are kept with zero rows so indices stay aligned; the radius machinery
+reports them as infinitely robust.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.alloc.mapping import Mapping
+from repro.hiperd.model import HiperDSystem
+from repro.hiperd.timing import computation_coefficients, latency_coefficients
+
+__all__ = ["ConstraintSet", "build_constraints"]
+
+
+@dataclass(frozen=True)
+class ConstraintSet:
+    """All QoS constraints of a mapped system, in matrix form.
+
+    ``coefficients[r] . lambda <= limits[r]`` for every row ``r``; ``names``
+    and ``kinds`` (``"comp"`` / ``"comm"`` / ``"latency"``) describe the rows.
+    """
+
+    coefficients: np.ndarray  # (n_constraints, n_sensors)
+    limits: np.ndarray  # (n_constraints,)
+    names: tuple[str, ...]
+    kinds: tuple[str, ...]
+
+    def __len__(self) -> int:
+        return self.limits.size
+
+    def values_at(self, load) -> np.ndarray:
+        """Left-hand sides at a given load vector."""
+        return self.coefficients @ np.asarray(load, dtype=float)
+
+    def satisfied_at(self, load, *, tol: float = 0.0) -> bool:
+        """True when every constraint holds at ``load``."""
+        return bool(np.all(self.values_at(load) <= self.limits + tol))
+
+    def fractional_values_at(self, load) -> np.ndarray:
+        """Per-constraint value as a fraction of its limit (Section 4.3's
+        'fractional value of a QoS attribute')."""
+        return self.values_at(load) / self.limits
+
+    def select(self, kind: str) -> "ConstraintSet":
+        """Sub-set of one kind (``"comp"``, ``"comm"`` or ``"latency"``)."""
+        mask = np.array([k == kind for k in self.kinds], dtype=bool)
+        return ConstraintSet(
+            coefficients=self.coefficients[mask],
+            limits=self.limits[mask],
+            names=tuple(n for n, m in zip(self.names, mask) if m),
+            kinds=tuple(k for k, m in zip(self.kinds, mask) if m),
+        )
+
+
+def build_constraints(system: HiperDSystem, mapping: Mapping) -> ConstraintSet:
+    """Assemble the full constraint set for ``mapping`` (Eq. 9 + step 4 bounds)."""
+    comp = computation_coefficients(system, mapping)
+    lat = latency_coefficients(system, mapping)
+    rates = system.effective_rates()
+
+    rows: list[np.ndarray] = []
+    limits: list[float] = []
+    names: list[str] = []
+    kinds: list[str] = []
+
+    # Computation throughput constraints for applications on paths.
+    for i in map(int, system.apps_on_paths()):
+        rows.append(comp[i])
+        limits.append(1.0 / rates[i])
+        names.append(f"T_c[a{i}]")
+        kinds.append("comp")
+
+    # Communication throughput constraints for transfers on paths (the
+    # sending application's rate applies).
+    seen_edges: set[tuple[int, int]] = set()
+    for path in system.paths:
+        edges = path.edges()
+        kind, idx = path.terminal
+        if kind == "app" and path.apps:
+            edges.append((path.apps[-1], idx))
+        for i, p in edges:
+            if (i, p) in seen_edges:
+                continue
+            seen_edges.add((i, p))
+            vec = system.comm_coeffs.get((i, p))
+            rows.append(
+                np.zeros(system.n_sensors) if vec is None else np.asarray(vec, float)
+            )
+            limits.append(1.0 / rates[i])
+            names.append(f"T_n[a{i}->a{p}]")
+            kinds.append("comm")
+
+    # Latency constraints, one per path.
+    for k in range(len(system.paths)):
+        rows.append(lat[k])
+        limits.append(float(system.latency_limits[k]))
+        names.append(f"L[{k}]")
+        kinds.append("latency")
+
+    return ConstraintSet(
+        coefficients=np.array(rows, dtype=float),
+        limits=np.array(limits, dtype=float),
+        names=tuple(names),
+        kinds=tuple(kinds),
+    )

@@ -1,0 +1,137 @@
+"""DAG validation and path enumeration for HiPer-D systems (Figure 2).
+
+The application/data-transfer graph is a DAG whose sources are sensors and
+whose sinks are actuators (or multiple-input applications for update paths).
+:func:`enumerate_paths_from_edges` walks it exactly per the paper's
+definition: a path starts at a sensor (the driving sensor) and follows
+single-input applications until it reaches an actuator (**trigger path**) or
+an application with more than one input (**update path**).  Branching
+(out-degree > 1) spawns one path per branch, so "an application may be
+present in multiple paths".
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.exceptions import ModelError
+from repro.hiperd.model import Path
+
+__all__ = ["build_graph", "validate_dag", "enumerate_paths_from_edges"]
+
+
+def build_graph(n_apps, sensor_edges, app_edges, actuator_edges) -> nx.DiGraph:
+    """Build the heterogeneous DAG with namespaced node labels.
+
+    Sensors are ``("s", z)``, applications ``("a", i)``, actuators
+    ``("t", t)``.
+    """
+    g = nx.DiGraph()
+    g.add_nodes_from(("a", i) for i in range(n_apps))
+    for z, i in sensor_edges:
+        g.add_edge(("s", int(z)), ("a", int(i)))
+    for i, p in app_edges:
+        g.add_edge(("a", int(i)), ("a", int(p)))
+    for i, t in actuator_edges:
+        g.add_edge(("a", int(i)), ("t", int(t)))
+    return g
+
+
+def validate_dag(
+    *,
+    n_apps,
+    n_sensors,
+    n_actuators,
+    sensor_edges,
+    app_edges,
+    actuator_edges,
+) -> None:
+    """Structural validation; raises :class:`ModelError` on problems.
+
+    Checks index ranges, acyclicity of the application subgraph, and that
+    every application is reachable from some sensor (otherwise it can never
+    receive data and its load-dependent computation time is meaningless).
+    """
+    for z, i in sensor_edges:
+        if not (0 <= z < n_sensors and 0 <= i < n_apps):
+            raise ModelError(f"sensor edge ({z}, {i}) out of range")
+    for i, p in app_edges:
+        if not (0 <= i < n_apps and 0 <= p < n_apps):
+            raise ModelError(f"application edge ({i}, {p}) out of range")
+        if i == p:
+            raise ModelError(f"application self-loop on {i}")
+    for i, t in actuator_edges:
+        if not (0 <= i < n_apps and 0 <= t < n_actuators):
+            raise ModelError(f"actuator edge ({i}, {t}) out of range")
+
+    g = build_graph(n_apps, sensor_edges, app_edges, actuator_edges)
+    app_sub = g.subgraph([("a", i) for i in range(n_apps)])
+    if not nx.is_directed_acyclic_graph(app_sub):
+        cycle = nx.find_cycle(app_sub)
+        raise ModelError(f"application graph contains a cycle: {cycle}")
+
+    reachable: set = set()
+    for z in range(n_sensors):
+        node = ("s", z)
+        if node in g:
+            reachable |= nx.descendants(g, node)
+    unreachable = [i for i in range(n_apps) if ("a", i) not in reachable]
+    if unreachable:
+        raise ModelError(
+            f"applications not reachable from any sensor: {unreachable}"
+        )
+
+
+def enumerate_paths_from_edges(
+    *,
+    n_apps,
+    sensor_edges,
+    app_edges,
+    actuator_edges,
+) -> list[Path]:
+    """Enumerate the path set ``P`` of the DAG per the Section 3.2 definition.
+
+    Deterministic order: by sensor index, then depth-first following sorted
+    successor lists — so a system built twice yields the same path indexing.
+    """
+    in_degree = [0] * n_apps
+    for _, i in sensor_edges:
+        in_degree[int(i)] += 1
+    succ_apps: dict[int, list[int]] = {i: [] for i in range(n_apps)}
+    for i, p in app_edges:
+        in_degree[int(p)] += 1
+        succ_apps[int(i)].append(int(p))
+    succ_acts: dict[int, list[int]] = {i: [] for i in range(n_apps)}
+    for i, t in actuator_edges:
+        succ_acts[int(i)].append(int(t))
+    for i in range(n_apps):
+        succ_apps[i].sort()
+        succ_acts[i].sort()
+
+    paths: list[Path] = []
+
+    def walk(sensor: int, chain: list[int], app: int) -> None:
+        if in_degree[app] > 1:
+            # Update path: ends at (does not include) the multi-input app.
+            paths.append(Path(sensor, tuple(chain), ("app", app)))
+            return
+        chain = chain + [app]
+        extended = False
+        for t in succ_acts[app]:
+            paths.append(Path(sensor, tuple(chain), ("actuator", t)))
+            extended = True
+        for p in succ_apps[app]:
+            walk(sensor, chain, p)
+            extended = True
+        if not extended:
+            raise ModelError(
+                f"application {app} is a dead end: no actuator or successor "
+                f"application (every chain must terminate per Section 3.2)"
+            )
+
+    by_sensor = sorted((int(z), int(i)) for z, i in sensor_edges)
+    for z, first in by_sensor:
+        walk(z, [], first)
+    if not paths:
+        raise ModelError("no paths found: no sensor edges?")
+    return paths

@@ -1,0 +1,141 @@
+"""Robustness of a HiPer-D mapping against sensor-load increases (Eqs. 10-11).
+
+With the linear time model every boundary relationship is a hyperplane in
+load space, so each radius in Eq. 10 is a point-to-hyperplane distance from
+``lambda_orig`` and the metric (Eq. 11) is their minimum — floored, because
+the load is a discrete quantity (objects per data set) treated continuously
+(Section 3.2's closing discussion).
+
+Note: Equation 10c in the paper prints a ``max`` operator; the surrounding
+text ("the robustness radii in Equations 10b and 10c are the similar
+values") and Eq. 1 both define the radius as the *minimum* boundary distance,
+so this implementation uses ``min`` (the ``max`` is a typo).
+
+All radii are signed: negative when the mapping already violates a QoS
+constraint at ``lambda_orig`` (possible for random mappings), which keeps the
+experiment pipelines total.  Use ``require_feasible=True`` to raise instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.alloc.mapping import Mapping
+from repro.core.fepia import FePIAAnalysis
+from repro.core.metric import MetricResult
+from repro.core.solvers.analytic import batch_hyperplane_distances
+from repro.core.solvers.discrete import floor_radius
+from repro.exceptions import InfeasibleAtOriginError, ValidationError
+from repro.hiperd.constraints import ConstraintSet, build_constraints
+from repro.hiperd.model import HiperDSystem
+
+__all__ = ["HiperdRobustness", "robustness", "boundary_load", "fepia_analysis"]
+
+
+@dataclass(frozen=True)
+class HiperdRobustness:
+    """Result of a sensor-load robustness analysis for one mapping."""
+
+    #: floored metric ``rho_mu(Phi, lambda)`` (Eq. 11), objects per data set
+    value: float
+    #: unfloored minimum radius
+    raw_value: float
+    #: signed radius per constraint row
+    radii: np.ndarray
+    #: index (into the constraint set) of the binding constraint
+    binding_index: int
+    #: name and kind of the binding constraint
+    binding_name: str
+    binding_kind: str
+    #: the constraint set the radii refer to
+    constraints: ConstraintSet
+    #: boundary load vector ``lambda*`` of the binding constraint
+    boundary: np.ndarray
+    #: True when all constraints hold at ``lambda_orig``
+    feasible_at_origin: bool
+
+
+def robustness(
+    system: HiperDSystem,
+    mapping: Mapping,
+    load_orig,
+    *,
+    apply_floor: bool = True,
+    require_feasible: bool = False,
+) -> HiperdRobustness:
+    """Compute ``rho_mu(Phi, lambda)`` for ``mapping`` anchored at ``load_orig``.
+
+    Parameters
+    ----------
+    apply_floor:
+        Floor the final metric (the paper's Section 3.2 treatment of the
+        discrete load); per-constraint radii stay unfloored.
+    require_feasible:
+        Raise :class:`InfeasibleAtOriginError` when a constraint is violated
+        at ``load_orig`` instead of returning a negative value.
+    """
+    load_orig = np.asarray(load_orig, dtype=float)
+    if load_orig.shape != (system.n_sensors,):
+        raise ValidationError(
+            f"load_orig must have shape ({system.n_sensors},), got {load_orig.shape}"
+        )
+    cs = build_constraints(system, mapping)
+    feasible = cs.satisfied_at(load_orig)
+    if require_feasible and not feasible:
+        frac = cs.fractional_values_at(load_orig)
+        worst = int(np.argmax(frac))
+        raise InfeasibleAtOriginError(
+            f"constraint {cs.names[worst]} violated at lambda_orig "
+            f"(fractional value {frac[worst]:.3f})"
+        )
+    radii = batch_hyperplane_distances(cs.coefficients, cs.limits, load_orig)
+    k = int(np.argmin(radii))
+    raw = float(radii[k])
+    c = cs.coefficients[k]
+    cc = float(c @ c)
+    if cc > 0:
+        boundary = load_orig + ((cs.limits[k] - c @ load_orig) / cc) * c
+    else:  # all constraints unreachable (degenerate system)
+        boundary = load_orig.copy()
+    return HiperdRobustness(
+        value=floor_radius(raw) if apply_floor else raw,
+        raw_value=raw,
+        radii=radii,
+        binding_index=k,
+        binding_name=cs.names[k],
+        binding_kind=cs.kinds[k],
+        constraints=cs,
+        boundary=boundary,
+        feasible_at_origin=feasible,
+    )
+
+
+def boundary_load(system: HiperDSystem, mapping: Mapping, load_orig) -> np.ndarray:
+    """The binding boundary load vector ``lambda*`` (Table 2's
+    ``lambda_1*, lambda_2*, lambda_3*`` row)."""
+    return robustness(system, mapping, load_orig, apply_floor=False).boundary
+
+
+def fepia_analysis(
+    system: HiperDSystem, mapping: Mapping, load_orig
+) -> MetricResult:
+    """Derive the same metric through the generic FePIA framework.
+
+    Builds one affine feature per constraint row of Eq. 9 and analyzes; used
+    as a cross-check of the vectorized fast path (and the extension point
+    for nonlinear complexity functions — swap the affine impacts for
+    :class:`~repro.core.impact.CallableImpact` and the numeric solver takes
+    over).
+    """
+    cs = build_constraints(system, mapping)
+    analysis = FePIAAnalysis("hiperd").with_perturbation(
+        "lambda",
+        np.asarray(load_orig, dtype=float),
+        discrete=True,
+        component_names=[s.name for s in system.sensors],
+    )
+    for name, coeff, limit, kind in zip(cs.names, cs.coefficients, cs.limits, cs.kinds):
+        analysis.add_feature(name, impact=coeff, upper=float(limit), meta={"kind": kind})
+    return analysis.analyze()

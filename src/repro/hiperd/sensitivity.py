@@ -1,0 +1,91 @@
+"""Sensitivity analysis for HiPer-D robustness (library extension).
+
+Mirror of :mod:`repro.alloc.sensitivity` for the second example system:
+
+- :func:`load_gradient` — exact a.e. gradient of the (unfloored) Eq. 11
+  metric with respect to the initial loads.  With binding affine constraint
+  ``c . lambda <= beta``, ``rho = (beta - c . lambda_0) / ||c||`` so
+
+      d rho / d lambda_0 = -c / ||c||_2
+
+  — the unit inward normal of the binding hyperplane (valid while the
+  binding constraint is unique; finite-difference-verified in tests);
+- :func:`move_improvements` — every single-application reassignment ranked
+  by the robustness it yields (a remapping search primitive);
+- :func:`app_criticality` — per-application best available improvement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.alloc.mapping import Mapping
+from repro.hiperd.model import HiperDSystem
+from repro.hiperd.robustness import robustness
+
+__all__ = ["load_gradient", "MoveImprovement", "move_improvements", "app_criticality"]
+
+
+def load_gradient(system: HiperDSystem, mapping: Mapping, load_orig) -> np.ndarray:
+    """``d rho / d lambda_0`` — the unit inward normal of the binding
+    constraint (all entries <= 0: any load growth weakly reduces rho)."""
+    res = robustness(system, mapping, load_orig, apply_floor=False)
+    c = res.constraints.coefficients[res.binding_index]
+    n = float(np.linalg.norm(c))
+    if n == 0.0:
+        return np.zeros(system.n_sensors)
+    return -c / n
+
+
+@dataclass(frozen=True)
+class MoveImprovement:
+    """One candidate application reassignment and the robustness it yields."""
+
+    app: int
+    machine: int
+    new_robustness: float
+    delta: float
+
+
+def move_improvements(
+    system: HiperDSystem,
+    mapping: Mapping,
+    load_orig,
+    *,
+    top: int | None = None,
+) -> list[MoveImprovement]:
+    """All single-application reassignments ranked by resulting (unfloored)
+    robustness.  Unlike the allocation system there is no batch closed form
+    (the multitasking factor recouples every constraint), so each candidate
+    is evaluated through the constraint pipeline."""
+    base = robustness(system, mapping, load_orig, apply_floor=False).raw_value
+    moves: list[MoveImprovement] = []
+    for app in range(system.n_apps):
+        current = mapping.machine_of(app)
+        for machine in range(system.n_machines):
+            if machine == current:
+                continue
+            rho = robustness(
+                system, mapping.move(app, machine), load_orig, apply_floor=False
+            ).raw_value
+            moves.append(
+                MoveImprovement(
+                    app=app,
+                    machine=machine,
+                    new_robustness=float(rho),
+                    delta=float(rho - base),
+                )
+            )
+    moves.sort(key=lambda mv: -mv.new_robustness)
+    return moves[:top] if top is not None else moves
+
+
+def app_criticality(system: HiperDSystem, mapping: Mapping, load_orig) -> np.ndarray:
+    """Per-application best available robustness gain from moving it alone."""
+    out = np.zeros(system.n_apps)
+    for mv in move_improvements(system, mapping, load_orig):
+        if mv.delta > out[mv.app]:
+            out[mv.app] = mv.delta
+    return out

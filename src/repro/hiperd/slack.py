@@ -1,0 +1,51 @@
+"""System-wide percentage slack (paper Section 4.3).
+
+"Let the fractional value of a given QoS attribute be the value of the
+attribute as a percentage of the maximum allowed value.  Then the percentage
+slack for a given QoS attribute is the fractional value subtracted from 1.
+The system-wide percentage slack is the minimum value of percentage slack
+taken over all QoS constraints."
+
+For an application the relevant attribute is the *worse* of its computation
+time and its outgoing communication times against ``1/R(a_i)``; for a path
+it is the latency against ``L_k^max`` — which is exactly ``1 - fractional
+value`` over the rows of the :class:`~repro.hiperd.constraints.ConstraintSet`
+(zero-coefficient communication rows contribute slack 1 and never bind).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.alloc.mapping import Mapping
+from repro.hiperd.constraints import ConstraintSet, build_constraints
+from repro.hiperd.model import HiperDSystem
+
+__all__ = ["slack", "slack_from_constraints", "slack_breakdown"]
+
+
+def slack_from_constraints(constraints: ConstraintSet, load) -> float:
+    """System-wide percentage slack at ``load`` given a prebuilt constraint set.
+
+    Negative when some constraint is already violated.
+    """
+    frac = constraints.fractional_values_at(load)
+    return float(np.min(1.0 - frac))
+
+
+def slack(system: HiperDSystem, mapping: Mapping, load) -> float:
+    """System-wide percentage slack of ``mapping`` at load vector ``load``."""
+    return slack_from_constraints(build_constraints(system, mapping), load)
+
+
+def slack_breakdown(system: HiperDSystem, mapping: Mapping, load) -> dict[str, float]:
+    """Per-kind minimum slack (``"comp"``, ``"comm"``, ``"latency"``) plus the
+    system-wide value under ``"overall"`` — handy when diagnosing which QoS
+    class limits a mapping."""
+    cs = build_constraints(system, mapping)
+    out: dict[str, float] = {}
+    for kind in ("comp", "comm", "latency"):
+        sub = cs.select(kind)
+        out[kind] = slack_from_constraints(sub, load) if len(sub) else float("inf")
+    out["overall"] = slack_from_constraints(cs, load)
+    return out

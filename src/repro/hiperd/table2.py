@@ -1,0 +1,239 @@
+"""The paper's Table 2: mappings A and B, encoded and reconstructed.
+
+Table 2 publishes, for one generated HiPer-D instance, two mappings with
+nearly equal slack but a 3.3x robustness gap:
+
+==============  ===========  ===========
+quantity        mapping A    mapping B
+==============  ===========  ===========
+robustness      353          1166
+slack           0.5961       0.5914
+lambda*         962,380,593  962,1546,240
+==============  ===========  ===========
+
+plus the initial loads (962, 380, 240), the application-to-machine
+assignments and every application's computation-time function
+``mtf * (inner . lambda)``.  The underlying DAG, sensor rates in force and
+latency limits were *not* published, so this module reconstructs a
+consistent instance:
+
+- The published multitasking factors imply exactly the paper's
+  ``mtf = 1.3 n(m_j)`` rule (verified in tests).
+- The binding boundary for A moves only ``lambda_3`` (to 593): a pure-
+  ``lambda_3`` constraint; with the published functions the only candidate
+  coefficients are those of a1/a6/a9, and a9 (the largest) yields the
+  published radius exactly when its path's latency limit is
+  ``130 * (240 + 353) = 77090``.  Likewise B's binding constraint is a16's
+  with limit ``36.4 * (380 + 1166)``.
+- Two more limits are calibrated so the published slacks emerge: B's slack
+  0.5914 is matched exactly (via a3's path); A's slack is *forced* to
+  ``1 - 240/593 = 0.5953`` by the published ``lambda_3* = 593`` (the paper's
+  0.5961 differs by 0.0008 — an internal rounding inconsistency in the
+  published table, documented in EXPERIMENTS.md).
+- Sensor rates are scaled down so throughput constraints never bind (with
+  the published functions and the literal Section 4.3 rates every mapping
+  would be infeasible; see the generator's calibration note).
+
+``build_table2_system()`` returns the reconstructed instance plus the two
+mappings; the E3 benchmark evaluates both and prints paper-vs-measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.alloc.mapping import Mapping
+from repro.exceptions import ValidationError
+from repro.hiperd.model import HiperDSystem, Path, Sensor
+
+__all__ = [
+    "PAPER_TABLE2",
+    "INNER_COEFFS_A",
+    "INNER_COEFFS_B",
+    "ASSIGNMENT_A",
+    "ASSIGNMENT_B",
+    "INITIAL_LOAD",
+    "build_table2_system",
+    "published_computation_functions",
+]
+
+#: initial sensor loads (lambda_1, lambda_2, lambda_3)
+INITIAL_LOAD = np.array([962.0, 380.0, 240.0])
+
+#: published headline numbers
+PAPER_TABLE2 = {
+    "A": {"robustness": 353.0, "slack": 0.5961, "lambda_star": (962.0, 380.0, 593.0)},
+    "B": {"robustness": 1166.0, "slack": 0.5914, "lambda_star": (962.0, 1546.0, 240.0)},
+}
+
+# Inner complexity coefficients (lambda_1, lambda_2, lambda_3) per
+# application — the integers inside the parentheses of Table 2.
+INNER_COEFFS_A = np.array(
+    [
+        [0, 0, 4],  # a1
+        [0, 5, 0],  # a2
+        [6, 0, 0],  # a3
+        [1, 0, 0],  # a4
+        [3, 0, 1],  # a5
+        [0, 0, 1],  # a6
+        [0, 5, 0],  # a7
+        [0, 6, 0],  # a8
+        [0, 0, 20],  # a9
+        [0, 5, 7],  # a10
+        [10, 8, 6],  # a11
+        [26, 0, 0],  # a12
+        [19, 8, 0],  # a13
+        [11, 0, 0],  # a14
+        [13, 17, 9],  # a15
+        [0, 2, 0],  # a16
+        [3, 0, 5],  # a17
+        [3, 19, 11],  # a18
+        [9, 13, 0],  # a19
+        [3, 14, 18],  # a20
+    ],
+    dtype=float,
+)
+
+INNER_COEFFS_B = np.array(
+    [
+        [0, 0, 4],  # a1
+        [0, 2, 0],  # a2
+        [11, 0, 0],  # a3
+        [4, 2, 0],  # a4
+        [3, 0, 1],  # a5
+        [0, 0, 1],  # a6
+        [0, 5, 0],  # a7
+        [0, 6, 0],  # a8
+        [0, 0, 3],  # a9
+        [0, 3, 3],  # a10
+        [10, 4, 8],  # a11
+        [24, 0, 0],  # a12
+        [23, 6, 0],  # a13
+        [7, 0, 0],  # a14
+        [13, 17, 9],  # a15
+        [0, 7, 0],  # a16
+        [3, 0, 5],  # a17
+        [6, 2, 10],  # a18
+        [4, 8, 0],  # a19
+        [3, 14, 18],  # a20
+    ],
+    dtype=float,
+)
+
+# Application assignments (machine index per application, 0-based; machines
+# m1..m5 -> 0..4, applications a1..a20 -> 0..19), transcribed from Table 2.
+ASSIGNMENT_A = np.array([2, 3, 2, 3, 0, 1, 2, 4, 0, 3, 4, 0, 3, 4, 3, 1, 0, 4, 3, 0])
+ASSIGNMENT_B = np.array([2, 1, 0, 0, 0, 4, 2, 4, 3, 4, 1, 3, 2, 1, 3, 4, 0, 0, 1, 0])
+
+#: published multitasking factors, implied by the assignments and the
+#: ``1.3 n(m_j)`` rule (verified against the table in tests)
+_MTF_A = np.array([6.5, 2.6, 3.9, 7.8, 5.2])
+_MTF_B = np.array([7.8, 5.2, 3.9, 3.9, 5.2])
+
+# Per-application path-limit groups derived in the reconstruction analysis:
+# which sensor's singleton-path family the application belongs to for the
+# calibrated latency limit (1-based sensor labels in comments).
+_GROUP = {
+    # lambda_3 family (limit tied to a9's binding boundary)
+    0: 3, 4: 3, 5: 3, 8: 3, 9: 3,
+    # lambda_2 family (limit tied to a16's binding boundary)
+    1: 2, 6: 2, 7: 2, 15: 2,
+    # lambda_1 family (limit tied to the slack calibration)
+    2: 1, 3: 1, 10: 1, 11: 1, 12: 1, 13: 1, 14: 1, 16: 1, 17: 1, 18: 1, 19: 1,
+}
+
+
+def published_computation_functions(which: str) -> np.ndarray:
+    """The full coefficient vectors ``mtf * inner`` (one row per application)
+    exactly as printed in Table 2 for mapping ``which`` ("A" or "B")."""
+    if which == "A":
+        return _MTF_A[ASSIGNMENT_A][:, None] * INNER_COEFFS_A
+    if which == "B":
+        return _MTF_B[ASSIGNMENT_B][:, None] * INNER_COEFFS_B
+    raise ValidationError(f"which must be 'A' or 'B', got {which!r}")
+
+
+@dataclass(frozen=True)
+class Table2Instance:
+    """The reconstructed system with the two published mappings."""
+
+    system: HiperDSystem
+    mapping_a: Mapping
+    mapping_b: Mapping
+    initial_load: np.ndarray
+
+
+def build_table2_system() -> Table2Instance:
+    """Reconstruct a HiPer-D instance consistent with Table 2.
+
+    See the module docstring for the derivation.  The returned system has
+    one singleton trigger path per (application, routed sensor) pair; the
+    calibrated latency limits place the binding constraints exactly where
+    the published ``lambda*`` vectors say they are.
+    """
+    n_apps, n_machines, n_sensors, n_actuators = 20, 5, 3, 3
+
+    # b tensor: the published coefficients on each mapping's machine; other
+    # machines inherit the A-pattern (their values never matter for the two
+    # published mappings but must respect the route masks).
+    routed = (INNER_COEFFS_A != 0) | (INNER_COEFFS_B != 0)
+    coeffs = np.zeros((n_apps, n_machines, n_sensors))
+    coeffs[:] = INNER_COEFFS_A[:, None, :]
+    coeffs[np.arange(n_apps), ASSIGNMENT_A, :] = INNER_COEFFS_A
+    coeffs[np.arange(n_apps), ASSIGNMENT_B, :] = INNER_COEFFS_B
+    # Zero non-routed sensors everywhere (they already are, by construction).
+    coeffs *= routed[:, None, :]
+
+    # Shared-machine consistency check (a1, a5, a7, a8, a15, a17, a20 are on
+    # the same machine in both mappings; Table 2's functions must agree).
+    same = ASSIGNMENT_A == ASSIGNMENT_B
+    if not np.allclose(INNER_COEFFS_A[same], INNER_COEFFS_B[same]):
+        raise ValidationError("Table 2 transcription error: shared-machine rows differ")
+
+    # --- calibrated latency limits ------------------------------------
+    # A's binding boundary: a9's constraint crosses at lambda_3 = 593.
+    c9_a = float(_MTF_A[ASSIGNMENT_A[8]] * INNER_COEFFS_A[8, 2])  # 6.5 * 20 = 130
+    p3 = c9_a * PAPER_TABLE2["A"]["lambda_star"][2]  # 130 * 593 = 77090
+    # B's binding boundary: a16's constraint crosses at lambda_2 = 1546.
+    c16_b = float(_MTF_B[ASSIGNMENT_B[15]] * INNER_COEFFS_B[15, 1])  # 5.2 * 7 = 36.4
+    p2 = c16_b * PAPER_TABLE2["B"]["lambda_star"][1]
+    # lambda_1 family limit: sets A's runner-up slack (a13 at fractional
+    # 1 - 0.5961) without ever binding either mapping's robustness.
+    lat_a13 = float((_MTF_A[ASSIGNMENT_A[12]] * INNER_COEFFS_A[12]) @ INITIAL_LOAD)
+    p1 = lat_a13 / (1.0 - PAPER_TABLE2["A"]["slack"])
+    # a3's own limit: sets B's slack to exactly 0.5914.
+    lat_a3_b = float((_MTF_B[ASSIGNMENT_B[2]] * INNER_COEFFS_B[2]) @ INITIAL_LOAD)
+    p_a3 = lat_a3_b / (1.0 - PAPER_TABLE2["B"]["slack"])
+
+    group_limit = {1: p1, 2: p2, 3: p3}
+
+    paths: list[Path] = []
+    limits: list[float] = []
+    for i in range(n_apps):
+        limit = p_a3 if i == 2 else group_limit[_GROUP[i]]
+        for z in range(n_sensors):
+            if routed[i, z]:
+                paths.append(Path(z, (i,), ("actuator", i % n_actuators)))
+                limits.append(limit)
+
+    # Sensor rates: paper's relative rates scaled down so that throughput
+    # constraints never bind (see module docstring).
+    rates = np.array([4e-5, 3e-5, 8e-6]) * 1e-4
+
+    system = HiperDSystem.from_paths(
+        sensors=[Sensor(f"s{z + 1}", float(rates[z])) for z in range(n_sensors)],
+        n_apps=n_apps,
+        n_machines=n_machines,
+        n_actuators=n_actuators,
+        paths=paths,
+        comp_coeffs=coeffs,
+        latency_limits=np.array(limits),
+    )
+    return Table2Instance(
+        system=system,
+        mapping_a=Mapping(ASSIGNMENT_A, n_machines),
+        mapping_b=Mapping(ASSIGNMENT_B, n_machines),
+        initial_load=INITIAL_LOAD.copy(),
+    )

@@ -1,0 +1,95 @@
+"""Computation / communication / latency time functions of the load vector.
+
+With the linear model of Section 4.3 every time quantity is an affine (in
+fact linear) function of the sensor-load vector ``lambda``; this module
+builds their coefficient vectors for a given mapping:
+
+- ``T^c_i(lambda)  = mtf(m(i)) * (b[i, m(i)] . lambda)``  (computation),
+- ``T^n_ip(lambda) = d[i, p] . lambda``                    (communication),
+- ``L_k(lambda)    = sum over the chain of the above``      (Eq. 8).
+
+The coefficient matrices returned here are consumed by
+:mod:`repro.hiperd.constraints` (boundary hyperplanes) and
+:mod:`repro.hiperd.slack` (values at ``lambda_orig``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.alloc.mapping import Mapping
+from repro.exceptions import ValidationError
+from repro.hiperd.model import HiperDSystem, multitasking_factors
+
+__all__ = [
+    "computation_coefficients",
+    "communication_coefficients",
+    "latency_coefficients",
+    "computation_times",
+    "latencies",
+]
+
+
+def _check_mapping(system: HiperDSystem, mapping: Mapping) -> None:
+    if mapping.n_tasks != system.n_apps or mapping.n_machines != system.n_machines:
+        raise ValidationError(
+            f"mapping is {mapping.n_tasks} apps x {mapping.n_machines} machines; "
+            f"system has {system.n_apps} x {system.n_machines}"
+        )
+
+
+def computation_coefficients(system: HiperDSystem, mapping: Mapping) -> np.ndarray:
+    """``(n_apps, n_sensors)`` matrix: row ``i`` holds the coefficients of
+    ``T^c_i(lambda)`` under ``mapping`` (multitasking factor included)."""
+    _check_mapping(system, mapping)
+    mtf = multitasking_factors(mapping.counts())  # per machine
+    b = system.comp_coeffs[np.arange(system.n_apps), mapping.assignment, :]
+    return mtf[mapping.assignment][:, None] * b
+
+
+def communication_coefficients(system: HiperDSystem) -> dict[tuple[int, int], np.ndarray]:
+    """Coefficient vectors of the app-to-app transfer times ``T^n_ip``.
+
+    Mapping-independent in this model (network multitasking is not load-
+    dependent here); edges without declared coefficients are zero —
+    returned lazily as the declared dict (missing = zero vector).
+    """
+    return dict(system.comm_coeffs)
+
+
+def latency_coefficients(system: HiperDSystem, mapping: Mapping) -> np.ndarray:
+    """``(n_paths, n_sensors)`` matrix of the coefficients of ``L_k(lambda)``
+    (Eq. 8): the sum of the member applications' computation coefficients
+    plus the chain's communication coefficients."""
+    comp = computation_coefficients(system, mapping)
+    out = np.zeros((len(system.paths), system.n_sensors))
+    for k, path in enumerate(system.paths):
+        for a in path.apps:
+            out[k] += comp[a]
+        for edge in path.edges():
+            vec = system.comm_coeffs.get(edge)
+            if vec is not None:
+                out[k] += vec
+        # Final hop into an update path's terminal application, if declared.
+        kind, idx = path.terminal
+        if kind == "app" and path.apps:
+            vec = system.comm_coeffs.get((path.apps[-1], idx))
+            if vec is not None:
+                out[k] += vec
+    return out
+
+
+def computation_times(system: HiperDSystem, mapping: Mapping, load) -> np.ndarray:
+    """``T^c_i(lambda)`` for every application at load vector ``load``."""
+    load = np.asarray(load, dtype=float)
+    if load.shape != (system.n_sensors,):
+        raise ValidationError(f"load must have shape ({system.n_sensors},)")
+    return computation_coefficients(system, mapping) @ load
+
+
+def latencies(system: HiperDSystem, mapping: Mapping, load) -> np.ndarray:
+    """``L_k(lambda)`` for every path at load vector ``load``."""
+    load = np.asarray(load, dtype=float)
+    if load.shape != (system.n_sensors,):
+        raise ValidationError(f"load must have shape ({system.n_sensors},)")
+    return latency_coefficients(system, mapping) @ load

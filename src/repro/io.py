@@ -1,0 +1,138 @@
+"""JSON serialization for systems and mappings.
+
+Research workflows need to pin down *instances*: the exact ETC matrix,
+HiPer-D system and mappings behind a reported number.  This module provides
+a stable, human-readable JSON codec for:
+
+- :class:`~repro.alloc.mapping.Mapping`,
+- :class:`~repro.hiperd.model.HiperDSystem` (sensors, paths, coefficient
+  tensor, latency limits, communication coefficients),
+
+plus ``save_json``/``load_json`` helpers.  Every payload carries a ``"type"``
+tag and a ``"version"`` so future format changes can stay compatible.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.alloc.mapping import Mapping
+from repro.exceptions import ValidationError
+from repro.hiperd.model import HiperDSystem, Path as HPath, Sensor
+
+__all__ = [
+    "mapping_to_dict",
+    "mapping_from_dict",
+    "system_to_dict",
+    "system_from_dict",
+    "save_json",
+    "load_json",
+    "save_mapping",
+    "load_mapping",
+    "save_system",
+    "load_system",
+]
+
+_VERSION = 1
+
+
+def mapping_to_dict(mapping: Mapping) -> dict:
+    """Encode a :class:`Mapping` as a JSON-ready dict."""
+    return {
+        "type": "Mapping",
+        "version": _VERSION,
+        "n_machines": mapping.n_machines,
+        "assignment": mapping.assignment.tolist(),
+    }
+
+
+def mapping_from_dict(data: dict) -> Mapping:
+    """Decode a :class:`Mapping`; validates the type tag."""
+    if data.get("type") != "Mapping":
+        raise ValidationError(f"expected type 'Mapping', got {data.get('type')!r}")
+    return Mapping(np.asarray(data["assignment"], dtype=np.int64), int(data["n_machines"]))
+
+
+def system_to_dict(system: HiperDSystem) -> dict:
+    """Encode a :class:`HiperDSystem` as a JSON-ready dict."""
+    return {
+        "type": "HiperDSystem",
+        "version": _VERSION,
+        "sensors": [{"name": s.name, "rate": s.rate} for s in system.sensors],
+        "n_apps": system.n_apps,
+        "n_machines": system.n_machines,
+        "n_actuators": system.n_actuators,
+        "paths": [
+            {
+                "driving_sensor": p.driving_sensor,
+                "apps": list(p.apps),
+                "terminal": list(p.terminal),
+            }
+            for p in system.paths
+        ],
+        "comp_coeffs": system.comp_coeffs.tolist(),
+        "latency_limits": system.latency_limits.tolist(),
+        "comm_coeffs": [
+            {"edge": list(edge), "coeffs": vec.tolist()}
+            for edge, vec in sorted(system.comm_coeffs.items())
+        ],
+    }
+
+
+def system_from_dict(data: dict) -> HiperDSystem:
+    """Decode a :class:`HiperDSystem`; all model validation re-runs."""
+    if data.get("type") != "HiperDSystem":
+        raise ValidationError(f"expected type 'HiperDSystem', got {data.get('type')!r}")
+    return HiperDSystem(
+        sensors=[Sensor(s["name"], float(s["rate"])) for s in data["sensors"]],
+        n_apps=int(data["n_apps"]),
+        n_machines=int(data["n_machines"]),
+        n_actuators=int(data["n_actuators"]),
+        paths=[
+            HPath(
+                int(p["driving_sensor"]),
+                tuple(int(a) for a in p["apps"]),
+                (str(p["terminal"][0]), int(p["terminal"][1])),
+            )
+            for p in data["paths"]
+        ],
+        comp_coeffs=np.asarray(data["comp_coeffs"], dtype=float),
+        latency_limits=np.asarray(data["latency_limits"], dtype=float),
+        comm_coeffs={
+            (int(c["edge"][0]), int(c["edge"][1])): np.asarray(c["coeffs"], dtype=float)
+            for c in data.get("comm_coeffs", [])
+        },
+    )
+
+
+def save_json(data: dict, path) -> None:
+    """Write a payload dict as pretty-printed JSON."""
+    Path(path).write_text(json.dumps(data, indent=2, sort_keys=True) + "\n", "utf-8")
+
+
+def load_json(path) -> dict:
+    """Read a JSON payload dict."""
+    return json.loads(Path(path).read_text("utf-8"))
+
+
+def save_mapping(mapping: Mapping, path) -> None:
+    """Write a mapping to ``path`` as JSON."""
+    save_json(mapping_to_dict(mapping), path)
+
+
+def load_mapping(path) -> Mapping:
+    """Read a mapping previously written by :func:`save_mapping`."""
+    return mapping_from_dict(load_json(path))
+
+
+def save_system(system: HiperDSystem, path) -> None:
+    """Write a HiPer-D system to ``path`` as JSON."""
+    save_json(system_to_dict(system), path)
+
+
+def load_system(path) -> HiperDSystem:
+    """Read a system previously written by :func:`save_system`."""
+    return system_from_dict(load_json(path))

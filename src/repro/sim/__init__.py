@@ -1,0 +1,29 @@
+"""Discrete-event execution simulation.
+
+The robustness metric makes an *operational* promise: as long as the actual
+perturbation stays inside the radius, the running system never violates its
+QoS requirement.  This package provides the machinery to check that promise
+by actually executing mappings:
+
+- :mod:`~repro.sim.engine` — a minimal event-driven simulation core
+  (time-ordered event queue, deterministic tie-breaking);
+- :mod:`~repro.sim.tasksim` — execution of an independent-application
+  mapping on serial machines under *actual* (perturbed) computation times,
+  with optional release times and machine ready times;
+- :mod:`~repro.sim.validate` — end-to-end empirical validation: sample ETC
+  error vectors inside/outside the robustness radius, simulate, and check
+  the makespan against ``tau * M_orig``.
+"""
+
+from repro.sim.engine import Event, Simulator
+from repro.sim.tasksim import TaskSimResult, simulate_mapping
+from repro.sim.validate import MakespanValidation, validate_allocation_robustness
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "TaskSimResult",
+    "simulate_mapping",
+    "MakespanValidation",
+    "validate_allocation_robustness",
+]

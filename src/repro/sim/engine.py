@@ -1,0 +1,82 @@
+"""A minimal discrete-event simulation core.
+
+Deliberately small: a time-ordered priority queue of events with
+deterministic FIFO tie-breaking at equal timestamps, and a run loop with an
+optional time horizon.  The task simulator and any user-defined scenarios
+(machine failures, arrival processes) build on this.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.exceptions import ValidationError
+
+__all__ = ["Event", "Simulator"]
+
+
+@dataclass(frozen=True, order=True)
+class Event:
+    """A scheduled callback.  Ordering: time, then insertion sequence."""
+
+    time: float
+    seq: int
+    action: Callable[["Simulator"], None] = field(compare=False)
+
+
+class Simulator:
+    """Event-driven simulator with a monotonically advancing clock."""
+
+    def __init__(self) -> None:
+        self._queue: list[Event] = []
+        self._seq = itertools.count()
+        #: current simulation time
+        self.now: float = 0.0
+        #: number of events executed so far
+        self.executed: int = 0
+
+    def schedule(self, delay: float, action: Callable[["Simulator"], None]) -> Event:
+        """Schedule ``action`` to run ``delay`` time units from now."""
+        delay = float(delay)
+        if delay < 0:
+            raise ValidationError(f"cannot schedule into the past (delay={delay})")
+        ev = Event(self.now + delay, next(self._seq), action)
+        heapq.heappush(self._queue, ev)
+        return ev
+
+    def schedule_at(self, time: float, action: Callable[["Simulator"], None]) -> Event:
+        """Schedule ``action`` at absolute simulation time ``time``."""
+        time = float(time)
+        if time < self.now:
+            raise ValidationError(
+                f"cannot schedule into the past (t={time}, now={self.now})"
+            )
+        ev = Event(time, next(self._seq), action)
+        heapq.heappush(self._queue, ev)
+        return ev
+
+    def step(self) -> bool:
+        """Execute the next event; returns False when the queue is empty."""
+        if not self._queue:
+            return False
+        ev = heapq.heappop(self._queue)
+        self.now = ev.time
+        ev.action(self)
+        self.executed += 1
+        return True
+
+    def run(self, until: float | None = None) -> None:
+        """Run until the queue drains (or the clock passes ``until``)."""
+        while self._queue:
+            if until is not None and self._queue[0].time > until:
+                self.now = float(until)
+                return
+            self.step()
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued."""
+        return len(self._queue)

@@ -1,0 +1,29 @@
+"""Shared utilities: RNG plumbing, validation helpers, ASCII tables."""
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.validation import (
+    as_1d_float_array,
+    as_2d_float_array,
+    check_finite,
+    check_in_range,
+    check_nonnegative_int,
+    check_positive,
+    check_positive_int,
+    check_probability,
+)
+from repro.utils.tables import format_table, format_series
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "as_1d_float_array",
+    "as_2d_float_array",
+    "check_finite",
+    "check_in_range",
+    "check_nonnegative_int",
+    "check_positive",
+    "check_positive_int",
+    "check_probability",
+    "format_table",
+    "format_series",
+]

@@ -1,0 +1,112 @@
+"""Plain-text table and series formatting for experiment reports.
+
+The benchmark harness regenerates the paper's tables and figures as text:
+tables are rendered with :func:`format_table`; figures (scatter plots in the
+paper) are rendered as the underlying series with :func:`format_series` plus
+an optional ASCII scatter via :func:`ascii_scatter`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["format_table", "format_series", "ascii_scatter"]
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value == float("inf"):
+            return "inf"
+        if value == float("-inf"):
+            return "-inf"
+        if value == 0 or 1e-3 <= abs(value) < 1e7:
+            return f"{value:.4g}"
+        return f"{value:.3e}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence], *, title: str | None = None) -> str:
+    """Render ``rows`` under ``headers`` as an aligned monospace table."""
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, values, *, max_items: int = 12) -> str:
+    """Render a numeric series as ``name: n=..., min/median/max`` plus a head sample."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        return f"{name}: (empty)"
+    head = ", ".join(_cell(float(v)) for v in arr[:max_items])
+    ell = ", ..." if arr.size > max_items else ""
+    finite = arr[np.isfinite(arr)]
+    if finite.size:
+        stats = (
+            f"min={_cell(float(finite.min()))} median={_cell(float(np.median(finite)))} "
+            f"max={_cell(float(finite.max()))}"
+        )
+    else:
+        stats = "all non-finite"
+    return f"{name}: n={arr.size} {stats}\n  [{head}{ell}]"
+
+
+def ascii_scatter(
+    x,
+    y,
+    *,
+    width: int = 72,
+    height: int = 20,
+    xlabel: str = "x",
+    ylabel: str = "y",
+) -> str:
+    """Render an ASCII scatter plot of ``y`` against ``x``.
+
+    Used by the figure benchmarks so the regenerated "figure" is directly
+    inspectable in a terminal (the paper's Figures 3 and 4 are scatter plots).
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    mask = np.isfinite(x) & np.isfinite(y)
+    x, y = x[mask], y[mask]
+    if x.size == 0:
+        return "(no finite points)"
+    x0, x1 = float(x.min()), float(x.max())
+    y0, y1 = float(y.min()), float(y.max())
+    xr = x1 - x0 or 1.0
+    yr = y1 - y0 or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    counts = np.zeros((height, width), dtype=int)
+    cols = np.minimum(((x - x0) / xr * (width - 1)).astype(int), width - 1)
+    rows = np.minimum(((y - y0) / yr * (height - 1)).astype(int), height - 1)
+    for r, c in zip(rows, cols):
+        counts[height - 1 - r, c] += 1
+    marks = " .:*#@"
+    for r in range(height):
+        for c in range(width):
+            n = counts[r, c]
+            if n:
+                grid[r][c] = marks[min(n, len(marks) - 1)]
+    lines = [f"{ylabel} (top={_cell(y1)}, bottom={_cell(y0)})"]
+    lines += ["|" + "".join(row) for row in grid]
+    lines.append("+" + "-" * width)
+    lines.append(f" {xlabel}: left={_cell(x0)}, right={_cell(x1)}")
+    return "\n".join(lines)

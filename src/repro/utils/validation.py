@@ -1,0 +1,103 @@
+"""Input-validation helpers.
+
+These helpers raise :class:`repro.exceptions.ValidationError` with messages
+that name the offending argument, so failures surface at the public API
+boundary instead of deep inside numpy broadcasting.
+"""
+
+from __future__ import annotations
+
+import numbers
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+__all__ = [
+    "as_1d_float_array",
+    "as_2d_float_array",
+    "check_finite",
+    "check_in_range",
+    "check_nonnegative_int",
+    "check_positive",
+    "check_positive_int",
+    "check_probability",
+]
+
+
+def as_1d_float_array(value, name: str, *, allow_empty: bool = False) -> np.ndarray:
+    """Coerce ``value`` to a 1-D float64 array, validating shape and finiteness."""
+    arr = np.asarray(value, dtype=float)
+    if arr.ndim == 0:
+        arr = arr.reshape(1)
+    if arr.ndim != 1:
+        raise ValidationError(f"{name} must be 1-dimensional, got shape {arr.shape}")
+    if not allow_empty and arr.size == 0:
+        raise ValidationError(f"{name} must not be empty")
+    if arr.size and not np.all(np.isfinite(arr)):
+        raise ValidationError(f"{name} must be finite, got {arr!r}")
+    return arr
+
+
+def as_2d_float_array(value, name: str) -> np.ndarray:
+    """Coerce ``value`` to a 2-D float64 array, validating shape and finiteness."""
+    arr = np.asarray(value, dtype=float)
+    if arr.ndim != 2:
+        raise ValidationError(f"{name} must be 2-dimensional, got shape {arr.shape}")
+    if arr.size == 0:
+        raise ValidationError(f"{name} must not be empty")
+    if not np.all(np.isfinite(arr)):
+        raise ValidationError(f"{name} must contain only finite values")
+    return arr
+
+
+def check_finite(value: float, name: str) -> float:
+    """Validate that ``value`` is a finite number; return it as float."""
+    value = float(value)
+    if not np.isfinite(value):
+        raise ValidationError(f"{name} must be finite, got {value}")
+    return value
+
+
+def check_positive(value: float, name: str) -> float:
+    """Validate that ``value`` is finite and > 0; return it as float."""
+    value = float(value)
+    if not np.isfinite(value) or value <= 0:
+        raise ValidationError(f"{name} must be a positive finite number, got {value}")
+    return value
+
+
+def check_positive_int(value, name: str) -> int:
+    """Validate that ``value`` is an integer >= 1; return it as int."""
+    if not isinstance(value, numbers.Integral):
+        raise ValidationError(f"{name} must be an integer, got {type(value).__name__}")
+    value = int(value)
+    if value <= 0:
+        raise ValidationError(f"{name} must be >= 1, got {value}")
+    return value
+
+
+def check_nonnegative_int(value, name: str) -> int:
+    """Validate that ``value`` is an integer >= 0; return it as int."""
+    if not isinstance(value, numbers.Integral):
+        raise ValidationError(f"{name} must be an integer, got {type(value).__name__}")
+    value = int(value)
+    if value < 0:
+        raise ValidationError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def check_probability(value: float, name: str) -> float:
+    """Validate that ``value`` lies in [0, 1]; return it as float."""
+    value = float(value)
+    if not (0.0 <= value <= 1.0):
+        raise ValidationError(f"{name} must lie in [0, 1], got {value}")
+    return value
+
+
+def check_in_range(value: float, name: str, low: float, high: float) -> float:
+    """Validate that ``value`` lies in [low, high]; return it as float."""
+    value = float(value)
+    if not (low <= value <= high):
+        raise ValidationError(f"{name} must lie in [{low}, {high}], got {value}")
+    return value

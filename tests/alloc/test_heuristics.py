@@ -1,0 +1,163 @@
+"""Tests for the mapping heuristics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.alloc.heuristics import (
+    HEURISTICS,
+    duplex,
+    genetic_algorithm,
+    greedy_robust,
+    max_min,
+    mct,
+    met,
+    min_min,
+    olb,
+    robust_mct,
+    round_robin,
+    simulated_annealing,
+    sufferage,
+    tabu_search,
+)
+from repro.alloc.heuristics.objective import make_objective
+from repro.alloc.makespan import batch_makespan, makespan
+from repro.alloc.mapping import Mapping
+from repro.alloc.generators import random_assignments
+from repro.alloc.robustness import robustness
+from repro.etcgen import cvb_etc_matrix
+from repro.exceptions import ValidationError
+
+TAU = 1.2
+
+
+@pytest.fixture(scope="module")
+def etc():
+    return cvb_etc_matrix(20, 5, seed=42)
+
+
+class TestAllHeuristics:
+    @pytest.mark.parametrize("name", sorted(HEURISTICS))
+    def test_produces_valid_mapping(self, name, etc):
+        mapping = HEURISTICS[name](etc, seed=0)
+        assert isinstance(mapping, Mapping)
+        assert mapping.n_tasks == 20
+        assert mapping.n_machines == 5
+
+    @pytest.mark.parametrize("name", sorted(HEURISTICS))
+    def test_deterministic_given_seed(self, name, etc):
+        a = HEURISTICS[name](etc, seed=9)
+        b = HEURISTICS[name](etc, seed=9)
+        assert a == b
+
+
+class TestBaselines:
+    def test_round_robin_layout(self, etc):
+        m = round_robin(etc)
+        np.testing.assert_array_equal(m.assignment, np.arange(20) % 5)
+
+    def test_met_picks_row_minima(self, etc):
+        m = met(etc)
+        np.testing.assert_array_equal(m.assignment, np.argmin(etc, axis=1))
+
+    def test_mct_beats_olb_usually(self):
+        """MCT uses ETC information, OLB does not; over many instances MCT's
+        mean makespan must be lower."""
+        wins = 0
+        for s in range(20):
+            e = cvb_etc_matrix(20, 5, seed=s)
+            if makespan(mct(e), e) <= makespan(olb(e), e):
+                wins += 1
+        assert wins >= 15
+
+    def test_mct_hand_example(self):
+        etc = np.array([[2.0, 4.0], [3.0, 1.0], [2.0, 2.0]])
+        m = mct(etc)
+        # Task 0 -> m0 (2 < 4); task 1 -> m1 (1 < 2+3); task 2 -> m0 or m1:
+        # ready = (2, 1): m0 completes at 4, m1 at 3 -> m1.
+        np.testing.assert_array_equal(m.assignment, [0, 1, 1])
+
+
+class TestListHeuristics:
+    def test_min_min_beats_random_on_average(self, etc):
+        rand = random_assignments(200, 20, 5, seed=1)
+        rand_ms = batch_makespan(rand, etc).mean()
+        assert makespan(min_min(etc), etc) < rand_ms
+
+    def test_duplex_is_best_of_both(self, etc):
+        d = makespan(duplex(etc), etc)
+        assert d == min(makespan(min_min(etc), etc), makespan(max_min(etc), etc))
+
+    def test_sufferage_valid_single_machine(self):
+        e = cvb_etc_matrix(6, 1, seed=0)
+        m = sufferage(e)
+        assert m.n_machines == 1
+
+    def test_each_task_assigned_exactly_once(self, etc):
+        for h in (min_min, max_min, sufferage):
+            m = h(etc)
+            assert m.counts().sum() == 20
+
+
+class TestMetaheuristics:
+    def test_ga_improves_or_matches_min_min(self, etc):
+        ga = genetic_algorithm(etc, seed=0, generations=60, population=40)
+        assert makespan(ga, etc) <= makespan(min_min(etc), etc) + 1e-12
+
+    def test_sa_improves_over_random_start(self, etc):
+        sa = simulated_annealing(etc, seed=0, iterations=2000, start_from_min_min=False)
+        rand_ms = batch_makespan(random_assignments(100, 20, 5, seed=2), etc).mean()
+        assert makespan(sa, etc) < rand_ms
+
+    def test_tabu_improves_or_matches_seed(self, etc):
+        tb = tabu_search(etc, seed=0, iterations=60)
+        assert makespan(tb, etc) <= makespan(min_min(etc), etc) + 1e-12
+
+    def test_ga_robustness_objective(self, etc):
+        ga = genetic_algorithm(
+            etc, seed=0, objective="robustness", tau=TAU, generations=60, population=40
+        )
+        base = robustness(min_min(etc), etc, TAU).value
+        assert robustness(ga, etc, TAU).value >= base - 1e-12
+
+    def test_bad_cooling_rejected(self, etc):
+        with pytest.raises(ValueError):
+            simulated_annealing(etc, cooling=1.5)
+
+
+class TestRobustHeuristics:
+    def test_greedy_robust_beats_min_min_robustness(self, etc):
+        seed_rho = robustness(min_min(etc), etc, TAU).value
+        got = robustness(greedy_robust(etc, tau=TAU), etc, TAU).value
+        assert got >= seed_rho - 1e-12
+
+    def test_robust_mct_beats_random_robustness(self, etc):
+        from repro.alloc.robustness import batch_robustness
+
+        rand = random_assignments(200, 20, 5, seed=3)
+        rand_rho = batch_robustness(rand, etc, TAU).mean()
+        got = robustness(robust_mct(etc, tau=TAU), etc, TAU).value
+        assert got > rand_rho
+
+
+class TestObjective:
+    def test_makespan_objective(self, etc):
+        f = make_objective("makespan", etc)
+        a = random_assignments(4, 20, 5, seed=5)
+        np.testing.assert_allclose(f(a), batch_makespan(a, etc))
+
+    def test_robustness_objective_sign(self, etc):
+        from repro.alloc.robustness import batch_robustness
+
+        f = make_objective("robustness", etc, tau=TAU)
+        a = random_assignments(4, 20, 5, seed=6)
+        np.testing.assert_allclose(f(a), -batch_robustness(a, etc, TAU))
+
+    def test_callable_passthrough(self, etc):
+        f = make_objective(lambda a, e: np.zeros(len(a)), etc)
+        assert np.all(f(random_assignments(3, 20, 5, seed=7)) == 0)
+
+    def test_unknown_objective(self, etc):
+        with pytest.raises(ValidationError):
+            make_objective("latency", etc)

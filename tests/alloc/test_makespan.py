@@ -1,0 +1,92 @@
+"""Tests for finishing times, makespan, load-balance index and batch forms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.alloc.makespan import (
+    batch_finishing_times,
+    batch_load_balance_index,
+    batch_makespan,
+    finishing_times,
+    load_balance_index,
+    makespan,
+)
+from repro.alloc.mapping import Mapping
+from repro.alloc.generators import random_assignments
+from repro.etcgen import cvb_etc_matrix
+from repro.exceptions import ValidationError
+
+
+@pytest.fixture
+def small():
+    etc = np.array(
+        [
+            [1.0, 5.0],
+            [2.0, 1.0],
+            [4.0, 2.0],
+        ]
+    )
+    mapping = Mapping([0, 0, 1], 2)
+    return mapping, etc
+
+
+class TestSingleMapping:
+    def test_finishing_times(self, small):
+        mapping, etc = small
+        np.testing.assert_allclose(finishing_times(mapping, etc), [3.0, 2.0])
+
+    def test_makespan(self, small):
+        mapping, etc = small
+        assert makespan(mapping, etc) == 3.0
+
+    def test_load_balance_index(self, small):
+        mapping, etc = small
+        assert load_balance_index(mapping, etc) == pytest.approx(2.0 / 3.0)
+
+    def test_empty_machine_gives_zero_lbi(self):
+        etc = np.ones((2, 3))
+        mapping = Mapping([0, 0], 3)
+        assert load_balance_index(mapping, etc) == 0.0
+
+    def test_perfect_balance_gives_one(self):
+        etc = np.ones((4, 2))
+        mapping = Mapping([0, 0, 1, 1], 2)
+        assert load_balance_index(mapping, etc) == 1.0
+
+
+class TestBatchForms:
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=10)
+    def test_batch_matches_single(self, seed):
+        etc = cvb_etc_matrix(12, 4, seed=seed)
+        assignments = random_assignments(8, 12, 4, seed=seed + 1)
+        bf = batch_finishing_times(assignments, etc)
+        bm = batch_makespan(assignments, etc)
+        bl = batch_load_balance_index(assignments, etc)
+        for k in range(8):
+            m = Mapping(assignments[k], 4)
+            np.testing.assert_allclose(bf[k], finishing_times(m, etc))
+            assert bm[k] == pytest.approx(makespan(m, etc))
+            assert bl[k] == pytest.approx(load_balance_index(m, etc))
+
+    def test_shape_validation(self):
+        with pytest.raises(ValidationError):
+            batch_finishing_times(np.zeros((2, 3), dtype=int), np.ones((4, 2)))
+        with pytest.raises(ValidationError):
+            batch_finishing_times(np.zeros(3, dtype=int), np.ones((3, 2)))
+
+    def test_out_of_range_assignment(self):
+        with pytest.raises(ValidationError):
+            batch_finishing_times(np.array([[0, 5]]), np.ones((2, 2)))
+
+    def test_sum_of_finishing_times_is_total_work(self):
+        """Conservation: sum_j F_j equals the total executed time."""
+        etc = cvb_etc_matrix(15, 5, seed=3)
+        assignments = random_assignments(20, 15, 5, seed=4)
+        f = batch_finishing_times(assignments, etc)
+        total = etc[np.arange(15)[None, :], assignments].sum(axis=1)
+        np.testing.assert_allclose(f.sum(axis=1), total)

@@ -1,0 +1,82 @@
+"""Tests for repro.alloc.mapping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.alloc.mapping import Mapping
+from repro.exceptions import ValidationError
+
+
+class TestMapping:
+    def test_basic_properties(self):
+        m = Mapping([0, 1, 0, 2], 3)
+        assert m.n_tasks == 4
+        assert m.n_machines == 3
+        assert m.machine_of(2) == 0
+        np.testing.assert_array_equal(m.tasks_on(0), [0, 2])
+        np.testing.assert_array_equal(m.counts(), [2, 1, 1])
+
+    def test_indicator_matrix(self):
+        m = Mapping([0, 1, 0], 2)
+        ind = m.indicator_matrix()
+        np.testing.assert_allclose(ind, [[1, 0, 1], [0, 1, 0]])
+        # Column sums are 1: each task on exactly one machine.
+        np.testing.assert_allclose(ind.sum(axis=0), 1.0)
+
+    def test_executed_times(self):
+        etc = np.array([[1.0, 10.0], [2.0, 20.0], [3.0, 30.0]])
+        m = Mapping([0, 1, 0], 2)
+        np.testing.assert_allclose(m.executed_times(etc), [1.0, 20.0, 3.0])
+
+    def test_executed_times_shape_checked(self):
+        m = Mapping([0, 1], 2)
+        with pytest.raises(ValidationError):
+            m.executed_times(np.ones((3, 2)))
+
+    def test_move_and_swap_return_new(self):
+        m = Mapping([0, 1, 2], 3)
+        m2 = m.move(0, 2)
+        assert m2.machine_of(0) == 2 and m.machine_of(0) == 0
+        m3 = m.swap(0, 2)
+        assert m3.machine_of(0) == 2 and m3.machine_of(2) == 0
+
+    def test_immutable(self):
+        m = Mapping([0, 1], 2)
+        with pytest.raises((ValueError, RuntimeError)):
+            m.assignment[0] = 1
+
+    def test_equality_and_hash(self):
+        a = Mapping([0, 1], 2)
+        b = Mapping([0, 1], 2)
+        c = Mapping([1, 1], 2)
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+        assert len({a, b, c}) == 2
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValidationError):
+            Mapping([0, 3], 3)
+        with pytest.raises(ValidationError):
+            Mapping([-1, 0], 3)
+
+    def test_rejects_noninteger(self):
+        with pytest.raises(ValidationError):
+            Mapping([0.5, 1.0], 2)
+
+    def test_accepts_integer_valued_floats(self):
+        m = Mapping(np.array([0.0, 1.0]), 2)
+        assert m.assignment.dtype == np.int64
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            Mapping([], 2)
+
+    def test_rejects_bad_machine_count(self):
+        with pytest.raises(ValidationError):
+            Mapping([0], 0)
+
+    def test_tasks_on_out_of_range(self):
+        with pytest.raises(ValidationError):
+            Mapping([0], 1).tasks_on(1)

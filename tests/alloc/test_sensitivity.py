@@ -1,0 +1,126 @@
+"""Tests for allocation robustness sensitivity analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.alloc.generators import random_mapping
+from repro.alloc.mapping import Mapping
+from repro.alloc.robustness import robustness
+from repro.alloc.sensitivity import app_criticality, etc_gradient, move_improvements
+from repro.etcgen import cvb_etc_matrix
+
+TAU = 1.2
+
+
+@pytest.fixture
+def case():
+    etc = cvb_etc_matrix(12, 4, seed=5)
+    mapping = random_mapping(12, 4, seed=6)
+    return mapping, etc
+
+
+class TestMoveImprovements:
+    def test_moves_scored_correctly(self, case):
+        mapping, etc = case
+        moves = move_improvements(mapping, etc, TAU)
+        # Spot-check a few against the direct evaluation.
+        for mv in moves[:5] + moves[-5:]:
+            got = robustness(mapping.move(mv.task, mv.machine), etc, TAU).value
+            assert mv.new_robustness == pytest.approx(got, rel=1e-12)
+
+    def test_excludes_null_moves(self, case):
+        mapping, etc = case
+        for mv in move_improvements(mapping, etc, TAU):
+            assert mapping.machine_of(mv.task) != mv.machine
+
+    def test_sorted_descending(self, case):
+        mapping, etc = case
+        moves = move_improvements(mapping, etc, TAU)
+        values = [mv.new_robustness for mv in moves]
+        assert values == sorted(values, reverse=True)
+
+    def test_top_limits(self, case):
+        mapping, etc = case
+        assert len(move_improvements(mapping, etc, TAU, top=3)) == 3
+
+    def test_count(self, case):
+        mapping, etc = case
+        moves = move_improvements(mapping, etc, TAU)
+        assert len(moves) == 12 * (4 - 1)
+
+
+class TestAppCriticality:
+    def test_nonnegative_and_consistent(self, case):
+        mapping, etc = case
+        crit = app_criticality(mapping, etc, TAU)
+        assert crit.shape == (12,)
+        assert np.all(crit >= 0)
+        best = move_improvements(mapping, etc, TAU, top=1)[0]
+        if best.delta > 0:
+            assert crit[best.task] == pytest.approx(best.delta)
+
+    def test_zero_when_local_max(self):
+        """At a mapping where no single move improves, criticality is 0."""
+        from repro.alloc.heuristics import greedy_robust
+
+        etc = cvb_etc_matrix(10, 3, seed=9)
+        mapping = greedy_robust(etc, tau=TAU)
+        assert np.all(app_criticality(mapping, etc, TAU) <= 1e-12)
+
+
+class TestEtcGradient:
+    @given(seed=st.integers(0, 200))
+    @settings(max_examples=15)
+    def test_matches_finite_differences(self, seed):
+        etc = cvb_etc_matrix(10, 3, seed=seed)
+        mapping = random_mapping(10, 3, seed=seed + 1)
+        grad = etc_gradient(mapping, etc, TAU)
+        c = mapping.executed_times(etc)
+        h = 1e-6
+
+        def rho_of(cvec):
+            e = etc.copy()
+            e[np.arange(10), mapping.assignment] = cvec
+            return robustness(mapping, e, TAU).value
+
+        # Central differences on a few coordinates; skip degenerate ties.
+        f = np.bincount(mapping.assignment, weights=c, minlength=3)
+        sorted_f = np.sort(f)[::-1]
+        if sorted_f.size > 1 and sorted_f[0] - sorted_f[1] < 1e-3:
+            return  # makespan tie: gradient not defined
+        from repro.alloc.robustness import robustness_radii
+
+        radii = np.sort(robustness_radii(mapping, etc, TAU))
+        if radii.size > 1 and radii[1] - radii[0] < 1e-3:
+            return  # binding-machine tie
+        for i in (0, 3, 7):
+            up, dn = c.copy(), c.copy()
+            up[i] += h
+            dn[i] -= h
+            fd = (rho_of(up) - rho_of(dn)) / (2 * h)
+            assert grad[i] == pytest.approx(fd, rel=1e-4, abs=1e-6)
+
+    def test_signs(self, case):
+        mapping, etc = case
+        res = robustness(mapping, etc, TAU)
+        grad = etc_gradient(mapping, etc, TAU)
+        f = np.bincount(
+            mapping.assignment,
+            weights=mapping.executed_times(etc),
+            minlength=4,
+        )
+        j_max = int(np.argmax(f))
+        for i in range(mapping.n_tasks):
+            j = mapping.machine_of(i)
+            if j == res.critical_machine and j == j_max:
+                assert grad[i] > 0  # (tau - 1)/sqrt(n) > 0
+            elif j == res.critical_machine:
+                assert grad[i] < 0
+            elif j == j_max:
+                assert grad[i] > 0
+            else:
+                assert grad[i] == 0

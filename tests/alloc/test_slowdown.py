@@ -1,0 +1,96 @@
+"""Tests for the machine-slowdown FePIA derivation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.alloc.generators import random_mapping
+from repro.alloc.makespan import finishing_times
+from repro.alloc.slowdown import (
+    joint_slowdown_etc_analysis,
+    slowdown_analysis,
+    slowdown_radii,
+)
+from repro.core.norms import WeightedL2Norm
+from repro.etcgen import cvb_etc_matrix
+
+TAU = 1.2
+
+
+class TestSlowdownRadii:
+    @given(seed=st.integers(0, 300))
+    @settings(max_examples=15)
+    def test_metric_is_tau_minus_one_for_every_mapping(self, seed):
+        """The derived insight: against unweighted slowdowns, rho = tau - 1
+        regardless of the mapping (the busiest machine is the bottleneck)."""
+        etc = cvb_etc_matrix(12, 4, seed=seed)
+        mapping = random_mapping(12, 4, seed=seed + 1)
+        radii = slowdown_radii(mapping, etc, TAU)
+        assert np.min(radii) == pytest.approx(TAU - 1.0)
+        res = slowdown_analysis(mapping, etc, TAU)
+        assert res.value == pytest.approx(TAU - 1.0)
+
+    def test_radii_match_closed_form(self):
+        etc = cvb_etc_matrix(10, 3, seed=3)
+        mapping = random_mapping(10, 3, seed=4)
+        w = finishing_times(mapping, etc)
+        radii = slowdown_radii(mapping, etc, TAU)
+        for j in range(3):
+            if w[j] > 0:
+                assert radii[j] == pytest.approx(TAU * w.max() / w[j] - 1.0)
+
+    def test_analysis_agrees_with_closed_form_per_machine(self):
+        etc = cvb_etc_matrix(10, 3, seed=5)
+        mapping = random_mapping(10, 3, seed=6)
+        res = slowdown_analysis(mapping, etc, TAU)
+        radii = slowdown_radii(mapping, etc, TAU)
+        for r in res.radii:
+            j = int(r.feature.split("_")[1])
+            assert r.radius == pytest.approx(radii[j])
+
+    def test_weighted_norm_discriminates_mappings(self):
+        """With failure-likelihood weights on the machines, the slowdown
+        metric differs across mappings again."""
+        etc = cvb_etc_matrix(12, 3, seed=7)
+        weights = np.array([0.2, 1.0, 5.0])  # machine 0 slows down easily
+        norm = WeightedL2Norm(weights)
+        values = {
+            seed: slowdown_analysis(random_mapping(12, 3, seed=seed), etc, TAU, norm=norm).value
+            for seed in range(8, 14)
+        }
+        assert len({round(v, 9) for v in values.values()}) > 1
+
+
+class TestJointSlowdownEtc:
+    def test_joint_smaller_than_marginals(self):
+        etc = cvb_etc_matrix(10, 3, seed=15)
+        mapping = random_mapping(10, 3, seed=16)
+        analysis = joint_slowdown_etc_analysis(mapping, etc, TAU)
+        joint = analysis.analyze_joint().value
+        marg = analysis.analyze_marginal()
+        assert joint <= min(r.value for r in marg.values()) + 1e-12
+
+    def test_marginals_match_single_parameter_analyses(self):
+        """Freezing one parameter recovers the single-parameter metrics:
+        the C-marginal is Eq. 7, the s-marginal is tau - 1."""
+        from repro.alloc.robustness import robustness
+
+        etc = cvb_etc_matrix(10, 3, seed=17)
+        mapping = random_mapping(10, 3, seed=18)
+        analysis = joint_slowdown_etc_analysis(mapping, etc, TAU)
+        marg = analysis.analyze_marginal()
+        assert marg["C"].value == pytest.approx(robustness(mapping, etc, TAU).value)
+        assert marg["s"].value == pytest.approx(TAU - 1.0)
+
+    def test_feature_values_at_origin_are_finishing_times(self):
+        etc = cvb_etc_matrix(8, 2, seed=19)
+        mapping = random_mapping(8, 2, seed=20)
+        analysis = joint_slowdown_etc_analysis(mapping, etc, TAU)
+        res = analysis.analyze_joint()
+        w = finishing_times(mapping, etc)
+        for r in res.radii:
+            j = int(r.feature.split("_")[1])
+            assert r.value_at_origin == pytest.approx(w[j])

@@ -1,0 +1,69 @@
+"""Tests for the weighted-l2 allocation robustness extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.alloc.generators import random_mapping
+from repro.alloc.makespan import makespan
+from repro.alloc.robustness import robustness_radii, weighted_robustness_radii
+from repro.core.fepia import FePIAAnalysis
+from repro.core.norms import WeightedL2Norm
+from repro.etcgen import cvb_etc_matrix
+from repro.exceptions import ValidationError
+
+TAU = 1.2
+
+
+class TestWeightedRadii:
+    def test_unit_weights_reduce_to_eq6(self):
+        etc = cvb_etc_matrix(10, 3, seed=1)
+        mapping = random_mapping(10, 3, seed=2)
+        np.testing.assert_allclose(
+            weighted_robustness_radii(mapping, etc, TAU, np.ones(10)),
+            robustness_radii(mapping, etc, TAU),
+        )
+
+    @given(seed=st.integers(0, 200))
+    @settings(max_examples=10)
+    def test_matches_generic_framework(self, seed):
+        rng = np.random.default_rng(seed)
+        etc = cvb_etc_matrix(8, 3, seed=seed)
+        mapping = random_mapping(8, 3, seed=seed + 1)
+        weights = rng.uniform(0.3, 4.0, size=8)
+        closed = weighted_robustness_radii(mapping, etc, TAU, weights)
+
+        m_orig = makespan(mapping, etc)
+        analysis = FePIAAnalysis().with_perturbation("C", mapping.executed_times(etc))
+        indicator = mapping.indicator_matrix()
+        machines = [j for j in range(3) if indicator[j].sum() > 0]
+        for j in machines:
+            analysis.add_feature(f"F_{j}", impact=indicator[j], upper=TAU * m_orig)
+        result = analysis.analyze(norm=WeightedL2Norm(weights))
+        for j in machines:
+            assert result.radius_of(f"F_{j}").radius == pytest.approx(
+                closed[j], rel=1e-9
+            )
+
+    def test_heavier_weight_on_binding_machine_grows_radius(self):
+        """Penalizing errors on the binding machine's tasks (higher w) means
+        larger perturbations are needed there -> larger radius."""
+        etc = cvb_etc_matrix(10, 3, seed=4)
+        mapping = random_mapping(10, 3, seed=5)
+        base = weighted_robustness_radii(mapping, etc, TAU, np.ones(10))
+        j = int(np.argmin(base))
+        weights = np.ones(10)
+        weights[mapping.tasks_on(j)] = 9.0
+        up = weighted_robustness_radii(mapping, etc, TAU, weights)
+        assert up[j] == pytest.approx(3.0 * base[j])  # sqrt(9) scaling
+
+    def test_validation(self):
+        etc = cvb_etc_matrix(4, 2, seed=6)
+        mapping = random_mapping(4, 2, seed=7)
+        with pytest.raises(ValidationError):
+            weighted_robustness_radii(mapping, etc, TAU, np.ones(3))
+        with pytest.raises(ValidationError):
+            weighted_robustness_radii(mapping, etc, TAU, [1.0, -1.0, 1.0, 1.0])

@@ -1,0 +1,24 @@
+"""Shared test fixtures and hypothesis configuration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+# A single moderate profile: deterministic, no deadline (numeric solves vary
+# in speed on shared CI machines).
+settings.register_profile(
+    "repro",
+    deadline=None,
+    max_examples=50,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for tests."""
+    return np.random.default_rng(12345)

@@ -1,0 +1,67 @@
+"""Tests for repro.core.boundary."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.boundary import Bound, BoundaryRelation, boundary_relations
+from repro.core.features import FeatureBounds, PerformanceFeature
+from repro.core.impact import AffineImpact
+from repro.exceptions import ValidationError
+
+
+def _feature(lower=-np.inf, upper=np.inf):
+    return PerformanceFeature("F", AffineImpact([1.0, 1.0]), FeatureBounds(lower, upper))
+
+
+class TestBoundaryRelations:
+    def test_two_finite_bounds_give_two_relations(self):
+        rels = boundary_relations(_feature(0.0, 10.0))
+        assert [r.bound for r in rels] == [Bound.LOWER, Bound.UPPER]
+        assert [r.beta for r in rels] == [0.0, 10.0]
+
+    def test_upper_only(self):
+        rels = boundary_relations(_feature(upper=3.0))
+        assert len(rels) == 1 and rels[0].bound == Bound.UPPER
+
+    def test_lower_only(self):
+        rels = boundary_relations(_feature(lower=3.0))
+        assert len(rels) == 1 and rels[0].bound == Bound.LOWER
+
+    def test_unbounded_gives_none(self):
+        assert boundary_relations(_feature()) == []
+
+
+class TestBoundaryRelation:
+    def test_value_gap_upper(self):
+        rel = boundary_relations(_feature(upper=10.0))[0]
+        assert rel.value_gap([2.0, 3.0]) == 5.0  # 10 - 5, robust side
+        assert rel.value_gap([8.0, 8.0]) == -6.0
+
+    def test_value_gap_lower(self):
+        rel = boundary_relations(_feature(lower=2.0))[0]
+        assert rel.value_gap([2.0, 3.0]) == 3.0  # 5 - 2
+        assert rel.value_gap([0.5, 0.5]) == -1.0
+
+    def test_residual_zero_on_boundary(self):
+        rel = boundary_relations(_feature(upper=10.0))[0]
+        assert rel.residual([4.0, 6.0]) == 0.0
+
+    def test_satisfied_at(self):
+        rel = boundary_relations(_feature(upper=10.0))[0]
+        assert rel.satisfied_at([4.0, 6.0])
+        assert rel.satisfied_at([4.0, 6.1], tol=0.2)
+        assert not rel.satisfied_at([6.0, 6.0])
+
+    def test_name(self):
+        lo, hi = boundary_relations(_feature(0.0, 10.0))
+        assert ">=" in lo.name and "<=" in hi.name
+
+    def test_rejects_bad_bound(self):
+        with pytest.raises(ValidationError):
+            BoundaryRelation(_feature(upper=1.0), "mid", 1.0)
+
+    def test_rejects_nonfinite_beta(self):
+        with pytest.raises(ValidationError):
+            BoundaryRelation(_feature(upper=1.0), Bound.UPPER, np.inf)

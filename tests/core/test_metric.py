@@ -1,0 +1,107 @@
+"""Tests for the robustness metric (Eq. 2) and its result object."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.features import FeatureBounds, FeatureSet, PerformanceFeature
+from repro.core.impact import AffineImpact
+from repro.core.metric import robustness_metric
+from repro.core.perturbation import PerturbationParameter
+from repro.exceptions import InfeasibleAtOriginError, ValidationError
+
+
+def _fs(*specs):
+    return FeatureSet(
+        PerformanceFeature(name, AffineImpact(c), FeatureBounds(upper=u))
+        for name, c, u in specs
+    )
+
+
+class TestRobustnessMetric:
+    def test_is_min_over_radii(self):
+        fs = _fs(("A", [1.0, 0.0], 5.0), ("B", [0.0, 1.0], 3.0))
+        p = PerturbationParameter("pi", [1.0, 1.0])
+        res = robustness_metric(fs, p)
+        assert res.value == pytest.approx(2.0)  # B: 3 - 1
+        assert res.binding_feature == "B"
+        assert res.raw_value == res.value
+        assert [r.feature for r in res.radii] == ["A", "B"]
+
+    def test_accepts_plain_list(self):
+        feats = [
+            PerformanceFeature("A", AffineImpact([1.0]), FeatureBounds(upper=2.0)),
+        ]
+        p = PerturbationParameter("pi", [0.0])
+        assert robustness_metric(feats, p).value == pytest.approx(2.0)
+
+    def test_empty_feature_set_rejected(self):
+        p = PerturbationParameter("pi", [0.0])
+        with pytest.raises(ValidationError):
+            robustness_metric(FeatureSet(), p)
+
+    def test_all_infinite_radii(self):
+        fs = FeatureSet(
+            [PerformanceFeature("A", AffineImpact([1.0]), FeatureBounds())]
+        )
+        p = PerturbationParameter("pi", [0.0])
+        res = robustness_metric(fs, p)
+        assert res.value == np.inf
+        assert res.binding_feature is None
+        assert res.boundary_point is None
+
+    def test_negative_metric_when_origin_violates(self):
+        fs = _fs(("A", [1.0, 0.0], 5.0), ("B", [0.0, 1.0], 0.5))
+        p = PerturbationParameter("pi", [1.0, 1.0])
+        res = robustness_metric(fs, p)
+        assert res.value == pytest.approx(-0.5)
+        assert not res.feasible_at_origin
+
+    def test_require_feasible(self):
+        fs = _fs(("B", [0.0, 1.0], 0.5))
+        p = PerturbationParameter("pi", [1.0, 1.0])
+        with pytest.raises(InfeasibleAtOriginError):
+            robustness_metric(fs, p, require_feasible=True)
+
+    def test_discrete_floor_applied_to_min_only(self):
+        fs = _fs(("A", [1.0, 0.0], 5.7), ("B", [0.0, 1.0], 3.9))
+        p = PerturbationParameter("pi", [1.0, 1.0], discrete=True)
+        res = robustness_metric(fs, p)
+        assert res.value == 2.0  # floor(2.9)
+        assert res.raw_value == pytest.approx(2.9)
+        # Per-feature radii stay unfloored in the breakdown.
+        assert res.radius_of("A").radius == pytest.approx(4.7)
+
+    def test_boundary_point_of_binding_feature(self):
+        fs = _fs(("A", [1.0, 0.0], 5.0), ("B", [0.0, 1.0], 3.0))
+        p = PerturbationParameter("pi", [1.0, 1.0])
+        res = robustness_metric(fs, p)
+        np.testing.assert_allclose(res.boundary_point, [1.0, 3.0])
+
+    def test_sorted_radii(self):
+        fs = _fs(("A", [1.0, 0.0], 10.0), ("B", [0.0, 1.0], 3.0), ("C", [1.0, 1.0], 4.0))
+        p = PerturbationParameter("pi", [1.0, 1.0])
+        res = robustness_metric(fs, p)
+        ordered = res.sorted_radii()
+        assert [r.feature for r in ordered] == ["C", "B", "A"]
+        assert ordered[0].radius <= ordered[1].radius <= ordered[2].radius
+
+    def test_radius_of_unknown_feature_raises(self):
+        fs = _fs(("A", [1.0], 5.0))
+        p = PerturbationParameter("pi", [1.0])
+        res = robustness_metric(fs, p)
+        with pytest.raises(KeyError):
+            res.radius_of("Z")
+
+    def test_metric_has_units_of_parameter(self):
+        """Scaling the parameter space scales the metric linearly (the paper
+        notes rho has the units of pi)."""
+        fs = _fs(("A", [1.0, 1.0], 10.0))
+        p1 = PerturbationParameter("pi", [1.0, 1.0])
+        scale = 7.0
+        fs2 = _fs(("A", [1.0 / scale, 1.0 / scale], 10.0))
+        p2 = PerturbationParameter("pi", [scale, scale])
+        r1 = robustness_metric(fs, p1).value
+        r2 = robustness_metric(fs2, p2).value
+        assert r2 == pytest.approx(scale * r1)

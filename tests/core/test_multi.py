@@ -1,0 +1,140 @@
+"""Tests for multi-parameter robustness analysis (the [1]-deferred case)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.multi import MultiParameterAnalysis
+from repro.exceptions import ValidationError
+
+
+def make_two_param() -> MultiParameterAnalysis:
+    """F = (C1 + C2) + 9 s with C_orig = (5, 4), s_orig = 1, bound 16.
+
+    At the origin F = 18... pick bound 22: gap 4.
+    """
+    return (
+        MultiParameterAnalysis()
+        .with_parameter("C", origin=[5.0, 4.0])
+        .with_parameter("s", origin=[1.0])
+        .add_feature("F", impacts={"C": [1.0, 1.0], "s": [9.0]}, upper=22.0)
+    )
+
+
+class TestJointAnalysis:
+    def test_joint_radius_is_product_space_distance(self):
+        res = make_two_param().analyze_joint()
+        # Joint coefficients (1, 1, 9): distance = 4 / sqrt(1+1+81).
+        assert res.value == pytest.approx(4.0 / np.sqrt(83.0))
+        assert res.radii[0].solver == "analytic"
+        # Boundary point lives in R^3 and satisfies the joint boundary.
+        bp = res.boundary_point
+        assert bp.shape == (3,)
+        assert bp[0] + bp[1] + 9 * bp[2] == pytest.approx(22.0)
+
+    def test_marginal_radii(self):
+        res = make_two_param().analyze_marginal()
+        # C alone (s frozen at 1): gap 22 - 18 = 4 over ||(1,1)||.
+        assert res["C"].value == pytest.approx(4.0 / np.sqrt(2.0))
+        # s alone (C frozen): 4 / 9.
+        assert res["s"].value == pytest.approx(4.0 / 9.0)
+
+    def test_joint_no_larger_than_any_marginal(self):
+        a = make_two_param()
+        joint = a.analyze_joint().value
+        for res in a.analyze_marginal().values():
+            assert joint <= res.value + 1e-12
+
+    @given(
+        c1=st.floats(0.1, 10), c2=st.floats(0.1, 10), cs=st.floats(0.1, 10),
+        gap=st.floats(0.5, 20),
+    )
+    @settings(max_examples=25)
+    def test_joint_vs_marginal_property(self, c1, c2, cs, gap):
+        origin_val = 5 * c1 + 4 * c2 + cs
+        a = (
+            MultiParameterAnalysis()
+            .with_parameter("C", origin=[5.0, 4.0])
+            .with_parameter("s", origin=[1.0])
+            .add_feature(
+                "F", impacts={"C": [c1, c2], "s": [cs]}, upper=origin_val + gap
+            )
+        )
+        joint = a.analyze_joint().value
+        marg = a.analyze_marginal()
+        assert joint <= min(r.value for r in marg.values()) + 1e-9
+        # Exact closed forms.
+        assert joint == pytest.approx(gap / np.sqrt(c1**2 + c2**2 + cs**2))
+        assert marg["C"].value == pytest.approx(gap / np.hypot(c1, c2))
+
+    def test_feature_untouched_by_parameter_skipped_in_marginal(self):
+        a = (
+            MultiParameterAnalysis()
+            .with_parameter("x", origin=[0.0])
+            .with_parameter("y", origin=[0.0])
+            .add_feature("Fx", impacts={"x": [1.0]}, upper=3.0)
+        )
+        marg = a.analyze_marginal()
+        assert "x" in marg and "y" not in marg
+
+    def test_nonlinear_blocks(self):
+        # F = ||C||^2 + 2 s, origins C=(0,0), s=0, bound 4.
+        a = (
+            MultiParameterAnalysis()
+            .with_parameter("C", origin=[0.0, 0.0])
+            .with_parameter("s", origin=[0.0])
+            .add_feature(
+                "F",
+                impacts={
+                    "C": lambda c: float(c @ c),
+                    "s": [2.0],
+                },
+                upper=4.0,
+            )
+        )
+        marg = a.analyze_marginal()
+        assert marg["C"].value == pytest.approx(2.0, rel=1e-4)  # sphere radius
+        assert marg["s"].value == pytest.approx(2.0)  # 4 / 2
+        joint = a.analyze_joint().value
+        assert joint <= 2.0 + 1e-6
+
+
+class TestValidation:
+    def test_duplicate_parameter_rejected(self):
+        a = MultiParameterAnalysis().with_parameter("x", origin=[0.0])
+        with pytest.raises(ValidationError):
+            a.with_parameter("x", origin=[1.0])
+
+    def test_unknown_parameter_in_feature(self):
+        a = MultiParameterAnalysis().with_parameter("x", origin=[0.0])
+        with pytest.raises(ValidationError):
+            a.add_feature("F", impacts={"z": [1.0]}, upper=1.0)
+
+    def test_block_dimension_checked(self):
+        a = (
+            MultiParameterAnalysis()
+            .with_parameter("x", origin=[0.0, 0.0])
+            .add_feature("F", impacts={"x": [1.0]}, upper=1.0)  # wrong size
+        )
+        with pytest.raises(ValidationError):
+            a.analyze_joint()
+
+    def test_empty_analysis_rejected(self):
+        with pytest.raises(ValidationError):
+            MultiParameterAnalysis().analyze_joint()
+        a = MultiParameterAnalysis().with_parameter("x", origin=[0.0])
+        with pytest.raises(ValidationError):
+            a.analyze_joint()
+
+    def test_discrete_flooring_joint(self):
+        a = (
+            MultiParameterAnalysis()
+            .with_parameter("n", origin=[0.0], discrete=True)
+            .with_parameter("m", origin=[0.0], discrete=True)
+            .add_feature("F", impacts={"n": [1.0], "m": [1.0]}, upper=5.0)
+        )
+        res = a.analyze_joint()
+        assert res.value == 3.0  # floor(5 / sqrt(2)) = floor(3.54)

@@ -1,0 +1,54 @@
+"""Numeric solver under non-l2 norms (the polish pass) and edge behaviors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.boundary import boundary_relations
+from repro.core.features import FeatureBounds, PerformanceFeature
+from repro.core.impact import AffineImpact, CallableImpact
+from repro.core.norms import L1Norm, LInfNorm
+from repro.core.solvers.numeric import boundary_min_norm
+
+
+def _relation(impact, beta):
+    feat = PerformanceFeature("F", impact, FeatureBounds(upper=beta))
+    return boundary_relations(feat)[0]
+
+
+class TestNonL2Numeric:
+    def test_l1_radius_on_sphere(self):
+        """min ||x||_1 over the sphere ||x||_2 = 2 is attained on an axis:
+        l1 radius = 2."""
+        quad = CallableImpact(lambda x: float(x @ x), grad=lambda x: 2 * x, convex=True)
+        rel = _relation(quad, 4.0)
+        res = boundary_min_norm(rel, np.zeros(3), norm=L1Norm(), seed=0, n_starts=8)
+        assert res.distance == pytest.approx(2.0, rel=1e-3)
+
+    def test_linf_radius_on_sphere(self):
+        """min ||x||_inf over ||x||_2 = 2 spreads over all coordinates:
+        linf radius = 2 / sqrt(3)."""
+        quad = CallableImpact(lambda x: float(x @ x), grad=lambda x: 2 * x, convex=True)
+        rel = _relation(quad, 4.0)
+        res = boundary_min_norm(rel, np.zeros(3), norm=LInfNorm(), seed=1, n_starts=8)
+        assert res.distance == pytest.approx(2.0 / np.sqrt(3.0), rel=1e-2)
+
+    def test_affine_non_l2_matches_dual_formula(self):
+        """For affine impacts the numeric non-l2 solve must agree with the
+        dual-norm closed form."""
+        rng = np.random.default_rng(5)
+        for norm, dual in ((L1Norm(), LInfNorm()), (LInfNorm(), L1Norm())):
+            c = rng.uniform(0.5, 2.0, size=3)
+            x0 = rng.uniform(0.0, 1.0, size=3)
+            beta = float(c @ x0) + 2.0
+            rel = _relation(AffineImpact(c), beta)
+            res = boundary_min_norm(rel, x0, norm=norm, seed=2, n_starts=6)
+            want = 2.0 / dual(c)  # gap / ||c||_* with the *other* norm as dual
+            assert res.distance == pytest.approx(want, rel=1e-3)
+
+    def test_sign_preserved_for_non_l2(self):
+        c = np.array([1.0, 1.0])
+        rel = _relation(AffineImpact(c), 1.0)  # origin (1,1): violated
+        res = boundary_min_norm(rel, np.array([1.0, 1.0]), norm=L1Norm(), seed=3)
+        assert res.distance < 0

@@ -1,0 +1,44 @@
+"""Tests for repro.core.perturbation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.perturbation import PerturbationParameter
+from repro.exceptions import ValidationError
+
+
+class TestPerturbationParameter:
+    def test_basic(self):
+        p = PerturbationParameter("lambda", [962.0, 380.0, 240.0])
+        assert p.dimension == 3
+        np.testing.assert_allclose(p.origin, [962.0, 380.0, 240.0])
+        assert not p.discrete
+
+    def test_displacement(self):
+        p = PerturbationParameter("C", [1.0, 2.0])
+        np.testing.assert_allclose(p.displacement([3.0, 1.0]), [2.0, -1.0])
+
+    def test_displacement_shape_checked(self):
+        p = PerturbationParameter("C", [1.0, 2.0])
+        with pytest.raises(ValidationError):
+            p.displacement([1.0, 2.0, 3.0])
+
+    def test_component_labels(self):
+        p = PerturbationParameter("lam", [1.0, 2.0], component_names=["s1", "s2"])
+        assert p.label(0) == "s1"
+        q = PerturbationParameter("lam", [1.0, 2.0])
+        assert q.label(1) == "lam[1]"
+
+    def test_component_names_length_checked(self):
+        with pytest.raises(ValidationError):
+            PerturbationParameter("x", [1.0, 2.0], component_names=["a"])
+
+    def test_rejects_nonfinite_origin(self):
+        with pytest.raises(ValidationError):
+            PerturbationParameter("x", [1.0, np.inf])
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValidationError):
+            PerturbationParameter("", [1.0])

@@ -1,0 +1,167 @@
+"""Tests for the robustness radius (Eq. 1): analytic path, signs, floors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.features import FeatureBounds, PerformanceFeature
+from repro.core.impact import AffineImpact, CallableImpact
+from repro.core.norms import L1Norm, L2Norm, LInfNorm
+from repro.core.perturbation import PerturbationParameter
+from repro.core.radius import robustness_radius
+from repro.core.solvers.analytic import batch_hyperplane_distances
+from repro.exceptions import InfeasibleAtOriginError
+
+vec = hnp.arrays(dtype=float, shape=3, elements=st.floats(-100, 100, allow_nan=False))
+
+
+def _affine_feature(c, upper=None, lower=None, name="F"):
+    return PerformanceFeature(
+        name,
+        AffineImpact(c),
+        FeatureBounds(
+            -np.inf if lower is None else lower,
+            np.inf if upper is None else upper,
+        ),
+    )
+
+
+class TestAnalyticRadius:
+    def test_makespan_style_radius(self):
+        # Two applications on one machine, tolerance boundary at 13:
+        # F = C1 + C2, origin (5, 4) -> gap = 13 - 9 = 4, radius = 4/sqrt(2).
+        f = _affine_feature([1.0, 1.0], upper=13.0)
+        p = PerturbationParameter("C", [5.0, 4.0])
+        res = robustness_radius(f, p)
+        assert res.radius == pytest.approx(4.0 / np.sqrt(2.0))
+        assert res.solver == "analytic"
+        assert res.binding_bound == "upper"
+        assert res.feasible_at_origin
+
+    def test_boundary_point_on_boundary_and_at_radius(self):
+        f = _affine_feature([2.0, 1.0, 0.0], upper=20.0)
+        p = PerturbationParameter("pi", [1.0, 2.0, 3.0])
+        res = robustness_radius(f, p)
+        assert f.value_at(res.boundary_point) == pytest.approx(20.0)
+        assert np.linalg.norm(res.boundary_point - p.origin) == pytest.approx(res.radius)
+
+    def test_negative_radius_when_infeasible(self):
+        f = _affine_feature([1.0, 1.0], upper=5.0)
+        p = PerturbationParameter("C", [4.0, 4.0])
+        res = robustness_radius(f, p)
+        assert res.radius == pytest.approx(-3.0 / np.sqrt(2.0))
+        assert not res.feasible_at_origin
+
+    def test_require_feasible_raises(self):
+        f = _affine_feature([1.0, 1.0], upper=5.0)
+        p = PerturbationParameter("C", [4.0, 4.0])
+        with pytest.raises(InfeasibleAtOriginError):
+            robustness_radius(f, p, require_feasible=True)
+
+    def test_two_sided_bounds_take_nearer(self):
+        # f = x1; origin at 3 within [0, 10]: lower distance 3, upper 7.
+        f = _affine_feature([1.0, 0.0], lower=0.0, upper=10.0)
+        p = PerturbationParameter("pi", [3.0, 0.0])
+        res = robustness_radius(f, p)
+        assert res.radius == pytest.approx(3.0)
+        assert res.binding_bound == "lower"
+
+    def test_unreachable_bound_gives_infinite_radius(self):
+        # Constant impact (zero coefficients) never reaches its bound.
+        f = _affine_feature([0.0, 0.0], upper=10.0)
+        p = PerturbationParameter("pi", [1.0, 1.0])
+        res = robustness_radius(f, p)
+        assert res.radius == np.inf
+        assert res.boundary_point is None
+        assert res.binding_bound is None
+
+    def test_no_finite_bounds_gives_infinite_radius(self):
+        f = _affine_feature([1.0, 1.0])
+        p = PerturbationParameter("pi", [1.0, 1.0])
+        assert robustness_radius(f, p).radius == np.inf
+
+    @given(c=vec, x0=vec, beta=st.floats(-500, 500, allow_nan=False))
+    def test_radius_matches_hyperplane_formula(self, c, x0, beta):
+        if np.max(np.abs(c)) < 1e-3:
+            return
+        f = _affine_feature(c, upper=beta)
+        p = PerturbationParameter("pi", x0)
+        res = robustness_radius(f, p)
+        want = (beta - float(np.dot(c, x0))) / np.linalg.norm(c)
+        assert res.radius == pytest.approx(want, rel=1e-9, abs=1e-9)
+
+    @given(c=vec, x0=vec, beta=st.floats(-500, 500, allow_nan=False))
+    def test_no_interior_point_of_ball_violates(self, c, x0, beta):
+        """Operational meaning of the radius: perturbations strictly inside
+        the ball keep the feature within its bound."""
+        if np.max(np.abs(c)) < 1e-3:
+            return
+        f = _affine_feature(c, upper=beta)
+        p = PerturbationParameter("pi", x0)
+        res = robustness_radius(f, p)
+        if not res.feasible_at_origin or not np.isfinite(res.radius):
+            return
+        rng = np.random.default_rng(0)
+        for _ in range(32):
+            d = rng.standard_normal(3)
+            d /= np.linalg.norm(d)
+            pi = x0 + 0.999 * res.radius * d
+            assert f.value_at(pi) <= beta + 1e-7 * max(1.0, abs(beta))
+
+
+class TestNormVariants:
+    def test_l1_and_linf_radii(self):
+        # f = x1 + x2 <= 4, origin (1, 1): gap 2.
+        f = _affine_feature([1.0, 1.0], upper=4.0)
+        p = PerturbationParameter("pi", [1.0, 1.0])
+        r_l2 = robustness_radius(f, p, norm=L2Norm()).radius
+        r_l1 = robustness_radius(f, p, norm=L1Norm()).radius
+        r_linf = robustness_radius(f, p, norm=LInfNorm()).radius
+        assert r_l2 == pytest.approx(2.0 / np.sqrt(2.0))
+        assert r_l1 == pytest.approx(2.0)  # dual linf = 1
+        assert r_linf == pytest.approx(1.0)  # dual l1 = 2
+        # l1 ball is the smallest, linf the largest -> radii ordered
+        assert r_linf <= r_l2 <= r_l1
+
+
+class TestDiscreteFloor:
+    def test_floor_applied_for_discrete_parameter(self):
+        f = _affine_feature([1.0, 0.0], upper=10.6)
+        p = PerturbationParameter("n", [5.0, 0.0], discrete=True)
+        res = robustness_radius(f, p)
+        assert res.radius == 5.0  # floor(5.6)
+
+    def test_floor_override(self):
+        f = _affine_feature([1.0, 0.0], upper=10.6)
+        p = PerturbationParameter("n", [5.0, 0.0], discrete=True)
+        res = robustness_radius(f, p, apply_floor=False)
+        assert res.radius == pytest.approx(5.6)
+
+    def test_negative_radius_floors_toward_zero(self):
+        f = _affine_feature([1.0, 0.0], upper=3.4)
+        p = PerturbationParameter("n", [5.0, 0.0], discrete=True)
+        res = robustness_radius(f, p)
+        assert res.radius == -1.0  # ceil(-1.6)
+
+
+class TestBatchHyperplaneDistances:
+    def test_matches_scalar_solver(self, rng):
+        n, m = 6, 40
+        coeffs = rng.standard_normal((m, n))
+        limits = rng.uniform(5, 10, size=m)
+        origin = rng.standard_normal(n) * 0.1
+        batch = batch_hyperplane_distances(coeffs, limits, origin)
+        for k in range(m):
+            f = _affine_feature(coeffs[k], upper=limits[k], name=f"F{k}")
+            p = PerturbationParameter("pi", origin)
+            assert batch[k] == pytest.approx(robustness_radius(f, p).radius, rel=1e-12)
+
+    def test_zero_rows(self):
+        coeffs = np.zeros((3, 2))
+        limits = np.array([1.0, -1.0, 0.0])
+        out = batch_hyperplane_distances(coeffs, limits, np.zeros(2))
+        assert out[0] == np.inf and out[1] == -np.inf and out[2] == 0.0

@@ -1,0 +1,94 @@
+"""Tests for discrete-parameter handling (floors, bracketing, lattices)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.impact import AffineImpact
+from repro.core.solvers.discrete import bracket_boundary_1d, floor_radius, lattice_radius
+from repro.exceptions import SolverError, ValidationError
+
+
+class TestFloorRadius:
+    @pytest.mark.parametrize(
+        "raw, want",
+        [
+            (2.9, 2.0),
+            (2.0, 2.0),
+            (0.4, 0.0),
+            (-1.6, -1.0),  # violation magnitudes round toward zero
+            (-2.0, -2.0),
+            (np.inf, np.inf),
+            (-np.inf, -np.inf),
+        ],
+    )
+    def test_values(self, raw, want):
+        assert floor_radius(raw) == want
+
+
+class TestBracketBoundary1D:
+    def test_linear_crossing(self):
+        # f(x) = 3x, boundary beta = 100 -> crossing at 33.33: inside 33, outside 34.
+        inside, outside = bracket_boundary_1d(lambda x: 3.0 * x, 100.0, 0)
+        assert (inside, outside) == (33, 34)
+
+    def test_descending_direction(self):
+        # f(x) = -x, beta = -10 going down from 0 -> crossing at x = 10...
+        # walking in direction -1 means x decreases; f increases; use f(x)=x.
+        inside, outside = bracket_boundary_1d(lambda x: x, -10.5, 0, direction=-1)
+        assert (inside, outside) == (-10, -11)
+
+    def test_exact_integer_boundary(self):
+        # f(x) = x, beta = 5: x = 5 satisfies f <= beta, x = 6 does not.
+        inside, outside = bracket_boundary_1d(lambda x: float(x), 5.0, 0)
+        assert (inside, outside) == (5, 6)
+
+    def test_far_crossing_is_logarithmic(self):
+        inside, outside = bracket_boundary_1d(lambda x: x, 1_000_000.5, 0)
+        assert (inside, outside) == (1_000_000, 1_000_001)
+
+    def test_no_crossing_raises(self):
+        with pytest.raises(SolverError):
+            bracket_boundary_1d(lambda x: 0.0, 10.0, 0, max_steps=64)
+
+    def test_bad_direction(self):
+        with pytest.raises(ValidationError):
+            bracket_boundary_1d(lambda x: x, 1.0, 0, direction=2)
+
+
+class TestLatticeRadius:
+    def test_matches_floor_of_axis_aligned(self):
+        # f = x1 <= 10.5 from origin 0: continuous radius 10.5; smallest
+        # violating integer displacement is 11 along x1.
+        imp = AffineImpact([1.0, 0.0])
+        r = lattice_radius(imp, 10.5, np.zeros(2), max_radius=12.0)
+        assert r == pytest.approx(11.0)
+
+    def test_diagonal_constraint(self):
+        # f = x1 + x2 <= 2.5 from 0: violating integer points include (3,0),
+        # (0,3), (2,1), (1,2); min l2 length is sqrt(5).
+        imp = AffineImpact([1.0, 1.0])
+        r = lattice_radius(imp, 2.5, np.zeros(2), max_radius=4.0)
+        assert r == pytest.approx(np.sqrt(5.0))
+
+    def test_lattice_radius_at_least_continuous(self):
+        """The integer-restricted radius can never be smaller than the
+        continuous one (the lattice is a subset of the space)."""
+        rng = np.random.default_rng(3)
+        for _ in range(10):
+            c = np.abs(rng.standard_normal(2)) + 0.1
+            beta = rng.uniform(3, 8)
+            imp = AffineImpact(c)
+            cont = beta / np.linalg.norm(c)
+            lat = lattice_radius(imp, beta, np.zeros(2), max_radius=cont + 4)
+            assert lat >= cont - 1e-12
+
+    def test_no_violation_in_ball_returns_inf(self):
+        imp = AffineImpact([1.0, 0.0])
+        assert lattice_radius(imp, 100.0, np.zeros(2), max_radius=3.0) == np.inf
+
+    def test_dimension_guard(self):
+        imp = AffineImpact([1.0] * 5)
+        with pytest.raises(ValidationError):
+            lattice_radius(imp, 1.0, np.zeros(5), max_radius=2.0)

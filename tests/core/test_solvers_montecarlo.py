@@ -1,0 +1,109 @@
+"""Tests for Monte-Carlo radius estimation and validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.features import FeatureBounds, FeatureSet, PerformanceFeature
+from repro.core.impact import AffineImpact, CallableImpact
+from repro.core.metric import robustness_metric
+from repro.core.perturbation import PerturbationParameter
+from repro.core.solvers.montecarlo import estimate_radius_mc, validate_radius
+from repro.exceptions import ValidationError
+
+
+def _affine_set():
+    return FeatureSet(
+        [
+            PerformanceFeature("A", AffineImpact([1.0, 0.0]), FeatureBounds(upper=5.0)),
+            PerformanceFeature("B", AffineImpact([0.0, 1.0]), FeatureBounds(upper=3.0)),
+            PerformanceFeature("C", AffineImpact([1.0, 1.0]), FeatureBounds(upper=6.0)),
+        ]
+    )
+
+
+class TestEstimateRadiusMC:
+    def test_overestimates_and_converges_from_above(self):
+        fs = _affine_set()
+        origin = np.array([1.0, 1.0])
+        exact = robustness_metric(fs, PerturbationParameter("pi", origin)).value
+        est_small = estimate_radius_mc(fs, origin, n_directions=16, seed=0)
+        est_big = estimate_radius_mc(fs, origin, n_directions=1024, seed=0)
+        assert est_small >= exact - 1e-9
+        assert est_big >= exact - 1e-9
+        assert est_big <= est_small + 1e-9  # more directions can only tighten
+        assert est_big == pytest.approx(exact, rel=0.15)
+
+    def test_spherical_region_estimated_tightly(self):
+        # For f = ||pi||^2 <= 4 every direction crosses at 2, so even a few
+        # directions give the exact radius.
+        fs = FeatureSet(
+            [
+                PerformanceFeature(
+                    "Q", CallableImpact(lambda x: float(x @ x)), FeatureBounds(upper=4.0)
+                )
+            ]
+        )
+        est = estimate_radius_mc(fs, np.zeros(3), n_directions=8, seed=1)
+        assert est == pytest.approx(2.0, rel=1e-6)
+
+    def test_unbounded_region_gives_inf(self):
+        fs = FeatureSet(
+            [PerformanceFeature("F", AffineImpact([1.0, 1.0]), FeatureBounds())]
+        )
+        assert estimate_radius_mc(fs, np.zeros(2), n_directions=4, seed=2, max_scale=1e6) == np.inf
+
+    def test_infeasible_origin_rejected(self):
+        fs = _affine_set()
+        with pytest.raises(ValidationError):
+            estimate_radius_mc(fs, np.array([10.0, 10.0]), n_directions=4)
+
+
+class TestValidateRadius:
+    def test_exact_radius_is_sound_and_tight(self):
+        fs = _affine_set()
+        origin = np.array([1.0, 1.0])
+        res = robustness_metric(fs, PerturbationParameter("pi", origin))
+        report = validate_radius(
+            fs,
+            origin,
+            res.value,
+            n_samples=128,
+            seed=3,
+            boundary_point=res.boundary_point,
+        )
+        assert report.sound
+        assert report.tight
+        assert report.interior_violations == 0
+        assert report.min_crossing == pytest.approx(res.value, rel=1e-6)
+
+    def test_inflated_radius_flagged_unsound(self):
+        fs = _affine_set()
+        origin = np.array([1.0, 1.0])
+        res = robustness_metric(fs, PerturbationParameter("pi", origin))
+        report = validate_radius(fs, origin, res.value * 3.0, n_samples=256, seed=4)
+        assert not report.sound
+        assert report.interior_violations > 0
+
+    def test_understated_radius_flagged_loose(self):
+        fs = _affine_set()
+        origin = np.array([1.0, 1.0])
+        res = robustness_metric(fs, PerturbationParameter("pi", origin))
+        report = validate_radius(
+            fs,
+            origin,
+            res.value * 0.2,
+            n_samples=64,
+            seed=5,
+            boundary_point=res.boundary_point,
+        )
+        assert report.sound  # a too-small radius is still sound
+        assert not report.tight  # ...but not tight
+
+    def test_rejects_bad_radius(self):
+        fs = _affine_set()
+        with pytest.raises(ValidationError):
+            validate_radius(fs, np.array([1.0, 1.0]), -1.0)
+        with pytest.raises(ValidationError):
+            validate_radius(fs, np.array([1.0, 1.0]), np.inf)

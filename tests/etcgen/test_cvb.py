@@ -1,0 +1,54 @@
+"""Tests for the CVB ETC generation method."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.etcgen.cvb import cvb_etc_matrix
+from repro.etcgen.consistency import task_machine_heterogeneity
+
+
+class TestCvbEtcMatrix:
+    def test_shape_and_positivity(self):
+        etc = cvb_etc_matrix(20, 5, seed=0)
+        assert etc.shape == (20, 5)
+        assert np.all(etc > 0)
+
+    def test_paper_defaults(self):
+        """Defaults are the Section 4.2 parameters (mean 10, het 0.7/0.7)."""
+        etc = cvb_etc_matrix(4000, 30, seed=1)
+        assert etc.mean() == pytest.approx(10.0, rel=0.1)
+        task_het, machine_het = task_machine_heterogeneity(etc)
+        # The measured task heterogeneity mixes both stages slightly; allow a
+        # loose band around the nominal 0.7.
+        assert 0.5 < task_het < 0.95
+        assert machine_het == pytest.approx(0.7, rel=0.15)
+
+    def test_zero_machine_heterogeneity_gives_identical_columns(self):
+        etc = cvb_etc_matrix(10, 4, machine_het=0.0, seed=2)
+        for j in range(1, 4):
+            np.testing.assert_allclose(etc[:, j], etc[:, 0])
+
+    def test_zero_task_heterogeneity_gives_equal_row_means(self):
+        etc = cvb_etc_matrix(2000, 50, task_het=0.0, machine_het=0.3, seed=3)
+        row_means = etc.mean(axis=1)
+        assert row_means.std() / row_means.mean() < 0.1
+
+    def test_reproducible(self):
+        a = cvb_etc_matrix(5, 3, seed=11)
+        b = cvb_etc_matrix(5, 3, seed=11)
+        np.testing.assert_array_equal(a, b)
+
+    def test_distinct_seeds_differ(self):
+        a = cvb_etc_matrix(5, 3, seed=11)
+        b = cvb_etc_matrix(5, 3, seed=12)
+        assert not np.array_equal(a, b)
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(Exception):
+            cvb_etc_matrix(0, 3)
+        with pytest.raises(Exception):
+            cvb_etc_matrix(3, -1)
+        with pytest.raises(Exception):
+            cvb_etc_matrix(3, 3, task_het=-0.1)

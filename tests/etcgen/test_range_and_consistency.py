@@ -1,0 +1,72 @@
+"""Tests for range-based generation and consistency shaping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.etcgen.consistency import (
+    heterogeneity,
+    make_consistent,
+    make_semi_consistent,
+)
+from repro.etcgen.range_based import range_based_etc_matrix
+
+
+class TestRangeBased:
+    def test_shape_and_bounds(self):
+        etc = range_based_etc_matrix(50, 8, r_task=100, r_machine=10, seed=0)
+        assert etc.shape == (50, 8)
+        assert np.all(etc >= 1.0)
+        assert np.all(etc <= 1000.0)
+
+    def test_rejects_small_ranges(self):
+        with pytest.raises(ValueError):
+            range_based_etc_matrix(5, 3, r_task=0.5)
+
+
+class TestHeterogeneity:
+    def test_constant_set_has_zero(self):
+        assert heterogeneity([5.0, 5.0, 5.0]) == 0.0
+
+    def test_known_value(self):
+        vals = np.array([1.0, 3.0])
+        assert heterogeneity(vals) == pytest.approx(1.0 / 2.0)  # std=1, mean=2
+
+    def test_empty_is_nan(self):
+        assert np.isnan(heterogeneity([]))
+
+    def test_zero_mean_nonzero_values(self):
+        assert heterogeneity([-1.0, 1.0]) == np.inf
+
+
+class TestConsistencyShaping:
+    def test_make_consistent_orders_every_row(self):
+        etc = range_based_etc_matrix(30, 6, seed=1)
+        cons = make_consistent(etc)
+        assert np.all(np.diff(cons, axis=1) >= 0)
+        # Same multiset per row.
+        np.testing.assert_allclose(np.sort(etc, axis=1), cons)
+
+    def test_consistency_property(self):
+        """In a consistent matrix the machine order is task-independent."""
+        etc = make_consistent(range_based_etc_matrix(20, 5, seed=2))
+        order = np.argsort(etc, axis=1)
+        for i in range(1, 20):
+            np.testing.assert_array_equal(order[i], order[0])
+
+    def test_semi_consistent_block(self):
+        etc = range_based_etc_matrix(40, 8, seed=3)
+        semi = make_semi_consistent(etc, fraction=0.5, seed=4)
+        assert semi.shape == etc.shape
+        # Rows keep their multisets.
+        np.testing.assert_allclose(np.sort(semi, axis=1), np.sort(etc, axis=1))
+        # The chosen column block (same RNG stream as the implementation) is
+        # mutually consistent: within the block every row is sorted.
+        cols = np.sort(np.random.default_rng(4).choice(8, size=4, replace=False))
+        block = semi[:, cols]
+        assert np.all(np.diff(block, axis=1) >= 0)
+
+    def test_semi_consistent_fraction_zero_is_identity(self):
+        etc = range_based_etc_matrix(10, 4, seed=5)
+        np.testing.assert_allclose(make_semi_consistent(etc, 0.0, seed=6), etc)

@@ -1,0 +1,97 @@
+"""Tests for the Figure 3 experiment pipeline (E1/E1b)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.alloc.mapping import Mapping
+from repro.alloc.robustness import robustness
+from repro.experiments.experiment1 import cluster_analysis, run_experiment_one
+from repro.experiments.reporting import report_figure3
+
+SEED = 2003
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_experiment_one(n_mappings=400, seed=SEED)
+
+
+class TestRunExperimentOne:
+    def test_shapes(self, result):
+        n = result.n_mappings
+        assert result.assignments.shape == (n, 20)
+        assert result.makespans.shape == (n,)
+        assert result.robustness.shape == (n,)
+        assert result.load_balance.shape == (n,)
+        assert result.etc.shape == (20, 5)
+
+    def test_reproducible(self):
+        a = run_experiment_one(n_mappings=50, seed=7)
+        b = run_experiment_one(n_mappings=50, seed=7)
+        np.testing.assert_allclose(a.robustness, b.robustness)
+        np.testing.assert_array_equal(a.assignments, b.assignments)
+
+    def test_values_match_single_mapping_api(self, result):
+        for k in (0, 17, 113):
+            m = Mapping(result.assignments[k], 5)
+            r = robustness(m, result.etc, result.tau)
+            assert result.robustness[k] == pytest.approx(r.value)
+            assert result.makespans[k] == pytest.approx(r.makespan)
+
+    def test_all_robustness_nonnegative(self, result):
+        """tau > 1 guarantees non-negative radii for every mapping."""
+        assert np.all(result.robustness >= 0)
+
+    def test_robustness_correlates_with_makespan(self, result):
+        """Figure 3: 'robustness and makespan are generally correlated'."""
+        corr = np.corrcoef(result.makespans, result.robustness)[0, 1]
+        assert corr > 0.5
+
+    def test_similar_makespan_different_robustness(self, result):
+        """Figure 3's headline: sharp robustness differences at similar
+        makespan."""
+        order = np.argsort(result.makespans)
+        rho = result.robustness[order]
+        window = 10
+        ratios = [
+            rho[k : k + window].max() / rho[k : k + window].min()
+            for k in range(len(rho) - window)
+        ]
+        assert max(ratios) > 1.5
+
+
+class TestClusterAnalysis:
+    def test_s1_mappings_lie_exactly_on_lines(self, result):
+        ca = cluster_analysis(result)
+        assert np.all(ca.s1_max_residual < 1e-9)
+
+    def test_outliers_below_lines(self, result):
+        ca = cluster_analysis(result)
+        assert ca.outliers_below_line
+
+    def test_group_partition(self, result):
+        ca = cluster_analysis(result)
+        assert int(ca.s1_sizes.sum() + ca.outlier_sizes.sum()) == result.n_mappings
+
+    def test_s1_robustness_proportional_to_makespan(self, result):
+        """Within S1(x), robustness / makespan is the constant
+        (tau-1)/sqrt(x) — the paper's 'distinct straight line' per x."""
+        for x in np.unique(result.group_x):
+            sel = (result.group_x == x) & result.in_s1
+            if sel.sum() < 2:
+                continue
+            ratio = result.robustness[sel] / result.makespans[sel]
+            np.testing.assert_allclose(ratio, (result.tau - 1) / np.sqrt(x), rtol=1e-9)
+
+
+class TestReportFigure3:
+    def test_report_contains_key_sections(self, result):
+        text = report_figure3(result)
+        assert "Figure 3" in text
+        assert "cluster structure" in text
+        assert "robustness" in text
+        assert "makespan" in text
+        # ASCII scatter axis line present.
+        assert "+---" in text

@@ -1,0 +1,109 @@
+"""Tests for the Figure 4 / Table 2 experiment pipeline (E2/E3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.alloc.mapping import Mapping
+from repro.experiments.experiment2 import (
+    find_ab_pair,
+    find_flat_band,
+    run_experiment_two,
+)
+from repro.experiments.reporting import report_figure4, report_table2
+from repro.hiperd.robustness import robustness
+from repro.hiperd.table2 import PAPER_TABLE2
+
+SEED = 4
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_experiment_two(n_mappings=300, seed=SEED)
+
+
+class TestRunExperimentTwo:
+    def test_shapes(self, result):
+        n = result.n_mappings
+        assert result.assignments.shape == (n, 20)
+        assert result.robustness.shape == (n,)
+        assert result.slack.shape == (n,)
+        assert len(result.binding_names) == n
+
+    def test_reproducible(self):
+        a = run_experiment_two(n_mappings=40, seed=9)
+        b = run_experiment_two(n_mappings=40, seed=9)
+        np.testing.assert_allclose(a.robustness, b.robustness)
+        np.testing.assert_allclose(a.slack, b.slack)
+
+    def test_values_match_single_mapping_api(self, result):
+        for k in (0, 11, 99):
+            m = Mapping(result.assignments[k], result.system.n_machines)
+            r = robustness(result.system, m, result.initial_load)
+            assert result.robustness[k] == pytest.approx(r.value)
+
+    def test_majority_feasible(self, result):
+        """The calibrated generator yields mostly feasible random mappings
+        (Figure 4 plots positive slack)."""
+        assert result.feasible.mean() > 0.6
+
+    def test_robustness_positive_iff_slack_positive(self, result):
+        """A mapping violates a QoS constraint at lambda_orig exactly when
+        its signed robustness is negative (both derive from the same
+        constraint set)."""
+        feas = result.feasible
+        assert np.all(result.robustness[feas] >= 0)
+        assert np.all(result.robustness[~feas] < 0)
+
+    def test_robustness_correlates_with_slack(self, result):
+        """Figure 4: 'mappings with a larger slack are more robust in
+        general'."""
+        feas = result.feasible
+        corr = np.corrcoef(result.slack[feas], result.robustness[feas])[0, 1]
+        assert corr > 0.5
+
+
+class TestABPair:
+    def test_pair_has_similar_slack_large_ratio(self, result):
+        pair = find_ab_pair(result, slack_tolerance=0.01)
+        assert abs(pair.slack_b - pair.slack_a) <= 0.01
+        assert pair.ratio >= 2.0  # the paper found 3.3x at 1000 mappings
+        assert pair.robustness_b > pair.robustness_a
+
+    def test_indices_valid(self, result):
+        pair = find_ab_pair(result)
+        assert 0 <= pair.index_a < result.n_mappings
+        assert 0 <= pair.index_b < result.n_mappings
+        assert pair.index_a != pair.index_b
+
+
+class TestFlatBand:
+    def test_band_members_share_exact_robustness(self, result):
+        band = find_flat_band(result, min_size=3)
+        assert band.size >= 3
+        np.testing.assert_allclose(result.robustness[band.indices], band.robustness)
+        assert band.slack_max >= band.slack_min
+        # The dominant binding constraint is one actually observed in the band.
+        assert band.binding_name in {result.binding_names[k] for k in band.indices}
+
+
+class TestReports:
+    def test_report_figure4(self, result):
+        text = report_figure4(result)
+        assert "Figure 4" in text
+        assert "flat band" in text
+        assert "Table-2-style pair" in text
+
+    def test_report_table2(self):
+        measured = {
+            w: {
+                "robustness": PAPER_TABLE2[w]["robustness"],
+                "slack": PAPER_TABLE2[w]["slack"],
+                "lambda_star": PAPER_TABLE2[w]["lambda_star"],
+            }
+            for w in ("A", "B")
+        }
+        text = report_table2(measured, PAPER_TABLE2)
+        assert "Table 2" in text
+        assert "353" in text and "1166" in text

@@ -1,0 +1,171 @@
+"""Tests for DAG validation and path enumeration (Figure 2 semantics)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ModelError
+from repro.hiperd.dag import enumerate_paths_from_edges, validate_dag
+
+
+class TestValidateDag:
+    def test_accepts_valid(self):
+        validate_dag(
+            n_apps=3,
+            n_sensors=1,
+            n_actuators=1,
+            sensor_edges=[(0, 0)],
+            app_edges=[(0, 1), (1, 2)],
+            actuator_edges=[(2, 0)],
+        )
+
+    def test_rejects_cycle(self):
+        with pytest.raises(ModelError, match="cycle"):
+            validate_dag(
+                n_apps=2,
+                n_sensors=1,
+                n_actuators=1,
+                sensor_edges=[(0, 0)],
+                app_edges=[(0, 1), (1, 0)],
+                actuator_edges=[],
+            )
+
+    def test_rejects_unreachable_app(self):
+        with pytest.raises(ModelError, match="not reachable"):
+            validate_dag(
+                n_apps=2,
+                n_sensors=1,
+                n_actuators=1,
+                sensor_edges=[(0, 0)],
+                app_edges=[],
+                actuator_edges=[(0, 0)],
+            )
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ModelError):
+            validate_dag(
+                n_apps=1,
+                n_sensors=1,
+                n_actuators=1,
+                sensor_edges=[(0, 5)],
+                app_edges=[],
+                actuator_edges=[],
+            )
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ModelError, match="self-loop"):
+            validate_dag(
+                n_apps=1,
+                n_sensors=1,
+                n_actuators=1,
+                sensor_edges=[(0, 0)],
+                app_edges=[(0, 0)],
+                actuator_edges=[],
+            )
+
+
+class TestEnumeratePaths:
+    def test_single_chain_trigger_path(self):
+        paths = enumerate_paths_from_edges(
+            n_apps=3,
+            sensor_edges=[(0, 0)],
+            app_edges=[(0, 1), (1, 2)],
+            actuator_edges=[(2, 0)],
+        )
+        assert len(paths) == 1
+        p = paths[0]
+        assert p.kind == "trigger"
+        assert p.apps == (0, 1, 2)
+        assert p.driving_sensor == 0
+        assert p.terminal == ("actuator", 0)
+
+    def test_branching_spawns_multiple_paths(self):
+        # 0 -> 1 -> actuator0 and 0 -> 2 -> actuator1: two trigger paths
+        # sharing app 0 ("an application may be present in multiple paths").
+        paths = enumerate_paths_from_edges(
+            n_apps=3,
+            sensor_edges=[(0, 0)],
+            app_edges=[(0, 1), (0, 2)],
+            actuator_edges=[(1, 0), (2, 1)],
+        )
+        assert len(paths) == 2
+        assert {p.apps for p in paths} == {(0, 1), (0, 2)}
+        assert all(p.kind == "trigger" for p in paths)
+
+    def test_update_path_ends_at_multi_input_app(self):
+        # Two sensors feed chains that merge at app 2 (in-degree 2): two
+        # update paths ending at ("app", 2); app 2 continues to an actuator
+        # but is not part of either update path.
+        paths = enumerate_paths_from_edges(
+            n_apps=3,
+            sensor_edges=[(0, 0), (1, 1)],
+            app_edges=[(0, 2), (1, 2)],
+            actuator_edges=[(2, 0)],
+        )
+        assert len(paths) == 2
+        for p in paths:
+            assert p.kind == "update"
+            assert p.terminal == ("app", 2)
+            assert len(p.apps) == 1
+
+    def test_app_with_sensor_and_app_inputs_is_multi_input(self):
+        # App 1 receives from sensor 1 AND app 0 -> in-degree 2 -> the
+        # sensor-0 path ends at it (update), and the sensor-1 "path" into it
+        # is a zero-app update path.
+        paths = enumerate_paths_from_edges(
+            n_apps=2,
+            sensor_edges=[(0, 0), (1, 1)],
+            app_edges=[(0, 1)],
+            actuator_edges=[(1, 0)],
+        )
+        kinds = sorted(p.kind for p in paths)
+        assert kinds == ["update", "update"]
+        by_sensor = {p.driving_sensor: p for p in paths}
+        assert by_sensor[0].apps == (0,)
+        assert by_sensor[1].apps == ()  # sensor feeds the multi-input app directly
+
+    def test_actuator_and_continuation(self):
+        # App 0 feeds an actuator AND app 1: one trigger path (0,) plus one
+        # trigger path (0, 1).
+        paths = enumerate_paths_from_edges(
+            n_apps=2,
+            sensor_edges=[(0, 0)],
+            app_edges=[(0, 1)],
+            actuator_edges=[(0, 0), (1, 0)],
+        )
+        assert {p.apps for p in paths} == {(0,), (0, 1)}
+
+    def test_dead_end_app_rejected(self):
+        with pytest.raises(ModelError, match="dead end"):
+            enumerate_paths_from_edges(
+                n_apps=2,
+                sensor_edges=[(0, 0)],
+                app_edges=[(0, 1)],
+                actuator_edges=[],
+            )
+
+    def test_deterministic_order(self):
+        kwargs = dict(
+            n_apps=4,
+            sensor_edges=[(0, 0), (1, 2)],
+            app_edges=[(0, 1), (2, 3)],
+            actuator_edges=[(1, 0), (3, 0)],
+        )
+        a = enumerate_paths_from_edges(**kwargs)
+        b = enumerate_paths_from_edges(**kwargs)
+        assert a == b
+
+    def test_figure2_like_dag(self):
+        """A small DAG in the style of Figure 2: three sensors, a merge node
+        and two actuators."""
+        paths = enumerate_paths_from_edges(
+            n_apps=6,
+            sensor_edges=[(0, 0), (1, 1), (2, 4)],
+            app_edges=[(0, 2), (1, 2), (2, 3), (4, 5)],
+            actuator_edges=[(3, 0), (5, 1)],
+        )
+        kinds = sorted(p.kind for p in paths)
+        # Sensor 0 and 1 chains end at the merge app 2 (update paths);
+        # the merged chain is not sensor-rooted (starts at multi-input app 2);
+        # sensor 2 drives a trigger path (4, 5).
+        assert kinds == ["trigger", "update", "update"]

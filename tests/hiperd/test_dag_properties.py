@@ -1,0 +1,93 @@
+"""Property-based tests for path enumeration on randomly generated DAGs."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hiperd.dag import enumerate_paths_from_edges
+
+
+def _random_forest(seed: int):
+    """Random out-trees rooted at sensors over disjoint application sets.
+
+    Returns (n_apps, sensor_edges, app_edges, actuator_edges, n_leaves).
+    Trees guarantee in-degree 1 everywhere, so every path is a trigger path
+    and the path count equals the leaf count.
+    """
+    rng = np.random.default_rng(seed)
+    n_sensors = int(rng.integers(1, 4))
+    sensor_edges = []
+    app_edges = []
+    actuator_edges = []
+    n_apps = 0
+    n_leaves = 0
+    for z in range(n_sensors):
+        size = int(rng.integers(1, 7))
+        nodes = list(range(n_apps, n_apps + size))
+        n_apps += size
+        sensor_edges.append((z, nodes[0]))
+        # Attach each non-root node under a random earlier node (an out-tree).
+        for k in range(1, size):
+            parent = nodes[int(rng.integers(0, k))]
+            app_edges.append((parent, nodes[k]))
+        children = {i for i, _ in app_edges}
+        for node in nodes:
+            if node not in children:
+                actuator_edges.append((node, 0))
+                n_leaves += 1
+    return n_apps, sensor_edges, app_edges, actuator_edges, n_leaves
+
+
+class TestEnumerationProperties:
+    @given(seed=st.integers(0, 5000))
+    @settings(max_examples=60)
+    def test_tree_paths_equal_leaves(self, seed):
+        n_apps, s_e, a_e, t_e, n_leaves = _random_forest(seed)
+        paths = enumerate_paths_from_edges(
+            n_apps=n_apps, sensor_edges=s_e, app_edges=a_e, actuator_edges=t_e
+        )
+        assert len(paths) == n_leaves
+        assert all(p.kind == "trigger" for p in paths)
+
+    @given(seed=st.integers(0, 5000))
+    @settings(max_examples=60)
+    def test_every_app_on_some_path(self, seed):
+        n_apps, s_e, a_e, t_e, _ = _random_forest(seed)
+        paths = enumerate_paths_from_edges(
+            n_apps=n_apps, sensor_edges=s_e, app_edges=a_e, actuator_edges=t_e
+        )
+        covered = set()
+        for p in paths:
+            covered.update(p.apps)
+        assert covered == set(range(n_apps))
+
+    @given(seed=st.integers(0, 5000))
+    @settings(max_examples=60)
+    def test_paths_are_chains_along_edges(self, seed):
+        n_apps, s_e, a_e, t_e, _ = _random_forest(seed)
+        edges = set(a_e)
+        sensor_roots = set(s_e)
+        paths = enumerate_paths_from_edges(
+            n_apps=n_apps, sensor_edges=s_e, app_edges=a_e, actuator_edges=t_e
+        )
+        for p in paths:
+            assert (p.driving_sensor, p.apps[0]) in sensor_roots
+            for e in p.edges():
+                assert e in edges
+            assert (p.apps[-1], p.terminal[1]) in set(t_e)
+
+    @given(seed=st.integers(0, 5000))
+    @settings(max_examples=30)
+    def test_roots_appear_in_exactly_leafcount_paths(self, seed):
+        """A tree root lies on every path of its tree — the 'application may
+        be present in multiple paths' phenomenon, quantified."""
+        n_apps, s_e, a_e, t_e, _ = _random_forest(seed)
+        paths = enumerate_paths_from_edges(
+            n_apps=n_apps, sensor_edges=s_e, app_edges=a_e, actuator_edges=t_e
+        )
+        for z, root in s_e:
+            tree_paths = [p for p in paths if p.driving_sensor == z and p.apps[0] == root]
+            on_root = [p for p in tree_paths if root in p.apps]
+            assert len(on_root) == len(tree_paths)

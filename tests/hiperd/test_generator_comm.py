@@ -1,0 +1,72 @@
+"""Tests for generated systems with nonzero communication times."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hiperd.constraints import build_constraints
+from repro.hiperd.generators import generate_system, random_hiperd_mappings
+from repro.hiperd.robustness import robustness
+from repro.hiperd.slack import slack
+
+LOAD0 = np.array([962.0, 380.0, 240.0])
+
+
+class TestCommGeneration:
+    def test_zero_default_matches_paper_setting(self):
+        system = generate_system(seed=0)
+        assert system.comm_coeffs == {}
+
+    def test_comm_coefficients_created_on_path_edges(self):
+        system = generate_system(seed=0, comm_mean=2.0)
+        assert len(system.comm_coeffs) > 0
+        edges = set()
+        for p in system.paths:
+            edges.update(p.edges())
+        assert set(system.comm_coeffs) == edges
+
+    def test_comm_supports_respect_sender_routes(self):
+        system = generate_system(seed=1, comm_mean=2.0)
+        for (i, _p), vec in system.comm_coeffs.items():
+            mask = system.routed_sensors(i)
+            assert np.all(vec[~mask] == 0)
+            assert np.any(vec[mask] > 0)
+
+    def test_comm_constraints_appear_and_can_bind(self):
+        # comm coefficients comparable to mtf * mean_coeff (~50/sensor) so
+        # transfers genuinely compete with computations for the binding spot.
+        system = generate_system(seed=2, comm_mean=200.0)
+        found_comm_binding = False
+        for m in random_hiperd_mappings(system, 50, seed=3):
+            cs = build_constraints(system, m)
+            assert "comm" in cs.kinds
+            r = robustness(system, m, LOAD0)
+            if r.binding_kind == "comm":
+                found_comm_binding = True
+                break
+        # With large comm coefficients some mapping should bind on a transfer.
+        assert found_comm_binding
+
+    def test_comm_shrinks_latency_robustness(self):
+        """Adding communication time to the same paths can only tighten the
+        latency constraints (coefficients grow) relative to the uncalibrated
+        zero-comm system."""
+        base = generate_system(seed=4, calibrate=False)
+        with_comm = generate_system(seed=4, calibrate=False, comm_mean=2.0)
+        np.testing.assert_allclose(base.comp_coeffs, with_comm.comp_coeffs)
+        m = random_hiperd_mappings(base, 1, seed=5)[0]
+        lam = np.array([1.0, 1.0, 1.0])
+        from repro.hiperd.timing import latencies
+
+        assert np.all(
+            latencies(with_comm, m, lam) >= latencies(base, m, lam) - 1e-12
+        )
+
+    def test_calibrated_comm_system_mostly_feasible(self):
+        system = generate_system(seed=6, comm_mean=5.0)
+        feasible = sum(
+            slack(system, m, LOAD0) > 0
+            for m in random_hiperd_mappings(system, 60, seed=7)
+        )
+        assert feasible >= 35

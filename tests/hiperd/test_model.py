@@ -1,0 +1,137 @@
+"""Tests for the HiPer-D model classes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError, ValidationError
+from repro.hiperd.model import HiperDSystem, Path, Sensor, multitasking_factors
+
+
+def tiny_system(**overrides) -> HiperDSystem:
+    """2 sensors, 3 apps, 2 machines, 1 actuator; apps 0,1 on sensor-0 path,
+    app 2 on sensor-1 path."""
+    coeffs = np.zeros((3, 2, 2))
+    coeffs[0, :, 0] = [1.0, 2.0]
+    coeffs[1, :, 0] = [3.0, 1.0]
+    coeffs[2, :, 1] = [2.0, 2.0]
+    kwargs = dict(
+        sensors=[Sensor("s0", 1e-3), Sensor("s1", 2e-3)],
+        n_apps=3,
+        n_machines=2,
+        n_actuators=1,
+        paths=[
+            Path(0, (0, 1), ("actuator", 0)),
+            Path(1, (2,), ("actuator", 0)),
+        ],
+        comp_coeffs=coeffs,
+        latency_limits=[100.0, 50.0],
+    )
+    kwargs.update(overrides)
+    return HiperDSystem(**kwargs)
+
+
+class TestSensor:
+    def test_valid(self):
+        s = Sensor("radar", 4e-5)
+        assert s.rate == 4e-5
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValidationError):
+            Sensor("s", 0.0)
+        with pytest.raises(ValidationError):
+            Sensor("s", -1.0)
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValidationError):
+            Sensor("", 1.0)
+
+
+class TestPath:
+    def test_kinds(self):
+        assert Path(0, (1, 2), ("actuator", 0)).kind == "trigger"
+        assert Path(0, (1, 2), ("app", 5)).kind == "update"
+
+    def test_edges(self):
+        p = Path(0, (3, 1, 4), ("actuator", 0))
+        assert p.edges() == [(3, 1), (1, 4)]
+
+    def test_rejects_duplicate_apps(self):
+        with pytest.raises(ValidationError):
+            Path(0, (1, 2, 1), ("actuator", 0))
+
+    def test_rejects_bad_terminal(self):
+        with pytest.raises(ValidationError):
+            Path(0, (1,), ("sensor", 0))
+
+
+class TestHiperDSystem:
+    def test_basic_accessors(self):
+        s = tiny_system()
+        assert s.n_sensors == 2
+        np.testing.assert_allclose(s.rates, [1e-3, 2e-3])
+        np.testing.assert_array_equal(s.apps_on_paths(), [0, 1, 2])
+        assert s.paths_of_app(1) == [0]
+
+    def test_effective_rates_max_over_paths(self):
+        # App 0 on both a slow and a fast path -> effective rate is the max.
+        s = tiny_system(
+            paths=[
+                Path(0, (0, 1), ("actuator", 0)),
+                Path(1, (2,), ("actuator", 0)),
+                Path(1, (0,), ("actuator", 0)),
+            ],
+            latency_limits=[100.0, 50.0, 60.0],
+            comp_coeffs=_coeffs_with_route_0_from_both(),
+        )
+        rates = s.effective_rates()
+        assert rates[0] == 2e-3  # max(1e-3, 2e-3)
+        assert rates[1] == 1e-3
+        assert rates[2] == 2e-3
+
+    def test_route_consistency_enforced(self):
+        # App 2 is only on a sensor-1 path; give it a sensor-0 coefficient.
+        coeffs = np.zeros((3, 2, 2))
+        coeffs[0, :, 0] = 1.0
+        coeffs[1, :, 0] = 1.0
+        coeffs[2, :, 0] = 1.0  # no route from sensor 0 to app 2!
+        with pytest.raises(ModelError):
+            tiny_system(comp_coeffs=coeffs)
+
+    def test_rejects_wrong_latency_count(self):
+        with pytest.raises(ValidationError):
+            tiny_system(latency_limits=[100.0])
+
+    def test_rejects_negative_coeffs(self):
+        coeffs = np.zeros((3, 2, 2))
+        coeffs[0, 0, 0] = -1.0
+        with pytest.raises(ValidationError):
+            tiny_system(comp_coeffs=coeffs)
+
+    def test_rejects_out_of_range_path(self):
+        with pytest.raises(ModelError):
+            tiny_system(
+                paths=[Path(0, (0, 7), ("actuator", 0)), Path(1, (2,), ("actuator", 0))]
+            )
+
+    def test_comm_coeffs_validated(self):
+        with pytest.raises(ValidationError):
+            tiny_system(comm_coeffs={(0, 1): [1.0, 2.0, 3.0]})  # wrong size
+
+
+def _coeffs_with_route_0_from_both() -> np.ndarray:
+    coeffs = np.zeros((3, 2, 2))
+    coeffs[0, :, 0] = [1.0, 2.0]
+    coeffs[0, :, 1] = [1.0, 1.0]
+    coeffs[1, :, 0] = [3.0, 1.0]
+    coeffs[2, :, 1] = [2.0, 2.0]
+    return coeffs
+
+
+class TestMultitaskingFactors:
+    def test_table2_rule(self):
+        np.testing.assert_allclose(
+            multitasking_factors(np.array([0, 1, 2, 3, 6])),
+            [1.0, 1.0, 2.6, 3.9, 7.8],
+        )

@@ -1,0 +1,97 @@
+"""Tests for power-law (convex) HiPer-D complexity functions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.alloc.mapping import Mapping
+from repro.exceptions import ValidationError
+from repro.hiperd.generators import generate_system
+from repro.hiperd.model import HiperDSystem, Path, Sensor
+from repro.hiperd.nonlinear import power_law_robustness
+from repro.hiperd.robustness import robustness
+
+
+@pytest.fixture
+def small() -> HiperDSystem:
+    coeffs = np.zeros((2, 2, 2))
+    coeffs[0] = [[2.0, 0.0], [2.0, 0.0]]
+    coeffs[1] = [[0.0, 4.0], [0.0, 4.0]]
+    return HiperDSystem(
+        sensors=[Sensor("s0", 1e-2), Sensor("s1", 1e-2)],
+        n_apps=2,
+        n_machines=2,
+        n_actuators=1,
+        paths=[Path(0, (0,), ("actuator", 0)), Path(1, (1,), ("actuator", 0))],
+        comp_coeffs=coeffs,
+        latency_limits=[90.0, 150.0],
+    )
+
+
+class TestPowerLaw:
+    def test_exponent_one_matches_linear_fast_path(self, small):
+        m = Mapping([0, 1], 2)
+        lam0 = np.array([10.0, 10.0])
+        linear = robustness(small, m, lam0)
+        nl = power_law_robustness(small, m, lam0, np.ones((2, 2)))
+        assert nl.value == pytest.approx(linear.value, rel=1e-6)
+        assert nl.binding_feature == linear.binding_name
+
+    def test_exponent_one_matches_on_generated_system(self):
+        system = generate_system(seed=1, n_apps=6, n_paths=4)
+        m = Mapping(np.arange(6) % system.n_machines, system.n_machines)
+        lam0 = np.array([50.0, 30.0, 20.0])
+        linear = robustness(system, m, lam0)
+        nl = power_law_robustness(
+            system, m, lam0, np.ones((6, 3)), solver_options={"n_starts": 2}
+        )
+        assert nl.raw_value == pytest.approx(linear.raw_value, rel=1e-5)
+
+    def test_quadratic_single_constraint(self, small):
+        # App 0 alone on machine 0 (mtf 1): T = 2 |l1|^2 <= 90 (latency binds
+        # first over the throughput 100): boundary l1 = sqrt(45); from l1=3
+        # the radius is sqrt(45) - 3.
+        m = Mapping([0, 1], 2)
+        lam0 = np.array([3.0, 1.0])
+        exps = np.array([[2.0, 1.0], [1.0, 1.0]])
+        res = power_law_robustness(small, m, lam0, exps, solver_options={"n_starts": 2})
+        want = np.sqrt(45.0) - 3.0
+        assert res.raw_value == pytest.approx(want, rel=1e-5)
+        assert res.binding_feature in ("L[0]", "T_c[a0]")
+
+    def test_superlinear_shrinks_radius_at_same_origin_value(self, small):
+        """With the same T(lambda_orig), a superlinear function reaches the
+        limit sooner in the growth direction -> smaller radius."""
+        m = Mapping([0, 1], 2)
+        lam0 = np.array([4.0, 4.0])
+        lin = power_law_robustness(small, m, lam0, np.ones((2, 2)))
+        # Quadratic exponents with coefficients rescaled so values at lam0
+        # match the linear ones: c' * l^2 with c' = c / l0.
+        quad_sys = HiperDSystem(
+            sensors=small.sensors,
+            n_apps=2,
+            n_machines=2,
+            n_actuators=1,
+            paths=small.paths,
+            comp_coeffs=small.comp_coeffs / 4.0,
+            latency_limits=small.latency_limits,
+        )
+        quad = power_law_robustness(
+            quad_sys, m, lam0, np.full((2, 2), 2.0), solver_options={"n_starts": 2}
+        )
+        assert quad.raw_value < lin.raw_value
+
+    def test_validation(self, small):
+        m = Mapping([0, 1], 2)
+        with pytest.raises(ValidationError):
+            power_law_robustness(small, m, [1.0, 1.0], np.full((2, 2), 0.5))
+        with pytest.raises(ValidationError):
+            power_law_robustness(small, m, [1.0], np.ones((2, 2)))
+        with pytest.raises(ValidationError):
+            power_law_robustness(small, m, [1.0, 1.0], np.ones((3, 2)))
+
+    def test_floor_applied(self, small):
+        m = Mapping([0, 1], 2)
+        res = power_law_robustness(small, m, [10.0, 10.0], np.ones((2, 2)))
+        assert res.value == float(int(res.value))

@@ -1,0 +1,169 @@
+"""Tests for HiPer-D robustness (Eqs. 10-11) incl. the FePIA cross-check."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.alloc.mapping import Mapping
+from repro.exceptions import InfeasibleAtOriginError, ValidationError
+from repro.hiperd.constraints import build_constraints
+from repro.hiperd.generators import generate_system, random_hiperd_mappings
+from repro.hiperd.model import HiperDSystem, Path, Sensor
+from repro.hiperd.robustness import boundary_load, fepia_analysis, robustness
+from repro.hiperd.slack import slack
+
+
+@pytest.fixture
+def small() -> HiperDSystem:
+    coeffs = np.zeros((2, 2, 2))
+    coeffs[0] = [[2.0, 0.0], [2.0, 0.0]]
+    coeffs[1] = [[0.0, 4.0], [0.0, 4.0]]
+    return HiperDSystem(
+        sensors=[Sensor("s0", 1e-2), Sensor("s1", 1e-2)],
+        n_apps=2,
+        n_machines=2,
+        n_actuators=1,
+        paths=[Path(0, (0,), ("actuator", 0)), Path(1, (1,), ("actuator", 0))],
+        comp_coeffs=coeffs,
+        latency_limits=[90.0, 150.0],
+    )
+
+
+class TestSmallSystem:
+    def test_hand_computed_radii(self, small):
+        # One app per machine -> mtf = 1.  Constraints at load (10, 10):
+        #   comp a0: 2*l1 <= 100  -> dist (100-20)/2 = 40
+        #   comp a1: 4*l2 <= 100  -> dist (100-40)/4 = 15
+        #   lat 0:   2*l1 <= 90   -> dist (90-20)/2  = 35
+        #   lat 1:   4*l2 <= 150  -> dist (150-40)/4 = 27.5
+        m = Mapping([0, 1], 2)
+        r = robustness(small, m, [10.0, 10.0], apply_floor=False)
+        assert r.raw_value == pytest.approx(15.0)
+        assert r.binding_kind == "comp"
+        assert r.binding_name == "T_c[a1]"
+        assert r.feasible_at_origin
+
+    def test_floor_applied(self, small):
+        m = Mapping([0, 1], 2)
+        r = robustness(small, m, [10.0, 10.4])
+        # raw = (100 - 41.6)/4 = 14.6 -> floored to 14
+        assert r.raw_value == pytest.approx(14.6)
+        assert r.value == 14.0
+
+    def test_boundary_load_on_binding_hyperplane(self, small):
+        m = Mapping([0, 1], 2)
+        lam0 = np.array([10.0, 10.0])
+        lam_star = boundary_load(small, m, lam0)
+        # Binding is comp a1 (coeff (0,4), limit 100): 4 * l2* = 100.
+        assert 4.0 * lam_star[1] == pytest.approx(100.0)
+        assert lam_star[0] == pytest.approx(10.0)  # moves only along coeff
+        assert np.linalg.norm(lam_star - lam0) == pytest.approx(15.0)
+
+    def test_multitasking_shrinks_robustness(self, small):
+        """Co-locating both apps multiplies computation times by 2.6 and
+        must strictly shrink the robustness."""
+        lam0 = [10.0, 10.0]
+        apart = robustness(small, Mapping([0, 1], 2), lam0, apply_floor=False)
+        together = robustness(small, Mapping([0, 0], 2), lam0, apply_floor=False)
+        assert together.raw_value < apart.raw_value
+
+    def test_negative_when_infeasible(self, small):
+        m = Mapping([0, 1], 2)
+        r = robustness(small, m, [100.0, 100.0], apply_floor=False)
+        assert r.raw_value < 0
+        assert not r.feasible_at_origin
+        with pytest.raises(InfeasibleAtOriginError):
+            robustness(small, m, [100.0, 100.0], require_feasible=True)
+
+    def test_load_shape_checked(self, small):
+        with pytest.raises(ValidationError):
+            robustness(small, Mapping([0, 1], 2), [1.0, 2.0, 3.0])
+
+
+class TestFepiaCrossCheck:
+    def test_matches_fast_path_on_generated_systems(self):
+        for seed in range(3):
+            system = generate_system(seed=seed, n_apps=8, n_paths=5)
+            lam0 = np.array([100.0, 50.0, 20.0])
+            for m in random_hiperd_mappings(system, 4, seed=seed + 10):
+                fast = robustness(system, m, lam0, apply_floor=True)
+                generic = fepia_analysis(system, m, lam0)
+                assert generic.value == pytest.approx(fast.value, rel=1e-9)
+                assert generic.raw_value == pytest.approx(fast.raw_value, rel=1e-9)
+                # Binding constraint names agree.
+                assert generic.binding_feature == fast.binding_name
+
+    def test_fepia_boundary_point_agrees(self, small):
+        m = Mapping([0, 1], 2)
+        lam0 = np.array([10.0, 10.0])
+        generic = fepia_analysis(small, m, lam0)
+        np.testing.assert_allclose(
+            generic.boundary_point, boundary_load(small, m, lam0), rtol=1e-9
+        )
+
+
+class TestOperationalGuarantee:
+    def test_loads_within_radius_never_violate(self, small):
+        """Any load increase with Euclidean norm <= rho keeps all QoS
+        constraints satisfied — the metric's defining property."""
+        m = Mapping([0, 1], 2)
+        lam0 = np.array([10.0, 10.0])
+        r = robustness(small, m, lam0, apply_floor=False)
+        cs = build_constraints(small, m)
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            d = rng.standard_normal(2)
+            d /= np.linalg.norm(d)
+            lam = lam0 + 0.999 * r.raw_value * d
+            assert cs.satisfied_at(lam, tol=1e-9)
+        # ...and the boundary direction violates just beyond the radius.
+        direction = (r.boundary - lam0) / np.linalg.norm(r.boundary - lam0)
+        assert not cs.satisfied_at(lam0 + 1.001 * r.raw_value * direction)
+
+    def test_robustness_and_slack_both_positive_for_feasible(self, small):
+        m = Mapping([0, 1], 2)
+        lam0 = np.array([10.0, 10.0])
+        assert robustness(small, m, lam0).value > 0
+        assert slack(small, m, lam0) > 0
+
+
+class TestGeneratedSystems:
+    def test_generator_defaults_match_paper_shape(self):
+        system = generate_system(seed=0)
+        assert len(system.paths) == 19
+        assert system.n_apps == 20
+        assert system.n_machines == 5
+        assert system.n_sensors == 3
+        assert len(system.apps_on_paths()) == 20  # every app constrained
+        # Latency limits keep the U[750, 1250] ratio spread (max/min <= 5/3).
+        lims = system.latency_limits
+        assert lims.max() / lims.min() <= 1250.0 / 750.0 + 1e-9
+
+    def test_calibration_yields_mostly_feasible_mappings(self):
+        system = generate_system(seed=3)
+        lam0 = np.asarray([962.0, 380.0, 240.0])
+        feasible = 0
+        for m in random_hiperd_mappings(system, 100, seed=4):
+            if slack(system, m, lam0) > 0:
+                feasible += 1
+        assert feasible >= 60
+
+    def test_uncalibrated_uses_paper_constants(self):
+        system = generate_system(seed=0, calibrate=False)
+        np.testing.assert_allclose(system.rates, [4e-5, 3e-5, 8e-6])
+        assert system.latency_limits.min() >= 750.0
+        assert system.latency_limits.max() <= 1250.0
+
+    def test_route_masks_respected(self):
+        system = generate_system(seed=5)
+        for i in range(system.n_apps):
+            mask = system.routed_sensors(i)
+            assert np.all(system.comp_coeffs[i][:, ~mask] == 0)
+
+    def test_reproducible(self):
+        a = generate_system(seed=11)
+        b = generate_system(seed=11)
+        np.testing.assert_allclose(a.comp_coeffs, b.comp_coeffs)
+        np.testing.assert_allclose(a.latency_limits, b.latency_limits)
+        assert a.paths == b.paths

@@ -1,0 +1,67 @@
+"""Tests for HiPer-D robustness sensitivity analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hiperd.generators import generate_system, random_hiperd_mappings
+from repro.hiperd.robustness import robustness
+from repro.hiperd.sensitivity import app_criticality, load_gradient, move_improvements
+
+LOAD0 = np.array([962.0, 380.0, 240.0])
+
+
+@pytest.fixture(scope="module")
+def case():
+    system = generate_system(seed=21, n_apps=10, n_paths=6)
+    mapping = random_hiperd_mappings(system, 1, seed=22)[0]
+    return system, mapping
+
+
+class TestLoadGradient:
+    def test_unit_norm_and_nonpositive(self, case):
+        system, mapping = case
+        g = load_gradient(system, mapping, LOAD0)
+        assert np.linalg.norm(g) == pytest.approx(1.0)
+        assert np.all(g <= 0)  # load growth never helps
+
+    def test_matches_finite_differences(self, case):
+        system, mapping = case
+        g = load_gradient(system, mapping, LOAD0)
+        h = 1e-4
+        for z in range(3):
+            up, dn = LOAD0.copy(), LOAD0.copy()
+            up[z] += h
+            dn[z] -= h
+            fd = (
+                robustness(system, mapping, up, apply_floor=False).raw_value
+                - robustness(system, mapping, dn, apply_floor=False).raw_value
+            ) / (2 * h)
+            assert g[z] == pytest.approx(fd, abs=1e-6)
+
+
+class TestMoveImprovements:
+    def test_scores_match_direct_evaluation(self, case):
+        system, mapping = case
+        moves = move_improvements(system, mapping, LOAD0, top=5)
+        for mv in moves:
+            got = robustness(
+                system, mapping.move(mv.app, mv.machine), LOAD0, apply_floor=False
+            ).raw_value
+            assert mv.new_robustness == pytest.approx(got, rel=1e-12)
+
+    def test_sorted_and_complete(self, case):
+        system, mapping = case
+        moves = move_improvements(system, mapping, LOAD0)
+        assert len(moves) == system.n_apps * (system.n_machines - 1)
+        values = [mv.new_robustness for mv in moves]
+        assert values == sorted(values, reverse=True)
+
+    def test_criticality_consistent(self, case):
+        system, mapping = case
+        crit = app_criticality(system, mapping, LOAD0)
+        best = move_improvements(system, mapping, LOAD0, top=1)[0]
+        assert np.all(crit >= 0)
+        if best.delta > 0:
+            assert crit[best.app] == pytest.approx(best.delta)

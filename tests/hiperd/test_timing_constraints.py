@@ -1,0 +1,154 @@
+"""Tests for HiPer-D timing functions, constraint assembly and slack."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.alloc.mapping import Mapping
+from repro.exceptions import ValidationError
+from repro.hiperd.constraints import build_constraints
+from repro.hiperd.model import HiperDSystem, Path, Sensor
+from repro.hiperd.slack import slack, slack_breakdown, slack_from_constraints
+from repro.hiperd.timing import (
+    computation_coefficients,
+    computation_times,
+    latencies,
+    latency_coefficients,
+)
+
+
+@pytest.fixture
+def system() -> HiperDSystem:
+    """2 sensors, 4 apps, 2 machines, paths (0,1) [sensor 0] and (2, 3)
+    [sensor 1], with a comm coefficient on edge (0, 1)."""
+    coeffs = np.zeros((4, 2, 2))
+    coeffs[0] = [[2.0, 0.0], [4.0, 0.0]]  # app0: sensor0 only
+    coeffs[1] = [[1.0, 0.0], [3.0, 0.0]]
+    coeffs[2] = [[0.0, 5.0], [0.0, 1.0]]  # app2: sensor1 only
+    coeffs[3] = [[0.0, 2.0], [0.0, 2.0]]
+    return HiperDSystem(
+        sensors=[Sensor("s0", 1e-3), Sensor("s1", 1e-4)],
+        n_apps=4,
+        n_machines=2,
+        n_actuators=1,
+        paths=[
+            Path(0, (0, 1), ("actuator", 0)),
+            Path(1, (2, 3), ("actuator", 0)),
+        ],
+        comp_coeffs=coeffs,
+        latency_limits=[500.0, 800.0],
+        comm_coeffs={(0, 1): np.array([0.5, 0.0])},
+    )
+
+
+class TestComputationCoefficients:
+    def test_multitasking_factor_applied(self, system):
+        # All 4 apps on machine 0 -> mtf = 1.3 * 4 = 5.2.
+        m = Mapping([0, 0, 0, 0], 2)
+        cc = computation_coefficients(system, m)
+        np.testing.assert_allclose(cc[0], [5.2 * 2.0, 0.0])
+        np.testing.assert_allclose(cc[2], [0.0, 5.2 * 5.0])
+
+    def test_single_app_machine_no_penalty(self, system):
+        # App 0 alone on machine 1 -> mtf 1; others on machine 0 (mtf 3.9).
+        m = Mapping([1, 0, 0, 0], 2)
+        cc = computation_coefficients(system, m)
+        np.testing.assert_allclose(cc[0], [4.0, 0.0])  # machine-1 coeff, mtf 1
+        np.testing.assert_allclose(cc[1], [3.9 * 1.0, 0.0])
+
+    def test_mapping_shape_checked(self, system):
+        with pytest.raises(ValidationError):
+            computation_coefficients(system, Mapping([0, 0], 2))
+
+
+class TestLatency:
+    def test_latency_is_sum_of_members_plus_comm(self, system):
+        m = Mapping([0, 0, 1, 1], 2)
+        lat = latency_coefficients(system, m)
+        cc = computation_coefficients(system, m)
+        np.testing.assert_allclose(lat[0], cc[0] + cc[1] + np.array([0.5, 0.0]))
+        np.testing.assert_allclose(lat[1], cc[2] + cc[3])
+
+    def test_latency_values(self, system):
+        m = Mapping([0, 0, 1, 1], 2)
+        load = np.array([10.0, 20.0])
+        np.testing.assert_allclose(
+            latencies(system, m, load), latency_coefficients(system, m) @ load
+        )
+
+    def test_computation_times_eval(self, system):
+        m = Mapping([0, 1, 0, 1], 2)
+        load = np.array([1.0, 1.0])
+        ct = computation_times(system, m, load)
+        cc = computation_coefficients(system, m)
+        np.testing.assert_allclose(ct, cc.sum(axis=1))
+
+    def test_load_shape_checked(self, system):
+        m = Mapping([0, 0, 1, 1], 2)
+        with pytest.raises(ValidationError):
+            latencies(system, m, [1.0, 2.0, 3.0])
+
+
+class TestConstraintSet:
+    def test_structure(self, system):
+        cs = build_constraints(system, Mapping([0, 0, 1, 1], 2))
+        # 4 comp + 3 comm edges ((0,1) declared + (2,3) implicit zero) + 2 latency
+        kinds = list(cs.kinds)
+        assert kinds.count("comp") == 4
+        assert kinds.count("comm") == 2
+        assert kinds.count("latency") == 2
+        assert len(cs) == 8
+
+    def test_throughput_limits_use_driving_sensor_rate(self, system):
+        cs = build_constraints(system, Mapping([0, 0, 1, 1], 2))
+        comp = cs.select("comp")
+        by_name = dict(zip(comp.names, comp.limits))
+        assert by_name["T_c[a0]"] == pytest.approx(1.0 / 1e-3)
+        assert by_name["T_c[a2]"] == pytest.approx(1.0 / 1e-4)
+
+    def test_comm_constraint_has_declared_coefficients(self, system):
+        cs = build_constraints(system, Mapping([0, 0, 1, 1], 2)).select("comm")
+        by_name = dict(zip(cs.names, map(tuple, cs.coefficients)))
+        assert by_name["T_n[a0->a1]"] == (0.5, 0.0)
+        assert by_name["T_n[a2->a3]"] == (0.0, 0.0)
+
+    def test_satisfied_and_values(self, system):
+        cs = build_constraints(system, Mapping([0, 0, 1, 1], 2))
+        assert cs.satisfied_at([0.0, 0.0])
+        assert not cs.satisfied_at([1e9, 1e9])
+
+    def test_select_roundtrip(self, system):
+        cs = build_constraints(system, Mapping([0, 0, 1, 1], 2))
+        total = sum(len(cs.select(k)) for k in ("comp", "comm", "latency"))
+        assert total == len(cs)
+
+
+class TestSlack:
+    def test_slack_is_one_minus_worst_fraction(self, system):
+        m = Mapping([0, 0, 1, 1], 2)
+        cs = build_constraints(system, m)
+        load = np.array([5.0, 3.0])
+        frac = cs.fractional_values_at(load)
+        assert slack(system, m, load) == pytest.approx(1.0 - frac.max())
+
+    def test_slack_one_at_zero_load(self, system):
+        m = Mapping([0, 0, 1, 1], 2)
+        assert slack(system, m, [0.0, 0.0]) == pytest.approx(1.0)
+
+    def test_slack_negative_when_violating(self, system):
+        m = Mapping([0, 0, 1, 1], 2)
+        assert slack(system, m, [1e9, 1e9]) < 0
+
+    def test_breakdown_overall_is_min(self, system):
+        m = Mapping([0, 0, 1, 1], 2)
+        bd = slack_breakdown(system, m, [5.0, 3.0])
+        assert bd["overall"] == pytest.approx(
+            min(bd["comp"], bd["comm"], bd["latency"])
+        )
+
+    def test_slack_decreases_with_load(self, system):
+        m = Mapping([0, 0, 1, 1], 2)
+        s1 = slack(system, m, [5.0, 3.0])
+        s2 = slack(system, m, [10.0, 6.0])
+        assert s2 < s1

@@ -1,0 +1,96 @@
+"""End-to-end analysis of a DAG with update paths (multi-input merge).
+
+Exercises the Figure-2 semantics all the way through constraints, slack and
+robustness: two sensor-driven chains merge at a multiple-input application
+(two update paths), whose own downstream chain is not sensor-rooted.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.alloc.mapping import Mapping
+from repro.hiperd.constraints import build_constraints
+from repro.hiperd.model import HiperDSystem, Sensor
+from repro.hiperd.robustness import robustness
+from repro.hiperd.slack import slack
+
+
+@pytest.fixture
+def merge_system() -> HiperDSystem:
+    """Sensors 0, 1 -> apps 0, 1 -> merge app 2 -> actuator.
+
+    Apps 0 and 1 are single-input; app 2 has in-degree 2, so both paths are
+    update paths ending at (not including) app 2.
+    """
+    coeffs = np.zeros((3, 2, 2))
+    coeffs[0, :, 0] = [3.0, 3.0]
+    coeffs[1, :, 1] = [5.0, 5.0]
+    # App 2 merges both streams but is on no path: its coefficients exist
+    # for both sensors (it receives derived data) yet are unconstrained.
+    coeffs[2, :, 0] = [1.0, 1.0]
+    coeffs[2, :, 1] = [1.0, 1.0]
+    return HiperDSystem.from_dag(
+        sensors=[Sensor("s0", 1e-2), Sensor("s1", 2e-2)],
+        n_apps=3,
+        n_machines=2,
+        n_actuators=1,
+        sensor_edges=[(0, 0), (1, 1)],
+        app_edges=[(0, 2), (1, 2)],
+        actuator_edges=[(2, 0)],
+        comp_coeffs=coeffs,
+        latency_limits=[80.0, 40.0],
+        comm_coeffs={(0, 2): np.array([0.5, 0.0]), (1, 2): np.array([0.0, 0.25])},
+    )
+
+
+class TestUpdatePathSemantics:
+    def test_paths_are_update_paths(self, merge_system):
+        kinds = [p.kind for p in merge_system.paths]
+        assert kinds == ["update", "update"]
+        for p in merge_system.paths:
+            assert p.terminal == ("app", 2)
+            assert 2 not in p.apps
+
+    def test_merge_app_unconstrained(self, merge_system):
+        """App 2 sits on no path, so it carries no throughput constraint
+        (the paper defines R(a_i) only for path members)."""
+        cs = build_constraints(merge_system, Mapping([0, 1, 0], 2))
+        assert "T_c[a2]" not in cs.names
+        assert "T_c[a0]" in cs.names and "T_c[a1]" in cs.names
+
+    def test_final_transfer_included_in_latency(self, merge_system):
+        """The update path's latency ends when the merge app *receives* the
+        result: the final comm edge counts, the merge computation does not."""
+        m = Mapping([0, 1, 0], 2)  # each chain app alone-ish
+        cs = build_constraints(merge_system, m)
+        lat = cs.select("latency")
+        # Path of app 0 (driven by sensor 0): coeff = T_c[a0] + comm(0->2).
+        # App 0 on machine 0 with app 2 -> n=2 -> mtf 2.6; coeff0 = 2.6*3.
+        want0 = np.array([2.6 * 3.0 + 0.5, 0.0])
+        by_name = {n: c for n, c in zip(lat.names, lat.coefficients)}
+        np.testing.assert_allclose(by_name["L[0]"], want0)
+        # Path of app 1 (sensor 1): app 1 alone on machine 1 -> mtf 1.
+        want1 = np.array([0.0, 5.0 + 0.25])
+        np.testing.assert_allclose(by_name["L[1]"], want1)
+
+    def test_comm_constraints_present_for_final_transfers(self, merge_system):
+        cs = build_constraints(merge_system, Mapping([0, 1, 0], 2))
+        assert "T_n[a0->a2]" in cs.names
+        assert "T_n[a1->a2]" in cs.names
+
+    def test_robustness_and_slack_end_to_end(self, merge_system):
+        m = Mapping([0, 1, 0], 2)
+        lam0 = np.array([2.0, 2.0])
+        r = robustness(merge_system, m, lam0, apply_floor=False)
+        s = slack(merge_system, m, lam0)
+        assert r.feasible_at_origin and s > 0
+        # Hand computation: constraints at lam0 (mtf(m0)=2.6 for apps {0,2}):
+        #  T_c[a0] = 7.8 l1 <= 100          -> dist (100-15.6)/7.8
+        #  T_c[a1] = 5   l2 <= 50           -> dist (50-10)/5 = 8
+        #  T_n edges: 0.5 l1 <= 100, 0.25 l2 <= 50
+        #  L0 = 8.3 l1 <= 80                -> dist (80-16.6)/8.3 = 7.639
+        #  L1 = 5.25 l2 <= 40               -> dist (40-10.5)/5.25 = 5.619
+        assert r.raw_value == pytest.approx((40 - 10.5) / 5.25)
+        assert r.binding_name == "L[1]"

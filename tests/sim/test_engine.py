@@ -1,0 +1,72 @@
+"""Tests for the discrete-event simulation core."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.sim.engine import Simulator
+
+
+class TestSimulator:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(5.0, lambda s: log.append(("b", s.now)))
+        sim.schedule(1.0, lambda s: log.append(("a", s.now)))
+        sim.schedule(9.0, lambda s: log.append(("c", s.now)))
+        sim.run()
+        assert log == [("a", 1.0), ("b", 5.0), ("c", 9.0)]
+        assert sim.now == 9.0
+        assert sim.executed == 3
+
+    def test_fifo_tie_breaking(self):
+        sim = Simulator()
+        log = []
+        for name in "xyz":
+            sim.schedule(2.0, lambda s, n=name: log.append(n))
+        sim.run()
+        assert log == ["x", "y", "z"]
+
+    def test_events_can_schedule_events(self):
+        sim = Simulator()
+        log = []
+
+        def first(s):
+            log.append(s.now)
+            s.schedule(3.0, lambda s2: log.append(s2.now))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert log == [1.0, 4.0]
+
+    def test_run_until_horizon(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, lambda s: log.append(1))
+        sim.schedule(10.0, lambda s: log.append(10))
+        sim.run(until=5.0)
+        assert log == [1]
+        assert sim.now == 5.0
+        assert sim.pending == 1
+        sim.run()
+        assert log == [1, 10]
+
+    def test_step_returns_false_on_empty(self):
+        assert Simulator().step() is False
+
+    def test_schedule_at(self):
+        sim = Simulator()
+        log = []
+        sim.schedule_at(7.0, lambda s: log.append(s.now))
+        sim.run()
+        assert log == [7.0]
+
+    def test_rejects_past(self):
+        sim = Simulator()
+        with pytest.raises(ValidationError):
+            sim.schedule(-1.0, lambda s: None)
+        sim.schedule(1.0, lambda s: None)
+        sim.run()
+        with pytest.raises(ValidationError):
+            sim.schedule_at(0.5, lambda s: None)

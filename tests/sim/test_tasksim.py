@@ -1,0 +1,77 @@
+"""Tests for the task execution simulator (against the analytic oracle)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.alloc.generators import random_mapping
+from repro.alloc.makespan import finishing_times
+from repro.alloc.mapping import Mapping
+from repro.etcgen import cvb_etc_matrix
+from repro.exceptions import ValidationError
+from repro.sim.tasksim import simulate_mapping
+
+
+class TestSimulateMapping:
+    def test_matches_analytic_sums(self):
+        """With no release times, machine finish times equal Eq. 4 sums."""
+        etc = cvb_etc_matrix(15, 4, seed=0)
+        mapping = random_mapping(15, 4, seed=1)
+        times = mapping.executed_times(etc)
+        res = simulate_mapping(mapping, times)
+        np.testing.assert_allclose(res.machine_finish, finishing_times(mapping, etc))
+        assert res.makespan == pytest.approx(finishing_times(mapping, etc).max())
+
+    @given(seed=st.integers(0, 300))
+    @settings(max_examples=15)
+    def test_property_matches_analytic(self, seed):
+        rng = np.random.default_rng(seed)
+        n_tasks, n_machines = 10, 3
+        mapping = random_mapping(n_tasks, n_machines, seed=rng)
+        times = rng.uniform(0.1, 5.0, size=n_tasks)
+        res = simulate_mapping(mapping, times)
+        want = np.bincount(mapping.assignment, weights=times, minlength=n_machines)
+        np.testing.assert_allclose(res.machine_finish, want, rtol=1e-12)
+
+    def test_execution_order_is_assignment_order(self):
+        mapping = Mapping([0, 0, 0], 1)
+        res = simulate_mapping(mapping, [1.0, 2.0, 3.0])
+        assert res.order == ((0, 1, 2),)
+        np.testing.assert_allclose(res.task_finish, [1.0, 3.0, 6.0])
+
+    def test_release_times_delay_start(self):
+        mapping = Mapping([0, 0], 1)
+        # Task 0 released at t=5: machine idles, then runs 0 then 1.
+        res = simulate_mapping(mapping, [2.0, 1.0], release_times=[5.0, 0.0])
+        np.testing.assert_allclose(res.task_finish, [7.0, 8.0])
+        assert res.makespan == 8.0
+
+    def test_machine_ready_offsets(self):
+        mapping = Mapping([0, 1], 2)
+        res = simulate_mapping(mapping, [1.0, 1.0], machine_ready=[10.0, 0.0])
+        np.testing.assert_allclose(res.task_finish, [11.0, 1.0])
+
+    def test_empty_machine_keeps_ready_time(self):
+        mapping = Mapping([0, 0], 3)
+        res = simulate_mapping(mapping, [1.0, 1.0], machine_ready=[0.0, 4.0, 0.0])
+        assert res.machine_finish[1] == 4.0
+
+    def test_zero_duration_tasks(self):
+        mapping = Mapping([0, 0], 1)
+        res = simulate_mapping(mapping, [0.0, 0.0])
+        assert res.makespan == 0.0
+        assert res.order == ((0, 1),)
+
+    def test_validation(self):
+        mapping = Mapping([0, 1], 2)
+        with pytest.raises(ValidationError):
+            simulate_mapping(mapping, [1.0])  # wrong length
+        with pytest.raises(ValidationError):
+            simulate_mapping(mapping, [1.0, -1.0])  # negative time
+        with pytest.raises(ValidationError):
+            simulate_mapping(mapping, [1.0, 1.0], release_times=[1.0])
+        with pytest.raises(ValidationError):
+            simulate_mapping(mapping, [1.0, 1.0], machine_ready=[-1.0, 0.0])

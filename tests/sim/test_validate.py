@@ -1,0 +1,46 @@
+"""Tests for simulation-based robustness validation (E4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.alloc.generators import random_mapping
+from repro.etcgen import cvb_etc_matrix
+from repro.sim.validate import validate_allocation_robustness
+
+
+class TestValidateAllocationRobustness:
+    @given(seed=st.integers(0, 100))
+    @settings(max_examples=8)
+    def test_metric_is_sound_and_tight(self, seed):
+        """The closed-form radius survives brute-force simulated execution:
+        no interior perturbation violates; the boundary point sits exactly on
+        tau * M_orig; a step beyond violates."""
+        etc = cvb_etc_matrix(12, 4, seed=seed)
+        mapping = random_mapping(12, 4, seed=seed + 1)
+        report = validate_allocation_robustness(
+            mapping, etc, tau=1.2, n_samples=64, seed=seed + 2
+        )
+        assert report.sound, f"interior violations: {report.interior_violations}"
+        assert report.tight
+        limit = report.tau * report.makespan_orig
+        assert report.boundary_makespan == pytest.approx(limit)
+        assert report.beyond_makespan > limit
+
+    def test_interior_makespans_bounded(self):
+        etc = cvb_etc_matrix(10, 3, seed=5)
+        mapping = random_mapping(10, 3, seed=6)
+        report = validate_allocation_robustness(mapping, etc, tau=1.3, n_samples=128, seed=7)
+        limit = report.tau * report.makespan_orig
+        assert np.all(report.interior_makespans <= limit * (1 + 1e-12))
+
+    def test_report_fields(self):
+        etc = cvb_etc_matrix(8, 2, seed=8)
+        mapping = random_mapping(8, 2, seed=9)
+        report = validate_allocation_robustness(mapping, etc, tau=1.1, n_samples=16, seed=10)
+        assert report.n_samples == 16
+        assert report.interior_makespans.shape == (16,)
+        assert report.robustness > 0

@@ -1,0 +1,79 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["fig3"])
+        assert args.seed == 2003
+        assert args.n_mappings == 1000
+        assert args.tau == 1.2
+
+
+class TestCommands:
+    def test_fig3_small(self, capsys, tmp_path):
+        out = tmp_path / "fig3.txt"
+        rc = main(["fig3", "--n-mappings", "50", "--seed", "1", "--out", str(out)])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "Figure 3" in text
+        assert out.exists()
+        assert "Figure 3" in out.read_text()
+
+    def test_fig4_small(self, capsys):
+        rc = main(["fig4", "--n-mappings", "60", "--seed", "7"])
+        assert rc == 0
+        assert "Figure 4" in capsys.readouterr().out
+
+    def test_table2(self, capsys):
+        rc = main(["table2"])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "353" in text and "1166" in text
+
+    def test_validate(self, capsys):
+        rc = main(["validate", "--samples", "32", "--seed", "5"])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "sound: True" in text
+
+    def test_heuristics(self, capsys):
+        rc = main(["heuristics", "--seed", "3"])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "min_min" in text and "greedy_robust" in text
+
+    def test_monitor(self, capsys):
+        rc = main(["monitor", "--steps", "40", "--seed", "8"])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "anchor robustness" in text
+        assert "adaptive violating steps" in text
+
+
+class TestModuleEntry:
+    def test_python_dash_m(self):
+        import subprocess
+        import sys
+
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "table2"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == 0
+        assert "1166" in proc.stdout

@@ -1,0 +1,109 @@
+"""Tests for load drift, online monitoring and adaptive remapping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.alloc.mapping import Mapping
+from repro.dynamics import adaptive_remap, monitor, random_walk_loads
+from repro.hiperd.generators import generate_system, random_hiperd_mappings
+from repro.hiperd.robustness import robustness
+
+LOAD0 = np.array([962.0, 380.0, 240.0])
+
+
+@pytest.fixture(scope="module")
+def system():
+    return generate_system(seed=8)
+
+
+@pytest.fixture(scope="module")
+def mapping(system):
+    # Pick the most robust of a small random batch so the anchor is feasible.
+    best = max(
+        random_hiperd_mappings(system, 20, seed=9),
+        key=lambda m: robustness(system, m, LOAD0, apply_floor=False).raw_value,
+    )
+    return best
+
+
+class TestRandomWalkLoads:
+    def test_shape_and_anchor(self):
+        traj = random_walk_loads(LOAD0, 50, seed=0)
+        assert traj.shape == (51, 3)
+        np.testing.assert_allclose(traj[0], LOAD0)
+
+    def test_nonnegative(self):
+        traj = random_walk_loads([1.0, 1.0, 1.0], 200, step_scale=50.0, seed=1)
+        assert np.all(traj >= 0)
+
+    def test_drift_moves_mean(self):
+        up = random_walk_loads(LOAD0, 200, drift=[5.0, 0.0, 0.0], seed=2)
+        assert up[-1, 0] > LOAD0[0]
+
+    def test_reproducible(self):
+        a = random_walk_loads(LOAD0, 10, seed=3)
+        b = random_walk_loads(LOAD0, 10, seed=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_bad_drift_shape(self):
+        with pytest.raises(ValueError):
+            random_walk_loads(LOAD0, 5, drift=[1.0])
+
+
+class TestMonitor:
+    def test_matches_pointwise_robustness(self, system, mapping):
+        traj = random_walk_loads(LOAD0, 30, step_scale=20.0, seed=4)
+        res = monitor(system, mapping, traj)
+        for t in (0, 7, 30):
+            want = robustness(system, mapping, traj[t], apply_floor=False)
+            assert res.robustness[t] == pytest.approx(want.raw_value, rel=1e-9)
+            assert bool(res.violated[t]) == (not want.feasible_at_origin)
+
+    def test_guarantee_no_violation_inside_anchor_ball(self, system, mapping):
+        """While the displacement from the anchor stays below the anchor
+        robustness, no step may violate — the metric's defining property,
+        checked on a live trajectory."""
+        traj = random_walk_loads(LOAD0, 300, step_scale=15.0, seed=5)
+        res = monitor(system, mapping, traj)
+        rho0 = res.anchor_robustness
+        assert rho0 > 0
+        displacement = np.linalg.norm(traj - LOAD0, axis=1)
+        inside = displacement < rho0
+        assert not res.violated[inside].any()
+
+    def test_first_violation_index(self, system, mapping):
+        # Force a violation by drifting hard upward.
+        traj = random_walk_loads(LOAD0, 400, step_scale=5.0, drift=[30.0, 20.0, 10.0], seed=6)
+        res = monitor(system, mapping, traj)
+        assert res.violated.any()
+        assert res.first_violation >= 0
+        assert res.violated[res.first_violation]
+        assert not res.violated[: res.first_violation].any()
+
+    def test_shape_validation(self, system, mapping):
+        with pytest.raises(ValueError):
+            monitor(system, mapping, np.zeros((5, 2)))
+
+
+class TestAdaptiveRemap:
+    def test_remapping_reduces_violations_under_drift(self, system, mapping):
+        traj = random_walk_loads(
+            LOAD0, 150, step_scale=5.0, drift=[18.0, 8.0, 5.0], seed=7
+        )
+        static = monitor(system, mapping, traj)
+        adaptive = adaptive_remap(
+            system, mapping, traj, threshold=200.0, n_candidates=48, seed=8
+        )
+        assert adaptive.violation_steps <= int(static.violated.sum())
+        assert len(adaptive.events) >= 1
+        # Remap events must strictly improve the live robustness.
+        for ev in adaptive.events:
+            assert ev.new_robustness > ev.old_robustness
+
+    def test_no_events_when_threshold_tiny(self, system, mapping):
+        traj = random_walk_loads(LOAD0, 20, step_scale=1.0, seed=9)
+        run = adaptive_remap(system, mapping, traj, threshold=-1e12, seed=10)
+        assert run.events == ()
+        assert run.final_mapping == mapping

@@ -1,0 +1,117 @@
+"""End-to-end integration tests across subsystems.
+
+Each test stitches several packages together the way a downstream user
+would: generate -> analyze -> serialize -> reload -> re-analyze; run the
+example scripts; drive the full experiment pipelines through the reports.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+class TestExamplesRun:
+    @pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+    def test_example_executes(self, script):
+        proc = subprocess.run(
+            [sys.executable, str(script)],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert proc.returncode == 0, proc.stderr[-2000:]
+        assert proc.stdout.strip(), "examples must produce output"
+
+
+class TestGenerateSerializeAnalyze:
+    def test_hiperd_full_cycle(self, tmp_path):
+        from repro.hiperd import generate_system, random_hiperd_mappings, robustness
+        from repro.io import load_mapping, load_system, save_mapping, save_system
+
+        system = generate_system(seed=55, comm_mean=10.0)
+        mapping = random_hiperd_mappings(system, 1, seed=56)[0]
+        lam0 = np.array([962.0, 380.0, 240.0])
+        before = robustness(system, mapping, lam0)
+
+        save_system(system, tmp_path / "system.json")
+        save_mapping(mapping, tmp_path / "mapping.json")
+        sys2 = load_system(tmp_path / "system.json")
+        map2 = load_mapping(tmp_path / "mapping.json")
+
+        after = robustness(sys2, map2, lam0)
+        assert after.value == before.value
+        assert after.binding_name == before.binding_name
+        np.testing.assert_allclose(after.boundary, before.boundary)
+
+    def test_alloc_heuristic_to_simulation(self):
+        """ETC generation -> heuristic mapping -> robustness -> simulated
+        execution validation, end to end."""
+        from repro.alloc.heuristics import greedy_robust
+        from repro.etcgen import cvb_etc_matrix
+        from repro.sim import validate_allocation_robustness
+
+        etc = cvb_etc_matrix(16, 4, seed=57)
+        mapping = greedy_robust(etc, tau=1.25)
+        report = validate_allocation_robustness(mapping, etc, 1.25, n_samples=96, seed=58)
+        assert report.sound and report.tight
+
+    def test_fepia_generic_agrees_with_both_systems(self):
+        """One test touching core, alloc and hiperd: the generic framework
+        reproduces both specialized fast paths on the same random draw."""
+        from repro.alloc.generators import random_mapping
+        from repro.alloc.robustness import fepia_analysis as alloc_fepia
+        from repro.alloc.robustness import robustness as alloc_rho
+        from repro.etcgen import cvb_etc_matrix
+        from repro.hiperd.generators import generate_system, random_hiperd_mappings
+        from repro.hiperd.robustness import fepia_analysis as hiperd_fepia
+        from repro.hiperd.robustness import robustness as hiperd_rho
+
+        etc = cvb_etc_matrix(10, 4, seed=59)
+        m1 = random_mapping(10, 4, seed=60)
+        assert alloc_fepia(m1, etc, 1.2).value == pytest.approx(
+            alloc_rho(m1, etc, 1.2).value
+        )
+
+        system = generate_system(seed=61, n_apps=8, n_paths=5)
+        m2 = random_hiperd_mappings(system, 1, seed=62)[0]
+        lam0 = np.array([400.0, 200.0, 100.0])
+        assert hiperd_fepia(system, m2, lam0).value == pytest.approx(
+            hiperd_rho(system, m2, lam0).value
+        )
+
+
+class TestExperimentPipelines:
+    def test_small_fig3_pipeline_report(self):
+        from repro.experiments import report_figure3, run_experiment_one
+
+        res = run_experiment_one(n_mappings=80, seed=63)
+        text = report_figure3(res)
+        assert "cluster structure" in text
+
+    def test_small_fig4_pipeline_report(self):
+        from repro.experiments import report_figure4, run_experiment_two
+
+        res = run_experiment_two(n_mappings=80, seed=64)
+        text = report_figure4(res)
+        assert "Figure 4" in text
+
+    def test_dynamics_on_experiment_system(self):
+        from repro.dynamics import monitor, random_walk_loads
+        from repro.experiments import run_experiment_two
+        from repro.alloc.mapping import Mapping
+
+        res = run_experiment_two(n_mappings=40, seed=65)
+        best = int(np.argmax(res.robustness))
+        mapping = Mapping(res.assignments[best], res.system.n_machines)
+        traj = random_walk_loads(res.initial_load, 50, step_scale=5.0, seed=66)
+        mon = monitor(res.system, mapping, traj)
+        assert mon.anchor_robustness == pytest.approx(
+            float(res.robustness[best]), abs=1.0
+        )

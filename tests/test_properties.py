@@ -1,0 +1,169 @@
+"""Cross-cutting property-based tests: invariants the metric must satisfy
+regardless of instance.
+
+These encode the *semantics* of the robustness metric — monotonicity in the
+bounds, covariance under unit changes, dominance relations between systems —
+rather than any single closed form.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.alloc.generators import random_assignments, random_mapping
+from repro.alloc.robustness import batch_robustness, robustness
+from repro.core.features import FeatureBounds, FeatureSet, PerformanceFeature
+from repro.core.impact import AffineImpact
+from repro.core.metric import robustness_metric
+from repro.core.perturbation import PerturbationParameter
+from repro.etcgen import cvb_etc_matrix
+from repro.hiperd.generators import generate_system, random_hiperd_mappings
+from repro.hiperd.model import HiperDSystem
+from repro.hiperd.robustness import robustness as hrobustness
+
+seeds = st.integers(0, 10_000)
+
+
+class TestMetricMonotonicity:
+    @given(seed=seeds)
+    @settings(max_examples=20)
+    def test_loosening_a_bound_never_decreases_rho(self, seed):
+        rng = np.random.default_rng(seed)
+        n, m = 4, 3
+        coeffs = rng.uniform(0.2, 2.0, size=(m, n))
+        origin = rng.uniform(0.0, 1.0, size=n)
+        limits = coeffs @ origin + rng.uniform(0.5, 3.0, size=m)
+        p = PerturbationParameter("pi", origin)
+
+        def metric(lims):
+            fs = FeatureSet(
+                PerformanceFeature(f"f{k}", AffineImpact(coeffs[k]), FeatureBounds(upper=lims[k]))
+                for k in range(m)
+            )
+            return robustness_metric(fs, p).value
+
+        base = metric(limits)
+        looser = limits.copy()
+        looser[int(rng.integers(m))] += rng.uniform(0.1, 2.0)
+        assert metric(looser) >= base - 1e-12
+
+    @given(seed=seeds)
+    @settings(max_examples=20)
+    def test_adding_a_feature_never_increases_rho(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 3
+        origin = rng.uniform(0.0, 1.0, size=n)
+        p = PerturbationParameter("pi", origin)
+        feats = [
+            PerformanceFeature(
+                f"f{k}",
+                AffineImpact(rng.uniform(0.2, 2.0, size=n)),
+                FeatureBounds(upper=10.0),
+            )
+            for k in range(3)
+        ]
+        base = robustness_metric(FeatureSet(feats[:2]), p).value
+        more = robustness_metric(FeatureSet(feats), p).value
+        assert more <= base + 1e-12
+
+    @given(seed=seeds, scale=st.floats(0.1, 10.0))
+    @settings(max_examples=20)
+    def test_unit_covariance(self, seed, scale):
+        """Expressing the parameter in different units (pi' = s pi, impacts
+        divided by s) scales rho by exactly s."""
+        rng = np.random.default_rng(seed)
+        n = 3
+        c = rng.uniform(0.2, 2.0, size=n)
+        origin = rng.uniform(0.0, 2.0, size=n)
+        limit = float(c @ origin) + 1.5
+        f1 = FeatureSet([PerformanceFeature("f", AffineImpact(c), FeatureBounds(upper=limit))])
+        f2 = FeatureSet(
+            [PerformanceFeature("f", AffineImpact(c / scale), FeatureBounds(upper=limit))]
+        )
+        r1 = robustness_metric(f1, PerturbationParameter("pi", origin)).value
+        r2 = robustness_metric(f2, PerturbationParameter("pi", origin * scale)).value
+        assert r2 == pytest.approx(scale * r1, rel=1e-9)
+
+
+class TestAllocationInvariants:
+    @given(seed=seeds)
+    @settings(max_examples=15)
+    def test_increasing_tau_increases_rho(self, seed):
+        etc = cvb_etc_matrix(10, 3, seed=seed)
+        a = random_assignments(5, 10, 3, seed=seed + 1)
+        r_low = batch_robustness(a, etc, 1.1)
+        r_high = batch_robustness(a, etc, 1.3)
+        assert np.all(r_high >= r_low - 1e-12)
+
+    @given(seed=seeds)
+    @settings(max_examples=15)
+    def test_rho_bounded_by_makespan_machine_line(self, seed):
+        """rho <= (tau - 1) M / sqrt(n(m(C_orig))): the makespan machine's
+        radius is an upper bound on the metric (Figure 3's lines)."""
+        from repro.alloc.makespan import finishing_times
+
+        etc = cvb_etc_matrix(12, 4, seed=seed)
+        mapping = random_mapping(12, 4, seed=seed + 1)
+        res = robustness(mapping, etc, 1.2)
+        f = finishing_times(mapping, etc)
+        j = int(np.argmax(f))
+        line = (1.2 - 1.0) * f.max() / np.sqrt(mapping.counts()[j])
+        assert res.value <= line + 1e-9
+
+    @given(seed=seeds)
+    @settings(max_examples=15)
+    def test_permuting_tasks_on_same_machines_preserves_rho(self, seed):
+        """Eq. 6 depends only on which tasks share machines via sums, so
+        relabeling machines consistently preserves the metric."""
+        etc = cvb_etc_matrix(8, 3, seed=seed)
+        mapping = random_mapping(8, 3, seed=seed + 1)
+        rng = np.random.default_rng(seed + 2)
+        perm = rng.permutation(3)
+        permuted_assign = perm[mapping.assignment]
+        permuted_etc = etc.copy()
+        # Move each column to its new machine index.
+        inv = np.argsort(perm)
+        permuted_etc = etc[:, inv]
+        from repro.alloc.mapping import Mapping
+
+        r1 = robustness(mapping, etc, 1.2).value
+        r2 = robustness(Mapping(permuted_assign, 3), permuted_etc, 1.2).value
+        assert r2 == pytest.approx(r1, rel=1e-12)
+
+
+class TestHiperdInvariants:
+    @pytest.fixture(scope="class")
+    def system(self):
+        return generate_system(seed=77, n_apps=10, n_paths=6)
+
+    def test_raising_loads_weakly_decreases_rho(self, system):
+        lam0 = np.array([100.0, 80.0, 60.0])
+        for m in random_hiperd_mappings(system, 10, seed=78):
+            r0 = hrobustness(system, m, lam0, apply_floor=False).raw_value
+            r1 = hrobustness(system, m, lam0 * 1.2, apply_floor=False).raw_value
+            assert r1 <= r0 + 1e-9
+
+    def test_relaxing_latency_limits_weakly_increases_rho(self, system):
+        lam0 = np.array([100.0, 80.0, 60.0])
+        relaxed = HiperDSystem.from_paths(
+            sensors=system.sensors,
+            n_apps=system.n_apps,
+            n_machines=system.n_machines,
+            n_actuators=system.n_actuators,
+            paths=system.paths,
+            comp_coeffs=system.comp_coeffs,
+            latency_limits=system.latency_limits * 2.0,
+        )
+        for m in random_hiperd_mappings(system, 10, seed=79):
+            r0 = hrobustness(system, m, lam0, apply_floor=False).raw_value
+            r1 = hrobustness(relaxed, m, lam0, apply_floor=False).raw_value
+            assert r1 >= r0 - 1e-9
+
+    def test_floored_rho_is_conservative(self, system):
+        lam0 = np.array([100.0, 80.0, 60.0])
+        for m in random_hiperd_mappings(system, 10, seed=80):
+            res = hrobustness(system, m, lam0)
+            assert res.value <= res.raw_value + 1e-12

@@ -1,0 +1,66 @@
+"""Tests for the table/series/scatter formatters."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.tables import ascii_scatter, format_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        text = format_table(["name", "value"], [["a", 1.0], ["bb", 22.5]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, separator, 2 rows
+        assert "name" in lines[0] and "value" in lines[0]
+        assert "22.5" in lines[3]
+        # All lines same width.
+        assert len({len(l) for l in lines}) == 1
+
+    def test_title(self):
+        text = format_table(["a"], [[1]], title="T")
+        assert text.splitlines()[0] == "T"
+
+    def test_cell_count_checked(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_special_floats(self):
+        text = format_table(["v"], [[float("inf")], [float("nan")], [1e-9]])
+        assert "inf" in text and "nan" in text and "e-09" in text
+
+
+class TestFormatSeries:
+    def test_summary_stats(self):
+        text = format_series("rho", [1.0, 2.0, 3.0])
+        assert "n=3" in text
+        assert "min=1" in text and "max=3" in text and "median=2" in text
+
+    def test_truncation(self):
+        text = format_series("x", list(range(100)), max_items=5)
+        assert "..." in text
+
+    def test_empty(self):
+        assert "(empty)" in format_series("x", [])
+
+
+class TestAsciiScatter:
+    def test_renders_extremes(self):
+        text = ascii_scatter([0, 1], [0, 1], width=20, height=5)
+        lines = text.splitlines()
+        assert lines[1].count("|") == 1  # plot rows prefixed with |
+        assert "left=0" in text and "right=1" in text
+
+    def test_ignores_nonfinite(self):
+        text = ascii_scatter([0, 1, np.nan], [0, 1, 5], width=10, height=4)
+        assert "right=1" in text
+
+    def test_all_nonfinite(self):
+        assert "no finite points" in ascii_scatter([np.nan], [np.nan])
+
+    def test_density_marks(self):
+        x = np.zeros(100)
+        y = np.zeros(100)
+        text = ascii_scatter(x, y, width=8, height=4)
+        assert "@" in text  # 100 points in one cell -> densest mark

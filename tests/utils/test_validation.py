@@ -1,0 +1,82 @@
+"""Tests for validation helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.utils.validation import (
+    as_1d_float_array,
+    as_2d_float_array,
+    check_finite,
+    check_in_range,
+    check_nonnegative_int,
+    check_positive,
+    check_positive_int,
+    check_probability,
+)
+
+
+class TestArrays:
+    def test_as_1d_accepts_scalars_and_lists(self):
+        np.testing.assert_allclose(as_1d_float_array(3.0, "x"), [3.0])
+        np.testing.assert_allclose(as_1d_float_array([1, 2], "x"), [1.0, 2.0])
+
+    def test_as_1d_rejects_2d(self):
+        with pytest.raises(ValidationError):
+            as_1d_float_array([[1.0]], "x")
+
+    def test_as_1d_rejects_nan_inf(self):
+        with pytest.raises(ValidationError):
+            as_1d_float_array([np.nan], "x")
+        with pytest.raises(ValidationError):
+            as_1d_float_array([np.inf], "x")
+
+    def test_as_1d_empty_control(self):
+        with pytest.raises(ValidationError):
+            as_1d_float_array([], "x")
+        assert as_1d_float_array([], "x", allow_empty=True).size == 0
+
+    def test_as_2d(self):
+        arr = as_2d_float_array([[1, 2], [3, 4]], "m")
+        assert arr.shape == (2, 2)
+        with pytest.raises(ValidationError):
+            as_2d_float_array([1, 2], "m")
+        with pytest.raises(ValidationError):
+            as_2d_float_array([[np.nan]], "m")
+
+
+class TestScalars:
+    def test_check_positive(self):
+        assert check_positive(2.5, "x") == 2.5
+        for bad in (0.0, -1.0, np.nan, np.inf):
+            with pytest.raises(ValidationError):
+                check_positive(bad, "x")
+
+    def test_check_finite(self):
+        assert check_finite(-3.0, "x") == -3.0
+        with pytest.raises(ValidationError):
+            check_finite(np.inf, "x")
+
+    def test_check_positive_int(self):
+        assert check_positive_int(3, "n") == 3
+        with pytest.raises(ValidationError):
+            check_positive_int(0, "n")
+        with pytest.raises(ValidationError):
+            check_positive_int(2.5, "n")
+
+    def test_check_nonnegative_int(self):
+        assert check_nonnegative_int(0, "n") == 0
+        with pytest.raises(ValidationError):
+            check_nonnegative_int(-1, "n")
+
+    def test_check_probability(self):
+        assert check_probability(0.5, "p") == 0.5
+        with pytest.raises(ValidationError):
+            check_probability(1.5, "p")
+
+    def test_check_in_range(self):
+        assert check_in_range(2.0, "x", 1.0, 3.0) == 2.0
+        with pytest.raises(ValidationError):
+            check_in_range(4.0, "x", 1.0, 3.0)
