@@ -21,9 +21,11 @@ from repro.core import (
     PerformanceFeature,
     PerturbationParameter,
     RadiusResult,
+    SolverConfig,
     robustness_metric,
     robustness_radius,
 )
+from repro.engine import RobustnessEngine
 from repro.exceptions import (
     InfeasibleAtOriginError,
     ModelError,
@@ -44,6 +46,8 @@ __all__ = [
     "PerformanceFeature",
     "PerturbationParameter",
     "RadiusResult",
+    "RobustnessEngine",
+    "SolverConfig",
     "robustness_metric",
     "robustness_radius",
     "InfeasibleAtOriginError",

@@ -16,7 +16,6 @@ from collections.abc import Callable
 import numpy as np
 
 from repro.alloc.makespan import batch_makespan
-from repro.alloc.robustness import batch_robustness
 from repro.exceptions import ValidationError
 
 __all__ = ["make_objective"]
@@ -31,7 +30,9 @@ def make_objective(
     """Build a batch scoring function ``scores = f(assignments)`` to minimize.
 
     ``objective`` may be ``"makespan"``, ``"robustness"`` or a callable
-    ``f(assignments, etc) -> scores`` (lower is better).
+    ``f(assignments, etc) -> scores`` (lower is better).  The robustness
+    objective scores the whole population through one
+    :class:`~repro.engine.RobustnessEngine` call per generation.
     """
     etc = np.asarray(etc, dtype=float)
     if callable(objective):
@@ -39,7 +40,12 @@ def make_objective(
     if objective == "makespan":
         return lambda assignments: batch_makespan(assignments, etc)
     if objective == "robustness":
-        return lambda assignments: -batch_robustness(assignments, etc, tau)
+        from repro.engine import RobustnessEngine  # local: engine imports alloc
+
+        engine = RobustnessEngine()
+        return lambda assignments: -engine.evaluate_allocation(
+            assignments, etc, tau
+        ).values
     raise ValidationError(
         f"unknown objective {objective!r}; expected 'makespan', 'robustness' or a callable"
     )

@@ -26,9 +26,12 @@ import numpy as np
 
 from repro.alloc.makespan import batch_finishing_times, finishing_times, makespan
 from repro.alloc.mapping import Mapping
+from repro.core.config import SolverConfig, resolve_config
 from repro.core.fepia import FePIAAnalysis
 from repro.core.metric import MetricResult
-from repro.exceptions import ValidationError
+from repro.core.norms import L2Norm, Norm, get_norm
+from repro.exceptions import InfeasibleAtOriginError, ValidationError
+from repro.utils.serialization import decode_array, decode_float, encode_array, encode_float
 from repro.utils.validation import check_positive
 
 __all__ = [
@@ -37,6 +40,7 @@ __all__ = [
     "robustness",
     "critical_machine",
     "boundary_etc_vector",
+    "batch_robustness_radii",
     "batch_robustness",
     "weighted_robustness_radii",
     "fepia_analysis",
@@ -58,31 +62,110 @@ class AllocationRobustness:
     #: the tolerance factor ``tau``
     tau: float
 
+    def to_dict(self) -> dict:
+        """Encode as a JSON-ready dict (round-trips via :meth:`from_dict`)."""
+        return {
+            "type": "AllocationRobustness",
+            "version": 1,
+            "value": encode_float(self.value),
+            "radii": encode_array(self.radii),
+            "critical_machine": int(self.critical_machine),
+            "makespan": encode_float(self.makespan),
+            "tau": encode_float(self.tau),
+        }
 
-def robustness_radii(mapping: Mapping, etc: np.ndarray, tau: float) -> np.ndarray:
+    @classmethod
+    def from_dict(cls, data: dict) -> "AllocationRobustness":
+        """Decode a payload written by :meth:`to_dict`; validates the type tag."""
+        if data.get("type") != "AllocationRobustness":
+            raise ValidationError(
+                f"expected type 'AllocationRobustness', got {data.get('type')!r}"
+            )
+        return cls(
+            value=decode_float(data["value"]),
+            radii=decode_array(data["radii"]),
+            critical_machine=int(data["critical_machine"]),
+            makespan=decode_float(data["makespan"]),
+            tau=decode_float(data["tau"]),
+        )
+
+
+def robustness_radii(
+    mapping: Mapping, etc: np.ndarray, tau: float, *, norm: Norm | str | None = None
+) -> np.ndarray:
     """Per-machine robustness radii ``r_mu(F_j, C)`` (Eq. 6).
 
     ``tau`` is the makespan tolerance factor (Section 3.1: "actual makespan
     ... no more than ``tau`` times its predicted value"; the experiments use
     1.2).  Machines with no applications get ``inf``.
+
+    With the default l2 norm this is exactly Eq. 6's
+    ``(tau M_orig - F_j) / sqrt(n(m_j))``; any other
+    :class:`~repro.core.norms.Norm` generalizes the denominator to the dual
+    norm of the machine's 0/1 indicator row (Eq. 5's point-to-hyperplane
+    distance under that norm).
     """
     tau = check_positive(tau, "tau")
+    norm = get_norm(norm)
     f = finishing_times(mapping, etc)
     m_orig = float(f.max())
     counts = mapping.counts()
+    if isinstance(norm, L2Norm):
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return np.where(
+                counts > 0,
+                (tau * m_orig - f) / np.sqrt(np.maximum(counts, 1)),
+                np.inf,
+            )
+    indicator = mapping.indicator_matrix()
+    duals = np.array([norm.dual(row) for row in indicator])
     with np.errstate(divide="ignore", invalid="ignore"):
-        radii = np.where(
-            counts > 0,
-            (tau * m_orig - f) / np.sqrt(np.maximum(counts, 1)),
-            np.inf,
+        return np.where(
+            counts > 0, (tau * m_orig - f) / np.maximum(duals, 1e-300), np.inf
         )
-    return radii
 
 
-def robustness(mapping: Mapping, etc: np.ndarray, tau: float) -> AllocationRobustness:
-    """The robustness metric ``rho_mu(Phi, C)`` of a mapping (Eq. 7)."""
-    radii = robustness_radii(mapping, etc, tau)
+def robustness(
+    mapping: Mapping,
+    etc: np.ndarray,
+    tau: float,
+    *,
+    norm: Norm | str | None = None,
+    config: SolverConfig | dict | None = None,
+    require_feasible: bool = False,
+    solver_options: dict | None = None,
+) -> AllocationRobustness:
+    """The robustness metric ``rho_mu(Phi, C)`` of a mapping (Eq. 7).
+
+    This entry point shares the unified keyword signature of
+    :func:`repro.hiperd.robustness.robustness` (``norm=``, ``config=``,
+    ``require_feasible=``) so callers — in particular the batched
+    :class:`~repro.engine.RobustnessEngine` — can dispatch to either example
+    system without special-casing.
+
+    Parameters
+    ----------
+    norm:
+        Perturbation norm (default l2, the paper's choice).
+    config:
+        :class:`~repro.core.config.SolverConfig`; accepted for signature
+        uniformity (the closed form needs no solver knobs).  A plain dict is
+        accepted with a ``DeprecationWarning``.
+    require_feasible:
+        Raise :class:`~repro.exceptions.InfeasibleAtOriginError` when some
+        machine already violates the makespan bound at ``C_orig`` (possible
+        only for ``tau < 1``) instead of returning a negative value.
+    solver_options:
+        Deprecated alias for ``config`` (dict form).
+    """
+    resolve_config(config, solver_options)  # dict shim + validation
+    radii = robustness_radii(mapping, etc, tau, norm=norm)
     j = int(np.argmin(radii))
+    if require_feasible and radii[j] < 0:
+        raise InfeasibleAtOriginError(
+            f"machine {j} violates the makespan bound at C_orig "
+            f"(radius {radii[j]:g} < 0)"
+        )
     return AllocationRobustness(
         value=float(radii[j]),
         radii=radii,
@@ -116,12 +199,14 @@ def boundary_etc_vector(mapping: Mapping, etc: np.ndarray, tau: float) -> np.nda
     return c_star
 
 
-def batch_robustness(assignments: np.ndarray, etc: np.ndarray, tau: float) -> np.ndarray:
-    """Vectorized Eq. 7 over an ``(n_mappings, n_tasks)`` assignment matrix.
+def batch_robustness_radii(assignments: np.ndarray, etc: np.ndarray, tau: float) -> np.ndarray:
+    """Vectorized Eq. 6 over an ``(n_mappings, n_tasks)`` assignment matrix.
 
-    Returns the robustness value of each mapping.  This is the hot path of
-    the Figure 3 experiment: all 1000 mappings are evaluated with a handful
-    of array operations.
+    Returns the full ``(n_mappings, n_machines)`` radii matrix — one row per
+    mapping, ``inf`` for empty machines.  This is the kernel behind
+    :func:`batch_robustness` and the allocation path of
+    :class:`~repro.engine.RobustnessEngine`; it replaces ``P * m`` scalar
+    solver calls with a handful of array operations.
     """
     tau = check_positive(tau, "tau")
     f = batch_finishing_times(assignments, etc)  # (n_map, n_machines)
@@ -135,7 +220,17 @@ def batch_robustness(assignments: np.ndarray, etc: np.ndarray, tau: float) -> np
     )
     with np.errstate(divide="ignore", invalid="ignore"):
         radii = np.where(counts > 0, (tau * m_orig - f) / np.sqrt(np.maximum(counts, 1)), np.inf)
-    return radii.min(axis=1)
+    return radii
+
+
+def batch_robustness(assignments: np.ndarray, etc: np.ndarray, tau: float) -> np.ndarray:
+    """Vectorized Eq. 7 over an ``(n_mappings, n_tasks)`` assignment matrix.
+
+    Returns the robustness value of each mapping.  This is the hot path of
+    the Figure 3 experiment: all 1000 mappings are evaluated with a handful
+    of array operations.
+    """
+    return batch_robustness_radii(assignments, etc, tau).min(axis=1)
 
 
 def weighted_robustness_radii(

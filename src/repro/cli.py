@@ -130,23 +130,25 @@ def _cmd_validate(args) -> int:
 
 
 def _cmd_heuristics(args) -> int:
-    from repro.alloc import load_balance_index, makespan, robustness
+    from repro.alloc import load_balance_index
     from repro.alloc.heuristics import HEURISTICS
+    from repro.engine import RobustnessEngine
     from repro.etcgen import cvb_etc_matrix
     from repro.utils.tables import format_table
 
     etc = cvb_etc_matrix(20, 5, seed=args.seed)
-    rows = []
-    for name in sorted(HEURISTICS):
-        mapping = HEURISTICS[name](etc, seed=0)
-        rows.append(
-            [
-                name,
-                makespan(mapping, etc),
-                robustness(mapping, etc, args.tau).value,
-                load_balance_index(mapping, etc),
-            ]
-        )
+    names = sorted(HEURISTICS)
+    mappings = [HEURISTICS[name](etc, seed=0) for name in names]
+    batch = RobustnessEngine().evaluate_allocation(mappings, etc, args.tau)
+    rows = [
+        [
+            name,
+            float(batch.makespans[k]),
+            float(batch.values[k]),
+            load_balance_index(mapping, etc),
+        ]
+        for k, (name, mapping) in enumerate(zip(names, mappings))
+    ]
     print(
         format_table(
             ["heuristic", "makespan", f"robustness (tau={args.tau})", "load balance"],

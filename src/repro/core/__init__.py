@@ -15,6 +15,7 @@ Public surface:
 """
 
 from repro.core.boundary import Bound, BoundaryRelation, boundary_relations
+from repro.core.config import DEFAULT_CONFIG, SolverConfig, resolve_config
 from repro.core.features import FeatureBounds, FeatureSet, PerformanceFeature
 from repro.core.fepia import FePIAAnalysis
 from repro.core.impact import (
@@ -26,7 +27,7 @@ from repro.core.impact import (
     affine_sum,
     as_impact,
 )
-from repro.core.metric import MetricResult, robustness_metric
+from repro.core.metric import MetricResult, metric_from_radii, robustness_metric
 from repro.core.multi import MultiParameterAnalysis
 from repro.core.norms import L1Norm, L2Norm, LInfNorm, Norm, WeightedL2Norm, get_norm
 from repro.core.perturbation import PerturbationParameter
@@ -36,6 +37,9 @@ __all__ = [
     "Bound",
     "BoundaryRelation",
     "boundary_relations",
+    "DEFAULT_CONFIG",
+    "SolverConfig",
+    "resolve_config",
     "FeatureBounds",
     "FeatureSet",
     "PerformanceFeature",
@@ -48,6 +52,7 @@ __all__ = [
     "affine_sum",
     "as_impact",
     "MetricResult",
+    "metric_from_radii",
     "robustness_metric",
     "MultiParameterAnalysis",
     "L1Norm",

@@ -1,0 +1,166 @@
+"""Typed solver configuration — the replacement for ``solver_options`` dicts.
+
+Every analysis entry point (:func:`~repro.core.radius.robustness_radius`,
+:func:`~repro.core.metric.robustness_metric`, :class:`~repro.core.fepia.
+FePIAAnalysis`, the system-specific ``robustness`` functions and the batched
+:class:`~repro.engine.RobustnessEngine`) takes a ``config`` keyword holding a
+:class:`SolverConfig`: a frozen, validated bundle of solver choice,
+numeric-solver tolerances, process-pool sizing and cache sizing.
+
+The historical ``solver_options: dict`` (forwarded blindly to the numeric
+solver) is still accepted — both as the deprecated ``solver_options=``
+keyword and as a plain dict passed to ``config=`` — but emits a
+:class:`DeprecationWarning` and will be removed one release after 1.x.
+:func:`resolve_config` implements that shim in one place.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import warnings
+from dataclasses import dataclass
+
+from repro.exceptions import ValidationError
+
+__all__ = ["SolverConfig", "DEFAULT_CONFIG", "resolve_config"]
+
+#: valid values of :attr:`SolverConfig.solver`
+_SOLVERS = ("auto", "analytic", "numeric")
+
+
+@dataclass(frozen=True)
+class SolverConfig:
+    """Immutable configuration of the robustness solvers.
+
+    Parameters
+    ----------
+    solver:
+        ``"auto"`` (closed form for affine impacts, numeric otherwise),
+        ``"analytic"`` (force the closed form; affine impacts only) or
+        ``"numeric"`` (force the SLSQP boundary minimization even for affine
+        impacts — useful for cross-checks).
+    n_starts:
+        Number of random multi-start directions of the numeric solver, in
+        addition to its gradient warm start.
+    seed:
+        RNG seed of the multi-start directions (deterministic by default so
+        solves are reproducible and cacheable).
+    maxiter:
+        Iteration cap of each SLSQP solve.
+    ftol:
+        Objective tolerance of each SLSQP solve.
+    pool_size:
+        Worker processes used by :class:`~repro.engine.RobustnessEngine` to
+        fan out numeric solves (``0`` = solve in-process, no pool).
+    chunk_size:
+        Tasks submitted per process-pool chunk (``None`` = pick automatically
+        from the task count and pool size).
+    cache_size:
+        Entries of the engine's LRU boundary-solve cache (``0`` disables
+        caching).
+    """
+
+    solver: str = "auto"
+    n_starts: int = 4
+    seed: int | None = 0
+    maxiter: int = 200
+    ftol: float = 1e-12
+    pool_size: int = 0
+    chunk_size: int | None = None
+    cache_size: int = 256
+
+    def __post_init__(self) -> None:
+        if self.solver not in _SOLVERS:
+            raise ValidationError(
+                f"solver must be one of {_SOLVERS}, got {self.solver!r}"
+            )
+        if int(self.n_starts) < 0:
+            raise ValidationError("n_starts must be >= 0")
+        if int(self.maxiter) <= 0:
+            raise ValidationError("maxiter must be >= 1")
+        if float(self.ftol) <= 0:
+            raise ValidationError("ftol must be > 0")
+        if int(self.pool_size) < 0:
+            raise ValidationError("pool_size must be >= 0")
+        if self.chunk_size is not None and int(self.chunk_size) <= 0:
+            raise ValidationError("chunk_size must be >= 1 (or None)")
+        if int(self.cache_size) < 0:
+            raise ValidationError("cache_size must be >= 0")
+
+    def numeric_kwargs(self) -> dict:
+        """Keyword arguments for :func:`repro.core.solvers.numeric.boundary_min_norm`."""
+        return {
+            "n_starts": self.n_starts,
+            "seed": self.seed,
+            "maxiter": self.maxiter,
+            "ftol": self.ftol,
+        }
+
+    def replace(self, **changes) -> "SolverConfig":
+        """A copy with the given fields replaced (validation re-runs)."""
+        return dataclasses.replace(self, **changes)
+
+    @classmethod
+    def from_options(cls, options: dict) -> "SolverConfig":
+        """Build a config from a legacy ``solver_options`` dict.
+
+        Keys must be :class:`SolverConfig` field names; anything else (which
+        the old code would have forwarded blindly to the numeric solver and
+        crashed on) raises :class:`~repro.exceptions.ValidationError`.
+        """
+        if not isinstance(options, dict):
+            raise ValidationError(
+                f"solver options must be a dict, got {type(options).__name__}"
+            )
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(options) - known)
+        if unknown:
+            raise ValidationError(
+                f"unknown solver option(s) {unknown}; valid keys: {sorted(known)}"
+            )
+        return cls(**options)
+
+
+#: the shared default configuration (module-level so identity checks are cheap)
+DEFAULT_CONFIG = SolverConfig()
+
+_DICT_MSG = (
+    "passing a plain dict of solver options is deprecated; "
+    "pass config=SolverConfig(...) instead"
+)
+_KWARG_MSG = (
+    "the solver_options= keyword is deprecated; "
+    "pass config=SolverConfig(...) instead"
+)
+
+
+def resolve_config(
+    config: "SolverConfig | dict | None" = None,
+    solver_options: dict | None = None,
+    *,
+    stacklevel: int = 3,
+) -> SolverConfig:
+    """Normalize the ``config`` / legacy ``solver_options`` pair to a config.
+
+    Exactly one of the two may be given.  A :class:`SolverConfig` passes
+    through; ``None`` yields :data:`DEFAULT_CONFIG`; a plain dict (through
+    either parameter) is converted with :meth:`SolverConfig.from_options`
+    after emitting a :class:`DeprecationWarning`.
+    """
+    if solver_options is not None:
+        if config is not None:
+            raise ValidationError(
+                "pass either config= or the deprecated solver_options=, not both"
+            )
+        warnings.warn(_KWARG_MSG, DeprecationWarning, stacklevel=stacklevel)
+        return SolverConfig.from_options(solver_options)
+    if config is None:
+        return DEFAULT_CONFIG
+    if isinstance(config, SolverConfig):
+        return config
+    if isinstance(config, dict):
+        warnings.warn(_DICT_MSG, DeprecationWarning, stacklevel=stacklevel)
+        return SolverConfig.from_options(config)
+    raise ValidationError(
+        f"config must be a SolverConfig, dict or None, got {type(config).__name__}"
+    )

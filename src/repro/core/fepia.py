@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.config import SolverConfig, resolve_config
 from repro.core.features import FeatureBounds, FeatureSet, PerformanceFeature
 from repro.core.impact import as_impact
 from repro.core.metric import MetricResult, robustness_metric
@@ -129,9 +130,15 @@ class FePIAAnalysis:
         norm: Norm | str | None = None,
         require_feasible: bool = False,
         apply_floor: bool | None = None,
+        config: SolverConfig | dict | None = None,
         solver_options: dict | None = None,
     ) -> MetricResult:
-        """Run the analysis step and return the robustness metric."""
+        """Run the analysis step and return the robustness metric.
+
+        ``config`` takes a :class:`~repro.core.config.SolverConfig`;
+        ``solver_options`` is the deprecated dict spelling of the same thing.
+        """
+        cfg = resolve_config(config, solver_options)
         parameter = self.parameter
         if len(self._features) == 0:
             raise ValidationError("no performance features declared (FePIA step 1)")
@@ -148,5 +155,5 @@ class FePIAAnalysis:
             norm=norm,
             require_feasible=require_feasible,
             apply_floor=apply_floor,
-            solver_options=solver_options,
+            config=cfg,
         )

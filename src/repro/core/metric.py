@@ -8,9 +8,11 @@ direction) that is guaranteed not to violate *any* feature's requirement.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 import numpy as np
 
+from repro.core.config import SolverConfig, resolve_config
 from repro.core.features import FeatureSet, PerformanceFeature
 from repro.core.norms import Norm
 from repro.core.perturbation import PerturbationParameter
@@ -18,7 +20,7 @@ from repro.core.radius import RadiusResult, robustness_radius
 from repro.core.solvers.discrete import floor_radius
 from repro.exceptions import ValidationError
 
-__all__ = ["MetricResult", "robustness_metric"]
+__all__ = ["MetricResult", "robustness_metric", "metric_from_radii"]
 
 
 @dataclass(frozen=True)
@@ -39,64 +41,77 @@ class MetricResult:
     #: True when every feature is feasible at the origin
     feasible_at_origin: bool
 
+    @cached_property
+    def _radii_by_name(self) -> dict[str, RadiusResult]:
+        """Name -> radius-result index (built once, O(1) lookups after)."""
+        return {r.feature: r for r in self.radii}
+
     @property
     def boundary_point(self) -> np.ndarray | None:
         """The boundary point ``pi*`` of the binding feature."""
         if self.binding_feature is None:
             return None
-        for r in self.radii:
-            if r.feature == self.binding_feature:
-                return r.boundary_point
-        return None  # pragma: no cover - binding feature always in radii
+        binding = self._radii_by_name.get(self.binding_feature)
+        return None if binding is None else binding.boundary_point
 
     def radius_of(self, feature_name: str) -> RadiusResult:
-        """Look up the radius result of one feature by name."""
-        for r in self.radii:
-            if r.feature == feature_name:
-                return r
-        raise KeyError(feature_name)
+        """Look up the radius result of one feature by name (O(1))."""
+        try:
+            return self._radii_by_name[feature_name]
+        except KeyError:
+            raise KeyError(feature_name) from None
 
     def sorted_radii(self) -> list[RadiusResult]:
         """Radii sorted ascending (most critical feature first)."""
         return sorted(self.radii, key=lambda r: r.radius)
 
+    def to_dict(self) -> dict:
+        """Encode as a JSON-ready dict (round-trips via :meth:`from_dict`)."""
+        from repro.utils.serialization import encode_float
 
-def robustness_metric(
-    features: FeatureSet | list[PerformanceFeature],
+        return {
+            "type": "MetricResult",
+            "version": 1,
+            "value": encode_float(self.value),
+            "raw_value": encode_float(self.raw_value),
+            "radii": [r.to_dict() for r in self.radii],
+            "binding_feature": self.binding_feature,
+            "parameter": self.parameter,
+            "feasible_at_origin": bool(self.feasible_at_origin),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MetricResult":
+        """Decode a payload written by :meth:`to_dict`; validates the type tag."""
+        from repro.utils.serialization import decode_float
+
+        if data.get("type") != "MetricResult":
+            raise ValidationError(f"expected type 'MetricResult', got {data.get('type')!r}")
+        return cls(
+            value=decode_float(data["value"]),
+            raw_value=decode_float(data["raw_value"]),
+            radii=tuple(RadiusResult.from_dict(r) for r in data["radii"]),
+            binding_feature=data["binding_feature"],
+            parameter=str(data["parameter"]),
+            feasible_at_origin=bool(data["feasible_at_origin"]),
+        )
+
+
+def metric_from_radii(
+    results: tuple[RadiusResult, ...] | list[RadiusResult],
     parameter: PerturbationParameter,
     *,
-    norm: Norm | str | None = None,
-    require_feasible: bool = False,
     apply_floor: bool | None = None,
-    solver_options: dict | None = None,
 ) -> MetricResult:
-    """Compute ``rho_mu(Phi, pi_j) = min_i r_mu(phi_i, pi_j)`` (Equation 2).
+    """Assemble a :class:`MetricResult` from per-feature radii (Eq. 2's min).
 
-    Parameters mirror :func:`repro.core.radius.robustness_radius`; the floor
-    for discrete parameters is applied once to the minimum (matching Eq. 11's
-    discussion), while the per-feature radii in the result are unfloored so
-    the breakdown stays exact.
+    Shared by :func:`robustness_metric` and the batched
+    :class:`~repro.engine.RobustnessEngine` so both branches apply the
+    identical argmin / floor / feasibility logic.
     """
-    if isinstance(features, FeatureSet):
-        feats = list(features)
-    else:
-        feats = list(features)
-        if not all(isinstance(f, PerformanceFeature) for f in feats):
-            raise ValidationError("features must be PerformanceFeature instances")
-    if not feats:
+    results = tuple(results)
+    if not results:
         raise ValidationError("the feature set Phi must be non-empty")
-
-    results = tuple(
-        robustness_radius(
-            f,
-            parameter,
-            norm=norm,
-            require_feasible=require_feasible,
-            apply_floor=False,
-            solver_options=solver_options,
-        )
-        for f in feats
-    )
     radii = np.array([r.radius for r in results], dtype=float)
     raw = float(np.min(radii))
     finite_min = int(np.argmin(radii))
@@ -116,3 +131,44 @@ def robustness_metric(
         parameter=parameter.name,
         feasible_at_origin=all(r.feasible_at_origin for r in results),
     )
+
+
+def robustness_metric(
+    features: FeatureSet | list[PerformanceFeature],
+    parameter: PerturbationParameter,
+    *,
+    norm: Norm | str | None = None,
+    require_feasible: bool = False,
+    apply_floor: bool | None = None,
+    config: SolverConfig | dict | None = None,
+    solver_options: dict | None = None,
+) -> MetricResult:
+    """Compute ``rho_mu(Phi, pi_j) = min_i r_mu(phi_i, pi_j)`` (Equation 2).
+
+    Parameters mirror :func:`repro.core.radius.robustness_radius`; the floor
+    for discrete parameters is applied once to the minimum (matching Eq. 11's
+    discussion), while the per-feature radii in the result are unfloored so
+    the breakdown stays exact.
+    """
+    cfg = resolve_config(config, solver_options)
+    if isinstance(features, FeatureSet):
+        feats = list(features)
+    else:
+        feats = list(features)
+        if not all(isinstance(f, PerformanceFeature) for f in feats):
+            raise ValidationError("features must be PerformanceFeature instances")
+    if not feats:
+        raise ValidationError("the feature set Phi must be non-empty")
+
+    results = tuple(
+        robustness_radius(
+            f,
+            parameter,
+            norm=norm,
+            require_feasible=require_feasible,
+            apply_floor=False,
+            config=cfg,
+        )
+        for f in feats
+    )
+    return metric_from_radii(results, parameter, apply_floor=apply_floor)

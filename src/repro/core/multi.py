@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.config import SolverConfig, resolve_config
 from repro.core.features import FeatureBounds, FeatureSet, PerformanceFeature
 from repro.core.impact import AffineImpact, CallableImpact, ImpactFunction, as_impact
 from repro.core.metric import MetricResult, robustness_metric
@@ -196,6 +197,7 @@ class MultiParameterAnalysis:
         *,
         norm: Norm | str | None = None,
         require_feasible: bool = False,
+        config: SolverConfig | dict | None = None,
         solver_options: dict | None = None,
     ) -> MetricResult:
         """One metric over the concatenated parameter vector.
@@ -203,6 +205,7 @@ class MultiParameterAnalysis:
         The result's boundary points live in the product space; the metric is
         floored when *all* declared parameters are discrete.
         """
+        cfg = resolve_config(config, solver_options)
         self._require_ready()
         joint_param = PerturbationParameter(
             name="+".join(p.name for p in self._parameters),
@@ -215,7 +218,7 @@ class MultiParameterAnalysis:
             joint_param,
             norm=norm,
             require_feasible=require_feasible,
-            solver_options=solver_options,
+            config=cfg,
         )
 
     def analyze_marginal(
@@ -223,6 +226,7 @@ class MultiParameterAnalysis:
         *,
         norm: Norm | str | None = None,
         require_feasible: bool = False,
+        config: SolverConfig | dict | None = None,
         solver_options: dict | None = None,
     ) -> dict[str, MetricResult]:
         """One metric per parameter, holding the others at their origins.
@@ -230,6 +234,7 @@ class MultiParameterAnalysis:
         Features unaffected by a parameter are skipped for that parameter
         (they would contribute an infinite radius anyway).
         """
+        cfg = resolve_config(config, solver_options)
         self._require_ready()
         out: dict[str, MetricResult] = {}
         for p in self._parameters:
@@ -245,6 +250,6 @@ class MultiParameterAnalysis:
                 p,
                 norm=norm,
                 require_feasible=require_feasible,
-                solver_options=solver_options,
+                config=cfg,
             )
         return out

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.boundary import boundary_relations
+from repro.core.config import SolverConfig, resolve_config
 from repro.core.features import PerformanceFeature
 from repro.core.impact import AffineImpact
 from repro.core.norms import Norm, get_norm
@@ -32,6 +33,7 @@ from repro.core.solvers.analytic import affine_boundary_distance
 from repro.core.solvers.discrete import floor_radius
 from repro.core.solvers.numeric import boundary_min_norm
 from repro.exceptions import InfeasibleAtOriginError, ValidationError
+from repro.utils.serialization import decode_array, decode_float, encode_array, encode_float
 
 __all__ = ["RadiusResult", "robustness_radius"]
 
@@ -62,6 +64,50 @@ class RadiusResult:
         if self.binding_bound not in (None, "lower", "upper"):
             raise ValidationError(f"bad binding_bound {self.binding_bound!r}")
 
+    def to_dict(self) -> dict:
+        """Encode as a JSON-ready dict (round-trips via :meth:`from_dict`)."""
+        return {
+            "type": "RadiusResult",
+            "version": 1,
+            "feature": self.feature,
+            "parameter": self.parameter,
+            "radius": encode_float(self.radius),
+            "boundary_point": encode_array(self.boundary_point),
+            "binding_bound": self.binding_bound,
+            "value_at_origin": encode_float(self.value_at_origin),
+            "feasible_at_origin": bool(self.feasible_at_origin),
+            "solver": self.solver,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RadiusResult":
+        """Decode a payload written by :meth:`to_dict`; validates the type tag."""
+        if data.get("type") != "RadiusResult":
+            raise ValidationError(f"expected type 'RadiusResult', got {data.get('type')!r}")
+        return cls(
+            feature=str(data["feature"]),
+            parameter=str(data["parameter"]),
+            radius=decode_float(data["radius"]),
+            boundary_point=decode_array(data["boundary_point"]),
+            binding_bound=data["binding_bound"],
+            value_at_origin=decode_float(data["value_at_origin"]),
+            feasible_at_origin=bool(data["feasible_at_origin"]),
+            solver=str(data["solver"]),
+        )
+
+
+def _select_solver(feature: PerformanceFeature, config: SolverConfig) -> str:
+    """Resolve the configured solver choice against the feature's impact."""
+    affine = isinstance(feature.impact, AffineImpact)
+    if config.solver == "auto":
+        return "analytic" if affine else "numeric"
+    if config.solver == "analytic" and not affine:
+        raise ValidationError(
+            f"solver='analytic' requires an affine impact, but feature "
+            f"{feature.name!r} has {type(feature.impact).__name__}"
+        )
+    return config.solver
+
 
 def robustness_radius(
     feature: PerformanceFeature,
@@ -70,6 +116,7 @@ def robustness_radius(
     norm: Norm | str | None = None,
     require_feasible: bool = False,
     apply_floor: bool | None = None,
+    config: SolverConfig | dict | None = None,
     solver_options: dict | None = None,
 ) -> RadiusResult:
     """Compute ``r_mu(phi_i, pi_j)`` per Equation 1.
@@ -89,10 +136,14 @@ def robustness_radius(
     apply_floor:
         Floor the radius for discrete parameters (Section 3.2).  ``None``
         (default) floors exactly when ``parameter.discrete``.
+    config:
+        A :class:`~repro.core.config.SolverConfig` (solver choice, numeric
+        tolerances).  A plain dict is accepted with a ``DeprecationWarning``.
     solver_options:
-        Extra keyword arguments for the numeric solver (ignored by the
-        analytic path).
+        Deprecated alias for ``config`` (dict form); emits a
+        ``DeprecationWarning``.
     """
+    cfg = resolve_config(config, solver_options)
     norm = get_norm(norm)
     origin = parameter.origin
     value0 = feature.value_at(origin)
@@ -107,13 +158,13 @@ def robustness_radius(
     best = np.inf
     best_point: np.ndarray | None = None
     best_bound: str | None = None
-    solver_name = "analytic" if isinstance(feature.impact, AffineImpact) else "numeric"
+    solver_name = _select_solver(feature, cfg)
 
     for rel in rels:
         if solver_name == "analytic":
             dist, point = affine_boundary_distance(rel, origin, norm)
         else:
-            res = boundary_min_norm(rel, origin, norm, **(solver_options or {}))
+            res = boundary_min_norm(rel, origin, norm, **cfg.numeric_kwargs())
             dist, point = res.distance, res.point
         if dist < best:
             best, best_point, best_bound = dist, point, rel.bound

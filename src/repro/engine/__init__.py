@@ -1,0 +1,30 @@
+"""Batched robustness evaluation engine.
+
+:class:`RobustnessEngine` evaluates the paper's robustness metric for whole
+populations of mappings in one call — vectorized closed forms for the affine
+systems (allocation Eq. 6, HiPer-D Eqs. 10-11), an LRU solve cache plus an
+optional process pool for non-affine impacts.  Batched results are
+bit-for-bit identical to the per-mapping scalar API.
+
+See :mod:`repro.engine.engine` for the evaluator,
+:mod:`repro.engine.cache` for the solve cache and
+:mod:`repro.engine.pool` for the process-pool fan-out.
+"""
+
+from repro.engine.cache import RadiusCache, norm_cache_key
+from repro.engine.engine import (
+    AllocationBatchResult,
+    HiperdBatchResult,
+    RobustnessEngine,
+)
+from repro.engine.pool import radius_task, solve_radius_tasks
+
+__all__ = [
+    "AllocationBatchResult",
+    "HiperdBatchResult",
+    "RobustnessEngine",
+    "RadiusCache",
+    "norm_cache_key",
+    "radius_task",
+    "solve_radius_tasks",
+]

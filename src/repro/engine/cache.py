@@ -1,0 +1,137 @@
+"""LRU cache for numeric robustness-radius solves.
+
+Numeric boundary minimizations (SLSQP multistart) dominate the cost of
+non-affine FePIA analyses.  Populations of mappings frequently share
+features — identical impact, bounds and origin — so the engine memoizes
+solves on a value-based key:
+
+- :class:`~repro.core.impact.AffineImpact` keys by coefficient bytes and
+  intercept (value identity);
+- arbitrary callables key by object identity; the cache entry keeps a strong
+  reference to the impact so its ``id`` stays valid while the entry lives;
+- the key also covers the feature bounds, the origin vector, the norm and
+  the numeric solver settings, so a config change can never alias a stale
+  result.
+
+Cached values are :class:`~repro.core.radius.RadiusResult` objects stripped
+of nothing — the engine re-labels ``feature``/``parameter`` names on a hit
+(:func:`dataclasses.replace`), so one solve serves identically-shaped
+features under different names.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.core.config import SolverConfig
+from repro.core.features import PerformanceFeature
+from repro.core.impact import AffineImpact
+from repro.core.norms import L1Norm, L2Norm, LInfNorm, Norm, WeightedL2Norm
+from repro.core.perturbation import PerturbationParameter
+from repro.core.radius import RadiusResult
+
+__all__ = ["RadiusCache", "norm_cache_key"]
+
+
+def norm_cache_key(norm: Norm) -> tuple:
+    """A value-based key for the built-in norms, identity-based otherwise."""
+    if isinstance(norm, WeightedL2Norm):
+        return ("wl2", norm.weights.tobytes(), norm.weights.shape)
+    if isinstance(norm, L2Norm):
+        return ("l2",)
+    if isinstance(norm, L1Norm):
+        return ("l1",)
+    if isinstance(norm, LInfNorm):
+        return ("linf",)
+    return ("norm-id", id(norm))
+
+
+class RadiusCache:
+    """Bounded LRU cache of numeric radius solves.
+
+    ``maxsize == 0`` disables caching entirely (every :meth:`get` misses and
+    :meth:`put` is a no-op), which keeps the engine correct for impacts whose
+    ``__call__`` is stateful.
+    """
+
+    def __init__(self, maxsize: int = 256) -> None:
+        self.maxsize = int(maxsize)
+        self._data: OrderedDict[tuple, RadiusResult] = OrderedDict()
+        #: strong references keeping id-keyed impacts/norms alive
+        self._pins: OrderedDict[tuple, tuple] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def key_for(
+        self,
+        feature: PerformanceFeature,
+        parameter: PerturbationParameter,
+        norm: Norm,
+        config: SolverConfig,
+    ) -> tuple:
+        """Build the cache key of one (feature, parameter, norm, config) solve."""
+        impact = feature.impact
+        if isinstance(impact, AffineImpact):
+            ikey: tuple = (
+                "affine",
+                impact.coefficients.tobytes(),
+                impact.coefficients.shape,
+                float(impact.intercept),
+            )
+        else:
+            ikey = ("impact-id", id(impact))
+        origin = np.asarray(parameter.origin, dtype=float)
+        return (
+            ikey,
+            (float(feature.bounds.lower), float(feature.bounds.upper)),
+            (origin.tobytes(), origin.shape),
+            norm_cache_key(norm),
+            tuple(sorted(config.numeric_kwargs().items())),
+        )
+
+    def get(self, key: tuple) -> RadiusResult | None:
+        """Look up a solve; counts a hit/miss and refreshes LRU order."""
+        if self.maxsize == 0:
+            self.misses += 1
+            return None
+        try:
+            value = self._data[key]
+        except KeyError:
+            self.misses += 1
+            return None
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: tuple, value: RadiusResult, *, pin: tuple = ()) -> None:
+        """Store a solve; ``pin`` holds objects whose ``id`` the key uses."""
+        if self.maxsize == 0:
+            return
+        self._data[key] = value
+        if pin:
+            self._pins[key] = pin
+        self._data.move_to_end(key)
+        while len(self._data) > self.maxsize:
+            old, _ = self._data.popitem(last=False)
+            self._pins.pop(old, None)
+
+    def clear(self) -> None:
+        """Drop all entries and reset the hit/miss counters."""
+        self._data.clear()
+        self._pins.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def stats(self) -> dict:
+        """Hit/miss/size counters (for logging and tests)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "size": len(self._data),
+            "maxsize": self.maxsize,
+        }

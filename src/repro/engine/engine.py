@@ -1,0 +1,486 @@
+"""Batched robustness evaluation — one call for a whole population.
+
+The scalar API (:func:`repro.alloc.robustness.robustness`,
+:func:`repro.hiperd.robustness.robustness`,
+:func:`repro.core.metric.robustness_metric`) evaluates one mapping at a time;
+a GA population or a 1000-mapping experiment pays ``P * m`` Python-level
+radius computations.  :class:`RobustnessEngine` evaluates the same
+quantities for the whole population at once:
+
+- **allocation** (Eq. 6 closed form) — one ``(P, m)`` radii matrix built
+  from two scatter-adds and a handful of elementwise array passes;
+- **HiPer-D** (Eqs. 10-11) — all mappings' constraint rows stacked into a
+  single matrix-vector product, with per-row radii, binding constraints,
+  feasibility *and* the Section-4.3 slack read off the same pass;
+- **generic FePIA** — affine features through the scalar closed form,
+  non-affine features through an LRU solve cache
+  (:class:`~repro.engine.cache.RadiusCache`) and an optional process pool
+  (:mod:`repro.engine.pool`).
+
+Batched results are bit-for-bit identical to the per-mapping scalar path
+(the parity test suite asserts ``np.array_equal``, not ``allclose``): the
+affine kernels perform the same elementwise arithmetic row-by-row, and the
+numeric branch re-enters the scalar solver verbatim.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.alloc.makespan import batch_finishing_times
+from repro.alloc.mapping import Mapping
+from repro.alloc.robustness import AllocationRobustness, batch_robustness_radii
+from repro.core.config import SolverConfig, resolve_config
+from repro.core.features import FeatureSet, PerformanceFeature
+from repro.core.impact import AffineImpact
+from repro.core.metric import MetricResult, metric_from_radii
+from repro.core.norms import L2Norm, Norm, get_norm
+from repro.core.perturbation import PerturbationParameter
+from repro.core.radius import RadiusResult
+from repro.core.solvers.analytic import affine_radius
+from repro.core.solvers.discrete import floor_radius
+from repro.engine.cache import RadiusCache
+from repro.engine.pool import solve_radius_tasks
+from repro.exceptions import InfeasibleAtOriginError, ValidationError
+from repro.hiperd.constraints import build_constraints
+from repro.hiperd.model import HiperDSystem
+from repro.utils.serialization import decode_array, decode_float, encode_array, encode_float
+from repro.utils.validation import check_positive
+
+__all__ = ["RobustnessEngine", "AllocationBatchResult", "HiperdBatchResult"]
+
+
+@dataclass(frozen=True)
+class AllocationBatchResult:
+    """Eq. 6/7 evaluated for a population of allocation mappings."""
+
+    #: per-mapping metric ``rho_mu(Phi, C)`` (Eq. 7), shape ``(P,)``
+    values: np.ndarray
+    #: per-mapping, per-machine radii (Eq. 6), shape ``(P, m)``
+    radii: np.ndarray
+    #: argmin machine per mapping, shape ``(P,)``
+    critical_machines: np.ndarray
+    #: predicted makespan ``M_orig`` per mapping, shape ``(P,)``
+    makespans: np.ndarray
+    #: the tolerance factor ``tau``
+    tau: float
+
+    def __len__(self) -> int:
+        return self.values.size
+
+    def result_for(self, index: int) -> AllocationRobustness:
+        """The scalar-API result object of one population member."""
+        return AllocationRobustness(
+            value=float(self.values[index]),
+            radii=self.radii[index],
+            critical_machine=int(self.critical_machines[index]),
+            makespan=float(self.makespans[index]),
+            tau=self.tau,
+        )
+
+    def to_dict(self) -> dict:
+        """Encode as a JSON-ready dict (round-trips via :meth:`from_dict`)."""
+        return {
+            "type": "AllocationBatchResult",
+            "version": 1,
+            "values": encode_array(self.values),
+            "radii": encode_array(self.radii),
+            "critical_machines": encode_array(self.critical_machines),
+            "makespans": encode_array(self.makespans),
+            "tau": encode_float(self.tau),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AllocationBatchResult":
+        """Decode a payload written by :meth:`to_dict`; validates the type tag."""
+        if data.get("type") != "AllocationBatchResult":
+            raise ValidationError(
+                f"expected type 'AllocationBatchResult', got {data.get('type')!r}"
+            )
+        return cls(
+            values=decode_array(data["values"]),
+            radii=decode_array(data["radii"]),
+            critical_machines=decode_array(data["critical_machines"]).astype(np.int64),
+            makespans=decode_array(data["makespans"]),
+            tau=decode_float(data["tau"]),
+        )
+
+
+@dataclass(frozen=True)
+class HiperdBatchResult:
+    """Eqs. 10-11 evaluated for a population of HiPer-D mappings.
+
+    All mappings of one system share the constraint-row structure (the rows
+    are indexed by applications-on-paths, transfers and paths — not by the
+    mapping), so ``names``/``kinds`` are stored once.
+    """
+
+    #: floored metric per mapping (Eq. 11), shape ``(P,)``
+    values: np.ndarray
+    #: unfloored minimum radius per mapping, shape ``(P,)``
+    raw_values: np.ndarray
+    #: signed radius per mapping and constraint row, shape ``(P, R)``
+    radii: np.ndarray
+    #: binding constraint row per mapping, shape ``(P,)``
+    binding_indices: np.ndarray
+    #: system-wide percentage slack per mapping (Section 4.3), shape ``(P,)``
+    slacks: np.ndarray
+    #: boundary load ``lambda*`` per mapping, shape ``(P, n_sensors)``
+    boundaries: np.ndarray
+    #: per-mapping feasibility at ``lambda_orig``, shape ``(P,)`` bool
+    feasible_at_origin: np.ndarray
+    #: constraint-row names/kinds (shared across the population)
+    names: tuple[str, ...]
+    kinds: tuple[str, ...]
+
+    def __len__(self) -> int:
+        return self.values.size
+
+    @property
+    def binding_names(self) -> tuple[str, ...]:
+        """Name of each mapping's binding constraint."""
+        return tuple(self.names[int(k)] for k in self.binding_indices)
+
+    @property
+    def binding_kinds(self) -> tuple[str, ...]:
+        """Kind (``"comp"``/``"comm"``/``"latency"``) of each binding constraint."""
+        return tuple(self.kinds[int(k)] for k in self.binding_indices)
+
+    def to_dict(self) -> dict:
+        """Encode as a JSON-ready dict (round-trips via :meth:`from_dict`)."""
+        return {
+            "type": "HiperdBatchResult",
+            "version": 1,
+            "values": encode_array(self.values),
+            "raw_values": encode_array(self.raw_values),
+            "radii": encode_array(self.radii),
+            "binding_indices": encode_array(self.binding_indices),
+            "slacks": encode_array(self.slacks),
+            "boundaries": encode_array(self.boundaries),
+            "feasible_at_origin": encode_array(self.feasible_at_origin.astype(float)),
+            "names": list(self.names),
+            "kinds": list(self.kinds),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "HiperdBatchResult":
+        """Decode a payload written by :meth:`to_dict`; validates the type tag."""
+        if data.get("type") != "HiperdBatchResult":
+            raise ValidationError(
+                f"expected type 'HiperdBatchResult', got {data.get('type')!r}"
+            )
+        return cls(
+            values=decode_array(data["values"]),
+            raw_values=decode_array(data["raw_values"]),
+            radii=decode_array(data["radii"]),
+            binding_indices=decode_array(data["binding_indices"]).astype(np.int64),
+            slacks=decode_array(data["slacks"]),
+            boundaries=decode_array(data["boundaries"]),
+            feasible_at_origin=decode_array(data["feasible_at_origin"]).astype(bool),
+            names=tuple(data["names"]),
+            kinds=tuple(data["kinds"]),
+        )
+
+
+class RobustnessEngine:
+    """Population-scale evaluator for the paper's robustness metric.
+
+    One engine instance carries the norm, the solver configuration and the
+    numeric solve cache; it is cheap to construct and safe to reuse across
+    calls (the cache only ever helps).
+
+    Example
+    -------
+    ::
+
+        engine = RobustnessEngine()
+        batch = engine.evaluate_allocation(assignments, etc, tau=1.2)
+        batch.values            # (P,) — rho_mu of every mapping
+        batch.result_for(0)     # scalar-API AllocationRobustness
+    """
+
+    def __init__(
+        self,
+        *,
+        norm: Norm | str | None = None,
+        config: SolverConfig | dict | None = None,
+        solver_options: dict | None = None,
+    ) -> None:
+        self.config = resolve_config(config, solver_options)
+        self.norm = get_norm(norm)
+        self.cache = RadiusCache(self.config.cache_size)
+
+    # -- allocation (Eq. 6/7) ------------------------------------------------
+    def evaluate_allocation(
+        self,
+        mappings,
+        etc: np.ndarray,
+        tau: float,
+        *,
+        require_feasible: bool = False,
+    ) -> AllocationBatchResult:
+        """Evaluate Eq. 7 for every mapping in one vectorized pass.
+
+        ``mappings`` is an ``(P, n_tasks)`` assignment matrix or a sequence
+        of :class:`~repro.alloc.mapping.Mapping` objects.  Only the paper's
+        l2 norm has the fully-vectorized closed form; other norms raise
+        (use the scalar API, which handles them via dual norms).
+        """
+        if not isinstance(self.norm, L2Norm):
+            raise ValidationError(
+                "batched allocation evaluation supports the l2 norm only; "
+                "use repro.alloc.robustness.robustness(norm=...) per mapping"
+            )
+        assignments = self._as_assignments(mappings)
+        tau = check_positive(tau, "tau")
+        radii = batch_robustness_radii(assignments, etc, tau)
+        values = radii.min(axis=1)
+        if require_feasible and np.any(values < 0):
+            bad = int(np.argmin(values))
+            raise InfeasibleAtOriginError(
+                f"mapping {bad} violates the makespan bound at C_orig "
+                f"(radius {values[bad]:g} < 0)"
+            )
+        return AllocationBatchResult(
+            values=values,
+            radii=radii,
+            critical_machines=radii.argmin(axis=1),
+            makespans=batch_finishing_times(assignments, etc).max(axis=1),
+            tau=float(tau),
+        )
+
+    # -- HiPer-D (Eqs. 10-11) ------------------------------------------------
+    def evaluate_hiperd(
+        self,
+        system: HiperDSystem,
+        mappings,
+        load_orig,
+        *,
+        apply_floor: bool = True,
+        require_feasible: bool = False,
+    ) -> HiperdBatchResult:
+        """Evaluate Eq. 11 for every mapping with one stacked matrix pass.
+
+        All mappings' constraint matrices are stacked into a single
+        ``(P * R, n_sensors)`` block; radii, binding constraints, origin
+        feasibility and the Section-4.3 percentage slack all come from the
+        same matrix-vector product.
+        """
+        mappings = list(mappings)
+        if not mappings:
+            raise ValidationError("mappings must be non-empty")
+        load_orig = np.asarray(load_orig, dtype=float)
+        if load_orig.shape != (system.n_sensors,):
+            raise ValidationError(
+                f"load_orig must have shape ({system.n_sensors},), got {load_orig.shape}"
+            )
+        sets = [build_constraints(system, m) for m in mappings]
+        n_rows = len(sets[0])
+        names, kinds = sets[0].names, sets[0].kinds
+        coeffs = np.vstack([cs.coefficients for cs in sets])  # (P*R, n)
+        limits = np.concatenate([cs.limits for cs in sets])
+        p = len(sets)
+
+        values = (coeffs @ load_orig).reshape(p, n_rows)
+        limits = limits.reshape(p, n_rows)
+        gaps = limits - values
+        feasible = np.all(values <= limits, axis=1)
+        if require_feasible and not np.all(feasible):
+            i = int(np.argmin(feasible))
+            frac = sets[i].fractional_values_at(load_orig)
+            worst = int(np.argmax(frac))
+            raise InfeasibleAtOriginError(
+                f"mapping {i}: constraint {names[worst]} violated at lambda_orig "
+                f"(fractional value {frac[worst]:.3f})"
+            )
+
+        if isinstance(self.norm, L2Norm):
+            row_norms = np.linalg.norm(coeffs, axis=1).reshape(p, n_rows)
+        else:
+            row_norms = np.array([self.norm.dual(row) for row in coeffs]).reshape(
+                p, n_rows
+            )
+        degenerate = np.where(gaps > 0, np.inf, np.where(gaps < 0, -np.inf, 0.0))
+        radii = np.where(
+            row_norms > 0, gaps / np.where(row_norms > 0, row_norms, 1.0), degenerate
+        )
+
+        binding = radii.argmin(axis=1)
+        raw = radii[np.arange(p), binding]
+        floored = (
+            np.array([floor_radius(float(r)) for r in raw]) if apply_floor else raw
+        )
+
+        boundaries = np.empty((p, load_orig.size))
+        for i in range(p):
+            k = int(binding[i])
+            c = sets[i].coefficients[k]
+            cc = float(c @ c)
+            if not isinstance(self.norm, L2Norm) and np.any(c != 0):
+                boundaries[i] = self.norm.closest_point_on_hyperplane(
+                    c, float(sets[i].limits[k]), load_orig
+                )
+            elif cc > 0:
+                boundaries[i] = load_orig + ((sets[i].limits[k] - c @ load_orig) / cc) * c
+            else:
+                boundaries[i] = load_orig
+
+        with np.errstate(divide="ignore", invalid="ignore"):
+            slacks = (1.0 - values / limits).min(axis=1)
+
+        return HiperdBatchResult(
+            values=np.asarray(floored, dtype=float),
+            raw_values=np.asarray(raw, dtype=float),
+            radii=radii,
+            binding_indices=binding.astype(np.int64),
+            slacks=slacks,
+            boundaries=boundaries,
+            feasible_at_origin=feasible,
+            names=names,
+            kinds=kinds,
+        )
+
+    # -- generic FePIA (Eqs. 1-2) --------------------------------------------
+    def evaluate_metric(
+        self,
+        features: FeatureSet | list[PerformanceFeature],
+        parameter: PerturbationParameter,
+        *,
+        apply_floor: bool | None = None,
+        require_feasible: bool = False,
+    ) -> MetricResult:
+        """Eq. 2 for one feature set, using the engine's cache and pool."""
+        return self.evaluate_population(
+            [(features, parameter)],
+            apply_floor=apply_floor,
+            require_feasible=require_feasible,
+        )[0]
+
+    def evaluate_population(
+        self,
+        problems,
+        *,
+        apply_floor: bool | None = None,
+        require_feasible: bool = False,
+    ) -> list[MetricResult]:
+        """Eq. 2 for many ``(features, parameter)`` problems in one call.
+
+        Affine features go through the scalar closed form; non-affine
+        features are deduplicated against the LRU cache, and the remaining
+        numeric solves are fanned over the configured process pool (serial
+        when ``pool_size == 0`` or the tasks do not pickle).
+        """
+        problems = [(self._as_features(fs), param) for fs, param in problems]
+
+        # Pass 1: feasibility gate + affine closed forms + cache probes.
+        slots: list[list[RadiusResult | None]] = []
+        tasks: list[tuple] = []
+        task_where: list[tuple[int, int, tuple]] = []  # (problem, slot, key)
+        for ip, (feats, param) in enumerate(problems):
+            row: list[RadiusResult | None] = []
+            origin = param.origin
+            for f in feats:
+                value0 = f.value_at(origin)
+                feasible = f.bounds.contains(value0)
+                if require_feasible and not feasible:
+                    raise InfeasibleAtOriginError(
+                        f"feature {f.name!r} = {value0:g} violates bounds "
+                        f"[{f.bounds.lower:g}, {f.bounds.upper:g}] at the origin"
+                    )
+                if isinstance(f.impact, AffineImpact) and self.config.solver != "numeric":
+                    r, point, bound = affine_radius(f, origin, self.norm)
+                    row.append(
+                        RadiusResult(
+                            feature=f.name,
+                            parameter=param.name,
+                            radius=float(r),
+                            boundary_point=point,
+                            binding_bound=bound,
+                            value_at_origin=value0,
+                            feasible_at_origin=feasible,
+                            solver="analytic",
+                        )
+                    )
+                    continue
+                if self.config.solver == "analytic":
+                    raise ValidationError(
+                        f"solver='analytic' requires an affine impact, but feature "
+                        f"{f.name!r} has {type(f.impact).__name__}"
+                    )
+                key = self.cache.key_for(f, param, self.norm, self.config)
+                cached = self.cache.get(key)
+                if cached is not None:
+                    row.append(
+                        dataclasses.replace(
+                            cached, feature=f.name, parameter=param.name
+                        )
+                    )
+                    continue
+                row.append(None)
+                tasks.append((f, param, self.norm, self.config))
+                task_where.append((ip, len(row) - 1, key))
+            slots.append(row)
+
+        # Pass 2: solve the cache misses (pooled when configured).
+        solved = solve_radius_tasks(tasks, self.config)
+
+        # Pass 3: fill slots, populate the cache, assemble the metrics.
+        for (ip, islot, key), res, task in zip(task_where, solved, tasks):
+            slots[ip][islot] = res
+            self.cache.put(key, res, pin=(task[0].impact,))
+        return [
+            metric_from_radii(tuple(row), param, apply_floor=apply_floor)
+            for row, (_, param) in zip(slots, problems)
+        ]
+
+    # -- unified dispatch -----------------------------------------------------
+    def robustness_of(self, *args, **kwargs):
+        """Dispatch to the right evaluator from the argument types.
+
+        - ``robustness_of(mapping, etc, tau)`` — allocation (scalar);
+        - ``robustness_of(system, mapping, load_orig)`` — HiPer-D (scalar);
+        - ``robustness_of(features, parameter)`` — generic FePIA metric.
+
+        Scalar calls forward the engine's ``norm`` and ``config``; extra
+        keywords (``require_feasible=``, ``apply_floor=``) pass through.
+        """
+        if args and isinstance(args[0], Mapping):
+            from repro.alloc.robustness import robustness as alloc_robustness
+
+            return alloc_robustness(
+                *args, norm=self.norm, config=self.config, **kwargs
+            )
+        if args and isinstance(args[0], HiperDSystem):
+            from repro.hiperd.robustness import robustness as hiperd_robustness
+
+            return hiperd_robustness(
+                *args, norm=self.norm, config=self.config, **kwargs
+            )
+        if args and isinstance(args[1] if len(args) > 1 else None, PerturbationParameter):
+            return self.evaluate_metric(*args, **kwargs)
+        raise ValidationError(
+            "robustness_of expects (mapping, etc, tau), (system, mapping, load) "
+            "or (features, parameter)"
+        )
+
+    # -- helpers --------------------------------------------------------------
+    @staticmethod
+    def _as_assignments(mappings) -> np.ndarray:
+        if isinstance(mappings, np.ndarray):
+            return mappings
+        mappings = list(mappings)
+        if mappings and isinstance(mappings[0], Mapping):
+            return np.array([m.assignment for m in mappings])
+        return np.asarray(mappings)
+
+    @staticmethod
+    def _as_features(features) -> list[PerformanceFeature]:
+        feats = list(features)
+        if not feats:
+            raise ValidationError("the feature set Phi must be non-empty")
+        if not all(isinstance(f, PerformanceFeature) for f in feats):
+            raise ValidationError("features must be PerformanceFeature instances")
+        return feats

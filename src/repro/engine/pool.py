@@ -1,0 +1,59 @@
+"""Process-pool fan-out for numeric radius solves.
+
+Each task is a self-contained ``(feature, parameter, norm, config)`` tuple;
+the worker re-enters :func:`repro.core.radius.robustness_radius`, so a
+pooled solve follows *exactly* the same code path as a serial one (parity by
+construction, not by reimplementation).
+
+Pooling is opt-in (``SolverConfig.pool_size > 0``) and degrades gracefully:
+tasks that cannot be pickled — e.g. features wrapping lambdas defined in a
+REPL — fall back to the serial map instead of raising from inside the
+executor.
+"""
+
+from __future__ import annotations
+
+import math
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.core.config import SolverConfig
+from repro.core.radius import RadiusResult, robustness_radius
+
+__all__ = ["solve_radius_tasks", "radius_task"]
+
+
+def radius_task(task: tuple) -> RadiusResult:
+    """Worker entry point: solve one radius task (module-level, picklable)."""
+    feature, parameter, norm, config = task
+    return robustness_radius(
+        feature, parameter, norm=norm, apply_floor=False, config=config
+    )
+
+
+def _picklable(obj) -> bool:
+    try:
+        pickle.dumps(obj)
+        return True
+    except Exception:
+        return False
+
+
+def default_chunksize(n_tasks: int, pool_size: int) -> int:
+    """About four chunks per worker — amortizes IPC without starving workers."""
+    return max(1, math.ceil(n_tasks / (pool_size * 4)))
+
+
+def solve_radius_tasks(tasks: list[tuple], config: SolverConfig) -> list[RadiusResult]:
+    """Solve radius tasks, fanning over a process pool when configured.
+
+    Runs serially when the pool is disabled (``pool_size == 0``), when there
+    is at most one task, or when the task list does not pickle (the features
+    close over unpicklable state).
+    """
+    tasks = list(tasks)
+    if len(tasks) <= 1 or config.pool_size <= 0 or not _picklable(tasks):
+        return [radius_task(t) for t in tasks]
+    chunksize = config.chunk_size or default_chunksize(len(tasks), config.pool_size)
+    with ProcessPoolExecutor(max_workers=config.pool_size) as executor:
+        return list(executor.map(radius_task, tasks, chunksize=chunksize))

@@ -21,7 +21,7 @@ import numpy as np
 
 from repro.alloc.generators import random_assignments
 from repro.alloc.makespan import batch_finishing_times, batch_load_balance_index
-from repro.alloc.robustness import batch_robustness
+from repro.engine import RobustnessEngine
 from repro.etcgen.cvb import cvb_etc_matrix
 from repro.utils.rng import spawn_rngs
 from repro.utils.validation import check_positive, check_positive_int
@@ -87,7 +87,7 @@ def run_experiment_one(
 
     f = batch_finishing_times(assignments, etc)
     makespans = f.max(axis=1)
-    rho = batch_robustness(assignments, etc, tau)
+    rho = RobustnessEngine().evaluate_allocation(assignments, etc, tau).values
     lbi = batch_load_balance_index(assignments, etc)
 
     counts = np.zeros_like(f)

@@ -20,14 +20,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.engine import RobustnessEngine
 from repro.hiperd.generators import (
     PAPER_INITIAL_LOAD,
     generate_system,
     random_hiperd_mappings,
 )
 from repro.hiperd.model import HiperDSystem
-from repro.hiperd.robustness import robustness
-from repro.hiperd.slack import slack_from_constraints
 from repro.utils.rng import spawn_rngs
 from repro.utils.validation import check_positive_int
 
@@ -84,25 +83,16 @@ def run_experiment_two(
     mappings = random_hiperd_mappings(system, n_mappings, seed=rng_maps)
     load = np.asarray(initial_load, dtype=float)
 
-    rho = np.empty(n_mappings)
-    sl = np.empty(n_mappings)
-    names: list[str] = []
-    kinds: list[str] = []
-    for k, m in enumerate(mappings):
-        r = robustness(system, m, load)
-        rho[k] = r.value
-        sl[k] = slack_from_constraints(r.constraints, load)
-        names.append(r.binding_name)
-        kinds.append(r.binding_kind)
+    batch = RobustnessEngine().evaluate_hiperd(system, mappings, load)
 
     return ExperimentTwoResult(
         system=system,
         assignments=np.array([m.assignment for m in mappings]),
         initial_load=load,
-        robustness=rho,
-        slack=sl,
-        binding_names=tuple(names),
-        binding_kinds=tuple(kinds),
+        robustness=batch.values,
+        slack=batch.slacks,
+        binding_names=batch.binding_names,
+        binding_kinds=batch.binding_kinds,
     )
 
 

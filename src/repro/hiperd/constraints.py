@@ -66,6 +66,36 @@ class ConstraintSet:
             kinds=tuple(k for k, m in zip(self.kinds, mask) if m),
         )
 
+    def to_dict(self) -> dict:
+        """Encode as a JSON-ready dict (round-trips via :meth:`from_dict`)."""
+        from repro.utils.serialization import encode_array
+
+        return {
+            "type": "ConstraintSet",
+            "version": 1,
+            "coefficients": encode_array(self.coefficients),
+            "limits": encode_array(self.limits),
+            "names": list(self.names),
+            "kinds": list(self.kinds),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ConstraintSet":
+        """Decode a payload written by :meth:`to_dict`; validates the type tag."""
+        from repro.exceptions import ValidationError
+        from repro.utils.serialization import decode_array
+
+        if data.get("type") != "ConstraintSet":
+            raise ValidationError(
+                f"expected type 'ConstraintSet', got {data.get('type')!r}"
+            )
+        return cls(
+            coefficients=decode_array(data["coefficients"]),
+            limits=decode_array(data["limits"]),
+            names=tuple(data["names"]),
+            kinds=tuple(data["kinds"]),
+        )
+
 
 def build_constraints(system: HiperDSystem, mapping: Mapping) -> ConstraintSet:
     """Assemble the full constraint set for ``mapping`` (Eq. 9 + step 4 bounds)."""

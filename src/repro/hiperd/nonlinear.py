@@ -170,12 +170,18 @@ def power_law_robustness(
     load_orig,
     exponents,
     *,
+    config: "SolverConfig | dict | None" = None,
     solver_options: dict | None = None,
 ) -> MetricResult:
     """The robustness metric under power-law complexity functions.
 
     Floored (the load is discrete), computed with the numeric convex solver;
-    with all exponents 1 this equals the linear closed form.
+    with all exponents 1 this equals the linear closed form.  ``config``
+    takes a :class:`~repro.core.config.SolverConfig`; ``solver_options`` is
+    the deprecated dict spelling.
     """
+    from repro.core.config import resolve_config
+
+    cfg = resolve_config(config, solver_options)
     analysis = power_law_analysis(system, mapping, load_orig, exponents)
-    return analysis.analyze(solver_options=solver_options)
+    return analysis.analyze(config=cfg)

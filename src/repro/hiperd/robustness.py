@@ -23,13 +23,16 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.alloc.mapping import Mapping
+from repro.core.config import SolverConfig, resolve_config
 from repro.core.fepia import FePIAAnalysis
 from repro.core.metric import MetricResult
+from repro.core.norms import L2Norm, Norm, get_norm
 from repro.core.solvers.analytic import batch_hyperplane_distances
 from repro.core.solvers.discrete import floor_radius
 from repro.exceptions import InfeasibleAtOriginError, ValidationError
 from repro.hiperd.constraints import ConstraintSet, build_constraints
 from repro.hiperd.model import HiperDSystem
+from repro.utils.serialization import decode_array, decode_float, encode_array, encode_float
 
 __all__ = ["HiperdRobustness", "robustness", "boundary_load", "fepia_analysis"]
 
@@ -56,6 +59,41 @@ class HiperdRobustness:
     #: True when all constraints hold at ``lambda_orig``
     feasible_at_origin: bool
 
+    def to_dict(self) -> dict:
+        """Encode as a JSON-ready dict (round-trips via :meth:`from_dict`)."""
+        return {
+            "type": "HiperdRobustness",
+            "version": 1,
+            "value": encode_float(self.value),
+            "raw_value": encode_float(self.raw_value),
+            "radii": encode_array(self.radii),
+            "binding_index": int(self.binding_index),
+            "binding_name": self.binding_name,
+            "binding_kind": self.binding_kind,
+            "constraints": self.constraints.to_dict(),
+            "boundary": encode_array(self.boundary),
+            "feasible_at_origin": bool(self.feasible_at_origin),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "HiperdRobustness":
+        """Decode a payload written by :meth:`to_dict`; validates the type tag."""
+        if data.get("type") != "HiperdRobustness":
+            raise ValidationError(
+                f"expected type 'HiperdRobustness', got {data.get('type')!r}"
+            )
+        return cls(
+            value=decode_float(data["value"]),
+            raw_value=decode_float(data["raw_value"]),
+            radii=decode_array(data["radii"]),
+            binding_index=int(data["binding_index"]),
+            binding_name=str(data["binding_name"]),
+            binding_kind=str(data["binding_kind"]),
+            constraints=ConstraintSet.from_dict(data["constraints"]),
+            boundary=decode_array(data["boundary"]),
+            feasible_at_origin=bool(data["feasible_at_origin"]),
+        )
+
 
 def robustness(
     system: HiperDSystem,
@@ -64,8 +102,15 @@ def robustness(
     *,
     apply_floor: bool = True,
     require_feasible: bool = False,
+    norm: Norm | str | None = None,
+    config: SolverConfig | dict | None = None,
+    solver_options: dict | None = None,
 ) -> HiperdRobustness:
     """Compute ``rho_mu(Phi, lambda)`` for ``mapping`` anchored at ``load_orig``.
+
+    Shares the unified keyword signature of
+    :func:`repro.alloc.robustness.robustness` (``norm=``, ``config=``,
+    ``require_feasible=``) so the batched engine can dispatch uniformly.
 
     Parameters
     ----------
@@ -75,7 +120,18 @@ def robustness(
     require_feasible:
         Raise :class:`InfeasibleAtOriginError` when a constraint is violated
         at ``load_orig`` instead of returning a negative value.
+    norm:
+        Perturbation norm on load space (default l2, the paper's choice);
+        non-l2 norms generalize each hyperplane distance via the dual norm.
+    config:
+        :class:`~repro.core.config.SolverConfig`; accepted for signature
+        uniformity (the linear model needs no solver knobs).  A plain dict is
+        accepted with a ``DeprecationWarning``.
+    solver_options:
+        Deprecated alias for ``config`` (dict form).
     """
+    resolve_config(config, solver_options)  # dict shim + validation
+    norm = get_norm(norm)
     load_orig = np.asarray(load_orig, dtype=float)
     if load_orig.shape != (system.n_sensors,):
         raise ValidationError(
@@ -90,12 +146,20 @@ def robustness(
             f"constraint {cs.names[worst]} violated at lambda_orig "
             f"(fractional value {frac[worst]:.3f})"
         )
-    radii = batch_hyperplane_distances(cs.coefficients, cs.limits, load_orig)
+    if isinstance(norm, L2Norm):
+        radii = batch_hyperplane_distances(cs.coefficients, cs.limits, load_orig)
+    else:
+        gaps = cs.limits - cs.coefficients @ load_orig
+        duals = np.array([norm.dual(row) for row in cs.coefficients])
+        with np.errstate(divide="ignore", invalid="ignore"):
+            radii = np.where(duals > 0, gaps / np.maximum(duals, 1e-300), np.inf)
     k = int(np.argmin(radii))
     raw = float(radii[k])
     c = cs.coefficients[k]
     cc = float(c @ c)
-    if cc > 0:
+    if not isinstance(norm, L2Norm) and np.any(c != 0):
+        boundary = norm.closest_point_on_hyperplane(c, float(cs.limits[k]), load_orig)
+    elif cc > 0:
         boundary = load_orig + ((cs.limits[k] - c @ load_orig) / cc) * c
     else:  # all constraints unreachable (degenerate system)
         boundary = load_orig.copy()

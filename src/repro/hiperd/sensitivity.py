@@ -58,26 +58,33 @@ def move_improvements(
 ) -> list[MoveImprovement]:
     """All single-application reassignments ranked by resulting (unfloored)
     robustness.  Unlike the allocation system there is no batch closed form
-    (the multitasking factor recouples every constraint), so each candidate
-    is evaluated through the constraint pipeline."""
+    (the multitasking factor recouples every constraint), so the candidates
+    are evaluated as one population through the batched engine (a single
+    stacked constraint pass instead of one pipeline call per move)."""
+    from repro.engine import RobustnessEngine  # local: engine imports hiperd
+
     base = robustness(system, mapping, load_orig, apply_floor=False).raw_value
-    moves: list[MoveImprovement] = []
+    candidates: list[Mapping] = []
+    labels: list[tuple[int, int]] = []
     for app in range(system.n_apps):
         current = mapping.machine_of(app)
         for machine in range(system.n_machines):
             if machine == current:
                 continue
-            rho = robustness(
-                system, mapping.move(app, machine), load_orig, apply_floor=False
-            ).raw_value
-            moves.append(
-                MoveImprovement(
-                    app=app,
-                    machine=machine,
-                    new_robustness=float(rho),
-                    delta=float(rho - base),
-                )
-            )
+            candidates.append(mapping.move(app, machine))
+            labels.append((app, machine))
+    batch = RobustnessEngine().evaluate_hiperd(
+        system, candidates, load_orig, apply_floor=False
+    )
+    moves = [
+        MoveImprovement(
+            app=app,
+            machine=machine,
+            new_robustness=float(rho),
+            delta=float(rho - base),
+        )
+        for (app, machine), rho in zip(labels, batch.raw_values)
+    ]
     moves.sort(key=lambda mv: -mv.new_robustness)
     return moves[:top] if top is not None else moves
 

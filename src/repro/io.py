@@ -8,8 +8,17 @@ a stable, human-readable JSON codec for:
 - :class:`~repro.hiperd.model.HiperDSystem` (sensors, paths, coefficient
   tensor, latency limits, communication coefficients),
 
-plus ``save_json``/``load_json`` helpers.  Every payload carries a ``"type"``
-tag and a ``"version"`` so future format changes can stay compatible.
+plus every result object of the analysis APIs through one registry-backed
+codec (:func:`result_to_dict` / :func:`result_from_dict` /
+:func:`save_result` / :func:`load_result`): ``RadiusResult``,
+``MetricResult``, ``AllocationRobustness``, ``HiperdRobustness``,
+``ConstraintSet`` and the engine's batch results all round-trip through
+their own ``to_dict``/``from_dict`` pair, dispatched on the payload's
+``"type"`` tag.
+
+``save_json``/``load_json`` are the raw helpers.  Every payload carries a
+``"type"`` tag and a ``"version"`` so future format changes can stay
+compatible.
 """
 
 from __future__ import annotations
@@ -28,15 +37,65 @@ __all__ = [
     "mapping_from_dict",
     "system_to_dict",
     "system_from_dict",
+    "result_to_dict",
+    "result_from_dict",
     "save_json",
     "load_json",
     "save_mapping",
     "load_mapping",
     "save_system",
     "load_system",
+    "save_result",
+    "load_result",
 ]
 
 _VERSION = 1
+
+
+def _result_registry() -> dict:
+    """Type-tag -> class map of every ``to_dict``-capable result object.
+
+    Built lazily so :mod:`repro.io` stays importable without pulling the
+    engine (and its process-pool machinery) at module import time.
+    """
+    from repro.alloc.robustness import AllocationRobustness
+    from repro.core.metric import MetricResult
+    from repro.core.radius import RadiusResult
+    from repro.engine import AllocationBatchResult, HiperdBatchResult
+    from repro.hiperd.constraints import ConstraintSet
+    from repro.hiperd.robustness import HiperdRobustness
+
+    return {
+        "RadiusResult": RadiusResult,
+        "MetricResult": MetricResult,
+        "AllocationRobustness": AllocationRobustness,
+        "HiperdRobustness": HiperdRobustness,
+        "ConstraintSet": ConstraintSet,
+        "AllocationBatchResult": AllocationBatchResult,
+        "HiperdBatchResult": HiperdBatchResult,
+    }
+
+
+def result_to_dict(result) -> dict:
+    """Encode any registered result object via its own ``to_dict``."""
+    registry = _result_registry()
+    if type(result).__name__ not in registry:
+        raise ValidationError(
+            f"unserializable result type {type(result).__name__!r}; expected one "
+            f"of {sorted(registry)}"
+        )
+    return result.to_dict()
+
+
+def result_from_dict(data: dict):
+    """Decode a result payload by its ``"type"`` tag."""
+    registry = _result_registry()
+    tag = data.get("type")
+    if tag not in registry:
+        raise ValidationError(
+            f"unknown result type {tag!r}; expected one of {sorted(registry)}"
+        )
+    return registry[tag].from_dict(data)
 
 
 def mapping_to_dict(mapping: Mapping) -> dict:
@@ -136,3 +195,13 @@ def save_system(system: HiperDSystem, path) -> None:
 def load_system(path) -> HiperDSystem:
     """Read a system previously written by :func:`save_system`."""
     return system_from_dict(load_json(path))
+
+
+def save_result(result, path) -> None:
+    """Write any registered analysis result to ``path`` as JSON."""
+    save_json(result_to_dict(result), path)
+
+
+def load_result(path):
+    """Read a result previously written by :func:`save_result`."""
+    return result_from_dict(load_json(path))

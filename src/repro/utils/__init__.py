@@ -1,6 +1,13 @@
-"""Shared utilities: RNG plumbing, validation helpers, ASCII tables."""
+"""Shared utilities: RNG plumbing, validation helpers, ASCII tables,
+JSON-safe float/array codecs."""
 
 from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.serialization import (
+    decode_array,
+    decode_float,
+    encode_array,
+    encode_float,
+)
 from repro.utils.validation import (
     as_1d_float_array,
     as_2d_float_array,
@@ -26,4 +33,8 @@ __all__ = [
     "check_probability",
     "format_table",
     "format_series",
+    "encode_float",
+    "decode_float",
+    "encode_array",
+    "decode_array",
 ]

@@ -1,0 +1,62 @@
+"""JSON-safe encoding of floats and arrays shared by all ``to_dict`` codecs.
+
+Robustness radii are legitimately ``inf`` (empty machines, unreachable
+boundaries) and occasionally ``-inf`` (constant features beyond their
+limit); strict JSON has no literal for either.  These helpers encode
+non-finite floats as the strings ``"inf"`` / ``"-inf"`` / ``"nan"`` and
+decode them back, so every result payload stays valid, portable JSON.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+__all__ = ["encode_float", "decode_float", "encode_array", "decode_array"]
+
+
+def encode_float(value: float) -> float | str:
+    """A JSON-safe representation of one float (strings for non-finite)."""
+    value = float(value)
+    if math.isnan(value):
+        return "nan"
+    if math.isinf(value):
+        return "inf" if value > 0 else "-inf"
+    return value
+
+
+def decode_float(value) -> float:
+    """Invert :func:`encode_float`."""
+    if isinstance(value, str):
+        if value in ("inf", "-inf", "nan"):
+            return float(value)
+        raise ValidationError(f"bad encoded float {value!r}")
+    return float(value)
+
+
+def encode_array(arr) -> list | None:
+    """Encode a numeric array (any shape, ``None`` passes through)."""
+    if arr is None:
+        return None
+    arr = np.asarray(arr, dtype=float)
+    if arr.ndim == 0:
+        raise ValidationError("encode_array expects at least a 1-D array")
+    if arr.ndim == 1:
+        return [encode_float(v) for v in arr.tolist()]
+    return [encode_array(row) for row in arr]
+
+
+def decode_array(data) -> np.ndarray | None:
+    """Invert :func:`encode_array` (``None`` passes through)."""
+    if data is None:
+        return None
+
+    def _decode(node):
+        if isinstance(node, list):
+            return [_decode(item) for item in node]
+        return decode_float(node)
+
+    return np.asarray(_decode(data), dtype=float)

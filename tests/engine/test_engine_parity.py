@@ -1,0 +1,272 @@
+"""Batched engine results match the per-mapping scalar path bit-for-bit.
+
+Every assertion here uses exact equality (``==`` / ``np.array_equal``), not
+``allclose``: the engine's affine kernels perform the same elementwise
+arithmetic as the scalar API row by row, and its numeric branch re-enters
+the scalar solver, so there is no tolerance to grant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.alloc.generators import random_assignments
+from repro.alloc.mapping import Mapping
+from repro.alloc.robustness import robustness as alloc_robustness
+from repro.core import (
+    CallableImpact,
+    FeatureBounds,
+    FePIAAnalysis,
+    PerformanceFeature,
+    PerturbationParameter,
+    SolverConfig,
+    robustness_metric,
+)
+from repro.engine import RobustnessEngine
+from repro.etcgen.cvb import cvb_etc_matrix
+from repro.exceptions import InfeasibleAtOriginError, ValidationError
+from repro.hiperd.generators import (
+    PAPER_INITIAL_LOAD,
+    generate_system,
+    random_hiperd_mappings,
+)
+from repro.hiperd.robustness import robustness as hiperd_robustness
+from repro.hiperd.slack import slack_from_constraints
+
+N_POP = 60
+
+
+@pytest.fixture(scope="module")
+def alloc_case():
+    etc = cvb_etc_matrix(20, 5, seed=101)
+    assignments = random_assignments(N_POP, 20, 5, seed=102)
+    return etc, assignments
+
+
+@pytest.fixture(scope="module")
+def hiperd_case():
+    system = generate_system(seed=103)
+    mappings = random_hiperd_mappings(system, N_POP, seed=104)
+    load = np.asarray(PAPER_INITIAL_LOAD, dtype=float)
+    return system, mappings, load
+
+
+class TestAllocationParity:
+    def test_bit_for_bit(self, alloc_case):
+        etc, assignments = alloc_case
+        batch = RobustnessEngine().evaluate_allocation(assignments, etc, 1.2)
+        assert len(batch) == N_POP
+        for i in range(N_POP):
+            scalar = alloc_robustness(Mapping(assignments[i], 5), etc, 1.2)
+            assert batch.values[i] == scalar.value
+            assert np.array_equal(batch.radii[i], scalar.radii)
+            assert batch.critical_machines[i] == scalar.critical_machine
+            assert batch.makespans[i] == scalar.makespan
+
+    def test_result_for_matches_scalar_object(self, alloc_case):
+        etc, assignments = alloc_case
+        batch = RobustnessEngine().evaluate_allocation(assignments, etc, 1.2)
+        one = batch.result_for(3)
+        scalar = alloc_robustness(Mapping(assignments[3], 5), etc, 1.2)
+        assert one.value == scalar.value
+        assert np.array_equal(one.radii, scalar.radii)
+        assert one.tau == scalar.tau
+
+    def test_accepts_mapping_sequence(self, alloc_case):
+        etc, assignments = alloc_case
+        mappings = [Mapping(a, 5) for a in assignments[:10]]
+        a = RobustnessEngine().evaluate_allocation(mappings, etc, 1.2)
+        b = RobustnessEngine().evaluate_allocation(assignments[:10], etc, 1.2)
+        assert np.array_equal(a.values, b.values)
+
+    def test_require_feasible(self, alloc_case):
+        etc, assignments = alloc_case
+        engine = RobustnessEngine()
+        # tau < 1 makes the makespan machine infeasible by construction
+        with pytest.raises(InfeasibleAtOriginError):
+            engine.evaluate_allocation(assignments, etc, 0.5, require_feasible=True)
+
+    def test_non_l2_norm_rejected(self, alloc_case):
+        etc, assignments = alloc_case
+        with pytest.raises(ValidationError, match="l2"):
+            RobustnessEngine(norm="l1").evaluate_allocation(assignments, etc, 1.2)
+
+
+class TestHiperdParity:
+    def test_bit_for_bit(self, hiperd_case):
+        system, mappings, load = hiperd_case
+        batch = RobustnessEngine().evaluate_hiperd(system, mappings, load)
+        assert len(batch) == N_POP
+        for i, m in enumerate(mappings):
+            scalar = hiperd_robustness(system, m, load)
+            assert batch.values[i] == scalar.value
+            assert batch.raw_values[i] == scalar.raw_value
+            assert np.array_equal(batch.radii[i], scalar.radii)
+            assert batch.binding_indices[i] == scalar.binding_index
+            assert batch.binding_names[i] == scalar.binding_name
+            assert batch.binding_kinds[i] == scalar.binding_kind
+            assert np.array_equal(batch.boundaries[i], scalar.boundary)
+            assert bool(batch.feasible_at_origin[i]) == scalar.feasible_at_origin
+            assert batch.slacks[i] == slack_from_constraints(scalar.constraints, load)
+
+    def test_unfloored(self, hiperd_case):
+        system, mappings, load = hiperd_case
+        batch = RobustnessEngine().evaluate_hiperd(
+            system, mappings[:10], load, apply_floor=False
+        )
+        assert np.array_equal(batch.values, batch.raw_values)
+
+    def test_empty_population_rejected(self, hiperd_case):
+        system, _, load = hiperd_case
+        with pytest.raises(ValidationError):
+            RobustnessEngine().evaluate_hiperd(system, [], load)
+
+
+def _quadratic_feature(name: str, bound: float) -> PerformanceFeature:
+    impact = CallableImpact(
+        lambda x: float(x @ x), grad=lambda x: 2.0 * x, name=name, convex=True
+    )
+    return PerformanceFeature(name, impact, FeatureBounds(-np.inf, bound))
+
+
+class TestGenericMetricParity:
+    def test_affine_population(self):
+        """Engine affine path == robustness_metric, feature by feature."""
+        rng = np.random.default_rng(7)
+        problems = []
+        for _ in range(12):
+            origin = rng.uniform(1.0, 5.0, size=4)
+            param = PerturbationParameter("C", origin)
+            feats = [
+                PerformanceFeature(
+                    f"F_{j}",
+                    np.asarray((rng.random(4) > 0.5), dtype=float),
+                    FeatureBounds(-np.inf, float(origin.sum() * 1.3)),
+                )
+                for j in range(3)
+            ]
+            problems.append((feats, param))
+        batch = RobustnessEngine().evaluate_population(problems)
+        for (feats, param), got in zip(problems, batch):
+            want = robustness_metric(feats, param)
+            assert got.value == want.value
+            assert got.binding_feature == want.binding_feature
+            for a, b in zip(got.radii, want.radii):
+                assert a.radius == b.radius
+                assert np.array_equal(a.boundary_point, b.boundary_point)
+                assert a.binding_bound == b.binding_bound
+
+    def test_numeric_parity(self):
+        feats = [_quadratic_feature("q", 4.0)]
+        param = PerturbationParameter("x", [0.5, 0.5])
+        scalar = robustness_metric(feats, param)
+        batched = RobustnessEngine().evaluate_metric(feats, param)
+        assert batched.value == scalar.value
+        assert np.array_equal(
+            batched.radii[0].boundary_point, scalar.radii[0].boundary_point
+        )
+        assert batched.radii[0].solver == "numeric"
+
+    def test_mixed_affine_numeric(self):
+        param = PerturbationParameter("x", [0.5, 0.5])
+        feats = [
+            PerformanceFeature("lin", np.array([1.0, 1.0]), FeatureBounds(-np.inf, 3.0)),
+            _quadratic_feature("quad", 4.0),
+        ]
+        scalar = robustness_metric(feats, param)
+        batched = RobustnessEngine().evaluate_metric(feats, param)
+        assert batched.value == scalar.value
+        assert batched.binding_feature == scalar.binding_feature
+
+    def test_discrete_floor_applied(self):
+        param = PerturbationParameter("n", [2.0, 2.0], discrete=True)
+        feats = [
+            PerformanceFeature("f", np.array([1.0, 0.0]), FeatureBounds(-np.inf, 4.5))
+        ]
+        scalar = robustness_metric(feats, param)
+        batched = RobustnessEngine().evaluate_metric(feats, param)
+        assert batched.value == scalar.value == np.floor(scalar.raw_value)
+
+    def test_require_feasible(self):
+        param = PerturbationParameter("x", [3.0, 3.0])
+        feats = [
+            PerformanceFeature("f", np.array([1.0, 1.0]), FeatureBounds(-np.inf, 4.0))
+        ]
+        with pytest.raises(InfeasibleAtOriginError):
+            RobustnessEngine().evaluate_metric(feats, param, require_feasible=True)
+
+    def test_forced_numeric_config_parity(self):
+        param = PerturbationParameter("x", [1.0, 1.0])
+        feats = [
+            PerformanceFeature("f", np.array([1.0, 1.0]), FeatureBounds(-np.inf, 4.0))
+        ]
+        cfg = SolverConfig(solver="numeric")
+        scalar = robustness_metric(feats, param, config=cfg)
+        batched = RobustnessEngine(config=cfg).evaluate_metric(feats, param)
+        assert batched.value == scalar.value
+        assert batched.radii[0].solver == "numeric"
+
+
+class TestUnifiedDispatch:
+    def test_allocation_dispatch(self, alloc_case):
+        etc, assignments = alloc_case
+        m = Mapping(assignments[0], 5)
+        got = RobustnessEngine().robustness_of(m, etc, 1.2)
+        want = alloc_robustness(m, etc, 1.2)
+        assert got.value == want.value
+
+    def test_hiperd_dispatch(self, hiperd_case):
+        system, mappings, load = hiperd_case
+        got = RobustnessEngine().robustness_of(system, mappings[0], load)
+        want = hiperd_robustness(system, mappings[0], load)
+        assert got.value == want.value
+
+    def test_metric_dispatch(self):
+        analysis = (
+            FePIAAnalysis("d")
+            .with_perturbation("C", [5.0, 3.0, 4.0])
+            .add_feature("F_0", impact=[1, 0, 1], upper=1.3 * 9.0)
+        )
+        got = RobustnessEngine().robustness_of(analysis.features, analysis.parameter)
+        assert got.value == analysis.analyze().value
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValidationError):
+            RobustnessEngine().robustness_of(42, 43)
+
+
+class TestRewiredPipelines:
+    """The call sites rewired through the engine keep their exact outputs."""
+
+    def test_experiment_two_matches_scalar_loop(self):
+        from repro.experiments.experiment2 import run_experiment_two
+
+        result = run_experiment_two(n_mappings=40, seed=12)
+        for k in range(result.n_mappings):
+            m = Mapping(result.assignments[k], result.system.n_machines)
+            scalar = hiperd_robustness(result.system, m, result.initial_load)
+            assert result.robustness[k] == scalar.value
+            assert result.binding_names[k] == scalar.binding_name
+            assert result.slack[k] == slack_from_constraints(
+                scalar.constraints, result.initial_load
+            )
+
+    def test_objective_matches_scalar(self, alloc_case):
+        from repro.alloc.heuristics.objective import make_objective
+
+        etc, assignments = alloc_case
+        scores = make_objective("robustness", etc, tau=1.2)(assignments)
+        for i in range(N_POP):
+            assert scores[i] == -alloc_robustness(Mapping(assignments[i], 5), etc, 1.2).value
+
+    def test_move_improvements_matches_scalar(self, hiperd_case):
+        from repro.hiperd.sensitivity import move_improvements
+
+        system, mappings, load = hiperd_case
+        moves = move_improvements(system, mappings[0], load, top=5)
+        for mv in moves:
+            scalar = hiperd_robustness(
+                system, mappings[0].move(mv.app, mv.machine), load, apply_floor=False
+            )
+            assert mv.new_robustness == scalar.raw_value

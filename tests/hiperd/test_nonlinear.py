@@ -6,6 +6,7 @@ import numpy as np
 import pytest
 
 from repro.alloc.mapping import Mapping
+from repro.core.config import SolverConfig
 from repro.exceptions import ValidationError
 from repro.hiperd.generators import generate_system
 from repro.hiperd.model import HiperDSystem, Path, Sensor
@@ -44,7 +45,7 @@ class TestPowerLaw:
         lam0 = np.array([50.0, 30.0, 20.0])
         linear = robustness(system, m, lam0)
         nl = power_law_robustness(
-            system, m, lam0, np.ones((6, 3)), solver_options={"n_starts": 2}
+            system, m, lam0, np.ones((6, 3)), config=SolverConfig(n_starts=2)
         )
         assert nl.raw_value == pytest.approx(linear.raw_value, rel=1e-5)
 
@@ -55,7 +56,7 @@ class TestPowerLaw:
         m = Mapping([0, 1], 2)
         lam0 = np.array([3.0, 1.0])
         exps = np.array([[2.0, 1.0], [1.0, 1.0]])
-        res = power_law_robustness(small, m, lam0, exps, solver_options={"n_starts": 2})
+        res = power_law_robustness(small, m, lam0, exps, config=SolverConfig(n_starts=2))
         want = np.sqrt(45.0) - 3.0
         assert res.raw_value == pytest.approx(want, rel=1e-5)
         assert res.binding_feature in ("L[0]", "T_c[a0]")
@@ -78,7 +79,7 @@ class TestPowerLaw:
             latency_limits=small.latency_limits,
         )
         quad = power_law_robustness(
-            quad_sys, m, lam0, np.full((2, 2), 2.0), solver_options={"n_starts": 2}
+            quad_sys, m, lam0, np.full((2, 2), 2.0), config=SolverConfig(n_starts=2)
         )
         assert quad.raw_value < lin.raw_value
 

@@ -14,9 +14,13 @@ import pytest
 PUBLIC_MODULES = [
     "repro",
     "repro.core",
+    "repro.core.config",
     "repro.core.norms",
     "repro.core.solvers",
     "repro.core.multi",
+    "repro.engine",
+    "repro.engine.cache",
+    "repro.engine.pool",
     "repro.etcgen",
     "repro.alloc",
     "repro.alloc.heuristics",

@@ -1,0 +1,181 @@
+"""Round-trip tests: result objects <-> dicts <-> JSON files."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.alloc.mapping import Mapping
+from repro.alloc.robustness import AllocationRobustness, robustness as alloc_robustness
+from repro.core import FePIAAnalysis, MetricResult, RadiusResult
+from repro.engine import RobustnessEngine
+from repro.etcgen.cvb import cvb_etc_matrix
+from repro.exceptions import ValidationError
+from repro.hiperd.constraints import ConstraintSet, build_constraints
+from repro.hiperd.generators import (
+    PAPER_INITIAL_LOAD,
+    generate_system,
+    random_hiperd_mappings,
+)
+from repro.hiperd.robustness import HiperdRobustness, robustness as hiperd_robustness
+from repro.io import load_result, result_from_dict, result_to_dict, save_result
+from repro.utils.serialization import (
+    decode_array,
+    decode_float,
+    encode_array,
+    encode_float,
+)
+
+
+@pytest.fixture(scope="module")
+def alloc_result():
+    etc = cvb_etc_matrix(10, 4, seed=11)
+    return alloc_robustness(Mapping(np.arange(10) % 4, 4), etc, 1.2)
+
+
+@pytest.fixture(scope="module")
+def hiperd_setup():
+    system = generate_system(seed=5)
+    mapping = random_hiperd_mappings(system, 1, seed=6)[0]
+    load = np.asarray(PAPER_INITIAL_LOAD, dtype=float)
+    return system, mapping, load
+
+
+@pytest.fixture(scope="module")
+def metric_result():
+    return (
+        FePIAAnalysis("roundtrip")
+        .with_perturbation("C", [5.0, 3.0, 4.0])
+        .add_feature("F_0", impact=[1, 0, 1], upper=1.3 * 9.0)
+        .add_feature("F_1", impact=[0, 1, 0], upper=1.3 * 9.0)
+        .analyze()
+    )
+
+
+class TestFloatCodec:
+    @pytest.mark.parametrize("x", [0.0, -1.5, 3.14159, np.inf, -np.inf])
+    def test_roundtrip(self, x):
+        assert decode_float(encode_float(x)) == x
+
+    def test_nan(self):
+        assert np.isnan(decode_float(encode_float(np.nan)))
+
+    def test_json_safe(self):
+        payload = [encode_float(v) for v in (1.0, np.inf, -np.inf, np.nan)]
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_array_none_passthrough(self):
+        assert encode_array(None) is None
+        assert decode_array(None) is None
+
+    def test_array_roundtrip_with_nonfinite(self):
+        a = np.array([[1.0, np.inf], [-np.inf, 2.5]])
+        back = decode_array(encode_array(a))
+        assert np.array_equal(back, a)
+
+
+class TestResultRoundTrips:
+    def test_allocation(self, alloc_result):
+        back = AllocationRobustness.from_dict(alloc_result.to_dict())
+        assert back.value == alloc_result.value
+        assert np.array_equal(back.radii, alloc_result.radii)
+        assert back.critical_machine == alloc_result.critical_machine
+        assert back.makespan == alloc_result.makespan
+        assert back.tau == alloc_result.tau
+
+    def test_hiperd(self, hiperd_setup):
+        system, mapping, load = hiperd_setup
+        res = hiperd_robustness(system, mapping, load)
+        back = HiperdRobustness.from_dict(res.to_dict())
+        assert back.value == res.value
+        assert back.raw_value == res.raw_value
+        assert np.array_equal(back.radii, res.radii)
+        assert back.binding_name == res.binding_name
+        assert np.array_equal(back.boundary, res.boundary)
+        assert np.array_equal(back.constraints.coefficients, res.constraints.coefficients)
+
+    def test_constraint_set(self, hiperd_setup):
+        system, mapping, _ = hiperd_setup
+        cs = build_constraints(system, mapping)
+        back = ConstraintSet.from_dict(cs.to_dict())
+        assert np.array_equal(back.coefficients, cs.coefficients)
+        assert np.array_equal(back.limits, cs.limits)
+        assert back.names == cs.names
+        assert back.kinds == cs.kinds
+
+    def test_metric_with_radii(self, metric_result):
+        back = MetricResult.from_dict(metric_result.to_dict())
+        assert back.value == metric_result.value
+        assert back.binding_feature == metric_result.binding_feature
+        assert len(back.radii) == len(metric_result.radii)
+        for a, b in zip(back.radii, metric_result.radii):
+            assert a.feature == b.feature
+            assert a.radius == b.radius
+            assert np.array_equal(a.boundary_point, b.boundary_point)
+        # the rebuilt name map works
+        assert back.radius_of("F_1").radius == metric_result.radius_of("F_1").radius
+
+    def test_radius_result_infinite(self):
+        r = RadiusResult(
+            feature="f",
+            parameter="p",
+            radius=float("inf"),
+            boundary_point=None,
+            binding_bound=None,
+            value_at_origin=1.0,
+            feasible_at_origin=True,
+            solver="analytic",
+        )
+        back = RadiusResult.from_dict(r.to_dict())
+        assert back.radius == np.inf
+        assert back.boundary_point is None
+
+    def test_wrong_type_tag_rejected(self, alloc_result):
+        data = alloc_result.to_dict()
+        data["type"] = "MetricResult"
+        with pytest.raises(ValidationError):
+            AllocationRobustness.from_dict(data)
+
+
+class TestIoRegistry:
+    def test_dispatch_by_tag(self, alloc_result, metric_result):
+        for res in (alloc_result, metric_result):
+            back = result_from_dict(result_to_dict(res))
+            assert type(back) is type(res)
+            assert back.value == res.value
+
+    def test_unknown_tag(self):
+        with pytest.raises(ValidationError, match="unknown result type"):
+            result_from_dict({"type": "Nonsense"})
+
+    def test_unregistered_object(self):
+        with pytest.raises(ValidationError, match="unserializable"):
+            result_to_dict(object())
+
+    def test_save_load_file(self, tmp_path, alloc_result):
+        path = tmp_path / "result.json"
+        save_result(alloc_result, path)
+        back = load_result(path)
+        assert isinstance(back, AllocationRobustness)
+        assert np.array_equal(back.radii, alloc_result.radii)
+
+    def test_batch_results_roundtrip(self, hiperd_setup):
+        system, _, load = hiperd_setup
+        mappings = random_hiperd_mappings(system, 8, seed=9)
+        engine = RobustnessEngine()
+        hb = engine.evaluate_hiperd(system, mappings, load)
+        back = result_from_dict(result_to_dict(hb))
+        assert np.array_equal(back.values, hb.values)
+        assert np.array_equal(back.radii, hb.radii)
+        assert back.binding_names == hb.binding_names
+        assert np.array_equal(back.feasible_at_origin, hb.feasible_at_origin)
+
+        etc = cvb_etc_matrix(12, 4, seed=3)
+        from repro.alloc.generators import random_assignments
+
+        ab = engine.evaluate_allocation(random_assignments(6, 12, 4, seed=4), etc, 1.2)
+        back = result_from_dict(result_to_dict(ab))
+        assert np.array_equal(back.values, ab.values)
+        assert np.array_equal(back.makespans, ab.makespans)
