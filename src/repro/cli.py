@@ -8,6 +8,7 @@ Usage::
     python -m repro validate  [--seed N] [--samples N] [--tau X]
     python -m repro heuristics [--seed N] [--tau X]
     python -m repro monitor   [--seed N] [--steps N] [--threshold X]
+    python -m repro faults    [--seed N] [--tau X] [--eps X] [--confidence X]
 
 Each subcommand prints the regenerated table/figure report (and optionally
 writes it to ``--out``).  Exit status is 0 on success, 2 on bad arguments.
@@ -62,6 +63,16 @@ def build_parser() -> argparse.ArgumentParser:
     pm.add_argument("--seed", type=int, default=8)
     pm.add_argument("--steps", type=int, default=150)
     pm.add_argument("--threshold", type=float, default=200.0)
+
+    pf = sub.add_parser(
+        "faults",
+        help="radius certification + machine-failure scenario (fault suite)",
+    )
+    pf.add_argument("--seed", type=int, default=2003)
+    pf.add_argument("--tau", type=float, default=1.2)
+    pf.add_argument("--eps", type=float, default=0.01)
+    pf.add_argument("--confidence", type=float, default=0.99)
+    pf.add_argument("--fail-fraction", type=float, default=0.5)
 
     return parser
 
@@ -187,6 +198,54 @@ def _cmd_monitor(args) -> int:
     return 0
 
 
+def _cmd_faults(args) -> int:
+    from repro.alloc.generators import random_mapping
+    from repro.etcgen import cvb_etc_matrix
+    from repro.faults import certify, machine_failure_scenario, validate_hiperd_radius
+    from repro.hiperd import build_table2_system
+
+    etc = cvb_etc_matrix(20, 5, seed=args.seed)
+    mapping = random_mapping(20, 5, seed=args.seed + 1)
+
+    cert = certify(
+        mapping,
+        etc,
+        args.tau,
+        eps=args.eps,
+        confidence=args.confidence,
+        seed=args.seed + 2,
+    )
+    print(f"allocation radius     : {cert.radius:.4f}")
+    print(
+        f"certificate           : holds={cert.holds} "
+        f"({cert.n_samples} samples, {cert.violations} violations, "
+        f"eps={cert.eps}, confidence={cert.confidence})"
+    )
+
+    inst = build_table2_system()
+    hv = validate_hiperd_radius(
+        inst.system, inst.mapping_a, inst.initial_load, seed=args.seed + 3
+    )
+    print(
+        f"HiPer-D radius        : {hv.radius:.4f} "
+        f"(sound={hv.sound}, tight={hv.tight})"
+    )
+
+    mf = machine_failure_scenario(
+        mapping, etc, args.tau, fail_fraction=args.fail_fraction
+    )
+    print(
+        f"machine failure       : machine {mf.failed_machine} at "
+        f"t={mf.fail_time:.2f}, makespan {mf.baseline_makespan:.2f} -> "
+        f"{mf.makespan:.2f} (x{mf.degradation:.3f})"
+    )
+    print(
+        f"reassigned            : {len(mf.reassigned)} applications, "
+        f"within tau*M_orig: {mf.within_tolerance}"
+    )
+    return 0 if cert.holds and hv.sound and hv.tight else 1
+
+
 _COMMANDS = {
     "fig3": _cmd_fig3,
     "fig4": _cmd_fig4,
@@ -194,6 +253,7 @@ _COMMANDS = {
     "validate": _cmd_validate,
     "heuristics": _cmd_heuristics,
     "monitor": _cmd_monitor,
+    "faults": _cmd_faults,
 }
 
 

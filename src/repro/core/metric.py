@@ -47,6 +47,11 @@ class MetricResult:
         return {r.feature: r for r in self.radii}
 
     @property
+    def converged(self) -> bool:
+        """True when every per-feature radius solve certified its answer."""
+        return all(r.converged for r in self.radii)
+
+    @property
     def boundary_point(self) -> np.ndarray | None:
         """The boundary point ``pi*`` of the binding feature."""
         if self.binding_feature is None:
@@ -114,8 +119,11 @@ def metric_from_radii(
         raise ValidationError("the feature set Phi must be non-empty")
     radii = np.array([r.radius for r in results], dtype=float)
     raw = float(np.min(radii))
-    finite_min = int(np.argmin(radii))
-    binding = results[finite_min].feature if np.isfinite(raw) or raw == -np.inf else None
+    # argmin propagates NaN (a failed/unsolved radius), so when the batch
+    # contains a failure the "binding" feature is the failed one and the
+    # metric itself is NaN — poisoning the min exactly as unknowability should.
+    arg = int(np.argmin(radii))
+    binding = results[arg].feature if np.isfinite(raw) or raw == -np.inf or np.isnan(raw) else None
     if raw == np.inf:
         binding = None
 

@@ -57,8 +57,15 @@ class RadiusResult:
     value_at_origin: float
     #: True when the origin satisfies the feature's requirement
     feasible_at_origin: bool
-    #: solver used (``"analytic"``/``"numeric"``)
+    #: solver used (``"analytic"``/``"numeric"``/``"montecarlo"``/``"failed"``)
     solver: str
+    #: False when a numeric solve did not certify its answer (see ``failure``)
+    #: or when the radius is a fallback bound rather than an exact solve
+    converged: bool = True
+    #: why the solve failed or degraded — a reason string from
+    #: :data:`repro.core.solvers.numeric.RETRYABLE_REASONS` / the solver's
+    #: taxonomy (``"max-iter"``, ``"nan-from-impact"``, ...), or None
+    failure: str | None = None
 
     def __post_init__(self) -> None:
         if self.binding_bound not in (None, "lower", "upper"):
@@ -77,11 +84,17 @@ class RadiusResult:
             "value_at_origin": encode_float(self.value_at_origin),
             "feasible_at_origin": bool(self.feasible_at_origin),
             "solver": self.solver,
+            "converged": bool(self.converged),
+            "failure": self.failure,
         }
 
     @classmethod
     def from_dict(cls, data: dict) -> "RadiusResult":
-        """Decode a payload written by :meth:`to_dict`; validates the type tag."""
+        """Decode a payload written by :meth:`to_dict`; validates the type tag.
+
+        Payloads written before the fault-tolerance fields existed decode with
+        the benign defaults (``converged=True``, ``failure=None``).
+        """
         if data.get("type") != "RadiusResult":
             raise ValidationError(f"expected type 'RadiusResult', got {data.get('type')!r}")
         return cls(
@@ -93,6 +106,8 @@ class RadiusResult:
             value_at_origin=decode_float(data["value_at_origin"]),
             feasible_at_origin=bool(data["feasible_at_origin"]),
             solver=str(data["solver"]),
+            converged=bool(data.get("converged", True)),
+            failure=data.get("failure"),
         )
 
 
@@ -159,6 +174,8 @@ def robustness_radius(
     best_point: np.ndarray | None = None
     best_bound: str | None = None
     solver_name = _select_solver(feature, cfg)
+    converged = True
+    failure: str | None = None
 
     for rel in rels:
         if solver_name == "analytic":
@@ -166,6 +183,10 @@ def robustness_radius(
         else:
             res = boundary_min_norm(rel, origin, norm, **cfg.numeric_kwargs())
             dist, point = res.distance, res.point
+            if not res.converged:
+                converged = False
+                if failure is None:
+                    failure = res.reason
         if dist < best:
             best, best_point, best_bound = dist, point, rel.bound
 
@@ -184,4 +205,6 @@ def robustness_radius(
         value_at_origin=value0,
         feasible_at_origin=feasible,
         solver=solver_name,
+        converged=converged,
+        failure=failure,
     )

@@ -33,9 +33,20 @@ from repro.core.norms import L2Norm, Norm, get_norm
 from repro.exceptions import SolverError
 from repro.utils.rng import ensure_rng
 
-__all__ = ["NumericSolveResult", "boundary_min_norm"]
+__all__ = ["NumericSolveResult", "boundary_min_norm", "RETRYABLE_REASONS"]
 
 _FD_EPS = 1e-7
+
+#: marker used to recognize non-finite-gradient failures in classification
+_NONFINITE_GRAD_MSG = "non-finite gradient"
+
+#: failure reasons that a retry with an escalated configuration (more
+#: multi-starts, tighter tolerances) can plausibly fix; ``"unreachable-
+#: boundary"`` is excluded because an unreachable boundary is a property of
+#: the problem, not of the solve.
+RETRYABLE_REASONS = frozenset(
+    {"max-iter", "nan-from-impact", "non-finite-iterate", "solver-exception"}
+)
 
 
 @dataclass(frozen=True)
@@ -46,6 +57,13 @@ class NumericSolveResult:
     point: np.ndarray | None
     n_starts: int
     converged: bool
+    #: why ``converged`` is False — one of ``"max-iter"`` (iteration cap hit
+    #: before the success criterion), ``"nan-from-impact"`` (the impact or its
+    #: gradient produced NaN/inf), ``"non-finite-iterate"`` (SLSQP diverged to
+    #: a non-finite point), ``"solver-exception"`` (scipy raised), or
+    #: ``"unreachable-boundary"`` (no start ever satisfied the constraint —
+    #: the boundary may genuinely not be attainable).  ``None`` when converged.
+    reason: str | None = None
 
 
 def _gradient(impact, pi: np.ndarray) -> np.ndarray:
@@ -171,6 +189,7 @@ def boundary_min_norm(
     best_val = np.inf
     best_pi: np.ndarray | None = None
     any_converged = False
+    failures: set[str] = set()
     for x0 in starts:
         try:
             res = optimize.minimize(
@@ -181,12 +200,26 @@ def boundary_min_norm(
                 constraints=[{"type": "eq", "fun": constraint, "jac": constraint_grad}],
                 options={"maxiter": maxiter, "ftol": ftol},
             )
-        except (ValueError, FloatingPointError, SolverError):
+        except SolverError as exc:
+            failures.add(
+                "nan-from-impact" if _NONFINITE_GRAD_MSG in str(exc) else "solver-exception"
+            )
+            continue
+        except (ValueError, FloatingPointError):
+            failures.add("solver-exception")
             continue
         if not np.all(np.isfinite(res.x)):
+            failures.add("non-finite-iterate")
             continue
         feas = abs(constraint(res.x))
-        if not np.isfinite(feas) or feas > 1e-6 * max(1.0, abs(beta)):
+        if not np.isfinite(feas):
+            failures.add("nan-from-impact")
+            continue
+        if feas > 1e-6 * max(1.0, abs(beta)):
+            if not res.success and getattr(res, "nit", 0) >= maxiter:
+                failures.add("max-iter")
+            else:
+                failures.add("unreachable-boundary")
             continue
         any_converged = any_converged or bool(res.success)
         val = l2(res.x - origin)
@@ -197,8 +230,15 @@ def boundary_min_norm(
     if best_pi is None:
         # The boundary may be unreachable (e.g. bounded impact never attains
         # beta).  Report an infinite radius rather than failing: an
-        # unreachable boundary constrains nothing.
-        return NumericSolveResult(distance=sign * np.inf, point=None, n_starts=len(starts), converged=False)
+        # unreachable boundary constrains nothing.  ``reason`` distinguishes
+        # that benign case from numeric trouble a retry could fix.
+        return NumericSolveResult(
+            distance=sign * np.inf,
+            point=None,
+            n_starts=len(starts),
+            converged=False,
+            reason=_classify_failure(failures),
+        )
 
     distance = best_val if isinstance(norm, L2Norm) else _polish_norm(
         norm, impact, beta, origin, best_pi, maxiter=maxiter
@@ -208,7 +248,26 @@ def boundary_min_norm(
         point=best_pi,
         n_starts=len(starts),
         converged=any_converged,
+        reason=None if any_converged else "max-iter",
     )
+
+
+#: most-actionable first: numeric trouble beats a plain feasibility miss
+_FAILURE_PRIORITY = (
+    "nan-from-impact",
+    "solver-exception",
+    "non-finite-iterate",
+    "max-iter",
+    "unreachable-boundary",
+)
+
+
+def _classify_failure(failures: set[str]) -> str:
+    """Collapse per-start failure causes into the single most actionable one."""
+    for reason in _FAILURE_PRIORITY:
+        if reason in failures:
+            return reason
+    return "unreachable-boundary"
 
 
 def _polish_norm(norm: Norm, impact, beta: float, origin: np.ndarray, x0: np.ndarray, *, maxiter: int) -> float:

@@ -7,24 +7,36 @@ optional process pool for non-affine impacts.  Batched results are
 bit-for-bit identical to the per-mapping scalar API.
 
 See :mod:`repro.engine.engine` for the evaluator,
-:mod:`repro.engine.cache` for the solve cache and
-:mod:`repro.engine.pool` for the process-pool fan-out.
+:mod:`repro.engine.cache` for the solve cache,
+:mod:`repro.engine.pool` for the process-pool fan-out and
+:mod:`repro.engine.fault` for the fault-isolated scheduler
+(retries, per-task timeouts, crash attribution, failure records).
 """
 
 from repro.engine.cache import RadiusCache, norm_cache_key
 from repro.engine.engine import (
     AllocationBatchResult,
+    BatchRobustnessResult,
     HiperdBatchResult,
     RobustnessEngine,
+)
+from repro.engine.fault import (
+    FailureRecord,
+    RetryPolicy,
+    solve_radius_tasks_isolated,
 )
 from repro.engine.pool import radius_task, solve_radius_tasks
 
 __all__ = [
     "AllocationBatchResult",
+    "BatchRobustnessResult",
     "HiperdBatchResult",
     "RobustnessEngine",
     "RadiusCache",
     "norm_cache_key",
     "radius_task",
     "solve_radius_tasks",
+    "solve_radius_tasks_isolated",
+    "RetryPolicy",
+    "FailureRecord",
 ]

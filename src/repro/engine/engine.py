@@ -26,6 +26,7 @@ numeric branch re-enters the scalar solver verbatim.
 from __future__ import annotations
 
 import dataclasses
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 import numpy as np
@@ -43,14 +44,83 @@ from repro.core.radius import RadiusResult
 from repro.core.solvers.analytic import affine_radius
 from repro.core.solvers.discrete import floor_radius
 from repro.engine.cache import RadiusCache
-from repro.engine.pool import solve_radius_tasks
+from repro.engine.fault import (
+    ON_ERROR_MODES,
+    FailureRecord,
+    RetryPolicy,
+    solve_radius_tasks_isolated,
+)
 from repro.exceptions import InfeasibleAtOriginError, ValidationError
 from repro.hiperd.constraints import build_constraints
 from repro.hiperd.model import HiperDSystem
 from repro.utils.serialization import decode_array, decode_float, encode_array, encode_float
 from repro.utils.validation import check_positive
 
-__all__ = ["RobustnessEngine", "AllocationBatchResult", "HiperdBatchResult"]
+__all__ = [
+    "RobustnessEngine",
+    "AllocationBatchResult",
+    "HiperdBatchResult",
+    "BatchRobustnessResult",
+]
+
+
+@dataclass(frozen=True)
+class BatchRobustnessResult(Sequence):
+    """Per-problem metrics plus the structured failure log of one batch.
+
+    A sequence of :class:`~repro.core.metric.MetricResult` (indexing,
+    iteration and ``len`` all work as they did when
+    :meth:`RobustnessEngine.evaluate_population` returned a plain list),
+    augmented with one :class:`~repro.engine.fault.FailureRecord` per task
+    that failed terminally or fell back to a Monte-Carlo bound.  When
+    ``failures`` is empty every radius in every metric is an exact,
+    converged solve.
+    """
+
+    #: one metric per submitted ``(features, parameter)`` problem
+    results: tuple[MetricResult, ...]
+    #: terminal failures / fallbacks, ordered by task index
+    failures: tuple[FailureRecord, ...] = ()
+    #: the ``on_error`` mode the batch ran under
+    on_error: str = "raise"
+
+    def __getitem__(self, index):
+        return self.results[index]
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    @property
+    def ok(self) -> bool:
+        """True when no task failed or degraded."""
+        return not self.failures
+
+    def failures_for(self, problem_index: int) -> tuple[FailureRecord, ...]:
+        """The failure records belonging to one problem of the batch."""
+        return tuple(f for f in self.failures if f.problem_index == problem_index)
+
+    def to_dict(self) -> dict:
+        """Encode as a JSON-ready dict (round-trips via :meth:`from_dict`)."""
+        return {
+            "type": "BatchRobustnessResult",
+            "version": 1,
+            "results": [m.to_dict() for m in self.results],
+            "failures": [f.to_dict() for f in self.failures],
+            "on_error": self.on_error,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BatchRobustnessResult":
+        """Decode a payload written by :meth:`to_dict`; validates the type tag."""
+        if data.get("type") != "BatchRobustnessResult":
+            raise ValidationError(
+                f"expected type 'BatchRobustnessResult', got {data.get('type')!r}"
+            )
+        return cls(
+            results=tuple(MetricResult.from_dict(m) for m in data["results"]),
+            failures=tuple(FailureRecord.from_dict(f) for f in data.get("failures", [])),
+            on_error=str(data.get("on_error", "raise")),
+        )
 
 
 @dataclass(frozen=True)
@@ -351,12 +421,16 @@ class RobustnessEngine:
         *,
         apply_floor: bool | None = None,
         require_feasible: bool = False,
+        on_error: str = "raise",
+        retry_policy: RetryPolicy | None = None,
     ) -> MetricResult:
         """Eq. 2 for one feature set, using the engine's cache and pool."""
         return self.evaluate_population(
             [(features, parameter)],
             apply_floor=apply_floor,
             require_feasible=require_feasible,
+            on_error=on_error,
+            retry_policy=retry_policy,
         )[0]
 
     def evaluate_population(
@@ -365,14 +439,30 @@ class RobustnessEngine:
         *,
         apply_floor: bool | None = None,
         require_feasible: bool = False,
-    ) -> list[MetricResult]:
+        on_error: str = "raise",
+        retry_policy: RetryPolicy | None = None,
+    ) -> BatchRobustnessResult:
         """Eq. 2 for many ``(features, parameter)`` problems in one call.
 
         Affine features go through the scalar closed form; non-affine
         features are deduplicated against the LRU cache, and the remaining
         numeric solves are fanned over the configured process pool (serial
-        when ``pool_size == 0`` or the tasks do not pickle).
+        when ``pool_size == 0`` or the tasks do not pickle) with per-task
+        fault isolation (:mod:`repro.engine.fault`).
+
+        ``on_error`` controls terminal solve failures: ``"raise"`` (default,
+        legacy semantics — exceptions propagate), ``"record"`` (failed tasks
+        yield NaN radii plus :class:`~repro.engine.fault.FailureRecord`
+        entries on the returned batch) or ``"degrade"`` (like ``"record"``
+        but solver-stage failures fall back to a Monte-Carlo bound, flagged
+        via ``solver="montecarlo"`` / ``converged=False``).  ``retry_policy``
+        overrides the :class:`~repro.engine.fault.RetryPolicy` derived from
+        the engine's config.
         """
+        if on_error not in ON_ERROR_MODES:
+            raise ValidationError(
+                f"on_error must be one of {ON_ERROR_MODES}, got {on_error!r}"
+            )
         problems = [(self._as_features(fs), param) for fs, param in problems]
 
         # Pass 1: feasibility gate + affine closed forms + cache probes.
@@ -424,20 +514,33 @@ class RobustnessEngine:
                 task_where.append((ip, len(row) - 1, key))
             slots.append(row)
 
-        # Pass 2: solve the cache misses (pooled when configured).
-        solved = solve_radius_tasks(tasks, self.config)
+        # Pass 2: solve the cache misses (pooled when configured), with
+        # per-task fault isolation.
+        solved, failures = solve_radius_tasks_isolated(
+            tasks, self.config, policy=retry_policy, on_error=on_error
+        )
 
         # Pass 3: fill slots, populate the cache, assemble the metrics.
+        # Only converged solves are cached: placeholders, Monte-Carlo bounds
+        # and uncertified results must not shadow a future exact solve.
         for (ip, islot, key), res, task in zip(task_where, solved, tasks):
             slots[ip][islot] = res
-            self.cache.put(key, res, pin=(task[0].impact,))
-        return [
+            if res.converged:
+                self.cache.put(key, res, pin=(task[0].impact,))
+        metrics = tuple(
             metric_from_radii(tuple(row), param, apply_floor=apply_floor)
             for row, (_, param) in zip(slots, problems)
-        ]
+        )
+        annotated = tuple(
+            dataclasses.replace(rec, problem_index=task_where[rec.task_index][0])
+            for rec in failures
+        )
+        return BatchRobustnessResult(
+            results=metrics, failures=annotated, on_error=on_error
+        )
 
     # -- unified dispatch -----------------------------------------------------
-    def robustness_of(self, *args, **kwargs):
+    def robustness_of(self, *args, on_error: str = "raise", **kwargs):
         """Dispatch to the right evaluator from the argument types.
 
         - ``robustness_of(mapping, etc, tau)`` — allocation (scalar);
@@ -446,7 +549,16 @@ class RobustnessEngine:
 
         Scalar calls forward the engine's ``norm`` and ``config``; extra
         keywords (``require_feasible=``, ``apply_floor=``) pass through.
+        ``on_error`` selects the failure mode of numeric solves
+        (``"raise"``/``"record"``/``"degrade"``, see
+        :meth:`evaluate_population`); the allocation and HiPer-D paths are
+        closed-form — no numeric solve can fail — so the mode is validated
+        but has no effect there.
         """
+        if on_error not in ON_ERROR_MODES:
+            raise ValidationError(
+                f"on_error must be one of {ON_ERROR_MODES}, got {on_error!r}"
+            )
         if args and isinstance(args[0], Mapping):
             from repro.alloc.robustness import robustness as alloc_robustness
 
@@ -460,7 +572,7 @@ class RobustnessEngine:
                 *args, norm=self.norm, config=self.config, **kwargs
             )
         if args and isinstance(args[1] if len(args) > 1 else None, PerturbationParameter):
-            return self.evaluate_metric(*args, **kwargs)
+            return self.evaluate_metric(*args, on_error=on_error, **kwargs)
         raise ValidationError(
             "robustness_of expects (mapping, etc, tau), (system, mapping, load) "
             "or (features, parameter)"

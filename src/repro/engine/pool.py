@@ -5,17 +5,27 @@ the worker re-enters :func:`repro.core.radius.robustness_radius`, so a
 pooled solve follows *exactly* the same code path as a serial one (parity by
 construction, not by reimplementation).
 
+Scheduling lives in :mod:`repro.engine.fault`: tasks are submitted one
+future at a time (never ``executor.map``), so a crashed worker, a hung
+solve or a ``SolverError`` poisons only its own task.  This module keeps
+the historical entry point :func:`solve_radius_tasks`, which runs the
+fault-isolated scheduler in ``on_error="raise"`` mode — terminal failures
+propagate, non-converged results are returned as-is, and healthy batches
+are bit-for-bit identical to the serial path.
+
 Pooling is opt-in (``SolverConfig.pool_size > 0``) and degrades gracefully:
 tasks that cannot be pickled — e.g. features wrapping lambdas defined in a
-REPL — fall back to the serial map instead of raising from inside the
-executor.
+REPL — fall back to the serial path instead of raising from inside the
+executor.  Picklability is probed on a *single representative task* (the
+old implementation serialized the whole list, duplicating every ETC matrix
+just to probe); stragglers that still fail to pickle surface per-future and
+are solved inline individually.
 """
 
 from __future__ import annotations
 
 import math
 import pickle
-from concurrent.futures import ProcessPoolExecutor
 
 from repro.core.config import SolverConfig
 from repro.core.radius import RadiusResult, robustness_radius
@@ -32,6 +42,7 @@ def radius_task(task: tuple) -> RadiusResult:
 
 
 def _picklable(obj) -> bool:
+    """Probe one representative object (not an entire task list)."""
     try:
         pickle.dumps(obj)
         return True
@@ -40,7 +51,11 @@ def _picklable(obj) -> bool:
 
 
 def default_chunksize(n_tasks: int, pool_size: int) -> int:
-    """About four chunks per worker — amortizes IPC without starving workers."""
+    """About four chunks per worker — amortizes IPC without starving workers.
+
+    Kept for configuration compatibility; the fault-isolated scheduler
+    submits one future per task, so chunking no longer applies.
+    """
     return max(1, math.ceil(n_tasks / (pool_size * 4)))
 
 
@@ -48,12 +63,13 @@ def solve_radius_tasks(tasks: list[tuple], config: SolverConfig) -> list[RadiusR
     """Solve radius tasks, fanning over a process pool when configured.
 
     Runs serially when the pool is disabled (``pool_size == 0``), when there
-    is at most one task, or when the task list does not pickle (the features
-    close over unpicklable state).
+    is at most one task, or when a representative task does not pickle (the
+    features close over unpicklable state).  Failures follow the legacy
+    contract: terminal solver errors raise, non-converged results come back
+    as-is.  For structured failure records instead of exceptions use
+    :func:`repro.engine.fault.solve_radius_tasks_isolated` directly.
     """
-    tasks = list(tasks)
-    if len(tasks) <= 1 or config.pool_size <= 0 or not _picklable(tasks):
-        return [radius_task(t) for t in tasks]
-    chunksize = config.chunk_size or default_chunksize(len(tasks), config.pool_size)
-    with ProcessPoolExecutor(max_workers=config.pool_size) as executor:
-        return list(executor.map(radius_task, tasks, chunksize=chunksize))
+    from repro.engine.fault import solve_radius_tasks_isolated
+
+    results, _ = solve_radius_tasks_isolated(tasks, config, on_error="raise")
+    return results

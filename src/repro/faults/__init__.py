@@ -1,0 +1,46 @@
+"""Fault injection and empirical radius validation.
+
+Two complementary attacks on the library's own trustworthiness:
+
+- :mod:`~repro.faults.inject` — deterministic, seedable injectors
+  (raise / NaN / hang / crash) that wrap impact functions, used by the chaos
+  test suite to prove the fault-isolated solve layer
+  (:mod:`repro.engine.fault`) really contains each failure to its task;
+- :mod:`~repro.faults.validate` — sampling validation that computed radii
+  keep their operational promise: perturbations strictly inside ``r`` never
+  violate a bound, the witness overshoot at ``r * (1 + eps)`` does, and an
+  acceptance-sampling :func:`~repro.faults.validate.certify` API turns zero
+  observed violations into a confidence-bounded certificate.  A machine-
+  failure scenario (:func:`~repro.faults.validate.machine_failure_scenario`)
+  exercises the larger fail-stop disturbance through the event simulator.
+
+See ``docs/FAULTS.md`` for a worked example.
+"""
+
+from repro.faults.inject import (
+    FAULT_MODES,
+    FaultyImpact,
+    choose_fault_indices,
+    wrap_feature,
+)
+from repro.faults.validate import (
+    Certificate,
+    PerturbationValidation,
+    certify,
+    machine_failure_scenario,
+    validate_allocation_radius,
+    validate_hiperd_radius,
+)
+
+__all__ = [
+    "FAULT_MODES",
+    "FaultyImpact",
+    "wrap_feature",
+    "choose_fault_indices",
+    "PerturbationValidation",
+    "Certificate",
+    "validate_allocation_radius",
+    "validate_hiperd_radius",
+    "certify",
+    "machine_failure_scenario",
+]

@@ -61,7 +61,12 @@ def _result_registry() -> dict:
     from repro.alloc.robustness import AllocationRobustness
     from repro.core.metric import MetricResult
     from repro.core.radius import RadiusResult
-    from repro.engine import AllocationBatchResult, HiperdBatchResult
+    from repro.engine import (
+        AllocationBatchResult,
+        BatchRobustnessResult,
+        FailureRecord,
+        HiperdBatchResult,
+    )
     from repro.hiperd.constraints import ConstraintSet
     from repro.hiperd.robustness import HiperdRobustness
 
@@ -73,6 +78,8 @@ def _result_registry() -> dict:
         "ConstraintSet": ConstraintSet,
         "AllocationBatchResult": AllocationBatchResult,
         "HiperdBatchResult": HiperdBatchResult,
+        "BatchRobustnessResult": BatchRobustnessResult,
+        "FailureRecord": FailureRecord,
     }
 
 

@@ -12,10 +12,14 @@ by actually executing mappings:
   with optional release times and machine ready times;
 - :mod:`~repro.sim.validate` — end-to-end empirical validation: sample ETC
   error vectors inside/outside the robustness radius, simulate, and check
-  the makespan against ``tau * M_orig``.
+  the makespan against ``tau * M_orig``;
+- :mod:`~repro.sim.failures` — fail-stop machine-failure scenarios: a
+  machine dies mid-run, its unfinished work is reassigned, and the degraded
+  makespan is reported against the same tolerance bound.
 """
 
 from repro.sim.engine import Event, Simulator
+from repro.sim.failures import MachineFailureResult, simulate_machine_failure
 from repro.sim.tasksim import TaskSimResult, simulate_mapping
 from repro.sim.validate import MakespanValidation, validate_allocation_robustness
 
@@ -26,4 +30,6 @@ __all__ = [
     "simulate_mapping",
     "MakespanValidation",
     "validate_allocation_robustness",
+    "MachineFailureResult",
+    "simulate_machine_failure",
 ]

@@ -114,3 +114,50 @@ class TestShimThroughAnalysis:
         assert auto.radii[0].solver == "analytic"
         assert forced.radii[0].solver == "numeric"
         assert forced.value == pytest.approx(auto.value, rel=1e-8)
+
+
+class TestFaultToleranceKnobs:
+    """task_timeout / max_retries / backoff_base validation."""
+
+    def test_defaults(self):
+        cfg = SolverConfig()
+        assert cfg.task_timeout is None
+        assert cfg.max_retries == 2
+        assert cfg.backoff_base == 0.05
+
+    def test_valid_values_accepted(self):
+        cfg = SolverConfig(task_timeout=2.5, max_retries=0, backoff_base=0.0)
+        assert cfg.task_timeout == 2.5
+        assert cfg.max_retries == 0
+        assert cfg.backoff_base == 0.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"task_timeout": 0.0},
+            {"task_timeout": -1.0},
+            {"task_timeout": float("nan")},
+            {"max_retries": -1},
+            {"backoff_base": -0.1},
+            {"backoff_base": float("nan")},
+            {"backoff_base": float("inf")},
+        ],
+        ids=lambda k: "-".join(f"{a}={v}" for a, v in k.items()),
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ValidationError):
+            SolverConfig(**kwargs)
+
+    def test_knobs_do_not_affect_numeric_kwargs(self):
+        # Retry knobs steer the pool supervisor, not the solver itself, so
+        # they must not leak into (and invalidate) radius cache keys.
+        assert (
+            SolverConfig(task_timeout=1.0, max_retries=5).numeric_kwargs()
+            == SolverConfig().numeric_kwargs()
+        )
+
+    def test_replace_round_trip(self):
+        cfg = SolverConfig().replace(task_timeout=0.5)
+        assert cfg.task_timeout == 0.5
+        with pytest.raises(ValidationError):
+            cfg.replace(task_timeout=-0.5)

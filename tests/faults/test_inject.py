@@ -1,0 +1,130 @@
+"""Fault injectors: deterministic misbehaviour on cue."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+import repro.faults.inject as inject
+from repro.core.features import FeatureBounds, PerformanceFeature
+from repro.core.impact import AffineImpact
+from repro.exceptions import SolverError, ValidationError
+from repro.faults import FAULT_MODES, FaultyImpact, choose_fault_indices, wrap_feature
+
+PI = np.array([1.0, 2.0])
+
+
+def _base():
+    return AffineImpact([1.0, 1.0])
+
+
+class TestConstruction:
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValidationError, match="mode"):
+            FaultyImpact(_base(), mode="explode")
+
+    def test_bad_on_call_rejected(self):
+        with pytest.raises(ValidationError, match="on_call"):
+            FaultyImpact(_base(), mode="raise", on_call=0)
+
+    def test_bad_hang_seconds_rejected(self):
+        with pytest.raises(ValidationError, match="hang_seconds"):
+            FaultyImpact(_base(), mode="hang", hang_seconds=-1.0)
+
+    def test_modes_tuple(self):
+        assert FAULT_MODES == ("raise", "nan", "hang", "crash")
+
+
+class TestRaiseMode:
+    def test_delegates_until_on_call(self):
+        imp = FaultyImpact(_base(), mode="raise", on_call=3)
+        assert imp(PI) == 3.0
+        assert imp(PI) == 3.0
+        with pytest.raises(SolverError, match="injected fault"):
+            imp(PI)
+        # and keeps firing afterwards
+        with pytest.raises(SolverError):
+            imp(PI)
+
+    def test_on_call_1_fires_immediately(self):
+        imp = FaultyImpact(_base(), mode="raise", on_call=1)
+        with pytest.raises(SolverError):
+            imp(PI)
+
+
+class TestNanMode:
+    def test_returns_nan_when_armed(self):
+        imp = FaultyImpact(_base(), mode="nan", on_call=2)
+        assert imp(PI) == 3.0
+        assert np.isnan(imp(PI))
+        assert np.isnan(imp(PI))
+
+
+class TestHealing:
+    def test_heal_after_attempt(self, monkeypatch):
+        imp = FaultyImpact(_base(), mode="raise", on_call=1, heal_after_attempt=2)
+        with pytest.raises(SolverError):
+            imp(PI)
+        monkeypatch.setattr(inject, "CURRENT_ATTEMPT", 2)
+        assert imp(PI) == 3.0  # healed
+
+    def test_worker_only_never_fires_in_origin_process(self):
+        imp = FaultyImpact(_base(), mode="crash", on_call=1, worker_only=True)
+        for _ in range(5):
+            assert imp(PI) == 3.0  # a crash here would kill pytest
+
+
+class TestProcessBoundary:
+    def test_getstate_resets_counter(self):
+        imp = FaultyImpact(_base(), mode="raise", on_call=2)
+        imp(PI)
+        imp_clone = pickle.loads(pickle.dumps(imp))
+        assert imp_clone._calls == 0
+        assert imp._calls == 1
+        # the clone restarts its count
+        assert imp_clone(PI) == 3.0
+
+    def test_worker_only_pid_travels(self):
+        imp = FaultyImpact(_base(), mode="crash", worker_only=True)
+        clone = pickle.loads(pickle.dumps(imp))
+        assert clone._origin_pid == imp._origin_pid
+
+
+class TestSolverRouting:
+    def test_never_affine(self):
+        assert FaultyImpact(_base(), mode="nan").is_affine is False
+
+    def test_gradient_forces_finite_differences(self):
+        assert FaultyImpact(_base(), mode="nan").gradient(PI) is None
+
+
+class TestWrapFeature:
+    def test_wraps_impact_keeps_rest(self):
+        feat = PerformanceFeature("m", _base(), FeatureBounds.upper_only(10.0))
+        wrapped = wrap_feature(feat, "nan", on_call=2)
+        assert isinstance(wrapped.impact, FaultyImpact)
+        assert wrapped.name == "m"
+        assert wrapped.bounds == feat.bounds
+        assert not isinstance(feat.impact, FaultyImpact)  # original untouched
+
+
+class TestChooseFaultIndices:
+    def test_deterministic(self):
+        a = choose_fault_indices(200, 0.2, seed=5)
+        b = choose_fault_indices(200, 0.2, seed=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_count_and_range(self):
+        idx = choose_fault_indices(200, 0.2, seed=0)
+        assert len(idx) == 40
+        assert len(set(idx.tolist())) == 40
+        assert idx.min() >= 0 and idx.max() < 200
+        assert np.all(np.diff(idx) > 0)  # sorted
+
+    def test_fraction_bounds(self):
+        with pytest.raises(ValidationError):
+            choose_fault_indices(10, 1.5)
+        assert choose_fault_indices(10, 0.0).size == 0
+        assert choose_fault_indices(10, 1.0).size == 10

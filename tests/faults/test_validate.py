@@ -1,0 +1,152 @@
+"""Empirical radius validation: soundness, tightness, certification."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.alloc.generators import random_mapping
+from repro.alloc.mapping import Mapping
+from repro.etcgen import cvb_etc_matrix
+from repro.exceptions import ValidationError
+from repro.faults import (
+    Certificate,
+    certify,
+    machine_failure_scenario,
+    validate_allocation_radius,
+    validate_hiperd_radius,
+)
+from repro.hiperd.table2 import build_table2_system
+
+TAU = 1.2
+
+
+@pytest.fixture(scope="module")
+def alloc_case():
+    etc = cvb_etc_matrix(20, 5, seed=2003)
+    mapping = random_mapping(20, 5, seed=2004)
+    return mapping, etc
+
+
+@pytest.fixture(scope="module")
+def hiperd_case():
+    return build_table2_system()
+
+
+class TestAllocationValidation:
+    def test_sound_and_tight(self, alloc_case):
+        mapping, etc = alloc_case
+        rep = validate_allocation_radius(mapping, etc, TAU, n_samples=256, seed=7)
+        assert rep.system == "allocation"
+        assert rep.radius > 0
+        assert rep.sound, f"{rep.interior_violations} interior violations"
+        assert rep.violation_rate == 0.0
+        assert rep.tight  # witness at r*(1+eps) violates
+
+    def test_deterministic_in_seed(self, alloc_case):
+        mapping, etc = alloc_case
+        a = validate_allocation_radius(mapping, etc, TAU, n_samples=64, seed=3)
+        b = validate_allocation_radius(mapping, etc, TAU, n_samples=64, seed=3)
+        assert a == b
+
+    def test_oversized_ball_violates(self, alloc_case):
+        # Sampling from a ball 3x the radius must eventually cross the
+        # boundary: the claimed radius is the *exact* distance to it.
+        mapping, etc = alloc_case
+        from repro.alloc.robustness import robustness
+
+        rob = robustness(mapping, etc, TAU)
+        # slack = -2 inflates the sampling radius to (1 - slack) * r = 3r
+        rep = validate_allocation_radius(
+            mapping, etc, TAU, n_samples=512, seed=11, slack=-2.0
+        )
+        assert rep.interior_violations > 0
+        assert rep.radius == pytest.approx(rob.value)
+
+    def test_infeasible_mapping_rejected(self):
+        # tau < 1 makes the origin itself violate -> negative radius.
+        etc = cvb_etc_matrix(8, 3, seed=1)
+        mapping = random_mapping(8, 3, seed=2)
+        with pytest.raises(ValidationError, match="positive radius"):
+            validate_allocation_radius(mapping, etc, 0.5)
+
+
+class TestHiperdValidation:
+    def test_sound_and_tight(self, hiperd_case):
+        inst = hiperd_case
+        rep = validate_hiperd_radius(
+            inst.system, inst.mapping_a, inst.initial_load, n_samples=256, seed=5
+        )
+        assert rep.system == "hiperd"
+        assert rep.radius == pytest.approx(353.0, abs=0.5)
+        assert rep.sound
+        assert rep.tight
+
+    def test_mapping_b(self, hiperd_case):
+        inst = hiperd_case
+        rep = validate_hiperd_radius(
+            inst.system, inst.mapping_b, inst.initial_load, n_samples=128, seed=6
+        )
+        assert rep.radius == pytest.approx(1166.0, abs=1.0)
+        assert rep.sound and rep.tight
+
+
+class TestCertify:
+    def test_sample_size_formula(self, alloc_case):
+        mapping, etc = alloc_case
+        cert = certify(mapping, etc, TAU, eps=0.01, confidence=0.99, seed=1)
+        expected_n = math.ceil(math.log(1 - 0.99) / math.log(1 - 0.01))
+        assert cert.n_samples == expected_n == 459
+        assert cert.holds
+        assert cert.violations == 0
+
+    def test_explicit_n_samples(self, alloc_case):
+        mapping, etc = alloc_case
+        cert = certify(mapping, etc, TAU, n_samples=32, seed=1)
+        assert cert.n_samples == 32
+
+    @pytest.mark.parametrize("bad", [{"eps": 0.0}, {"eps": 1.0}, {"confidence": 1.0}])
+    def test_bad_parameters_rejected(self, alloc_case, bad):
+        mapping, etc = alloc_case
+        with pytest.raises(ValidationError):
+            certify(mapping, etc, TAU, **bad)
+
+    def test_to_dict(self, alloc_case):
+        mapping, etc = alloc_case
+        cert = certify(mapping, etc, TAU, n_samples=16, seed=1)
+        d = cert.to_dict()
+        assert d["type"] == "Certificate"
+        assert d["holds"] is True
+        assert d["n_samples"] == 16
+        assert isinstance(cert, Certificate)
+
+
+class TestMachineFailureScenario:
+    def test_kills_critical_machine_by_default(self, alloc_case):
+        mapping, etc = alloc_case
+        from repro.alloc.robustness import robustness
+
+        rob = robustness(mapping, etc, TAU)
+        mf = machine_failure_scenario(mapping, etc, TAU)
+        assert mf.failed_machine == rob.critical_machine
+        assert mf.fail_time == pytest.approx(0.5 * rob.makespan)
+        assert mf.reassigned  # the critical machine had unfinished work
+        assert np.isfinite(mf.makespan)
+        assert mf.within_tolerance is not None
+
+    def test_explicit_machine_and_fraction(self, alloc_case):
+        mapping, etc = alloc_case
+        mf = machine_failure_scenario(
+            mapping, etc, TAU, fail_machine=1, fail_fraction=0.0
+        )
+        assert mf.failed_machine == 1
+        assert mf.fail_time == 0.0
+        # machine 1's whole queue moved elsewhere
+        assert set(mf.reassigned) == set(np.flatnonzero(mapping.assignment == 1))
+
+    def test_bad_fraction_rejected(self, alloc_case):
+        mapping, etc = alloc_case
+        with pytest.raises(ValidationError, match="fail_fraction"):
+            machine_failure_scenario(mapping, etc, TAU, fail_fraction=1.5)

@@ -1,0 +1,137 @@
+"""Machine-failure simulation: fail-stop, reassignment, degradation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.alloc.mapping import Mapping
+from repro.exceptions import ValidationError
+from repro.sim import MachineFailureResult, simulate_machine_failure
+
+
+def _homogeneous_case():
+    """2 machines, 4 equal tasks, two per machine: baseline makespan 8."""
+    mapping = Mapping(np.array([0, 0, 1, 1]), 2)
+    etc = np.full((4, 2), 4.0)
+    return mapping, etc
+
+
+class TestHandTraced:
+    def test_forced_degradation_homogeneous(self):
+        # Machine 0 dies at t=2 while task 0 runs.  Tasks 0 (restarted from
+        # scratch) and 1 move to machine 1, which already holds tasks 2, 3:
+        # finish times 4, 8, 12, 16 -> makespan doubles.
+        mapping, etc = _homogeneous_case()
+        res = simulate_machine_failure(mapping, etc, 0, 2.0, tau=1.2)
+        assert res.baseline_makespan == 8.0
+        assert res.makespan == 16.0
+        assert res.degradation == 2.0
+        assert res.reassigned == (0, 1)
+        np.testing.assert_allclose(res.task_finish, [12.0, 16.0, 4.0, 8.0])
+        assert res.within_tolerance is False  # 16 > 1.2 * 8
+
+    def test_failure_after_completion_is_free(self):
+        mapping, etc = _homogeneous_case()
+        res = simulate_machine_failure(mapping, etc, 0, 9.0, tau=1.2)
+        assert res.makespan == 8.0
+        assert res.degradation == 1.0
+        assert res.reassigned == ()
+        assert res.within_tolerance is True
+
+    def test_failure_at_zero_moves_whole_queue(self):
+        mapping, etc = _homogeneous_case()
+        res = simulate_machine_failure(mapping, etc, 1, 0.0)
+        assert res.reassigned == (2, 3)
+        assert res.makespan == 16.0
+        assert res.within_tolerance is None  # no tau given
+
+    def test_reassigned_task_uses_target_etc(self):
+        # Task 1 takes 4.0 on its own machine but only 1.0 on machine 1;
+        # after the failure it must run with the adopting machine's entry.
+        mapping = Mapping(np.array([0, 0, 1]), 2)
+        etc = np.array([[4.0, 9.0], [4.0, 1.0], [9.0, 4.0]])
+        res = simulate_machine_failure(mapping, etc, 0, 2.0)
+        # machine 1: task 2 (0-4), then task 0 restarted (4-13), task 1 (13-14)
+        assert res.reassigned == (0, 1)
+        np.testing.assert_allclose(res.task_finish, [13.0, 14.0, 4.0])
+        assert res.makespan == 14.0
+
+    def test_least_loaded_survivor_adopts(self):
+        # m0 dies instantly; m1 carries 10 units, m2 carries 3.  Both of
+        # m0's tasks (4 each) fit better on m2 (3 -> 7 -> 11 < 10+).
+        mapping = Mapping(np.array([0, 0, 1, 2]), 3)
+        etc = np.array(
+            [[4.0, 4.0, 4.0], [4.0, 4.0, 4.0], [10.0, 10.0, 10.0], [3.0, 3.0, 3.0]]
+        )
+        res = simulate_machine_failure(mapping, etc, 0, 0.0)
+        assert res.reassigned == (0, 1)
+        np.testing.assert_allclose(res.task_finish, [7.0, 11.0, 10.0, 3.0])
+        assert res.makespan == 11.0
+
+    def test_rebalancing_can_beat_baseline(self):
+        # A lopsided mapping: the dying machine's work lands on an idle fast
+        # machine, so the post-failure makespan legitimately *drops*.
+        mapping = Mapping(np.array([0, 0]), 2)
+        etc = np.array([[4.0, 1.0], [4.0, 1.0]])
+        res = simulate_machine_failure(mapping, etc, 0, 0.0)
+        assert res.baseline_makespan == 8.0
+        assert res.makespan == 2.0
+        assert res.degradation < 1.0
+
+
+class TestActualTimes:
+    def test_actual_times_override_baseline_and_run(self):
+        mapping, etc = _homogeneous_case()
+        res = simulate_machine_failure(
+            mapping, etc, 0, 100.0, actual_times=[5.0, 5.0, 4.0, 4.0]
+        )
+        assert res.baseline_makespan == 10.0
+        assert res.makespan == 10.0  # failure after everything finished
+
+    def test_reassignment_resets_to_etc_entry(self):
+        # Perturbed actual time applies on the original machine only; the
+        # adopting machine runs the task at its (unperturbed) ETC entry.
+        mapping = Mapping(np.array([0, 1]), 2)
+        etc = np.full((2, 2), 4.0)
+        res = simulate_machine_failure(
+            mapping, etc, 0, 0.0, actual_times=[100.0, 4.0]
+        )
+        assert res.reassigned == (0,)
+        assert res.makespan == 8.0  # 4 (task 1) + 4 (task 0 at etc), not 104
+
+
+class TestValidation:
+    def test_bad_etc_shape(self):
+        mapping, _ = _homogeneous_case()
+        with pytest.raises(ValidationError, match="shape"):
+            simulate_machine_failure(mapping, np.ones((3, 2)), 0, 1.0)
+
+    def test_machine_out_of_range(self):
+        mapping, etc = _homogeneous_case()
+        with pytest.raises(ValidationError, match="out of range"):
+            simulate_machine_failure(mapping, etc, 5, 1.0)
+
+    def test_needs_a_survivor(self):
+        mapping = Mapping(np.array([0, 0]), 1)
+        with pytest.raises(ValidationError, match="surviving"):
+            simulate_machine_failure(mapping, np.ones((2, 1)), 0, 1.0)
+
+    def test_negative_fail_time(self):
+        mapping, etc = _homogeneous_case()
+        with pytest.raises(ValidationError, match="fail_time"):
+            simulate_machine_failure(mapping, etc, 0, -1.0)
+
+    def test_bad_actual_times(self):
+        mapping, etc = _homogeneous_case()
+        with pytest.raises(ValidationError, match="actual_times"):
+            simulate_machine_failure(mapping, etc, 0, 1.0, actual_times=[1.0])
+        with pytest.raises(ValidationError, match="non-negative"):
+            simulate_machine_failure(
+                mapping, etc, 0, 1.0, actual_times=[1.0, 1.0, 1.0, -1.0]
+            )
+
+    def test_result_type(self):
+        mapping, etc = _homogeneous_case()
+        res = simulate_machine_failure(mapping, etc, 0, 2.0)
+        assert isinstance(res, MachineFailureResult)

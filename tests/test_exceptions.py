@@ -1,0 +1,115 @@
+"""Exception hierarchy: pickling across process boundaries.
+
+The fault-tolerant solve layer ships exceptions raised inside pool workers
+back to the parent via :mod:`concurrent.futures`, which pickles them.  Every
+:class:`~repro.exceptions.ReproError` subclass must therefore round-trip
+through pickle with its args and attributes intact — including classes with
+keyword-only attributes, which need an explicit ``__reduce__``.
+"""
+
+from __future__ import annotations
+
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+import repro.exceptions as exc_mod
+from repro.exceptions import (
+    InfeasibleAtOriginError,
+    ModelError,
+    ReproError,
+    SolverError,
+    SolverTimeoutError,
+    ValidationError,
+    WorkerCrashError,
+)
+
+
+def _all_subclasses(cls: type) -> set[type]:
+    out = set()
+    for sub in cls.__subclasses__():
+        out.add(sub)
+        out |= _all_subclasses(sub)
+    return out
+
+
+def _instances():
+    """One representative instance per exception class, attributes filled."""
+    return [
+        ReproError("base"),
+        ValidationError("bad shape (3, 4)"),
+        InfeasibleAtOriginError("violates phi_2 at pi_orig"),
+        SolverError("SLSQP failed"),
+        SolverTimeoutError("timed out", timeout=1.5, task_index=7),
+        WorkerCrashError("worker died", task_index=3, attempts=2),
+        ModelError("cyclic DAG"),
+    ]
+
+
+class TestHierarchy:
+    def test_every_subclass_has_a_representative(self):
+        covered = {type(e) for e in _instances()}
+        declared = _all_subclasses(ReproError) | {ReproError}
+        # Only count classes defined in the exceptions module itself.
+        declared = {c for c in declared if c.__module__ == exc_mod.__name__}
+        assert declared <= covered
+
+    def test_all_exported(self):
+        for exc in _instances():
+            assert type(exc).__name__ in exc_mod.__all__
+
+    def test_catchable_as_repro_error(self):
+        for exc in _instances():
+            assert isinstance(exc, ReproError)
+
+    def test_timeout_is_a_solver_error(self):
+        assert issubclass(SolverTimeoutError, SolverError)
+
+    def test_validation_error_is_a_value_error(self):
+        assert issubclass(ValidationError, ValueError)
+
+
+class TestPickleRoundTrip:
+    @pytest.mark.parametrize("exc", _instances(), ids=lambda e: type(e).__name__)
+    def test_args_and_attributes_survive(self, exc):
+        clone = pickle.loads(pickle.dumps(exc))
+        assert type(clone) is type(exc)
+        assert clone.args == exc.args
+        assert vars(clone) == vars(exc)
+
+    @pytest.mark.parametrize("exc", _instances(), ids=lambda e: type(e).__name__)
+    def test_str_preserved(self, exc):
+        assert str(pickle.loads(pickle.dumps(exc))) == str(exc)
+
+    def test_timeout_attributes(self):
+        clone = pickle.loads(
+            pickle.dumps(SolverTimeoutError("t", timeout=0.25, task_index=11))
+        )
+        assert clone.timeout == 0.25
+        assert clone.task_index == 11
+
+    def test_crash_attributes(self):
+        clone = pickle.loads(
+            pickle.dumps(WorkerCrashError(task_index=4, attempts=3))
+        )
+        assert clone.task_index == 4
+        assert clone.attempts == 3
+        assert clone.args == ("process-pool worker crashed",)
+
+
+def _raise_in_worker(exc: ReproError) -> None:
+    raise exc
+
+
+class TestAcrossProcessBoundary:
+    """The real thing: raise inside a pool worker, catch in the parent."""
+
+    @pytest.mark.parametrize("exc", _instances(), ids=lambda e: type(e).__name__)
+    def test_future_delivers_equal_exception(self, exc):
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            fut = pool.submit(_raise_in_worker, exc)
+            err = fut.exception(timeout=60)
+        assert type(err) is type(exc)
+        assert err.args == exc.args
+        assert vars(err) == vars(exc)
