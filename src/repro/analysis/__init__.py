@@ -1,0 +1,64 @@
+"""Static analysis of the repro codebase itself — ``repro lint``.
+
+PRs 1–2 established invariants that ordinary tests can only sample:
+bit-for-bit scalar/batched parity requires that no library code touches
+global RNG state (seeded retry replay); the process-pool fan-out requires
+that every submitted callable and returned exception pickles under spawn;
+the boundary solvers require impact functions pure in ``pi``; the
+fault-tolerant layer requires that no failure is silently swallowed.  This
+package enforces those contracts *mechanically*, as an AST lint pass over
+the source tree, so the invariants are checkable properties of the program
+rather than conventions.
+
+Rule codes (see :mod:`repro.analysis.checks` and ``docs/ANALYSIS.md``):
+
+====  =========================  ==============================================
+R001  legacy-global-rng          global-state RNG breaks seeded replay
+R002  unseeded-default-rng       library RNGs must flow from an explicit seed
+R003  float-equality             ``==``/``!=`` on measured float quantities
+R004  unpicklable-pool-payload   lambdas/closures across the pool boundary
+R005  exception-pickle-contract  kw-only exception ``__init__`` sans ``__reduce__``
+R006  impact-mutates-pi          impact/feature functions must be pure in ``pi``
+R007  swallowed-exception        broad except hiding failure information
+R008  frozen-field-mutation      ``object.__setattr__`` outside ``__post_init__``
+====  =========================  ==============================================
+
+Suppress a deliberate violation inline with ``# repro: noqa[CODE]`` plus a
+justification.  Programmatic use::
+
+    from repro.analysis import lint_paths
+    report = lint_paths([Path("src")])
+    assert report.clean, report.findings
+"""
+
+from __future__ import annotations
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import Rule, all_rules, get_rules, register, rule_catalog
+from repro.analysis.reporters import render_json, render_text
+from repro.analysis.runner import (
+    LintReport,
+    iter_python_files,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+from repro.analysis.suppressions import suppressed_codes
+
+__all__ = [
+    "Finding",
+    "Severity",
+    "Rule",
+    "register",
+    "all_rules",
+    "get_rules",
+    "rule_catalog",
+    "LintReport",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "iter_python_files",
+    "render_text",
+    "render_json",
+    "suppressed_codes",
+]

@@ -1,0 +1,29 @@
+"""Built-in checkers.
+
+Importing this package registers every rule with
+:mod:`repro.analysis.registry` (each module applies the ``@register``
+decorator at import time).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.checks.excepts import SwallowedExceptionRule
+from repro.analysis.checks.floats import FloatEqualityRule
+from repro.analysis.checks.frozen import FrozenMutationRule
+from repro.analysis.checks.pickle_safety import (
+    ExceptionReduceRule,
+    UnpicklableSubmitRule,
+)
+from repro.analysis.checks.purity import ImpactPurityRule
+from repro.analysis.checks.rng import LegacyGlobalRngRule, UnseededDefaultRngRule
+
+__all__ = [
+    "LegacyGlobalRngRule",
+    "UnseededDefaultRngRule",
+    "FloatEqualityRule",
+    "UnpicklableSubmitRule",
+    "ExceptionReduceRule",
+    "ImpactPurityRule",
+    "SwallowedExceptionRule",
+    "FrozenMutationRule",
+]

@@ -1,0 +1,81 @@
+"""Failure-transparency rule: R007 swallowed exceptions.
+
+The fault-tolerant solve layer's contract is that *no failure disappears*:
+every terminal error either raises, or becomes a structured
+:class:`~repro.engine.fault.FailureRecord`.  A broad handler that neither
+re-raises nor even looks at the exception (``except: pass``,
+``except Exception: return False``) deletes failure information and — in a
+degradation path — can turn a crashed solve into a silently wrong radius.
+
+Heuristic: a broad handler (bare / ``Exception`` / ``BaseException``) is
+*swallowing* when its body contains no ``raise`` and never references the
+bound exception name.  Handlers that inspect or forward the exception
+(``except Exception as exc: ...record(exc)``) pass; intentional probes
+(pickle probing, best-effort teardown) carry a documented
+``# repro: noqa[R007]``.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.context import FileContext
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import Rule, register
+
+__all__ = ["SwallowedExceptionRule"]
+
+_BROAD = frozenset({"Exception", "BaseException"})
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    t = handler.type
+    if t is None:
+        return True
+    if isinstance(t, ast.Name):
+        return t.id in _BROAD
+    if isinstance(t, ast.Tuple):
+        return any(isinstance(e, ast.Name) and e.id in _BROAD for e in t.elts)
+    return False
+
+
+@register
+class SwallowedExceptionRule(Rule):
+    """R007 — broad except that ignores the exception entirely."""
+
+    code = "R007"
+    name = "swallowed-exception"
+    description = (
+        "bare/broad except whose body neither re-raises nor uses the bound "
+        "exception discards failure information; record a FailureRecord, "
+        "re-raise, or narrow the exception type"
+    )
+    severity = Severity.WARNING
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not _is_broad(node):
+                continue
+            if self._handles_exception(node):
+                continue
+            what = "bare except" if node.type is None else "broad except"
+            yield self.finding(
+                ctx,
+                node,
+                f"{what} swallows the exception (no raise, bound name "
+                "unused); failures must surface as exceptions or "
+                "FailureRecords",
+            )
+
+    @staticmethod
+    def _handles_exception(handler: ast.ExceptHandler) -> bool:
+        bound = handler.name
+        for node in ast.walk(handler):
+            if isinstance(node, ast.Raise):
+                return True
+            if bound and isinstance(node, ast.Name) and node.id == bound:
+                return True
+        return False

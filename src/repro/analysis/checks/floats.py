@@ -1,0 +1,99 @@
+"""Numeric-contract rule: R003 exact float equality on measured quantities.
+
+Robustness radii, makespans and path latencies are outputs of floating-point
+minimization and accumulation; comparing them with ``==``/``!=`` encodes an
+exactness the solvers do not promise (the parity tests use bit-for-bit
+comparison *deliberately*, via ``np.array_equal`` on identical code paths —
+that is a different contract from ``a == b`` on independently computed
+values).  The rule fires on equality comparisons where either operand names
+one of those measured quantities, or where either operand is a *nonzero*
+float literal.  Comparison against exactly ``0.0`` is exempt: testing
+``denom == 0.0`` for a structurally degenerate case (zero normal vector,
+zero heterogeneity) is the established idiom throughout the numeric code
+and carries no rounding hazard — zero there is produced exactly, not
+computed approximately.
+
+Test code is exempt: the suite deliberately asserts exact equality on
+hand-computable examples (tiny ETC matrices, stored config fields, the
+bit-for-bit parity contract), which is an assertion strategy, not a
+rounding bug.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.context import FileContext, dotted_name
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import Rule, register
+
+__all__ = ["FloatEqualityRule"]
+
+#: identifier substrings that denote solver-measured float quantities
+_NUMERIC_TOKENS = (
+    "radius",
+    "radii",
+    "makespan",
+    "latency",
+    "latencies",
+    "robustness",
+    "slack",
+)
+
+
+def _names_measured_quantity(node: ast.expr) -> bool:
+    name = dotted_name(node)
+    if name is None:
+        return False
+    tail = name.rsplit(".", 1)[-1].lower()
+    return any(tok in tail for tok in _NUMERIC_TOKENS)
+
+
+def _is_nonzero_float_literal(node: ast.expr) -> bool:
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        node = node.operand
+    return (
+        isinstance(node, ast.Constant)
+        and type(node.value) is float
+        and node.value != 0.0
+    )
+
+
+@register
+class FloatEqualityRule(Rule):
+    """R003 — ``==`` / ``!=`` on radii, makespans, latencies or float
+    literals."""
+
+    code = "R003"
+    name = "float-equality"
+    description = (
+        "== / != on solver-measured floats (radii, makespans, latencies) or "
+        "nonzero float literals; use math.isclose / np.isclose / "
+        "pytest.approx (exact comparison against 0.0 — the degenerate-case "
+        "sentinel idiom — is exempt)"
+    )
+    severity = Severity.WARNING
+    applies_to_tests = False
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands[:-1], operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                pair = (left, right)
+                if any(map(_is_nonzero_float_literal, pair)) or any(
+                    map(_names_measured_quantity, pair)
+                ):
+                    sym = "==" if isinstance(op, ast.Eq) else "!="
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"exact float comparison with '{sym}' on a measured "
+                        "quantity; solver outputs carry rounding error — use "
+                        "a tolerance-based comparison",
+                    )
+                    break  # one finding per Compare is enough

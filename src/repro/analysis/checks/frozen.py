@@ -1,0 +1,62 @@
+"""Immutability rule: R008 ``object.__setattr__`` outside ``__post_init__``.
+
+Frozen dataclasses (:class:`~repro.core.config.SolverConfig`, mappings,
+feature/result objects) are the library's value types: hashable cache keys
+and safely shareable across threads and pool submissions.  The one blessed
+loophole is ``object.__setattr__(self, ...)`` inside ``__post_init__``,
+where a frozen dataclass normalizes its own fields during construction.
+The same call anywhere else mutates a value type after it may already be a
+cache key — so it is flagged wherever it appears.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.context import FileContext, dotted_name
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import Rule, register
+
+__all__ = ["FrozenMutationRule"]
+
+
+@register
+class FrozenMutationRule(Rule):
+    """R008 — frozen-field mutation outside ``__post_init__``."""
+
+    code = "R008"
+    name = "frozen-field-mutation"
+    description = (
+        "object.__setattr__ on dataclass instances is only legitimate "
+        "inside __post_init__ (construction-time normalization); anywhere "
+        "else it mutates a frozen value type that may already serve as a "
+        "cache key"
+    )
+    severity = Severity.ERROR
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        yield from self._scan(ctx, ctx.tree, enclosing=None)
+
+    def _scan(
+        self, ctx: FileContext, node: ast.AST, enclosing: str | None
+    ) -> Iterator[Finding]:
+        for child in ast.iter_child_nodes(node):
+            name = enclosing
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                name = child.name
+            if isinstance(child, ast.Call):
+                target = dotted_name(child.func)
+                if target in ("object.__setattr__", "__setattr__") and (
+                    enclosing != "__post_init__"
+                ):
+                    where = (
+                        f"function '{enclosing}'" if enclosing else "module level"
+                    )
+                    yield self.finding(
+                        ctx,
+                        child,
+                        f"object.__setattr__ at {where}; frozen fields may "
+                        "only be written during __post_init__",
+                    )
+            yield from self._scan(ctx, child, name)

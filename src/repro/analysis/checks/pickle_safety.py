@@ -1,0 +1,165 @@
+"""Pickle-safety rules: R004 unpicklable pool payloads, R005 exception
+``__reduce__`` round-trips.
+
+The engine fans numeric solves out over :class:`~concurrent.futures.
+ProcessPoolExecutor` under the ``spawn`` start method, so every submitted
+callable and every exception crossing back must pickle.  Lambdas and
+closures never pickle; exception subclasses with keyword-only ``__init__``
+parameters pickle only when they define ``__reduce__`` (the default
+``Exception.__reduce__`` replays ``cls(*self.args)``, which drops
+keyword-only attributes or raises ``TypeError`` outright).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.context import FileContext, dotted_name
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import Rule, register
+
+__all__ = ["UnpicklableSubmitRule", "ExceptionReduceRule"]
+
+#: engine fan-out entry points whose task payloads cross the pool boundary
+_FANOUT_FUNCS = frozenset({"solve_radius_tasks", "solve_radius_tasks_isolated"})
+
+
+def _collect_unpicklable_names(tree: ast.Module) -> set[str]:
+    """Names bound to lambdas (anywhere) or to defs nested inside functions."""
+    names: set[str] = set()
+
+    class _Scope(ast.NodeVisitor):
+        def __init__(self) -> None:
+            self.depth = 0
+
+        def _visit_func(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+            if self.depth > 0:
+                names.add(node.name)
+            self.depth += 1
+            self.generic_visit(node)
+            self.depth -= 1
+
+        visit_FunctionDef = _visit_func
+        visit_AsyncFunctionDef = _visit_func
+
+        def visit_Assign(self, node: ast.Assign) -> None:
+            if isinstance(node.value, ast.Lambda):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+            self.generic_visit(node)
+
+    _Scope().visit(tree)
+    return names
+
+
+@register
+class UnpicklableSubmitRule(Rule):
+    """R004 — lambda/closure passed to ``submit`` or engine fan-out."""
+
+    code = "R004"
+    name = "unpicklable-pool-payload"
+    description = (
+        "lambdas and nested functions passed to ProcessPoolExecutor.submit "
+        "or the engine fan-out cannot pickle under spawn; define the "
+        "callable at module level"
+    )
+    severity = Severity.ERROR
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        tainted = _collect_unpicklable_names(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not self._is_pool_entry(node):
+                continue
+            values = list(node.args) + [kw.value for kw in node.keywords]
+            for value in values:
+                if isinstance(value, ast.Lambda):
+                    yield self.finding(
+                        ctx,
+                        value,
+                        "lambda passed across the process-pool boundary; "
+                        "lambdas never pickle — use a module-level function",
+                    )
+                elif isinstance(value, ast.Name) and value.id in tainted:
+                    yield self.finding(
+                        ctx,
+                        value,
+                        f"'{value.id}' is a nested function or lambda; it "
+                        "cannot pickle under the spawn start method — move "
+                        "it to module level",
+                    )
+
+    @staticmethod
+    def _is_pool_entry(node: ast.Call) -> bool:
+        if isinstance(node.func, ast.Attribute) and node.func.attr == "submit":
+            return True
+        name = dotted_name(node.func)
+        if name is None:
+            return False
+        return name.rsplit(".", 1)[-1] in _FANOUT_FUNCS
+
+
+@register
+class ExceptionReduceRule(Rule):
+    """R005 — repro exception with keyword-only ``__init__`` but no
+    ``__reduce__``."""
+
+    code = "R005"
+    name = "exception-pickle-contract"
+    description = (
+        "ReproError subclasses whose __init__ takes keyword-only parameters "
+        "must define __reduce__, or the default Exception reduce drops "
+        "their attributes (or fails) when a pool worker ships them back"
+    )
+    severity = Severity.ERROR
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        exc_names = {"ReproError"}
+        for local, (module, _orig) in ctx.from_imports.items():
+            if module == "repro.exceptions":
+                exc_names.add(local)
+
+        classes = [
+            n for n in ast.walk(ctx.tree) if isinstance(n, ast.ClassDef)
+        ]
+        # propagate membership through same-file inheritance chains
+        changed = True
+        members: set[str] = set()
+        while changed:
+            changed = False
+            for cls in classes:
+                if cls.name in members:
+                    continue
+                bases = {b for b in map(dotted_name, cls.bases) if b}
+                base_tails = {b.rsplit(".", 1)[-1] for b in bases}
+                if base_tails & (exc_names | members):
+                    members.add(cls.name)
+                    changed = True
+
+        for cls in classes:
+            if cls.name not in members:
+                continue
+            init = self._method(cls, "__init__")
+            if init is None:
+                continue  # inherits a safe __init__
+            if not init.args.kwonlyargs:
+                continue  # cls(*self.args) round-trips by default
+            if self._method(cls, "__reduce__") is not None:
+                continue
+            yield self.finding(
+                ctx,
+                cls,
+                f"exception '{cls.name}' takes keyword-only __init__ "
+                "parameters but defines no __reduce__; it will not "
+                "round-trip pickle across the pool boundary",
+            )
+
+    @staticmethod
+    def _method(cls: ast.ClassDef, name: str) -> ast.FunctionDef | None:
+        for stmt in cls.body:
+            if isinstance(stmt, ast.FunctionDef) and stmt.name == name:
+                return stmt
+        return None

@@ -1,0 +1,145 @@
+"""Purity rule: R006 impact/feature callables must not mutate ``pi``.
+
+The same perturbation vector is evaluated many times — by the boundary
+minimizer's multi-starts, by pooled retry replays and by the Monte-Carlo
+fallback — under the assumption that ``f(pi)`` is a pure function of its
+argument.  An impact that writes into ``pi`` in place poisons every later
+evaluation sharing that array (numpy passes views, not copies).  The rule
+inspects any function with a parameter named ``pi`` (the library-wide
+convention for perturbation vectors, after the paper's notation).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.context import FileContext, dotted_name
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import Rule, register
+
+__all__ = ["ImpactPurityRule"]
+
+#: ndarray/list/dict methods that mutate the receiver in place
+_MUTATORS = frozenset(
+    {
+        "fill",
+        "sort",
+        "put",
+        "resize",
+        "setflags",
+        "itemset",
+        "partition",
+        "append",
+        "extend",
+        "insert",
+        "remove",
+        "clear",
+        "pop",
+        "update",
+        "setdefault",
+    }
+)
+
+_PARAM = "pi"
+
+
+def _root_name(node: ast.expr) -> str | None:
+    """Leftmost name of a target chain: ``pi[0].x`` -> ``"pi"``."""
+    while isinstance(node, (ast.Subscript, ast.Attribute, ast.Starred)):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else None
+
+
+@register
+class ImpactPurityRule(Rule):
+    """R006 — in-place mutation of the ``pi`` argument."""
+
+    code = "R006"
+    name = "impact-mutates-pi"
+    description = (
+        "impact/feature functions must be pure in their perturbation "
+        "argument pi; in-place writes poison pooled replays and the "
+        "Monte-Carlo fallback, which re-evaluate the same array"
+    )
+    severity = Severity.ERROR
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for func in ast.walk(ctx.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            a = func.args
+            params = [*a.posonlyargs, *a.args, *a.kwonlyargs]
+            if not any(p.arg == _PARAM for p in params):
+                continue
+            yield from self._check_body(ctx, func)
+
+    def _check_body(
+        self, ctx: FileContext, func: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        # ``pi = pi.copy()`` (any plain rebinding) makes later writes local:
+        # the blessed escape hatch.  Line-order approximation, no CFG.
+        rebind_line = min(
+            (
+                n.lineno
+                for n in ast.walk(func)
+                if isinstance(n, ast.Assign)
+                and any(
+                    isinstance(t, ast.Name) and t.id == _PARAM for t in n.targets
+                )
+            ),
+            default=None,
+        )
+        for node in ast.walk(func):
+            if rebind_line is not None and getattr(node, "lineno", 0) > rebind_line:
+                continue
+            if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for target in targets:
+                    # plain rebinding (pi = ...) is fine; writing *into* the
+                    # array (pi[...] = / pi.x = / pi[...] += ) is not
+                    mutates = isinstance(
+                        target, (ast.Subscript, ast.Attribute)
+                    ) or (
+                        isinstance(node, ast.AugAssign)
+                        and isinstance(target, ast.Name)
+                    )
+                    if mutates and _root_name(target) == _PARAM:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"function '{func.name}' writes into its pi "
+                            "argument in place; copy first (pi = pi.copy()) "
+                            "or compute without mutation",
+                        )
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(ctx, func, node)
+
+    def _check_call(
+        self,
+        ctx: FileContext,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        node: ast.Call,
+    ) -> Iterator[Finding]:
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _MUTATORS
+            and _root_name(node.func.value) == _PARAM
+        ):
+            yield self.finding(
+                ctx,
+                node,
+                f"function '{func.name}' calls the in-place mutator "
+                f"pi.{node.func.attr}(); impacts must leave pi untouched",
+            )
+        for kw in node.keywords:
+            if kw.arg == "out" and kw.value is not None:
+                if dotted_name(kw.value) == _PARAM:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"function '{func.name}' passes out=pi to a ufunc; "
+                        "the result overwrites the shared perturbation vector",
+                    )

@@ -1,0 +1,108 @@
+"""Per-file analysis context shared by every checker.
+
+A :class:`FileContext` bundles the parsed AST with the pieces of file-level
+knowledge that several rules need:
+
+- an import map, so a checker can resolve ``rng.default_rng`` /
+  ``np.random.seed`` / ``from numpy.random import rand`` to their canonical
+  dotted names without re-walking the import statements itself;
+- the raw source lines (for the suppression scanner);
+- whether the file is *test code* (rules that guard library determinism,
+  R001/R002, do not apply to tests, which may legitimately use ad-hoc
+  randomness for arbitrary inputs).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import PurePath
+
+__all__ = ["FileContext", "dotted_name", "is_test_path"]
+
+
+def dotted_name(node: ast.expr) -> str | None:
+    """Flatten an ``a.b.c`` Attribute/Name chain to ``"a.b.c"``.
+
+    Returns ``None`` for anything that is not a pure name chain (calls,
+    subscripts, literals, ...).
+    """
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def is_test_path(path: str) -> bool:
+    """True when ``path`` names test code (``tests/`` tree, ``test_*.py``,
+    ``conftest.py``)."""
+    p = PurePath(path)
+    if any(part == "tests" for part in p.parts):
+        return True
+    return p.name.startswith("test_") or p.name == "conftest.py"
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs to analyse one file."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    #: test code relaxes the determinism rules (R001/R002)
+    is_test: bool
+    #: source split into lines, 0-indexed (line ``n`` of a finding is
+    #: ``lines[n - 1]``)
+    lines: list[str] = field(default_factory=list)
+    #: local alias -> full module path, from ``import x.y as z``
+    module_aliases: dict[str, str] = field(default_factory=dict)
+    #: local name -> (module, original name), from ``from m import a as b``
+    from_imports: dict[str, tuple[str, str]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.lines:
+            self.lines = self.source.splitlines()
+        self._collect_imports()
+
+    def _collect_imports(self) -> None:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.partition(".")[0]
+                    # ``import numpy.random`` binds the top-level package;
+                    # ``import numpy.random as npr`` binds the submodule.
+                    target = alias.name if alias.asname else alias.name.partition(".")[0]
+                    self.module_aliases[local] = target
+            elif isinstance(node, ast.ImportFrom):
+                if node.module is None or node.level:
+                    continue  # relative imports stay unresolved
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self.from_imports[local] = (node.module, alias.name)
+
+    def resolve(self, node: ast.expr) -> str | None:
+        """Resolve a name chain to its canonical dotted path.
+
+        ``np.random.seed`` -> ``"numpy.random.seed"`` when the file did
+        ``import numpy as np``; ``default_rng()`` -> ``"numpy.random.
+        default_rng"`` after ``from numpy.random import default_rng``.
+        Unknown heads resolve to themselves, so local variables shadowing a
+        module alias can produce false positives — an accepted trade-off for
+        a purely syntactic pass.
+        """
+        name = dotted_name(node)
+        if name is None:
+            return None
+        head, _, rest = name.partition(".")
+        if head in self.module_aliases:
+            full = self.module_aliases[head]
+        elif head in self.from_imports:
+            module, orig = self.from_imports[head]
+            full = f"{module}.{orig}"
+        else:
+            return name
+        return f"{full}.{rest}" if rest else full

@@ -1,0 +1,52 @@
+"""Finding reporters: human-readable text and machine-readable JSON."""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Sequence
+
+from repro.analysis.findings import Finding
+
+__all__ = ["render_text", "render_json"]
+
+
+def render_text(
+    findings: Sequence[Finding],
+    *,
+    files_checked: int = 0,
+    n_suppressed: int = 0,
+) -> str:
+    """One ``path:line:col: CODE [severity] message`` line per finding plus a
+    summary line (mirrors the familiar compiler/flake8 shape)."""
+    ordered = sorted(findings, key=lambda f: (f.path, f.line, f.col, f.code))
+    lines = [
+        f"{f.location()}: {f.code} [{f.severity.value}] {f.message}"
+        for f in ordered
+    ]
+    summary = (
+        f"{len(findings)} finding{'s' if len(findings) != 1 else ''} "
+        f"in {files_checked} file{'s' if files_checked != 1 else ''}"
+    )
+    if n_suppressed:
+        summary += f" ({n_suppressed} suppressed)"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(
+    findings: Sequence[Finding],
+    *,
+    files_checked: int = 0,
+    n_suppressed: int = 0,
+) -> str:
+    """Stable JSON document: ``{"findings": [...], "summary": {...}}``."""
+    ordered = sorted(findings, key=lambda f: (f.path, f.line, f.col, f.code))
+    doc = {
+        "findings": [f.to_dict() for f in ordered],
+        "summary": {
+            "total": len(findings),
+            "files_checked": files_checked,
+            "suppressed": n_suppressed,
+        },
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)

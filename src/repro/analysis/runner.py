@@ -1,0 +1,130 @@
+"""Lint driver: file discovery, parsing, rule execution, suppression.
+
+Directory arguments are walked recursively for ``*.py`` files, skipping
+``__pycache__``, hidden directories and any directory named ``fixtures``
+(lint-rule test fixtures *contain violations on purpose*; they are only
+analysed when named explicitly).  File arguments are always analysed,
+fixture or not.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.context import FileContext, is_test_path
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, get_rules
+from repro.analysis.suppressions import filter_suppressed
+
+__all__ = ["LintReport", "lint_source", "lint_file", "lint_paths", "iter_python_files"]
+
+#: directory names never descended into during discovery
+_SKIP_DIRS = frozenset({"__pycache__", "fixtures"})
+
+
+@dataclass
+class LintReport:
+    """Aggregate outcome of one lint run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    n_suppressed: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def merge(self, other: "LintReport") -> None:
+        self.findings.extend(other.findings)
+        self.files_checked += other.files_checked
+        self.n_suppressed += other.n_suppressed
+
+
+def iter_python_files(path: Path) -> list[Path]:
+    """Python files under *path* (itself, if it is a file), discovery rules
+    applied."""
+    if path.is_file():
+        return [path]
+    found: list[Path] = []
+    for candidate in sorted(path.rglob("*.py")):
+        rel = candidate.relative_to(path)
+        parts = rel.parts[:-1]
+        if any(p in _SKIP_DIRS or p.startswith(".") for p in parts):
+            continue
+        found.append(candidate)
+    return found
+
+
+def lint_source(
+    source: str,
+    *,
+    path: str = "<string>",
+    is_test: bool | None = None,
+    select: list[str] | None = None,
+    rules: list[Rule] | None = None,
+) -> LintReport:
+    """Lint one source string.
+
+    ``is_test=None`` infers test-ness from *path*; rule unit tests pass an
+    explicit value so fixtures exercise the library-code behaviour
+    regardless of where they live on disk.
+    """
+    if rules is None:
+        rules = get_rules(select)
+    if is_test is None:
+        is_test = is_test_path(path)
+    tree = ast.parse(source, filename=path)
+    ctx = FileContext(path=path, source=source, tree=tree, is_test=is_test)
+    raw: list[Finding] = []
+    for rule in rules:
+        if ctx.is_test and not rule.applies_to_tests:
+            continue
+        raw.extend(rule.check(ctx))
+    kept, n_suppressed = filter_suppressed(raw, ctx.lines)
+    return LintReport(findings=kept, files_checked=1, n_suppressed=n_suppressed)
+
+
+def lint_file(
+    path: Path,
+    *,
+    is_test: bool | None = None,
+    select: list[str] | None = None,
+    rules: list[Rule] | None = None,
+) -> LintReport:
+    """Lint one file on disk (syntax errors become a finding, not a crash)."""
+    source = path.read_text(encoding="utf-8")
+    try:
+        return lint_source(
+            source, path=str(path), is_test=is_test, select=select, rules=rules
+        )
+    except SyntaxError as err:
+        finding = Finding(
+            code="R000",
+            name="syntax-error",
+            message=f"file does not parse: {err.msg}",
+            path=str(path),
+            line=err.lineno or 1,
+            col=(err.offset or 1) - 1,
+        )
+        return LintReport(findings=[finding], files_checked=1)
+
+
+def lint_paths(
+    paths: list[Path], *, select: list[str] | None = None
+) -> LintReport:
+    """Lint files and directory trees; the entry point behind ``repro lint``.
+
+    Raises :class:`FileNotFoundError` for a missing path and :class:`KeyError`
+    for an unknown ``--select`` code — the CLI maps both to usage errors
+    (exit status 2).
+    """
+    rules = get_rules(select)
+    report = LintReport()
+    for path in paths:
+        if not path.exists():
+            raise FileNotFoundError(str(path))
+        for file in iter_python_files(path):
+            report.merge(lint_file(file, rules=rules))
+    return report

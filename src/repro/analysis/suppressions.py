@@ -1,0 +1,63 @@
+"""Inline suppression comments: ``# repro: noqa[CODE]``.
+
+A finding on line *n* is suppressed when line *n* carries a marker naming
+its code (``# repro: noqa[R003]``, multiple codes comma-separated:
+``# repro: noqa[R003,R007]``) or a blanket marker (``# repro: noqa``).
+Matching is case-insensitive in the codes and tolerant of spaces.
+
+The project convention (enforced socially, not mechanically) is that every
+in-tree suppression carries a trailing justification, e.g.::
+
+    if ms == 0.0:  # repro: noqa[R003] - exact-zero sentinel for empty ETC
+
+Standard ``# noqa`` comments are *not* honoured — the marker is namespaced
+on purpose so this layer never fights with flake8/ruff semantics.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Iterable
+
+from repro.analysis.findings import Finding
+
+__all__ = ["suppressed_codes", "filter_suppressed"]
+
+_NOQA = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<codes>[A-Za-z0-9 ,]+)\])?", re.IGNORECASE
+)
+
+#: sentinel meaning "every code is suppressed on this line"
+_ALL = frozenset({"*"})
+
+
+def suppressed_codes(line: str) -> frozenset[str]:
+    """Codes suppressed by *line*'s comment, ``{"*"}`` for a blanket marker,
+    empty when the line carries no marker."""
+    m = _NOQA.search(line)
+    if m is None:
+        return frozenset()
+    codes = m.group("codes")
+    if codes is None:
+        return _ALL
+    return frozenset(c.strip().upper() for c in codes.split(",") if c.strip())
+
+
+def filter_suppressed(
+    findings: Iterable[Finding], lines: list[str]
+) -> tuple[list[Finding], int]:
+    """Drop findings whose source line suppresses their code.
+
+    Returns ``(kept, n_suppressed)`` so reporters can surface how many
+    violations were waived.
+    """
+    kept: list[Finding] = []
+    n_suppressed = 0
+    for f in findings:
+        line = lines[f.line - 1] if 0 < f.line <= len(lines) else ""
+        codes = suppressed_codes(line)
+        if codes and ("*" in codes or f.code.upper() in codes):
+            n_suppressed += 1
+        else:
+            kept.append(f)
+    return kept, n_suppressed

@@ -9,9 +9,12 @@ Usage::
     python -m repro heuristics [--seed N] [--tau X]
     python -m repro monitor   [--seed N] [--steps N] [--threshold X]
     python -m repro faults    [--seed N] [--tau X] [--eps X] [--confidence X]
+    python -m repro lint      [--format text|json] [--select CODES] PATHS...
 
 Each subcommand prints the regenerated table/figure report (and optionally
-writes it to ``--out``).  Exit status is 0 on success, 2 on bad arguments.
+writes it to ``--out``).  Exit status is 0 on success, 2 on bad arguments;
+``lint`` (and the pass/fail validation commands) exit 1 when findings /
+violations are present.
 """
 
 from __future__ import annotations
@@ -73,6 +76,34 @@ def build_parser() -> argparse.ArgumentParser:
     pf.add_argument("--eps", type=float, default=0.01)
     pf.add_argument("--confidence", type=float, default=0.99)
     pf.add_argument("--fail-fraction", type=float, default=0.5)
+
+    pl = sub.add_parser(
+        "lint",
+        help="static analysis: determinism / pickle-safety / numeric contracts",
+    )
+    pl.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directory trees to lint (required unless --list-rules)",
+    )
+    pl.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    pl.add_argument(
+        "--select",
+        default=None,
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all rules)",
+    )
+    pl.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
 
     return parser
 
@@ -246,6 +277,40 @@ def _cmd_faults(args) -> int:
     return 0 if cert.holds and hv.sound and hv.tight else 1
 
 
+def _cmd_lint(args) -> int:
+    from repro.analysis import lint_paths, render_json, render_text, rule_catalog
+    from repro.utils.tables import format_table
+
+    if args.list_rules:
+        rows = [list(row) for row in rule_catalog()]
+        print(format_table(["code", "name", "severity", "description"], rows))
+        return 0
+    if not args.paths:
+        print(
+            "repro lint: at least one path is required (or --list-rules)",
+            file=sys.stderr,
+        )
+        return 2
+    select = args.select.split(",") if args.select else None
+    try:
+        report = lint_paths(args.paths, select=select)
+    except KeyError as err:
+        print(f"repro lint: unknown rule code {err.args[0]!r}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as err:
+        print(f"repro lint: no such path: {err.args[0]}", file=sys.stderr)
+        return 2
+    render = render_json if args.format == "json" else render_text
+    print(
+        render(
+            report.findings,
+            files_checked=report.files_checked,
+            n_suppressed=report.n_suppressed,
+        )
+    )
+    return 0 if report.clean else 1
+
+
 _COMMANDS = {
     "fig3": _cmd_fig3,
     "fig4": _cmd_fig4,
@@ -254,6 +319,7 @@ _COMMANDS = {
     "heuristics": _cmd_heuristics,
     "monitor": _cmd_monitor,
     "faults": _cmd_faults,
+    "lint": _cmd_lint,
 }
 
 

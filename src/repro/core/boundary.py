@@ -51,17 +51,17 @@ class BoundaryRelation:
         op = ">=" if self.bound == Bound.LOWER else "<="
         return f"{self.feature.name} {op} {self.beta:g}"
 
-    def value_gap(self, pi) -> float:
+    def value_gap(self, pi: np.ndarray) -> float:
         """Signed gap in *feature units*: ``beta - f(pi)`` for an upper bound,
         ``f(pi) - beta`` for a lower bound (positive = robust side)."""
         v = self.feature.value_at(pi)
         return (self.beta - v) if self.bound == Bound.UPPER else (v - self.beta)
 
-    def residual(self, pi) -> float:
+    def residual(self, pi: np.ndarray) -> float:
         """``f(pi) - beta`` (zero exactly on the boundary)."""
         return self.feature.value_at(pi) - self.beta
 
-    def satisfied_at(self, pi, *, tol: float = 0.0) -> bool:
+    def satisfied_at(self, pi: np.ndarray, *, tol: float = 0.0) -> bool:
         """True when the origin-side inequality holds at ``pi``."""
         return self.value_gap(pi) >= -tol
 

@@ -129,7 +129,7 @@ class SolverConfig:
             "ftol": self.ftol,
         }
 
-    def replace(self, **changes) -> "SolverConfig":
+    def replace(self, **changes: object) -> "SolverConfig":
         """A copy with the given fields replaced (validation re-runs)."""
         return dataclasses.replace(self, **changes)
 

@@ -10,6 +10,7 @@ parameter.
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Iterator
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -93,11 +94,11 @@ class PerformanceFeature:
             lo, hi = self.bounds  # accept a 2-tuple
             self.bounds = FeatureBounds(lo, hi)
 
-    def value_at(self, pi) -> float:
+    def value_at(self, pi: np.ndarray) -> float:
         """Evaluate the feature at perturbation value ``pi``."""
         return self.impact(np.asarray(pi, dtype=float))
 
-    def satisfied_at(self, pi, *, tol: float = 0.0) -> bool:
+    def satisfied_at(self, pi: np.ndarray, *, tol: float = 0.0) -> bool:
         """True when the robustness requirement holds for this feature at ``pi``."""
         return self.bounds.contains(self.value_at(pi), tol=tol)
 
@@ -108,7 +109,7 @@ class FeatureSet:
     A thin ordered container with name-based lookup and bulk evaluation.
     """
 
-    def __init__(self, features=()) -> None:
+    def __init__(self, features: Iterable[PerformanceFeature] = ()) -> None:
         self._features: list[PerformanceFeature] = []
         self._by_name: dict[str, PerformanceFeature] = {}
         for f in features:
@@ -122,13 +123,13 @@ class FeatureSet:
         self._features.append(feature)
         self._by_name[feature.name] = feature
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[PerformanceFeature]:
         return iter(self._features)
 
     def __len__(self) -> int:
         return len(self._features)
 
-    def __getitem__(self, key):
+    def __getitem__(self, key: int | str) -> PerformanceFeature:
         if isinstance(key, str):
             return self._by_name[key]
         return self._features[key]
@@ -139,15 +140,15 @@ class FeatureSet:
     def names(self) -> list[str]:
         return [f.name for f in self._features]
 
-    def values_at(self, pi) -> np.ndarray:
+    def values_at(self, pi: np.ndarray) -> np.ndarray:
         """Evaluate every feature at ``pi`` (returns an array in set order)."""
         pi = np.asarray(pi, dtype=float)
         return np.array([f.value_at(pi) for f in self._features], dtype=float)
 
-    def all_satisfied_at(self, pi, *, tol: float = 0.0) -> bool:
+    def all_satisfied_at(self, pi: np.ndarray, *, tol: float = 0.0) -> bool:
         """True when every feature's requirement holds at ``pi``."""
         return all(f.satisfied_at(pi, tol=tol) for f in self._features)
 
-    def violations_at(self, pi, *, tol: float = 0.0) -> list[str]:
+    def violations_at(self, pi: np.ndarray, *, tol: float = 0.0) -> list[str]:
         """Names of features whose requirement is violated at ``pi``."""
         return [f.name for f in self._features if not f.satisfied_at(pi, tol=tol)]

@@ -37,11 +37,17 @@ import numpy as np
 
 from repro.core.config import SolverConfig, resolve_config
 from repro.core.features import FeatureBounds, FeatureSet, PerformanceFeature
-from repro.core.impact import as_impact
+from collections.abc import Callable, Sequence
+from typing import TYPE_CHECKING
+
+from repro.core.impact import ImpactFunction, as_impact
 from repro.core.metric import MetricResult, robustness_metric
 from repro.core.norms import Norm
 from repro.core.perturbation import PerturbationParameter
 from repro.exceptions import ValidationError
+
+if TYPE_CHECKING:
+    from repro.core.boundary import BoundaryRelation
 
 __all__ = ["FePIAAnalysis"]
 
@@ -64,7 +70,7 @@ class FePIAAnalysis:
     def with_perturbation(
         self,
         name: str,
-        origin,
+        origin: np.ndarray | Sequence[float] | float,
         *,
         discrete: bool = False,
         component_names: list[str] | None = None,
@@ -84,7 +90,7 @@ class FePIAAnalysis:
     def add_feature(
         self,
         name: str,
-        impact,
+        impact: ImpactFunction | Callable[[np.ndarray], float] | np.ndarray | Sequence[float],
         *,
         lower: float = -np.inf,
         upper: float = np.inf,
@@ -114,11 +120,11 @@ class FePIAAnalysis:
             raise ValidationError("perturbation parameter not set (FePIA step 2)")
         return self._parameter
 
-    def boundary_relationships(self):
+    def boundary_relationships(self) -> list[BoundaryRelation]:
         """The step-4 boundary relationship set (for inspection/printing)."""
         from repro.core.boundary import boundary_relations
 
-        rels = []
+        rels: list[BoundaryRelation] = []
         for f in self._features:
             rels.extend(boundary_relations(f))
         return rels

@@ -96,7 +96,7 @@ class AffineImpact(ImpactFunction):
         F_j = AffineImpact(indicator_vector)  # intercept defaults to 0
     """
 
-    def __init__(self, coefficients, intercept: float = 0.0) -> None:
+    def __init__(self, coefficients: np.ndarray | Sequence[float], intercept: float = 0.0) -> None:
         self.coefficients = as_1d_float_array(coefficients, "coefficients", allow_empty=False)
         self.intercept = check_finite(intercept, "intercept")
 
@@ -109,7 +109,7 @@ class AffineImpact(ImpactFunction):
     def is_affine(self) -> bool:
         return True
 
-    def __call__(self, pi) -> float:
+    def __call__(self, pi: np.ndarray) -> float:
         pi = np.asarray(pi, dtype=float)
         if pi.shape[-1] != self.coefficients.size:
             raise ValidationError(
@@ -122,7 +122,7 @@ class AffineImpact(ImpactFunction):
         pis = np.asarray(pis, dtype=float)
         return pis @ self.coefficients + self.intercept
 
-    def gradient(self, pi) -> np.ndarray:
+    def gradient(self, pi: np.ndarray) -> np.ndarray:
         return self.coefficients.copy()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -154,10 +154,10 @@ class CallableImpact(ImpactFunction):
         #: declared convexity (None = unknown); informs solver multi-start count
         self.convex = convex
 
-    def __call__(self, pi) -> float:
+    def __call__(self, pi: np.ndarray) -> float:
         return float(self._func(np.asarray(pi, dtype=float)))
 
-    def gradient(self, pi) -> np.ndarray | None:
+    def gradient(self, pi: np.ndarray) -> np.ndarray | None:
         if self._grad is None:
             return None
         g = self._grad(np.asarray(pi, dtype=float))
@@ -181,10 +181,10 @@ class SumImpact(ImpactFunction):
                 raise ValidationError(f"SumImpact terms must be ImpactFunction, got {type(t)}")
         self.terms = terms
 
-    def __call__(self, pi) -> float:
+    def __call__(self, pi: np.ndarray) -> float:
         return float(sum(t(pi) for t in self.terms))
 
-    def gradient(self, pi) -> np.ndarray | None:
+    def gradient(self, pi: np.ndarray) -> np.ndarray | None:
         grads = [t.gradient(pi) for t in self.terms]
         if any(g is None for g in grads):
             return None
@@ -200,15 +200,15 @@ class ScaledImpact(ImpactFunction):
         self.inner = inner
         self.scalar = check_finite(scalar, "scalar")
 
-    def __call__(self, pi) -> float:
+    def __call__(self, pi: np.ndarray) -> float:
         return self.scalar * self.inner(pi)
 
-    def gradient(self, pi) -> np.ndarray | None:
+    def gradient(self, pi: np.ndarray) -> np.ndarray | None:
         g = self.inner.gradient(pi)
         return None if g is None else self.scalar * g
 
 
-def as_impact(obj) -> ImpactFunction:
+def as_impact(obj: ImpactFunction | Callable[[np.ndarray], float] | np.ndarray | Sequence[float]) -> ImpactFunction:
     """Coerce ``obj`` to an :class:`ImpactFunction`.
 
     Accepts an existing impact, a 1-D array of affine coefficients, or a bare

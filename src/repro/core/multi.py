@@ -24,6 +24,8 @@ closed-form.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 import numpy as np
 
 from repro.core.config import SolverConfig, resolve_config
@@ -40,7 +42,9 @@ __all__ = ["MultiParameterAnalysis"]
 class _BlockFeature:
     """A feature whose impact is declared per parameter block."""
 
-    def __init__(self, name: str, impacts: dict[str, ImpactFunction], bounds: FeatureBounds):
+    def __init__(
+        self, name: str, impacts: dict[str, ImpactFunction], bounds: FeatureBounds
+    ) -> None:
         self.name = name
         self.impacts = impacts
         self.bounds = bounds
@@ -74,7 +78,13 @@ class MultiParameterAnalysis:
         self._features: list[_BlockFeature] = []
 
     # -- step 2 (repeated) -------------------------------------------------
-    def with_parameter(self, name: str, origin, *, discrete: bool = False) -> "MultiParameterAnalysis":
+    def with_parameter(
+        self,
+        name: str,
+        origin: np.ndarray | Sequence[float] | float,
+        *,
+        discrete: bool = False,
+    ) -> "MultiParameterAnalysis":
         """Declare one perturbation parameter (call once per parameter)."""
         if any(p.name == name for p in self._parameters):
             raise ValidationError(f"duplicate parameter name {name!r}")
@@ -154,10 +164,18 @@ class MultiParameterAnalysis:
 
         blocks = dict(bf.impacts)
 
-        def joint(pi: np.ndarray, _blocks=blocks, _off=offsets) -> float:
+        def joint(
+            pi: np.ndarray,
+            _blocks: dict[str, ImpactFunction] = blocks,
+            _off: dict[str, tuple[int, int]] = offsets,
+        ) -> float:
             return float(sum(imp(pi[_off[p][0] : _off[p][1]]) for p, imp in _blocks.items()))
 
-        def joint_grad(pi: np.ndarray, _blocks=blocks, _off=offsets):
+        def joint_grad(
+            pi: np.ndarray,
+            _blocks: dict[str, ImpactFunction] = blocks,
+            _off: dict[str, tuple[int, int]] = offsets,
+        ) -> np.ndarray | None:
             g = np.zeros_like(pi)
             for p, imp in _blocks.items():
                 lo, hi = _off[p]

@@ -94,7 +94,9 @@ class L2Norm(Norm):
     def dual(self, c: np.ndarray) -> float:
         return float(np.linalg.norm(np.asarray(c, dtype=float)))
 
-    def closest_point_on_hyperplane(self, c, d, x0) -> np.ndarray:
+    def closest_point_on_hyperplane(
+        self, c: np.ndarray, d: float, x0: np.ndarray
+    ) -> np.ndarray:
         c = np.asarray(c, dtype=float)
         x0 = np.asarray(x0, dtype=float)
         cc = float(c @ c)
@@ -105,7 +107,7 @@ class L2Norm(Norm):
         # Orthogonal projection: x* = x0 + ((d - c.x0)/||c||^2) c
         return x0 + ((float(d) - float(c @ x0)) / cc) * c
 
-    def unit_steepest_direction(self, c) -> np.ndarray:
+    def unit_steepest_direction(self, c: np.ndarray) -> np.ndarray:
         c = np.asarray(c, dtype=float)
         n = float(np.linalg.norm(c))
         if n == 0.0:
@@ -123,7 +125,7 @@ class WeightedL2Norm(Norm):
 
     name = "wl2"
 
-    def __init__(self, weights) -> None:
+    def __init__(self, weights: np.ndarray | list[float]) -> None:
         w = as_1d_float_array(weights, "weights")
         if np.any(w <= 0):
             raise ValidationError("weights must be strictly positive")
@@ -137,15 +139,17 @@ class WeightedL2Norm(Norm):
             )
         return x
 
-    def __call__(self, x) -> float:
+    def __call__(self, x: np.ndarray) -> float:
         x = self._check(x)
         return float(np.sqrt(np.sum(self.weights * x * x)))
 
-    def dual(self, c) -> float:
+    def dual(self, c: np.ndarray) -> float:
         c = self._check(c)
         return float(np.sqrt(np.sum(c * c / self.weights)))
 
-    def closest_point_on_hyperplane(self, c, d, x0) -> np.ndarray:
+    def closest_point_on_hyperplane(
+        self, c: np.ndarray, d: float, x0: np.ndarray
+    ) -> np.ndarray:
         c = self._check(c)
         x0 = self._check(x0)
         # Minimize sum w_r (x_r - x0_r)^2 s.t. c.x = d  (Lagrange):
@@ -158,7 +162,7 @@ class WeightedL2Norm(Norm):
         lam = (float(d) - float(c @ x0)) / denom
         return x0 + lam * c / self.weights
 
-    def unit_steepest_direction(self, c) -> np.ndarray:
+    def unit_steepest_direction(self, c: np.ndarray) -> np.ndarray:
         c = self._check(c)
         u = c / self.weights
         n = self(u)
@@ -175,14 +179,16 @@ class L1Norm(Norm):
 
     name = "l1"
 
-    def __call__(self, x) -> float:
+    def __call__(self, x: np.ndarray) -> float:
         return float(np.sum(np.abs(np.asarray(x, dtype=float))))
 
-    def dual(self, c) -> float:
+    def dual(self, c: np.ndarray) -> float:
         c = np.asarray(c, dtype=float)
         return float(np.max(np.abs(c))) if c.size else 0.0
 
-    def closest_point_on_hyperplane(self, c, d, x0) -> np.ndarray:
+    def closest_point_on_hyperplane(
+        self, c: np.ndarray, d: float, x0: np.ndarray
+    ) -> np.ndarray:
         c = np.asarray(c, dtype=float)
         x0 = np.asarray(x0, dtype=float)
         denom = self.dual(c)
@@ -197,7 +203,7 @@ class L1Norm(Norm):
         x[r] += gap / c[r]
         return x
 
-    def unit_steepest_direction(self, c) -> np.ndarray:
+    def unit_steepest_direction(self, c: np.ndarray) -> np.ndarray:
         c = np.asarray(c, dtype=float)
         if not np.any(c):
             raise ValidationError("zero vector has no steepest direction")
@@ -212,14 +218,16 @@ class LInfNorm(Norm):
 
     name = "linf"
 
-    def __call__(self, x) -> float:
+    def __call__(self, x: np.ndarray) -> float:
         x = np.asarray(x, dtype=float)
         return float(np.max(np.abs(x))) if x.size else 0.0
 
-    def dual(self, c) -> float:
+    def dual(self, c: np.ndarray) -> float:
         return float(np.sum(np.abs(np.asarray(c, dtype=float))))
 
-    def closest_point_on_hyperplane(self, c, d, x0) -> np.ndarray:
+    def closest_point_on_hyperplane(
+        self, c: np.ndarray, d: float, x0: np.ndarray
+    ) -> np.ndarray:
         c = np.asarray(c, dtype=float)
         x0 = np.asarray(x0, dtype=float)
         denom = self.dual(c)
@@ -232,7 +240,7 @@ class LInfNorm(Norm):
         t = gap / denom
         return x0 + t * np.sign(c) + (np.sign(c) == 0) * 0.0
 
-    def unit_steepest_direction(self, c) -> np.ndarray:
+    def unit_steepest_direction(self, c: np.ndarray) -> np.ndarray:
         c = np.asarray(c, dtype=float)
         if not np.any(c):
             raise ValidationError("zero vector has no steepest direction")

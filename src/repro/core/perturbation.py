@@ -66,7 +66,7 @@ class PerturbationParameter:
         """Number of components ``n_pi`` of the parameter vector."""
         return self.origin.size
 
-    def displacement(self, pi) -> np.ndarray:
+    def displacement(self, pi: np.ndarray) -> np.ndarray:
         """``pi - pi_orig`` as a float array (validates dimension)."""
         pi = np.asarray(pi, dtype=float)
         if pi.shape != self.origin.shape:

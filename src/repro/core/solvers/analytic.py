@@ -20,6 +20,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.boundary import Bound, BoundaryRelation
+from repro.core.features import PerformanceFeature
 from repro.core.impact import AffineImpact
 from repro.core.norms import Norm, get_norm
 from repro.exceptions import ValidationError
@@ -62,7 +63,7 @@ def affine_boundary_distance(
 
 
 def affine_radius(
-    feature,
+    feature: PerformanceFeature,
     origin: np.ndarray,
     norm: Norm | str | None = None,
 ) -> tuple[float, np.ndarray | None, str | None]:

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import itertools
 import math
+from collections.abc import Callable
 
 import numpy as np
 
@@ -49,7 +50,7 @@ def floor_radius(radius: float) -> float:
 
 
 def bracket_boundary_1d(
-    func,
+    func: Callable[[float], float],
     beta: float,
     origin: int,
     *,

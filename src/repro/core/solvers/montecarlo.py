@@ -66,7 +66,7 @@ def _ray_crossing(
 
 def estimate_radius_mc(
     features: FeatureSet,
-    origin,
+    origin: np.ndarray,
     *,
     n_directions: int = 256,
     norm: Norm | str | None = None,
@@ -127,7 +127,7 @@ class RadiusValidation:
 
 def validate_radius(
     features: FeatureSet,
-    origin,
+    origin: np.ndarray,
     radius: float,
     *,
     n_samples: int = 512,
@@ -135,7 +135,7 @@ def validate_radius(
     seed: int | np.random.Generator | None = None,
     slack: float = 1e-9,
     tightness_factor: float = 1.05,
-    boundary_point=None,
+    boundary_point: np.ndarray | None = None,
 ) -> RadiusValidation:
     """Empirically validate a claimed robustness radius.
 

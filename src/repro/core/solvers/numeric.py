@@ -29,6 +29,7 @@ import numpy as np
 from scipy import optimize
 
 from repro.core.boundary import BoundaryRelation
+from repro.core.impact import ImpactFunction
 from repro.core.norms import L2Norm, Norm, get_norm
 from repro.exceptions import SolverError
 from repro.utils.rng import ensure_rng
@@ -66,7 +67,7 @@ class NumericSolveResult:
     reason: str | None = None
 
 
-def _gradient(impact, pi: np.ndarray) -> np.ndarray:
+def _gradient(impact: ImpactFunction, pi: np.ndarray) -> np.ndarray:
     """Analytic gradient when available, else central finite differences."""
     g = impact.gradient(pi)
     if g is not None:
@@ -87,7 +88,9 @@ def _gradient(impact, pi: np.ndarray) -> np.ndarray:
     return grad
 
 
-def _newton_boundary_start(impact, beta: float, origin: np.ndarray, max_iter: int = 50) -> np.ndarray | None:
+def _newton_boundary_start(
+    impact: ImpactFunction, beta: float, origin: np.ndarray, max_iter: int = 50
+) -> np.ndarray | None:
     """Walk from the origin along the (re-evaluated) gradient direction until
     ``f = beta`` — a Newton-like root find along a curve of steepest change.
 
@@ -270,7 +273,15 @@ def _classify_failure(failures: set[str]) -> str:
     return "unreachable-boundary"
 
 
-def _polish_norm(norm: Norm, impact, beta: float, origin: np.ndarray, x0: np.ndarray, *, maxiter: int) -> float:
+def _polish_norm(
+    norm: Norm,
+    impact: ImpactFunction,
+    beta: float,
+    origin: np.ndarray,
+    x0: np.ndarray,
+    *,
+    maxiter: int,
+) -> float:
     """Re-minimize the requested (possibly non-smooth) norm from the l2 solution."""
 
     def objective(pi: np.ndarray) -> float:

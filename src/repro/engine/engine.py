@@ -26,7 +26,8 @@ numeric branch re-enters the scalar solver verbatim.
 from __future__ import annotations
 
 import dataclasses
-from collections.abc import Sequence
+from collections.abc import Iterable, Sequence
+from typing import Any
 from dataclasses import dataclass
 
 import numpy as np
@@ -84,7 +85,7 @@ class BatchRobustnessResult(Sequence):
     #: the ``on_error`` mode the batch ran under
     on_error: str = "raise"
 
-    def __getitem__(self, index):
+    def __getitem__(self, index: int) -> MetricResult:
         return self.results[index]
 
     def __len__(self) -> int:
@@ -286,7 +287,7 @@ class RobustnessEngine:
     # -- allocation (Eq. 6/7) ------------------------------------------------
     def evaluate_allocation(
         self,
-        mappings,
+        mappings: np.ndarray | Sequence[Mapping] | Sequence[Sequence[int]],
         etc: np.ndarray,
         tau: float,
         *,
@@ -326,8 +327,8 @@ class RobustnessEngine:
     def evaluate_hiperd(
         self,
         system: HiperDSystem,
-        mappings,
-        load_orig,
+        mappings: np.ndarray | Sequence[Mapping] | Sequence[Sequence[int]],
+        load_orig: np.ndarray | Sequence[float],
         *,
         apply_floor: bool = True,
         require_feasible: bool = False,
@@ -435,7 +436,7 @@ class RobustnessEngine:
 
     def evaluate_population(
         self,
-        problems,
+        problems: Iterable[tuple[Iterable[PerformanceFeature], PerturbationParameter]],
         *,
         apply_floor: bool | None = None,
         require_feasible: bool = False,
@@ -540,7 +541,7 @@ class RobustnessEngine:
         )
 
     # -- unified dispatch -----------------------------------------------------
-    def robustness_of(self, *args, on_error: str = "raise", **kwargs):
+    def robustness_of(self, *args: Any, on_error: str = "raise", **kwargs: Any) -> Any:
         """Dispatch to the right evaluator from the argument types.
 
         - ``robustness_of(mapping, etc, tau)`` — allocation (scalar);
@@ -580,7 +581,9 @@ class RobustnessEngine:
 
     # -- helpers --------------------------------------------------------------
     @staticmethod
-    def _as_assignments(mappings) -> np.ndarray:
+    def _as_assignments(
+        mappings: np.ndarray | Sequence[Mapping] | Sequence[Sequence[int]],
+    ) -> np.ndarray:
         if isinstance(mappings, np.ndarray):
             return mappings
         mappings = list(mappings)
@@ -589,7 +592,9 @@ class RobustnessEngine:
         return np.asarray(mappings)
 
     @staticmethod
-    def _as_features(features) -> list[PerformanceFeature]:
+    def _as_features(
+        features: Iterable[PerformanceFeature],
+    ) -> list[PerformanceFeature]:
         feats = list(features)
         if not feats:
             raise ValidationError("the feature set Phi must be non-empty")

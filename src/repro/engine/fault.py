@@ -246,12 +246,12 @@ def fault_radius_task(payload: tuple) -> RadiusResult:
             inject.CURRENT_ATTEMPT = 0
 
 
-def _picklable_one(obj) -> bool:
+def _picklable_one(obj: object) -> bool:
     """Probe a single representative object, not a whole task list."""
     try:
         pickle.dumps(obj)
         return True
-    except Exception:
+    except Exception:  # repro: noqa[R007] - probe: any failure means "not picklable"
         return False
 
 
@@ -366,7 +366,12 @@ def solve_radius_tasks_isolated(
     return _Supervisor(tasks, config, policy, on_error).run()
 
 
-def _solve_serial(tasks, config, policy, on_error):
+def _solve_serial(
+    tasks: list[tuple],
+    config: SolverConfig,
+    policy: RetryPolicy,
+    on_error: str,
+) -> tuple[list[RadiusResult], list[FailureRecord]]:
     results: list[RadiusResult] = []
     failures: list[FailureRecord] = []
     for i, task in enumerate(tasks):
@@ -377,7 +382,13 @@ def _solve_serial(tasks, config, policy, on_error):
     return results, failures
 
 
-def _solve_one_inline(index, task, config, policy, on_error):
+def _solve_one_inline(
+    index: int,
+    task: tuple,
+    config: SolverConfig,
+    policy: RetryPolicy,
+    on_error: str,
+) -> tuple[RadiusResult, FailureRecord | None]:
     """Retry ladder for one task executed in the current process."""
     feature, parameter, norm, _ = task
     start = time.perf_counter()
@@ -418,7 +429,17 @@ def _solve_one_inline(index, task, config, policy, on_error):
     )
 
 
-def _terminal_solve_failure(index, task, attempts, wall, policy, on_error, *, exc=None, res=None):
+def _terminal_solve_failure(
+    index: int,
+    task: tuple,
+    attempts: int,
+    wall: float,
+    policy: RetryPolicy,
+    on_error: str,
+    *,
+    exc: ReproError | None = None,
+    res: RadiusResult | None = None,
+) -> tuple[RadiusResult, FailureRecord]:
     """Build the (result, record) pair of an exhausted solver-stage task."""
     reason = res.failure if res is not None else None
     fallback = None
@@ -446,7 +467,13 @@ def _terminal_solve_failure(index, task, attempts, wall, policy, on_error, *, ex
 class _Supervisor:
     """Pooled scheduler: window submission, deadlines, crash attribution."""
 
-    def __init__(self, tasks, config, policy, on_error):
+    def __init__(
+        self,
+        tasks: list[tuple],
+        config: SolverConfig,
+        policy: RetryPolicy,
+        on_error: str,
+    ) -> None:
         self.tasks = tasks
         self.config = config
         self.policy = policy
@@ -492,7 +519,7 @@ class _Supervisor:
         for proc in processes.values():
             try:
                 proc.terminate()
-            except Exception:  # pragma: no cover - already-dead process
+            except Exception:  # pragma: no cover  # repro: noqa[R007] - best-effort teardown of a dead process
                 pass
 
     # -- terminal bookkeeping -------------------------------------------------
@@ -505,7 +532,9 @@ class _Supervisor:
         if record is not None:
             self.records[index] = record
 
-    def _terminal_exception(self, index, attempts, stage, exc) -> None:
+    def _terminal_exception(
+        self, index: int, attempts: int, stage: str, exc: ReproError
+    ) -> None:
         """Crash/timeout/pickle terminal state (never runs the impact again)."""
         if self.on_error == "raise":
             self._kill_executor()

@@ -41,12 +41,12 @@ def radius_task(task: tuple) -> RadiusResult:
     )
 
 
-def _picklable(obj) -> bool:
+def _picklable(obj: object) -> bool:
     """Probe one representative object (not an entire task list)."""
     try:
         pickle.dumps(obj)
         return True
-    except Exception:
+    except Exception:  # repro: noqa[R007] - probe: any failure means "not picklable"
         return False
 
 

@@ -47,7 +47,13 @@ def _power_impact(coeff: np.ndarray, exps: np.ndarray, name: str) -> CallableImp
         a = np.abs(lam)
         # d/dlam |lam|^p = p |lam|^{p-1} sign(lam); guard 0^{p-1} for p=1.
         with np.errstate(divide="ignore", invalid="ignore"):
-            base = np.where(a > 0, a ** (exps - 1.0), np.where(exps == 1.0, 1.0, 0.0))
+            base = np.where(
+                a > 0,
+                a ** (exps - 1.0),
+                # exps holds caller-specified exponents, so the linear case
+                # really is the exact literal 1.0, not a computed value
+                np.where(exps == 1.0, 1.0, 0.0),  # repro: noqa[R003]
+            )
         return coeff * exps * base * np.where(lam >= 0, 1.0, -1.0)
 
     return CallableImpact(f, grad=grad, name=name, convex=True)
@@ -130,7 +136,10 @@ def power_law_analysis(
             for a in _apps:
                 with np.errstate(divide="ignore", invalid="ignore"):
                     base = np.where(
-                        a_ > 0, a_ ** (exps[a] - 1.0), np.where(exps[a] == 1.0, 1.0, 0.0)
+                        a_ > 0,
+                        a_ ** (exps[a] - 1.0),
+                        # same exact-literal dispatch as _power_impact above
+                        np.where(exps[a] == 1.0, 1.0, 0.0),  # repro: noqa[R003]
                     )
                 g = g + comp[a] * exps[a] * base
             return g * np.where(lam >= 0, 1.0, -1.0)

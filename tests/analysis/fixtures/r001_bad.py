@@ -1,0 +1,10 @@
+"""R001 fixture: legacy global-state RNG in library code (3 findings)."""
+
+import random
+
+import numpy as np
+
+
+def jitter(x):
+    np.random.seed(0)
+    return x + np.random.rand() + random.random()

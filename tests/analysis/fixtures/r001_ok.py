@@ -1,0 +1,8 @@
+"""R001 fixture: seeded Generator plumbing — clean."""
+
+from repro.utils.rng import ensure_rng
+
+
+def jitter(x, seed=None):
+    rng = ensure_rng(seed)
+    return x + rng.random()

@@ -1,0 +1,10 @@
+"""R002 fixture: unseeded default_rng in library code (2 findings)."""
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def sample(n):
+    rng = np.random.default_rng()
+    other = default_rng()
+    return rng.random(n) + other.random(n)

@@ -1,0 +1,8 @@
+"""R002 fixture: default_rng always receives the caller's seed — clean."""
+
+import numpy as np
+
+
+def sample(n, seed=None):
+    rng = np.random.default_rng(seed)
+    return rng.random(n)

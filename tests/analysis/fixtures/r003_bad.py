@@ -1,0 +1,13 @@
+"""R003 fixture: exact float equality on measured quantities (3 findings)."""
+
+
+def converged(result):
+    return result.radius == 0.0
+
+
+def same_schedule(makespan_a, makespan_b):
+    return makespan_a == makespan_b
+
+
+def at_limit(x):
+    return x != 1.2

@@ -1,0 +1,17 @@
+"""R003 fixture: tolerance-based comparisons and exempt idioms — clean."""
+
+import math
+
+
+def converged(result, tol=1e-9):
+    return math.isclose(result.radius, 0.0, abs_tol=tol)
+
+
+def degenerate(denom):
+    # exact-zero structural sentinel: exempt by design
+    return denom == 0.0
+
+
+def count_matches(n):
+    # integer equality is not a float hazard
+    return n == 3

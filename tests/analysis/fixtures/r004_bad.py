@@ -1,0 +1,17 @@
+"""R004 fixture: unpicklable callables across the pool boundary (3 findings)."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.engine.fault import solve_radius_tasks_isolated
+
+scale = lambda x: 2 * x  # noqa: E731 - deliberately unpicklable
+
+
+def fan_out(tasks, config):
+    def local_worker(task):
+        return task
+
+    with ProcessPoolExecutor() as pool:
+        pool.submit(lambda: 1)
+        pool.submit(local_worker, tasks[0])
+    return solve_radius_tasks_isolated(tasks, config, on_error=scale)

@@ -1,0 +1,13 @@
+"""R004 fixture: module-level worker functions — clean."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def worker(task):
+    return task
+
+
+def fan_out(tasks):
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(worker, t) for t in tasks]
+    return [f.result() for f in futures]

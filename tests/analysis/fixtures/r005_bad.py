@@ -1,0 +1,15 @@
+"""R005 fixture: kw-only exception __init__ without __reduce__ (2 findings)."""
+
+from repro.exceptions import ReproError, SolverError
+
+
+class DetailedError(ReproError):
+    def __init__(self, message="boom", *, detail=None):
+        super().__init__(message)
+        self.detail = detail
+
+
+class DeepError(SolverError):
+    def __init__(self, message="deeper", *, attempt=0):
+        super().__init__(message)
+        self.attempt = attempt

@@ -1,0 +1,28 @@
+"""R005 fixture: pickle-safe exception subclasses — clean."""
+
+from repro.exceptions import ReproError
+
+
+class PlainError(ReproError):
+    """No custom __init__: cls(*self.args) round-trips by default."""
+
+
+class PositionalError(ReproError):
+    def __init__(self, message="fine"):
+        super().__init__(message)
+
+
+class ReducedError(ReproError):
+    def __init__(self, message="ok", *, detail=None):
+        super().__init__(message)
+        self.detail = detail
+
+    def __reduce__(self):
+        return (_rebuild, (type(self), self.args, {"detail": self.detail}))
+
+
+def _rebuild(cls, args, attrs):
+    exc = cls(*args)
+    for name, value in attrs.items():
+        setattr(exc, name, value)
+    return exc

@@ -1,0 +1,23 @@
+"""R006 fixture: impact functions mutating pi in place (4 findings)."""
+
+import numpy as np
+
+
+def impact_subscript(pi):
+    pi[0] = 0.0
+    return float(np.sum(pi))
+
+
+def impact_augmented(pi, shift):
+    pi += shift
+    return float(np.sum(pi))
+
+
+def impact_method(pi):
+    pi.sort()
+    return float(pi[-1])
+
+
+def impact_ufunc_out(pi):
+    np.abs(pi, out=pi)
+    return float(np.sum(pi))

@@ -1,0 +1,19 @@
+"""R006 fixture: pure impact functions — clean."""
+
+import numpy as np
+
+
+def impact_pure(pi):
+    return float(np.sum(np.abs(pi)))
+
+
+def impact_copy_then_write(pi):
+    pi = pi.copy()
+    pi[0] = 0.0
+    return float(np.sum(pi))
+
+
+def other_arg_mutation(values):
+    # mutating a non-pi argument is outside this rule's contract
+    values[0] = 0.0
+    return values

@@ -1,0 +1,24 @@
+"""R007 fixture: failures surface or are recorded — clean."""
+
+
+def records(task, failures):
+    try:
+        return task()
+    except Exception as exc:
+        failures.append(repr(exc))
+        return None
+
+
+def reraises(task):
+    try:
+        return task()
+    except Exception:
+        raise
+
+
+def narrow(task):
+    try:
+        return task()
+    except ValueError:
+        # narrow handlers may ignore the exception: the type carries intent
+        return None

@@ -1,0 +1,15 @@
+"""R008 fixture: frozen-field mutation outside __post_init__ (2 findings)."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Config:
+    scale: float = 1.0
+
+    def rescale(self, factor):
+        object.__setattr__(self, "scale", self.scale * factor)
+
+
+def tweak(config, value):
+    object.__setattr__(config, "scale", value)

@@ -1,0 +1,16 @@
+"""R008 fixture: construction-time normalization only — clean."""
+
+import dataclasses
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Config:
+    scale: float = 1.0
+
+    def __post_init__(self):
+        object.__setattr__(self, "scale", float(self.scale))
+
+    def rescaled(self, factor):
+        # the immutable way: build a new value
+        return dataclasses.replace(self, scale=self.scale * factor)

@@ -1,0 +1,185 @@
+"""Framework tests: registry, suppressions, reporters, runner discovery."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    Finding,
+    LintReport,
+    Severity,
+    all_rules,
+    get_rules,
+    lint_paths,
+    lint_source,
+    render_json,
+    render_text,
+    rule_catalog,
+    suppressed_codes,
+)
+from repro.analysis.registry import Rule, register
+from repro.analysis.runner import iter_python_files, lint_file
+
+
+class TestRegistry:
+    def test_eight_rules_registered(self):
+        assert len(all_rules()) >= 8
+        assert sorted(all_rules()) == [f"R00{i}" for i in range(1, 9)]
+
+    def test_select_subset(self):
+        rules = get_rules(["R001", "r003"])  # case-insensitive
+        assert [r.code for r in rules] == ["R001", "R003"]
+
+    def test_unknown_code_raises_keyerror(self):
+        with pytest.raises(KeyError):
+            get_rules(["R999"])
+
+    def test_duplicate_code_rejected(self):
+        with pytest.raises(ValueError, match="duplicate rule code"):
+
+            @register
+            class Clash(Rule):  # pragma: no cover - never instantiated
+                code = "R001"
+                name = "clash"
+
+                def check(self, ctx):
+                    return iter(())
+
+    def test_missing_code_rejected(self):
+        with pytest.raises(ValueError, match="must define code"):
+
+            @register
+            class Anonymous(Rule):  # pragma: no cover - never instantiated
+                def check(self, ctx):
+                    return iter(())
+
+    def test_catalog_rows(self):
+        rows = rule_catalog()
+        assert len(rows) == len(all_rules())
+        for code, name, severity, description in rows:
+            assert code.startswith("R")
+            assert name and description
+            assert severity in ("error", "warning")
+
+
+class TestSuppressions:
+    def test_blanket(self):
+        assert suppressed_codes("x = 1  # repro: noqa") == {"*"}
+
+    def test_single_code(self):
+        assert suppressed_codes("x  # repro: noqa[R003]") == {"R003"}
+
+    def test_multiple_codes_and_case(self):
+        assert suppressed_codes("x  # repro: noqa[r003, R007]") == {"R003", "R007"}
+
+    def test_plain_noqa_not_honoured(self):
+        assert suppressed_codes("x = 1  # noqa") == frozenset()
+
+    def test_no_comment(self):
+        assert suppressed_codes("x = 1") == frozenset()
+
+    def test_suppression_filters_finding(self):
+        src = "import numpy as np\n\ndef f():\n    np.random.seed(0)  # repro: noqa[R001]\n"
+        report = lint_source(src, is_test=False, select=["R001"])
+        assert report.clean
+        assert report.n_suppressed == 1
+
+    def test_wrong_code_does_not_suppress(self):
+        src = "import numpy as np\n\ndef f():\n    np.random.seed(0)  # repro: noqa[R002]\n"
+        report = lint_source(src, is_test=False, select=["R001"])
+        assert len(report.findings) == 1
+        assert report.n_suppressed == 0
+
+
+def _finding(code="R001", line=3):
+    return Finding(
+        code=code,
+        name="legacy-global-rng",
+        message="msg",
+        path="pkg/mod.py",
+        line=line,
+        col=4,
+        severity=Severity.ERROR,
+    )
+
+
+class TestReporters:
+    def test_text_line_format(self):
+        text = render_text([_finding()], files_checked=2)
+        assert "pkg/mod.py:3:4: R001 [error] msg" in text
+        assert "1 finding in 2 files" in text
+
+    def test_text_mentions_suppressed(self):
+        text = render_text([], files_checked=1, n_suppressed=2)
+        assert "(2 suppressed)" in text
+
+    def test_json_round_trips(self):
+        doc = json.loads(render_json([_finding()], files_checked=1, n_suppressed=1))
+        assert doc["summary"] == {"total": 1, "files_checked": 1, "suppressed": 1}
+        (entry,) = doc["findings"]
+        assert entry["code"] == "R001"
+        assert entry["severity"] == "error"
+        assert entry["line"] == 3
+
+    def test_sorted_by_location(self):
+        text = render_text([_finding(line=9), _finding(line=2)])
+        assert text.index(":2:") < text.index(":9:")
+
+
+class TestRunner:
+    def test_fixture_dirs_skipped_in_discovery(self, tmp_path):
+        (tmp_path / "fixtures").mkdir()
+        (tmp_path / "fixtures" / "bad.py").write_text(
+            "import numpy as np\nnp.random.seed(0)\n"
+        )
+        (tmp_path / "mod.py").write_text("x = 1\n")
+        files = iter_python_files(tmp_path)
+        assert [f.name for f in files] == ["mod.py"]
+
+    def test_pycache_and_hidden_skipped(self, tmp_path):
+        (tmp_path / "__pycache__").mkdir()
+        (tmp_path / "__pycache__" / "junk.py").write_text("x = 1\n")
+        (tmp_path / ".hidden").mkdir()
+        (tmp_path / ".hidden" / "h.py").write_text("x = 1\n")
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        assert [f.name for f in iter_python_files(tmp_path)] == ["ok.py"]
+
+    def test_explicit_file_always_linted(self, tmp_path):
+        bad = tmp_path / "fixtures" / "bad.py"
+        bad.parent.mkdir()
+        bad.write_text("import numpy as np\n\ndef f():\n    np.random.seed(0)\n")
+        report = lint_paths([bad])
+        assert len(report.findings) == 1
+
+    def test_missing_path_raises(self):
+        with pytest.raises(FileNotFoundError):
+            lint_paths([Path("does/not/exist")])
+
+    def test_syntax_error_becomes_finding(self, tmp_path):
+        broken = tmp_path / "broken.py"
+        broken.write_text("def f(:\n")
+        report = lint_file(broken)
+        assert len(report.findings) == 1
+        assert report.findings[0].code == "R000"
+
+    def test_merge_accumulates(self):
+        a = LintReport(findings=[_finding()], files_checked=1, n_suppressed=1)
+        b = LintReport(findings=[_finding(line=5)], files_checked=2, n_suppressed=0)
+        a.merge(b)
+        assert len(a.findings) == 2
+        assert a.files_checked == 3
+        assert a.n_suppressed == 1
+
+    def test_is_test_inferred_from_path(self, tmp_path):
+        src = "import numpy as np\nnp.random.seed(0)\n"
+        tests_dir = tmp_path / "tests"
+        tests_dir.mkdir()
+        f = tests_dir / "test_mod.py"
+        f.write_text(src)
+        assert lint_paths([f]).clean  # test file: R001 relaxed
+        g = tmp_path / "mod.py"
+        g.write_text(src)
+        assert len(lint_paths([g]).findings) == 1

@@ -2,9 +2,16 @@
 
 from __future__ import annotations
 
+import json
+import shutil
+from pathlib import Path
+from types import SimpleNamespace
+
 import pytest
 
 from repro.cli import build_parser, main
+
+REPO_SRC = Path(__file__).resolve().parents[1] / "src"
 
 
 class TestParser:
@@ -62,6 +69,118 @@ class TestCommands:
         text = capsys.readouterr().out
         assert "anchor robustness" in text
         assert "adaptive violating steps" in text
+
+
+class TestLintExitCodes:
+    """repro lint: 0 clean, 1 findings, 2 usage error."""
+
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        assert main(["lint", str(clean)]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_seeded_violation_in_fault_py_copy_exits_one(self, tmp_path, capsys):
+        """Acceptance check: copy engine/fault.py, inject a legacy-RNG call,
+        and the CLI must fail the build."""
+        original = REPO_SRC / "repro" / "engine" / "fault.py"
+        copy = tmp_path / "fault.py"
+        shutil.copy(original, copy)
+        assert main(["lint", str(copy)]) == 0  # the shipped file is clean
+        capsys.readouterr()
+        with copy.open("a", encoding="utf-8") as fh:
+            fh.write("\n\ndef _bad_jitter():\n    np.random.seed(0)\n")
+        assert main(["lint", str(copy)]) == 1
+        out = capsys.readouterr().out
+        assert "R001" in out
+
+    def test_findings_exit_one_json(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import numpy as np\n\ndef f():\n    np.random.seed(0)\n")
+        assert main(["lint", "--format", "json", str(bad)]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["summary"]["total"] == 1
+        assert doc["findings"][0]["code"] == "R001"
+
+    def test_select_narrows_rules(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import numpy as np\n\ndef f():\n    np.random.seed(0)\n")
+        assert main(["lint", "--select", "R003", str(bad)]) == 0
+        capsys.readouterr()
+        assert main(["lint", "--select", "R001,R003", str(bad)]) == 1
+
+    def test_no_paths_usage_error(self, capsys):
+        assert main(["lint"]) == 2
+        assert "at least one path" in capsys.readouterr().err
+
+    def test_unknown_code_usage_error(self, tmp_path, capsys):
+        f = tmp_path / "x.py"
+        f.write_text("x = 1\n")
+        assert main(["lint", "--select", "R999", str(f)]) == 2
+        assert "unknown rule code" in capsys.readouterr().err
+
+    def test_missing_path_usage_error(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path / "absent.py")]) == 2
+        assert "no such path" in capsys.readouterr().err
+
+    def test_bad_flag_usage_error(self):
+        with pytest.raises(SystemExit) as err:
+            main(["lint", "--bogus"])
+        assert err.value.code == 2
+
+    def test_list_rules_exits_zero(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("R001", "R008"):
+            assert code in out
+
+
+def _fake_faults(monkeypatch, *, holds=True, sound=True, tight=True):
+    import repro.faults as faults_mod
+
+    cert = SimpleNamespace(
+        radius=1.0, holds=holds, n_samples=10, violations=0, eps=0.01,
+        confidence=0.99,
+    )
+    hv = SimpleNamespace(radius=2.0, sound=sound, tight=tight)
+    mf = SimpleNamespace(
+        failed_machine=0, fail_time=1.0, baseline_makespan=2.0, makespan=3.0,
+        degradation=1.5, reassigned=[1, 2], within_tolerance=True,
+    )
+    monkeypatch.setattr(faults_mod, "certify", lambda *a, **k: cert)
+    monkeypatch.setattr(faults_mod, "validate_hiperd_radius", lambda *a, **k: hv)
+    monkeypatch.setattr(
+        faults_mod, "machine_failure_scenario", lambda *a, **k: mf
+    )
+
+
+class TestFaultsExitCodes:
+    """repro faults: 0 certificate holds, 1 violated, 2 usage error."""
+
+    def test_all_pass_exits_zero(self, monkeypatch, capsys):
+        _fake_faults(monkeypatch)
+        assert main(["faults"]) == 0
+        assert "holds=True" in capsys.readouterr().out
+
+    def test_failed_certificate_exits_one(self, monkeypatch, capsys):
+        _fake_faults(monkeypatch, holds=False)
+        assert main(["faults"]) == 1
+        assert "holds=False" in capsys.readouterr().out
+
+    def test_unsound_radius_exits_one(self, monkeypatch, capsys):
+        _fake_faults(monkeypatch, sound=False)
+        assert main(["faults"]) == 1
+        capsys.readouterr()
+
+    def test_bad_flag_usage_error(self):
+        with pytest.raises(SystemExit) as err:
+            main(["faults", "--bogus"])
+        assert err.value.code == 2
+
+    def test_bad_value_usage_error(self):
+        with pytest.raises(SystemExit) as err:
+            main(["faults", "--eps", "not-a-float"])
+        assert err.value.code == 2
 
 
 class TestModuleEntry:
