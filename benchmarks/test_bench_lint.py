@@ -1,0 +1,86 @@
+"""Lint benchmark — incremental summary cache vs a cold full analysis.
+
+Workload: the shipped ``src/repro`` tree (~95 modules) under the full rule
+registry, including the interprocedural dataflow rules.  The cold run
+parses, summarizes and lints every file; the warm run replays the per-file
+work from the :class:`~repro.analysis.dataflow.SummaryStore` and re-runs
+only the project propagation phase.
+
+Claims checked:
+
+- the warm run re-analyzes **zero** modules;
+- warm and cold runs produce identical findings and suppression counts;
+- the warm run is measurably faster (at least 1.25x on min-of-repeats);
+- the measured times land in ``benchmarks/out/BENCH_lint.json`` so CI can
+  chart the cache's effect over time.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.analysis import SummaryStore, lint_paths
+
+OUT_DIR = Path(__file__).parent / "out"
+SRC_TREE = Path(repro.__file__).resolve().parent
+REPEATS = 3
+MIN_SPEEDUP = 1.25
+
+
+def _time_lint(cache_path: Path):
+    best = float("inf")
+    report = None
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        report = lint_paths([SRC_TREE], cache=SummaryStore(cache_path))
+        best = min(best, time.perf_counter() - t0)
+    return best, report
+
+
+@pytest.fixture(scope="module")
+def timings(tmp_path_factory):
+    cache_path = tmp_path_factory.mktemp("lint-cache") / "cache.json"
+    # cold: time a single run against an empty store (repeats would hit the
+    # cache the first run just wrote, so cold is one measurement by nature)
+    t0 = time.perf_counter()
+    cold_report = lint_paths([SRC_TREE], cache=SummaryStore(cache_path))
+    cold = time.perf_counter() - t0
+    warm, warm_report = _time_lint(cache_path)
+    return cold, cold_report, warm, warm_report
+
+
+class TestIncrementalCacheBenchmark:
+    def test_warm_run_reanalyzes_nothing(self, timings):
+        _, cold_report, _, warm_report = timings
+        assert cold_report.n_reanalyzed == cold_report.files_checked
+        assert warm_report.n_reanalyzed == 0
+        assert warm_report.files_cached == warm_report.files_checked
+
+    def test_findings_identical_cold_vs_warm(self, timings):
+        _, cold_report, _, warm_report = timings
+        assert warm_report.findings == cold_report.findings
+        assert warm_report.n_suppressed == cold_report.n_suppressed
+        assert warm_report.files_checked == cold_report.files_checked
+
+    def test_warm_is_faster_and_recorded(self, timings):
+        cold, cold_report, warm, warm_report = timings
+        speedup = cold / warm if warm > 0 else float("inf")
+        OUT_DIR.mkdir(exist_ok=True)
+        payload = {
+            "files": cold_report.files_checked,
+            "cold_seconds": round(cold, 4),
+            "warm_seconds": round(warm, 4),
+            "speedup": round(speedup, 2),
+            "warm_reanalyzed": warm_report.n_reanalyzed,
+            "repeats": REPEATS,
+        }
+        out = OUT_DIR / "BENCH_lint.json"
+        out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        print(f"\nlint cache: cold {cold:.3f}s, warm {warm:.3f}s "
+              f"({speedup:.1f}x)\n[report saved to {out}]")
+        assert speedup >= MIN_SPEEDUP, payload

@@ -10,7 +10,8 @@ package enforces those contracts *mechanically*, as an AST lint pass over
 the source tree, so the invariants are checkable properties of the program
 rather than conventions.
 
-Rule codes (see :mod:`repro.analysis.checks` and ``docs/ANALYSIS.md``):
+Rule codes (see :mod:`repro.analysis.checks`,
+:mod:`repro.analysis.interproc` and ``docs/ANALYSIS.md``):
 
 ====  =========================  ==============================================
 R001  legacy-global-rng          global-state RNG breaks seeded replay
@@ -21,7 +22,20 @@ R005  exception-pickle-contract  kw-only exception ``__init__`` sans ``__reduce_
 R006  impact-mutates-pi          impact/feature functions must be pure in ``pi``
 R007  swallowed-exception        broad except hiding failure information
 R008  frozen-field-mutation      ``object.__setattr__`` outside ``__post_init__``
+R101  tainted-seed-provenance    RNG seed not derivable from config/constants
+R102  pool-shared-state-race     pool task reads state the submitter mutates
+R103  aliased-perturbation       callee mutates a caller's ``pi`` in place
+R104  unrecorded-failure-path    handler drops errors without a FailureRecord
+W000  stale-suppression          ``noqa[CODE]`` marker that no longer fires
 ====  =========================  ==============================================
+
+R1xx rules are *interprocedural*: they run on per-module dataflow
+summaries joined into a project call graph
+(:mod:`repro.analysis.dataflow`), so a hazard threaded through helper
+functions or across modules is still caught.  The companion *runtime*
+layer, :mod:`repro.analysis.sanitize`, audits numeric post-conditions
+(NaN radii, negative radii at feasible origins, metric/minimum
+mismatches) that no static rule can see.
 
 Suppress a deliberate violation inline with ``# repro: noqa[CODE]`` plus a
 justification.  Programmatic use::
@@ -33,11 +47,21 @@ justification.  Programmatic use::
 
 from __future__ import annotations
 
+from repro.analysis.dataflow import ProjectContext, SummaryStore
 from repro.analysis.findings import Finding, Severity
-from repro.analysis.registry import Rule, all_rules, get_rules, register, rule_catalog
+from repro.analysis.registry import (
+    ProjectRule,
+    Rule,
+    all_rules,
+    get_rules,
+    register,
+    rule_catalog,
+)
 from repro.analysis.reporters import render_json, render_text
 from repro.analysis.runner import (
+    DEFAULT_EXCLUDES,
     LintReport,
+    changed_python_files,
     iter_python_files,
     lint_file,
     lint_paths,
@@ -49,6 +73,7 @@ __all__ = [
     "Finding",
     "Severity",
     "Rule",
+    "ProjectRule",
     "register",
     "all_rules",
     "get_rules",
@@ -58,6 +83,10 @@ __all__ = [
     "lint_file",
     "lint_paths",
     "iter_python_files",
+    "changed_python_files",
+    "DEFAULT_EXCLUDES",
+    "ProjectContext",
+    "SummaryStore",
     "render_text",
     "render_json",
     "suppressed_codes",

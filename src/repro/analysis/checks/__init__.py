@@ -10,12 +10,19 @@ from __future__ import annotations
 from repro.analysis.checks.excepts import SwallowedExceptionRule
 from repro.analysis.checks.floats import FloatEqualityRule
 from repro.analysis.checks.frozen import FrozenMutationRule
+from repro.analysis.checks.interproc import (
+    PerturbationAliasingRule,
+    PoolSharedStateRule,
+    SeedProvenanceRule,
+    UnrecordedFailureRule,
+)
 from repro.analysis.checks.pickle_safety import (
     ExceptionReduceRule,
     UnpicklableSubmitRule,
 )
 from repro.analysis.checks.purity import ImpactPurityRule
 from repro.analysis.checks.rng import LegacyGlobalRngRule, UnseededDefaultRngRule
+from repro.analysis.checks.stale import StaleSuppressionRule
 
 __all__ = [
     "LegacyGlobalRngRule",
@@ -26,4 +33,9 @@ __all__ = [
     "ImpactPurityRule",
     "SwallowedExceptionRule",
     "FrozenMutationRule",
+    "SeedProvenanceRule",
+    "PoolSharedStateRule",
+    "PerturbationAliasingRule",
+    "UnrecordedFailureRule",
+    "StaleSuppressionRule",
 ]

@@ -60,6 +60,19 @@ class Finding:
             "severity": self.severity.value,
         }
 
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "Finding":
+        """Inverse of :meth:`to_dict` (used by the incremental cache)."""
+        return cls(
+            code=d["code"],
+            name=d["name"],
+            message=d["message"],
+            path=d["path"],
+            line=d["line"],
+            col=d["col"],
+            severity=Severity(d["severity"]),
+        )
+
     def location(self) -> str:
         """``path:line:col`` prefix used by the text reporter."""
         return f"{self.path}:{self.line}:{self.col}"

@@ -13,11 +13,15 @@ from __future__ import annotations
 import ast
 from abc import ABC, abstractmethod
 from collections.abc import Iterable, Iterator
+from typing import TYPE_CHECKING
 
 from repro.analysis.context import FileContext
 from repro.analysis.findings import Finding, Severity
 
-__all__ = ["Rule", "register", "all_rules", "get_rules", "rule_catalog"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.dataflow.project import ProjectContext
+
+__all__ = ["Rule", "ProjectRule", "register", "all_rules", "get_rules", "rule_catalog"]
 
 
 class Rule(ABC):
@@ -50,6 +54,39 @@ class Rule(ABC):
             path=ctx.path,
             line=getattr(node, "lineno", 1),
             col=getattr(node, "col_offset", 0),
+            severity=self.severity,
+        )
+
+
+class ProjectRule(Rule):
+    """A rule that needs the whole project, not one file.
+
+    Project rules run after the per-file summary phase, against the
+    :class:`~repro.analysis.dataflow.project.ProjectContext` built from
+    every analysed module.  Their findings still carry per-file locations,
+    so suppression markers and ``applies_to_tests`` filtering work exactly
+    as for local rules.
+    """
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Project rules contribute nothing in the per-file phase."""
+        return iter(())
+
+    @abstractmethod
+    def check_project(self, project: "ProjectContext") -> Iterator[Finding]:
+        """Yield findings across the whole project."""
+
+    def finding_at(
+        self, path: str, line: int, col: int, message: str
+    ) -> Finding:
+        """Construct a finding at an explicit location (no AST node)."""
+        return Finding(
+            code=self.code,
+            name=self.name,
+            message=message,
+            path=path,
+            line=line,
+            col=col,
             severity=self.severity,
         )
 

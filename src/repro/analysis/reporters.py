@@ -15,6 +15,7 @@ def render_text(
     *,
     files_checked: int = 0,
     n_suppressed: int = 0,
+    n_reanalyzed: int | None = None,
 ) -> str:
     """One ``path:line:col: CODE [severity] message`` line per finding plus a
     summary line (mirrors the familiar compiler/flake8 shape)."""
@@ -29,6 +30,8 @@ def render_text(
     )
     if n_suppressed:
         summary += f" ({n_suppressed} suppressed)"
+    if n_reanalyzed is not None and n_reanalyzed < files_checked:
+        summary += f" [{files_checked - n_reanalyzed} cached, {n_reanalyzed} re-analyzed]"
     lines.append(summary)
     return "\n".join(lines)
 
@@ -38,8 +41,13 @@ def render_json(
     *,
     files_checked: int = 0,
     n_suppressed: int = 0,
+    n_reanalyzed: int | None = None,
 ) -> str:
-    """Stable JSON document: ``{"findings": [...], "summary": {...}}``."""
+    """Stable JSON document: ``{"findings": [...], "summary": {...}}``.
+
+    The schema is pinned by a golden-file test
+    (``tests/analysis/test_reporter_schema.py``); extend it additively.
+    """
     ordered = sorted(findings, key=lambda f: (f.path, f.line, f.col, f.code))
     doc = {
         "findings": [f.to_dict() for f in ordered],
@@ -47,6 +55,7 @@ def render_json(
             "total": len(findings),
             "files_checked": files_checked,
             "suppressed": n_suppressed,
+            "reanalyzed": files_checked if n_reanalyzed is None else n_reanalyzed,
         },
     }
     return json.dumps(doc, indent=2, sort_keys=True)

@@ -104,6 +104,37 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the rule catalog and exit",
     )
+    pl.add_argument(
+        "--exclude",
+        action="append",
+        default=None,
+        metavar="GLOB",
+        help="directory-name glob to skip during discovery (repeatable; "
+        "default: fixtures)",
+    )
+    pl.add_argument(
+        "--changed",
+        action="store_true",
+        help="lint only files reported changed by git (staged, unstaged "
+        "and untracked); positional paths become optional",
+    )
+    pl.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the incremental module-summary cache",
+    )
+    pl.add_argument(
+        "--cache-file",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="incremental cache location (default: .repro-lint-cache.json)",
+    )
+    pl.add_argument(
+        "--sanitize-check",
+        action="store_true",
+        help="run the runtime numeric sanitizer's self-check and exit",
+    )
 
     return parser
 
@@ -278,22 +309,65 @@ def _cmd_faults(args) -> int:
 
 
 def _cmd_lint(args) -> int:
-    from repro.analysis import lint_paths, render_json, render_text, rule_catalog
+    from repro.analysis import (
+        SummaryStore,
+        changed_python_files,
+        lint_paths,
+        render_json,
+        render_text,
+        rule_catalog,
+    )
     from repro.utils.tables import format_table
 
     if args.list_rules:
         rows = [list(row) for row in rule_catalog()]
         print(format_table(["code", "name", "severity", "description"], rows))
         return 0
-    if not args.paths:
+    if args.sanitize_check:
+        from repro.analysis.sanitize import sanitizer_selfcheck
+
+        results = sanitizer_selfcheck()
+        for name, ok, detail in results:
+            print(f"{'ok  ' if ok else 'FAIL'} {name}: {detail}")
+        n_bad = sum(1 for _, ok, _ in results if not ok)
+        print(f"{len(results) - n_bad}/{len(results)} sanitizer checks passed")
+        return 0 if n_bad == 0 else 1
+
+    paths = list(args.paths)
+    if args.changed:
+        try:
+            changed = changed_python_files(exclude=args.exclude)
+        except RuntimeError as err:
+            print(f"repro lint: {err}", file=sys.stderr)
+            return 2
+        if not changed:
+            print("0 findings in 0 files (no changed python files)")
+            return 0
+        roots = [p.resolve() for p in paths]
+        if roots:
+            changed = [
+                f
+                for f in changed
+                if any(r == f or r in f.resolve().parents for r in roots)
+            ]
+        paths = changed
+        if not paths:
+            print("0 findings in 0 files (no changed python files under the given paths)")
+            return 0
+    elif not paths:
         print(
-            "repro lint: at least one path is required (or --list-rules)",
+            "repro lint: at least one path is required "
+            "(or --changed / --list-rules / --sanitize-check)",
             file=sys.stderr,
         )
         return 2
     select = args.select.split(",") if args.select else None
+    cache = None
+    if not args.no_cache and select is None:
+        store = SummaryStore(args.cache_file) if args.cache_file else SummaryStore()
+        cache = store
     try:
-        report = lint_paths(args.paths, select=select)
+        report = lint_paths(paths, select=select, exclude=args.exclude, cache=cache)
     except KeyError as err:
         print(f"repro lint: unknown rule code {err.args[0]!r}", file=sys.stderr)
         return 2
@@ -306,6 +380,7 @@ def _cmd_lint(args) -> int:
             report.findings,
             files_checked=report.files_checked,
             n_suppressed=report.n_suppressed,
+            n_reanalyzed=report.n_reanalyzed if cache is not None else None,
         )
     )
     return 0 if report.clean else 1

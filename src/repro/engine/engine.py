@@ -279,10 +279,17 @@ class RobustnessEngine:
         norm: Norm | str | None = None,
         config: SolverConfig | dict | None = None,
         solver_options: dict | None = None,
+        sanitize: bool = False,
     ) -> None:
         self.config = resolve_config(config, solver_options)
         self.norm = get_norm(norm)
         self.cache = RadiusCache(self.config.cache_size)
+        #: when True, every evaluation is audited by
+        #: :mod:`repro.analysis.sanitize`: NaN/inconsistent radii raise
+        #: :class:`~repro.exceptions.SanitizerError` (or become
+        #: ``stage="sanitize"`` failure records under ``on_error="record"`` /
+        #: ``"degrade"``).  Healthy results are bit-for-bit unaffected.
+        self.sanitize = bool(sanitize)
 
     # -- allocation (Eq. 6/7) ------------------------------------------------
     def evaluate_allocation(
@@ -315,6 +322,10 @@ class RobustnessEngine:
                 f"mapping {bad} violates the makespan bound at C_orig "
                 f"(radius {values[bad]:g} < 0)"
             )
+        if self.sanitize:
+            from repro.analysis.sanitize import check_allocation_batch
+
+            check_allocation_batch(radii, values)
         return AllocationBatchResult(
             values=values,
             radii=radii,
@@ -402,6 +413,11 @@ class RobustnessEngine:
         with np.errstate(divide="ignore", invalid="ignore"):
             slacks = (1.0 - values / limits).min(axis=1)
 
+        if self.sanitize:
+            from repro.analysis.sanitize import check_hiperd_batch
+
+            # slacks are excluded: inf/NaN slack is legitimate on zero limits
+            check_hiperd_batch(raw, radii)
         return HiperdBatchResult(
             values=np.asarray(floored, dtype=float),
             raw_values=np.asarray(raw, dtype=float),
@@ -536,9 +552,14 @@ class RobustnessEngine:
             dataclasses.replace(rec, problem_index=task_where[rec.task_index][0])
             for rec in failures
         )
-        return BatchRobustnessResult(
+        batch = BatchRobustnessResult(
             results=metrics, failures=annotated, on_error=on_error
         )
+        if self.sanitize:
+            from repro.analysis.sanitize import sanitize_batch
+
+            batch = sanitize_batch(batch)
+        return batch
 
     # -- unified dispatch -----------------------------------------------------
     def robustness_of(self, *args: Any, on_error: str = "raise", **kwargs: Any) -> Any:

@@ -155,8 +155,10 @@ class FailureRecord:
 
     ``stage`` names where the final failure happened: ``"solve"`` (solver
     exception or retryable non-convergence), ``"timeout"`` (per-task
-    deadline overrun), ``"crash"`` (worker process died), or ``"pickle"``
-    (task arguments would not cross the process boundary).  ``fallback_used``
+    deadline overrun), ``"crash"`` (worker process died), ``"pickle"``
+    (task arguments would not cross the process boundary), or
+    ``"sanitize"`` (a :mod:`repro.analysis.sanitize` post-condition failed
+    on an engine constructed with ``sanitize=True``).  ``fallback_used``
     marks records whose task ultimately produced a Monte-Carlo *bound*
     instead of an exact radius (``on_error="degrade"``).
     """
@@ -165,7 +167,7 @@ class FailureRecord:
     task_index: int
     #: attempts consumed (>= 1)
     attempts: int
-    #: ``"solve"`` | ``"timeout"`` | ``"crash"`` | ``"pickle"``
+    #: ``"solve"`` | ``"timeout"`` | ``"crash"`` | ``"pickle"`` | ``"sanitize"``
     stage: str
     #: ``repr`` of the final exception; None for plain non-convergence
     exception: str | None

@@ -22,6 +22,7 @@ __all__ = [
     "SolverError",
     "SolverTimeoutError",
     "WorkerCrashError",
+    "SanitizerError",
     "ModelError",
 ]
 
@@ -103,6 +104,38 @@ class WorkerCrashError(ReproError):
         return (
             _rebuild,
             (type(self), self.args, {"task_index": self.task_index, "attempts": self.attempts}),
+        )
+
+
+class SanitizerError(ReproError):
+    """A runtime numeric post-condition failed inside a sanitized computation.
+
+    Raised by :mod:`repro.analysis.sanitize` when a radius computation
+    produces a silently-invalid result: a NaN radius on a converged solve, a
+    negative radius at a feasible origin, or a metric that disagrees with the
+    minimum of its own per-feature radii.  Under ``on_error="record"`` /
+    ``"degrade"`` the violation is recorded as a
+    :class:`~repro.engine.fault.FailureRecord` with ``stage="sanitize"``
+    instead of raising.
+    """
+
+    def __init__(
+        self,
+        message: str = "numeric sanitizer post-condition failed",
+        *,
+        check: str | None = None,
+        context: str | None = None,
+    ) -> None:
+        super().__init__(message)
+        #: short machine-readable name of the violated post-condition
+        self.check = check
+        #: where the violation was observed (function or batch slot)
+        self.context = context
+
+    def __reduce__(self):
+        return (
+            _rebuild,
+            (type(self), self.args, {"check": self.check, "context": self.context}),
         )
 
 

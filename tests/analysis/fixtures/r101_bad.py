@@ -1,0 +1,23 @@
+"""R101 fixture: RNG seeds that do not derive from a parameter, config or
+module constant (3 findings)."""
+
+import time
+
+import numpy as np
+
+
+def entropy_seed():
+    return time.time_ns()
+
+
+def make_rng():
+    return np.random.default_rng(time.time_ns())
+
+
+def make_rng_indirect():
+    seed = entropy_seed()
+    return np.random.default_rng(seed)
+
+
+def chained():
+    return np.random.default_rng(entropy_seed())

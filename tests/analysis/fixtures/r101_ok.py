@@ -1,0 +1,41 @@
+"""R101 negative fixture: every RNG seed flows from a parameter, a config
+attribute, a module constant or a utils.rng helper."""
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+
+DEFAULT_SEED = 2003
+
+
+def from_param(seed):
+    return np.random.default_rng(seed)
+
+
+def from_config(config):
+    return np.random.default_rng(config.seed)
+
+
+def from_constant():
+    return np.random.default_rng(DEFAULT_SEED)
+
+
+def from_helper(seed):
+    return ensure_rng(seed)
+
+
+def derived_tuple(seed, task_index, attempt):
+    return np.random.default_rng((seed, abs(int(task_index)), abs(int(attempt))))
+
+
+def project_chain(seed):
+    return np.random.default_rng(_offset(seed))
+
+
+def _offset(seed):
+    return seed + 1
+
+
+def spawned(seed, n):
+    root = np.random.default_rng(seed)
+    return [np.random.default_rng(s) for s in root.spawn(n)]

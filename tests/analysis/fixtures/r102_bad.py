@@ -1,0 +1,39 @@
+"""R102 fixture: pool-submitted callables capturing mutable state written
+on the submitting path (3 findings)."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+PENDING = []
+
+
+def task():
+    return len(PENDING)
+
+
+def fan_out(items):
+    global PENDING
+    PENDING = list(items)
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(task) for _ in items]
+    return [f.result() for f in futures]
+
+
+def fan_out_inplace(items):
+    PENDING.extend(items)
+    with ProcessPoolExecutor() as pool:
+        future = pool.submit(task)
+    return future.result()
+
+
+class Runner:
+    def __init__(self):
+        self.counter = 0
+        self.pool = ProcessPoolExecutor()
+
+    def work(self):
+        return self.counter
+
+    def run(self):
+        self.counter += 1
+        future = self.pool.submit(self.work)
+        return future.result()

@@ -1,0 +1,30 @@
+"""R102 negative fixture: pool fan-out over pure payloads — no mutable
+state shared between submitter and submitted callable."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+LIMITS = (1, 2, 3)
+
+REGISTRY = {}
+
+
+def task(payload):
+    return payload + len(LIMITS)
+
+
+def fan_out(items):
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(task, it) for it in items]
+    return [f.result() for f in futures]
+
+
+def reads_registry(key):
+    return REGISTRY.get(key)
+
+
+def submit_disjoint(items):
+    # the submitter writes REGISTRY, but the submitted callable never reads it
+    REGISTRY.clear()
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(task, it) for it in items]
+    return [f.result() for f in futures]

@@ -1,0 +1,30 @@
+"""R103 fixture: perturbation arrays mutated through callees (5 findings).
+
+No function here mutates a parameter *named* pi itself, so the syntactic
+R006 stays silent — only the interprocedural view sees the hazard.
+"""
+
+import numpy as np
+
+
+def _shift(arr, delta):
+    arr += delta
+    return arr
+
+
+def impact(pi, delta):
+    return _shift(pi, delta)
+
+
+def impact_kw(pi, delta):
+    return _shift(arr=pi, delta=delta)
+
+
+def radius_probe(pi):
+    shifted = _shift(pi, 0.5)
+    return float(np.linalg.norm(shifted))
+
+
+def normalise(pi):
+    _shift(pi, 0.25)
+    return pi

@@ -1,0 +1,24 @@
+"""R103 negative fixture: callees copy before shifting, callers rebind —
+no perturbation array escapes mutated."""
+
+import numpy as np
+
+
+def _shifted_copy(arr, delta):
+    out = arr.copy()
+    out += delta
+    return out
+
+
+def impact(pi, delta):
+    return _shifted_copy(pi, delta)
+
+
+def impact_kw(pi, delta):
+    return _shifted_copy(arr=pi, delta=delta)
+
+
+def rebound(pi, delta):
+    pi = pi.copy()
+    pi[0] += delta
+    return float(np.sum(pi))

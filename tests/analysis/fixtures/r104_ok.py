@@ -1,0 +1,57 @@
+"""R104 negative fixture: every failure path re-raises, stores the bound
+exception, or reaches a FailureRecord constructor."""
+
+
+class FailureRecord:
+    def __init__(self, stage, reason):
+        self.stage = stage
+        self.reason = reason
+
+
+class SolverError(Exception):
+    pass
+
+
+def _record(failures, exc):
+    failures.append(FailureRecord("solve", str(exc)))
+
+
+def solve_reraise(tasks, on_error="raise"):
+    out = []
+    for task in tasks:
+        try:
+            out.append(task())
+        except SolverError:
+            raise
+    return out
+
+
+def solve_record(tasks, on_error="record"):
+    out = []
+    failures = []
+    for task in tasks:
+        try:
+            out.append(task())
+        except SolverError as exc:
+            _record(failures, exc)
+            out.append(None)
+    return out, failures
+
+
+def solve_store(tasks, on_error="record"):
+    out = []
+    last = None
+    for task in tasks:
+        try:
+            out.append(task())
+        except SolverError as exc:
+            last = exc
+    return out, last
+
+
+def helper(tasks):
+    # no on_error anywhere in scope: R104 does not apply
+    try:
+        return [task() for task in tasks]
+    except SolverError:
+        return []

@@ -1,0 +1,13 @@
+"""W000 fixture: suppression markers that no longer suppress anything
+(2 findings)."""
+
+import numpy as np
+
+
+def seeded(seed):
+    rng = np.random.default_rng(seed)  # repro: noqa[R002] - stale: the seed is explicit
+    return rng.normal()
+
+
+def plain(x):
+    return x + 1  # repro: noqa[R999] - names a rule code that does not exist

@@ -1,0 +1,12 @@
+"""W000 negative fixture: every marker suppresses a live finding (or is a
+blanket marker, which is never judged stale)."""
+
+import numpy as np
+
+rng = np.random.default_rng()  # repro: noqa[R002] - module singleton, justified
+
+
+def entropy():
+    import random  # repro: noqa - blanket markers are exempt from W000
+
+    return random.random()

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 import pytest
@@ -21,13 +22,21 @@ from repro.analysis import (
     suppressed_codes,
 )
 from repro.analysis.registry import Rule, register
-from repro.analysis.runner import iter_python_files, lint_file
+from repro.analysis.runner import (
+    DEFAULT_EXCLUDES,
+    changed_python_files,
+    iter_python_files,
+    lint_file,
+)
 
 
 class TestRegistry:
-    def test_eight_rules_registered(self):
-        assert len(all_rules()) >= 8
-        assert sorted(all_rules()) == [f"R00{i}" for i in range(1, 9)]
+    def test_registered_rule_codes(self):
+        assert len(all_rules()) >= 13
+        expected = [f"R00{i}" for i in range(1, 9)]
+        expected += [f"R10{i}" for i in range(1, 5)]
+        expected += ["W000"]
+        assert sorted(all_rules()) == sorted(expected)
 
     def test_select_subset(self):
         rules = get_rules(["R001", "r003"])  # case-insensitive
@@ -60,7 +69,7 @@ class TestRegistry:
         rows = rule_catalog()
         assert len(rows) == len(all_rules())
         for code, name, severity, description in rows:
-            assert code.startswith("R")
+            assert code.startswith(("R", "W"))
             assert name and description
             assert severity in ("error", "warning")
 
@@ -118,7 +127,12 @@ class TestReporters:
 
     def test_json_round_trips(self):
         doc = json.loads(render_json([_finding()], files_checked=1, n_suppressed=1))
-        assert doc["summary"] == {"total": 1, "files_checked": 1, "suppressed": 1}
+        assert doc["summary"] == {
+            "total": 1,
+            "files_checked": 1,
+            "suppressed": 1,
+            "reanalyzed": 1,
+        }
         (entry,) = doc["findings"]
         assert entry["code"] == "R001"
         assert entry["severity"] == "error"
@@ -173,6 +187,37 @@ class TestRunner:
         assert a.files_checked == 3
         assert a.n_suppressed == 1
 
+    def test_default_excludes_are_fixtures(self):
+        assert DEFAULT_EXCLUDES == ("fixtures",)
+
+    def test_custom_exclude_globs(self, tmp_path):
+        for name in ("fixtures", "generated", "vendored_x"):
+            d = tmp_path / name
+            d.mkdir()
+            (d / "mod.py").write_text("x = 1\n")
+        (tmp_path / "keep.py").write_text("x = 1\n")
+        files = iter_python_files(tmp_path, exclude=["generated", "vendored_*"])
+        # custom excludes REPLACE the default: fixtures/ is discovered again
+        assert [f.name for f in files] == ["mod.py", "keep.py"]
+        assert files[0].parent.name == "fixtures"
+
+    def test_exclude_relative_path_glob(self, tmp_path):
+        deep = tmp_path / "pkg" / "skip_me"
+        deep.mkdir(parents=True)
+        (deep / "mod.py").write_text("x = 1\n")
+        (tmp_path / "pkg" / "ok.py").write_text("x = 1\n")
+        files = iter_python_files(tmp_path, exclude=["pkg/skip_me/*"])
+        assert [f.name for f in files] == ["ok.py"]
+
+    def test_lint_paths_forwards_exclude(self, tmp_path):
+        gen = tmp_path / "generated"
+        gen.mkdir()
+        (gen / "bad.py").write_text(
+            "import numpy as np\nnp.random.seed(0)\n"
+        )
+        assert not lint_paths([tmp_path]).clean
+        assert lint_paths([tmp_path], exclude=["generated"]).clean
+
     def test_is_test_inferred_from_path(self, tmp_path):
         src = "import numpy as np\nnp.random.seed(0)\n"
         tests_dir = tmp_path / "tests"
@@ -183,3 +228,64 @@ class TestRunner:
         g = tmp_path / "mod.py"
         g.write_text(src)
         assert len(lint_paths([g]).findings) == 1
+
+
+class TestChangedFiles:
+    def _git(self, root, *args):
+        import subprocess
+
+        subprocess.run(
+            ["git", *args],
+            cwd=root,
+            check=True,
+            capture_output=True,
+            env={
+                "PATH": os.environ["PATH"],
+                "GIT_AUTHOR_NAME": "t",
+                "GIT_AUTHOR_EMAIL": "t@t",
+                "GIT_COMMITTER_NAME": "t",
+                "GIT_COMMITTER_EMAIL": "t@t",
+                "HOME": str(root),
+            },
+        )
+
+    def _repo(self, tmp_path):
+        self._git(tmp_path, "init", "-q")
+        (tmp_path / "tracked.py").write_text("x = 1\n")
+        (tmp_path / "notes.txt").write_text("prose\n")
+        self._git(tmp_path, "add", ".")
+        self._git(tmp_path, "commit", "-q", "-m", "seed")
+        return tmp_path
+
+    def test_untracked_staged_and_modified_python_files(self, tmp_path):
+        repo = self._repo(tmp_path)
+        (repo / "tracked.py").write_text("x = 2\n")  # modified
+        (repo / "fresh.py").write_text("y = 1\n")  # untracked
+        (repo / "staged.py").write_text("z = 1\n")
+        self._git(repo, "add", "staged.py")
+        (repo / "notes.txt").write_text("changed prose\n")  # not python
+        names = sorted(p.name for p in changed_python_files(repo))
+        assert names == ["fresh.py", "staged.py", "tracked.py"]
+
+    def test_clean_tree_returns_nothing(self, tmp_path):
+        repo = self._repo(tmp_path)
+        assert changed_python_files(repo) == []
+
+    def test_excludes_apply_to_changed_files(self, tmp_path):
+        repo = self._repo(tmp_path)
+        fixture_dir = repo / "fixtures"
+        fixture_dir.mkdir()
+        (fixture_dir / "bad.py").write_text("import random\n")
+        (repo / "real.py").write_text("x = 1\n")
+        assert [p.name for p in changed_python_files(repo)] == ["real.py"]
+        both = changed_python_files(repo, exclude=[])
+        assert sorted(p.name for p in both) == ["bad.py", "real.py"]
+
+    def test_rename_keeps_new_name(self, tmp_path):
+        repo = self._repo(tmp_path)
+        self._git(repo, "mv", "tracked.py", "renamed.py")
+        assert [p.name for p in changed_python_files(repo)] == ["renamed.py"]
+
+    def test_outside_git_raises_runtime_error(self, tmp_path):
+        with pytest.raises(RuntimeError, match="git status failed"):
+            changed_python_files(tmp_path)

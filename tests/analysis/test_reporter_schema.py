@@ -1,0 +1,84 @@
+"""Golden-file test pinning the ``--format json`` schema.
+
+CI consumers and editor integrations parse this document; any change to key
+names or nesting must be additive and must update the golden file
+consciously (``tests/analysis/golden/lint_report.json``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis import Finding, Severity, render_json
+
+GOLDEN = Path(__file__).parent / "golden" / "lint_report.json"
+
+
+def _findings() -> list[Finding]:
+    return [
+        Finding(
+            code="R001",
+            name="legacy-global-rng",
+            message=(
+                "call to the legacy global RNG np.random.seed - thread a "
+                "Generator instead"
+            ),
+            path="src/repro/worker.py",
+            line=4,
+            col=4,
+            severity=Severity.ERROR,
+        ),
+        Finding(
+            code="W000",
+            name="stale-suppression",
+            message="stale suppression: no R002 finding on this line - remove the noqa",
+            path="src/repro/worker.py",
+            line=9,
+            col=0,
+            severity=Severity.WARNING,
+        ),
+    ]
+
+
+class TestJsonSchemaGolden:
+    def test_document_matches_golden_file(self):
+        rendered = render_json(
+            _findings(), files_checked=2, n_suppressed=1, n_reanalyzed=1
+        )
+        assert json.loads(rendered) == json.loads(GOLDEN.read_text(encoding="utf-8"))
+
+    def test_top_level_keys_are_stable(self):
+        doc = json.loads(render_json([], files_checked=0))
+        assert sorted(doc) == ["findings", "summary"]
+        assert sorted(doc["summary"]) == [
+            "files_checked",
+            "reanalyzed",
+            "suppressed",
+            "total",
+        ]
+
+    def test_finding_keys_are_stable(self):
+        doc = json.loads(render_json(_findings(), files_checked=1))
+        for entry in doc["findings"]:
+            assert sorted(entry) == [
+                "code",
+                "col",
+                "line",
+                "message",
+                "name",
+                "path",
+                "severity",
+            ]
+
+    def test_round_trips_through_finding(self):
+        doc = json.loads(render_json(_findings(), files_checked=2))
+        restored = [Finding.from_dict(d) for d in doc["findings"]]
+        assert restored == sorted(
+            _findings(), key=lambda f: (f.path, f.line, f.col, f.code)
+        )
+
+    def test_output_is_deterministic(self):
+        a = render_json(_findings(), files_checked=2, n_suppressed=1)
+        b = render_json(list(reversed(_findings())), files_checked=2, n_suppressed=1)
+        assert a == b

@@ -26,6 +26,11 @@ EXPECTED_BAD = {
     "R006": 4,
     "R007": 3,
     "R008": 2,
+    "R101": 3,
+    "R102": 3,
+    "R103": 5,
+    "R104": 2,
+    "W000": 2,
 }
 
 CODES = sorted(EXPECTED_BAD)

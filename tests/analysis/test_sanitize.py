@@ -1,0 +1,300 @@
+"""Unit tests for the runtime numeric sanitizer (repro.analysis.sanitize)."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+import repro.core.metric as metric_mod
+from repro.analysis.sanitize import (
+    Sanitizer,
+    Violation,
+    audit_batch,
+    audit_metric_result,
+    audit_object,
+    audit_radius_result,
+    check_allocation_batch,
+    check_hiperd_batch,
+    sanitize_batch,
+    sanitized,
+    sanitizer_selfcheck,
+)
+from repro.core.features import FeatureBounds, PerformanceFeature
+from repro.core.impact import AffineImpact
+from repro.core.metric import MetricResult
+from repro.core.perturbation import PerturbationParameter
+from repro.core.radius import RadiusResult
+from repro.engine import BatchRobustnessResult, FailureRecord
+from repro.exceptions import SanitizerError, ValidationError
+
+
+def _radius(
+    value: float,
+    *,
+    feature: str = "phi",
+    feasible: bool = True,
+    converged: bool = True,
+    failure: str | None = None,
+    boundary_point: np.ndarray | None = None,
+) -> RadiusResult:
+    return RadiusResult(
+        feature=feature,
+        parameter="pi",
+        radius=value,
+        boundary_point=boundary_point,
+        binding_bound=None,
+        value_at_origin=0.0,
+        feasible_at_origin=feasible,
+        solver="analytic",
+        converged=converged,
+        failure=failure,
+    )
+
+
+def _metric(radii: tuple[RadiusResult, ...], raw: float | None = None) -> MetricResult:
+    values = [r.radius for r in radii]
+    raw_value = min(values) if raw is None else raw
+    return MetricResult(
+        value=raw_value,
+        raw_value=raw_value,
+        radii=radii,
+        binding_feature=radii[0].feature,
+        parameter="pi",
+        feasible_at_origin=all(r.feasible_at_origin for r in radii),
+    )
+
+
+class TestRadiusAudit:
+    def test_healthy_radius_passes(self):
+        assert audit_radius_result(_radius(1.5)) == []
+
+    def test_silent_nan_flagged(self):
+        (v,) = audit_radius_result(_radius(float("nan")))
+        assert v.check == "nan-radius"
+        assert v.feature == "phi"
+
+    def test_admitted_failure_tolerated(self):
+        res = _radius(float("nan"), converged=False, failure="max-iter")
+        assert audit_radius_result(res) == []
+
+    def test_negative_feasible_flagged(self):
+        (v,) = audit_radius_result(_radius(-0.5, feasible=True))
+        assert v.check == "negative-feasible-radius"
+
+    def test_negative_infeasible_is_legitimate(self):
+        assert audit_radius_result(_radius(-0.5, feasible=False)) == []
+
+    def test_infinite_radius_is_legitimate(self):
+        assert audit_radius_result(_radius(float("inf"))) == []
+
+    def test_nan_boundary_point_flagged(self):
+        res = _radius(1.0, boundary_point=np.array([1.0, float("nan")]))
+        (v,) = audit_radius_result(res)
+        assert v.check == "nan-boundary-point"
+
+
+class TestMetricAudit:
+    def test_consistent_metric_passes(self):
+        m = _metric((_radius(2.0), _radius(1.0, feature="psi")))
+        assert audit_metric_result(m) == []
+
+    def test_min_mismatch_flagged(self):
+        m = _metric((_radius(2.0), _radius(1.0, feature="psi")), raw=7.0)
+        checks = {v.check for v in audit_metric_result(m)}
+        assert "metric-min-mismatch" in checks
+
+    def test_nan_radius_suspends_min_check(self):
+        nan = _radius(float("nan"), feature="psi", converged=False, failure="x")
+        m = _metric((_radius(2.0), nan), raw=float("nan"))
+        assert audit_metric_result(m) == []
+
+    def test_negative_feasible_metric_flagged(self):
+        # per-radius values are clean, only the assembled aggregate is wrong
+        m = _metric((_radius(2.0),), raw=-1.0)
+        checks = {v.check for v in audit_metric_result(m)}
+        assert "negative-feasible-metric" in checks
+        assert "metric-min-mismatch" in checks
+
+
+class TestBatchAudit:
+    def _batch(self, radii, failures=(), on_error="record"):
+        return BatchRobustnessResult(
+            results=(_metric(radii, raw=min(r.radius for r in radii)),),
+            failures=tuple(failures),
+            on_error=on_error,
+        )
+
+    def test_healthy_batch_returned_unchanged(self):
+        batch = self._batch((_radius(1.0),))
+        assert sanitize_batch(batch) is batch
+
+    def test_covered_nan_is_not_a_violation(self):
+        nan = _radius(float("nan"), converged=False, failure="max-iter")
+        rec = FailureRecord(
+            task_index=0, attempts=1, stage="solve", exception=None,
+            feature="phi", parameter="pi", problem_index=0,
+        )
+        batch = self._batch((nan,), failures=(rec,))
+        assert audit_batch(batch) == []
+        assert sanitize_batch(batch) is batch
+
+    def test_uncovered_nan_recorded(self):
+        nan = _radius(float("nan"), converged=False, failure="max-iter")
+        out = sanitize_batch(self._batch((nan,)))
+        (extra,) = out.failures
+        assert extra.stage == "sanitize"
+        assert extra.reason == "unrecorded-nan-radius"
+        assert extra.feature == "phi"
+        assert extra.problem_index == 0
+
+    def test_silent_nan_raises_in_raise_mode(self):
+        nan = _radius(float("nan"))  # converged: silent corruption
+        with pytest.raises(SanitizerError) as err:
+            sanitize_batch(self._batch((nan,), on_error="raise"))
+        assert err.value.check == "nan-radius"
+        assert err.value.context == "problem[0]"
+
+    def test_silent_nan_recorded_in_record_mode(self):
+        nan = _radius(float("nan"))
+        out = sanitize_batch(self._batch((nan,), on_error="record"))
+        assert [f.reason for f in out.failures] == ["nan-radius"]
+        assert out.failures[0].stage == "sanitize"
+
+
+class TestClosedFormChecks:
+    def test_allocation_clean(self):
+        check_allocation_batch(np.ones((2, 3)), np.ones(2))
+
+    def test_allocation_nan_raises(self):
+        values = np.array([1.0, float("nan")])
+        with pytest.raises(SanitizerError, match="makespan"):
+            check_allocation_batch(np.ones((2, 3)), values)
+
+    def test_hiperd_inf_is_legitimate(self):
+        check_hiperd_batch(np.array([np.inf]), np.array([[np.inf, 1.0]]))
+
+    def test_hiperd_nan_raises(self):
+        with pytest.raises(SanitizerError, match="sensor-load"):
+            check_hiperd_batch(np.array([1.0]), np.array([[float("nan")]]))
+
+
+class TestSanitizerContextManager:
+    def _feature(self):
+        return PerformanceFeature(
+            "phi", AffineImpact(np.array([1.0, 1.0])), FeatureBounds(0.0, 10.0)
+        )
+
+    def _param(self):
+        return PerturbationParameter("pi", np.array([1.0, 2.0]))
+
+    def test_healthy_call_is_bit_for_bit_identical(self):
+        f, p = self._feature(), self._param()
+        base = metric_mod.robustness_metric([f], p)
+        with Sanitizer():
+            inside = metric_mod.robustness_metric([f], p)
+        assert inside.value == base.value
+        assert inside.raw_value == base.raw_value
+
+    def test_patch_is_undone_on_exit(self):
+        original = metric_mod.robustness_metric
+        with Sanitizer():
+            assert metric_mod.robustness_metric is not original
+        assert metric_mod.robustness_metric is original
+
+    def test_patch_undone_even_when_body_raises(self):
+        original = metric_mod.robustness_metric
+        with pytest.raises(RuntimeError, match="boom"):
+            with Sanitizer():
+                raise RuntimeError("boom")
+        assert metric_mod.robustness_metric is original
+
+    def test_violation_raises_at_call_site(self, monkeypatch):
+        poisoned = _radius(float("nan"))
+
+        def fake_radius(*args, **kwargs):
+            return poisoned
+
+        monkeypatch.setattr("repro.core.radius.robustness_radius", fake_radius)
+        import repro.core.radius as radius_mod
+
+        with Sanitizer():
+            with pytest.raises(SanitizerError) as err:
+                radius_mod.robustness_radius()
+        assert err.value.check == "nan-radius"
+
+    def test_collect_mode_accumulates(self, monkeypatch):
+        poisoned = _radius(float("nan"))
+        monkeypatch.setattr(
+            "repro.core.radius.robustness_radius", lambda *a, **k: poisoned
+        )
+        import repro.core.radius as radius_mod
+
+        with Sanitizer(on_violation="collect") as guard:
+            radius_mod.robustness_radius()
+            radius_mod.robustness_radius()
+        assert len(guard.violations) == 2
+        assert all(v.check == "nan-radius" for v in guard.violations)
+
+    def test_fp_events_captured(self):
+        with Sanitizer(on_violation="collect") as guard:
+            np.array([np.inf]) - np.array([np.inf])
+        assert any("invalid" in kind for kind in guard.fp_events)
+
+    def test_fp_state_restored_on_exit(self):
+        before = np.geterr()
+        with Sanitizer():
+            pass
+        assert np.geterr() == before
+
+    def test_not_reentrant(self):
+        guard = Sanitizer()
+        with guard:
+            with pytest.raises(RuntimeError, match="reentrant"):
+                guard.__enter__()
+
+    def test_bad_on_violation_rejected(self):
+        with pytest.raises(ValidationError, match="on_violation"):
+            Sanitizer(on_violation="explode")
+
+
+class TestSanitizedDecorator:
+    def test_return_value_audited(self):
+        @sanitized
+        def build():
+            return _radius(float("nan"))
+
+        with pytest.raises(SanitizerError):
+            build()
+
+    def test_healthy_passthrough(self):
+        @sanitized
+        def build():
+            return _radius(1.0)
+
+        assert build().radius == 1.0
+
+    def test_non_result_values_ignored(self):
+        @sanitized
+        def build():
+            return {"plain": "dict"}
+
+        assert build() == {"plain": "dict"}
+
+
+class TestMisc:
+    def test_audit_object_dispatch_unknown_type(self):
+        assert audit_object(object()) == []
+
+    def test_violation_to_error_round_trips_pickle(self):
+        v = Violation(check="nan-radius", context="problem[3]", message="m")
+        err = pickle.loads(pickle.dumps(v.to_error()))
+        assert isinstance(err, SanitizerError)
+        assert err.check == "nan-radius"
+        assert err.context == "problem[3]"
+
+    def test_selfcheck_all_pass(self):
+        results = sanitizer_selfcheck()
+        assert len(results) >= 7
+        assert all(ok for _, ok, _ in results), results

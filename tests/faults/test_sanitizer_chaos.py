@@ -1,0 +1,148 @@
+"""Engine-level sanitizer validation: injected numeric corruption is never
+silent.
+
+Two corruption families are exercised against ``RobustnessEngine(sanitize=
+True)``:
+
+* *admitted* failures — a NaN-injecting impact that the fault-tolerant layer
+  catches and records.  The sanitizer must add nothing (the record already
+  covers the NaN) and must not perturb healthy results.
+* *silent* failures — corruption smuggled in past the fault layer (patched
+  ``metric_from_radii`` / ``batch_robustness_radii``), the class of bug the
+  static rules cannot see.  The sanitizer must raise
+  :class:`~repro.exceptions.SanitizerError` under ``on_error="raise"`` and
+  append a ``stage="sanitize"`` record under ``on_error="record"``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+import repro.engine.engine as engine_mod
+from repro.core.config import SolverConfig
+from repro.core.features import FeatureBounds, PerformanceFeature
+from repro.core.impact import CallableImpact
+from repro.core.perturbation import PerturbationParameter
+from repro.engine import RobustnessEngine
+from repro.exceptions import SanitizerError
+from repro.faults import wrap_feature
+
+PARAM = PerturbationParameter("pi", np.array([0.5, 0.5]))
+
+SERIAL = SolverConfig(pool_size=0, max_retries=0, backoff_base=0.0)
+
+
+def _quad(pi):
+    return float(pi @ pi)
+
+
+def _quad_grad(pi):
+    return 2.0 * pi
+
+
+def _feature(i: int) -> PerformanceFeature:
+    return PerformanceFeature(
+        f"q_{i}",
+        CallableImpact(_quad, grad=_quad_grad, name="quad"),
+        FeatureBounds.upper_only(4.0 + 0.01 * i),
+    )
+
+
+def _problems(n: int, bad: set[int] | None = None):
+    bad = bad or set()
+    return [
+        ([wrap_feature(_feature(i), "nan") if i in bad else _feature(i)], PARAM)
+        for i in range(n)
+    ]
+
+
+def _poison_metric(monkeypatch, feature_name: str):
+    """Make the engine's metric assembly silently NaN one feature's radius —
+    a converged-looking result the fault layer never sees."""
+    real = engine_mod.metric_from_radii
+
+    def corrupted(results, parameter, *, apply_floor=None):
+        results = tuple(
+            dataclasses.replace(r, radius=float("nan"))
+            if r.feature == feature_name
+            else r
+            for r in results
+        )
+        return real(results, parameter, apply_floor=apply_floor)
+
+    monkeypatch.setattr(engine_mod, "metric_from_radii", corrupted)
+
+
+class TestSilentCorruption:
+    def test_unsanitized_engine_returns_nan_silently(self, monkeypatch):
+        """The gap the sanitizer closes: without it, corruption flows out."""
+        _poison_metric(monkeypatch, "q_1")
+        batch = RobustnessEngine(config=SERIAL).evaluate_population(_problems(3))
+        assert np.isnan(batch[1].value)
+        assert batch.ok  # no failure record: the NaN is invisible
+
+    def test_raise_mode_raises_sanitizer_error(self, monkeypatch):
+        _poison_metric(monkeypatch, "q_1")
+        engine = RobustnessEngine(config=SERIAL, sanitize=True)
+        with pytest.raises(SanitizerError) as err:
+            engine.evaluate_population(_problems(3))
+        assert err.value.check == "nan-radius"
+        assert err.value.context == "problem[1]"
+
+    def test_record_mode_appends_sanitize_record(self, monkeypatch):
+        _poison_metric(monkeypatch, "q_1")
+        engine = RobustnessEngine(config=SERIAL, sanitize=True)
+        batch = engine.evaluate_population(_problems(3), on_error="record")
+        sanitize_recs = [f for f in batch.failures if f.stage == "sanitize"]
+        assert [f.reason for f in sanitize_recs] == ["nan-radius"]
+        assert sanitize_recs[0].feature == "q_1"
+        assert sanitize_recs[0].problem_index == 1
+        # the value itself stays NaN — the record makes it *loud*, not fixed
+        assert np.isnan(batch[1].value)
+
+    def test_allocation_nan_raises(self, monkeypatch):
+        monkeypatch.setattr(
+            engine_mod,
+            "batch_robustness_radii",
+            lambda assignments, etc, tau: np.full((2, 2), float("nan")),
+        )
+        engine = RobustnessEngine(sanitize=True)
+        etc = np.array([[1.0, 2.0], [2.0, 1.0], [3.0, 1.5]])
+        with pytest.raises(SanitizerError, match="makespan"):
+            engine.evaluate_allocation([[0, 1, 0], [1, 0, 1]], etc, tau=1.3)
+
+
+class TestAdmittedFailures:
+    def test_recorded_injection_needs_no_sanitize_record(self):
+        engine = RobustnessEngine(config=SERIAL, sanitize=True)
+        batch = engine.evaluate_population(_problems(5, {2}), on_error="record")
+        stages = {f.stage for f in batch.failures}
+        assert "sanitize" not in stages  # the solve-stage record covers the NaN
+        assert [f.problem_index for f in batch.failures] == [2]
+
+    def test_bit_for_bit_parity_with_unsanitized_run(self):
+        plain = RobustnessEngine(config=SERIAL).evaluate_population(
+            _problems(5, {2}), on_error="record"
+        )
+        guarded = RobustnessEngine(config=SERIAL, sanitize=True).evaluate_population(
+            _problems(5, {2}), on_error="record"
+        )
+        for i in range(5):
+            a, b = plain[i], guarded[i]
+            assert (a.value == b.value) or (np.isnan(a.value) and np.isnan(b.value))
+            for ra, rb in zip(a.radii, b.radii):
+                assert (ra.radius == rb.radius) or (
+                    np.isnan(ra.radius) and np.isnan(rb.radius)
+                )
+        assert len(plain.failures) == len(guarded.failures)
+
+    def test_healthy_population_identical_object_shape(self):
+        plain = RobustnessEngine(config=SERIAL).evaluate_population(_problems(4))
+        guarded = RobustnessEngine(config=SERIAL, sanitize=True).evaluate_population(
+            _problems(4)
+        )
+        assert [m.value for m in plain] == [m.value for m in guarded]
+        assert guarded.ok

@@ -131,8 +131,87 @@ class TestLintExitCodes:
     def test_list_rules_exits_zero(self, capsys):
         assert main(["lint", "--list-rules"]) == 0
         out = capsys.readouterr().out
-        for code in ("R001", "R008"):
+        for code in ("R001", "R008", "R101", "R104", "W000"):
             assert code in out
+
+
+class TestLintFlags:
+    """The incremental / git-aware / sanitizer flags added with the
+    dataflow engine."""
+
+    def _bad(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import numpy as np\n\ndef f():\n    np.random.seed(0)\n")
+        return bad
+
+    def test_cache_file_written_and_replayed(self, tmp_path, capsys):
+        bad = self._bad(tmp_path)
+        cache = tmp_path / "cache.json"
+        assert main(["lint", "--cache-file", str(cache), str(bad)]) == 1
+        assert cache.exists()
+        capsys.readouterr()
+        assert main(["lint", "--cache-file", str(cache), str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "[1 cached, 0 re-analyzed]" in out
+        assert "R001" in out  # cached findings still reported
+
+    def test_no_cache_suppresses_cache_annotation(self, tmp_path, capsys):
+        bad = self._bad(tmp_path)
+        assert main(["lint", "--no-cache", str(bad)]) == 1
+        assert "cached" not in capsys.readouterr().out
+
+    def test_select_disables_caching(self, tmp_path, capsys):
+        bad = self._bad(tmp_path)
+        cache = tmp_path / "cache.json"
+        assert main(
+            ["lint", "--select", "R001", "--cache-file", str(cache), str(bad)]
+        ) == 1
+        assert not cache.exists()
+
+    def test_exclude_flag(self, tmp_path, capsys):
+        gen = tmp_path / "generated"
+        gen.mkdir()
+        self._bad(gen)
+        assert main(["lint", str(tmp_path)]) == 1
+        capsys.readouterr()
+        assert main(["lint", "--exclude", "generated", str(tmp_path)]) == 0
+
+    def test_sanitize_check_exits_zero(self, capsys):
+        assert main(["lint", "--sanitize-check"]) == 0
+        out = capsys.readouterr().out
+        assert "sanitizer checks passed" in out
+        assert "FAIL" not in out
+
+    def test_changed_outside_git_exits_two(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        assert main(["lint", "--changed"]) == 2
+        assert "git status failed" in capsys.readouterr().err
+
+    def test_changed_lints_dirty_files_only(self, tmp_path, monkeypatch, capsys):
+        import subprocess
+
+        monkeypatch.setenv("HOME", str(tmp_path))
+        monkeypatch.setenv("GIT_AUTHOR_NAME", "t")
+        monkeypatch.setenv("GIT_AUTHOR_EMAIL", "t@t")
+        monkeypatch.setenv("GIT_COMMITTER_NAME", "t")
+        monkeypatch.setenv("GIT_COMMITTER_EMAIL", "t@t")
+        subprocess.run(["git", "init", "-q"], cwd=tmp_path, check=True)
+        committed = tmp_path / "committed.py"
+        committed.write_text("import numpy as np\n\ndef f():\n    np.random.seed(0)\n")
+        subprocess.run(["git", "add", "."], cwd=tmp_path, check=True)
+        subprocess.run(
+            ["git", "commit", "-q", "-m", "seed"], cwd=tmp_path, check=True
+        )
+        monkeypatch.chdir(tmp_path)
+        # clean tree: nothing to lint, the committed violation is not visited
+        assert main(["lint", "--changed", "--no-cache"]) == 0
+        assert "no changed python files" in capsys.readouterr().out
+        (tmp_path / "fresh.py").write_text("x = 1\n")
+        assert main(["lint", "--changed", "--no-cache"]) == 0
+        assert "1 file" in capsys.readouterr().out
+        committed.write_text(committed.read_text() + "\ny = 2\n")
+        assert main(["lint", "--changed", "--no-cache"]) == 1
+        assert "R001" in capsys.readouterr().out
 
 
 def _fake_faults(monkeypatch, *, holds=True, sound=True, tight=True):
