@@ -18,7 +18,9 @@ Claims checked:
 
 from __future__ import annotations
 
+import json
 import time
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -34,6 +36,8 @@ from repro.hiperd.generators import (
     random_hiperd_mappings,
 )
 from repro.hiperd.robustness import robustness as hiperd_robustness
+
+OUT_DIR = Path(__file__).parent / "out"
 
 SEED = 424242
 N_MAPPINGS = 1000
@@ -95,6 +99,17 @@ def test_engine_speedup_on_ga_population(population, save_report):
         f"per-mapping loop : {t_loop * 1e3:9.2f} ms\n"
         f"batched engine   : {t_engine * 1e3:9.2f} ms\n"
         f"speedup          : {speedup:9.1f}x (floor {MIN_SPEEDUP}x)",
+    )
+    OUT_DIR.mkdir(exist_ok=True)
+    payload = {
+        "n_mappings": N_MAPPINGS,
+        "loop_seconds": round(t_loop, 4),
+        "engine_seconds": round(t_engine, 4),
+        "speedup": round(speedup, 2),
+        "repeats": 3,
+    }
+    (OUT_DIR / "BENCH_engine.json").write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
     )
     assert np.array_equal(batch.values, loop_values)
     assert speedup >= MIN_SPEEDUP, (

@@ -75,3 +75,12 @@ for which, mp in (("A", inst.mapping_a), ("B", inst.mapping_b)):
         "lambda_star": tuple(rr.boundary),
     }
 print("\n" + report_table2(measured, PAPER_TABLE2))
+
+# --- observability: per-stage cost of the two Table 2 solves --------------
+from repro import obs
+
+with obs.observed() as tracer:
+    for mp in (inst.mapping_a, inst.mapping_b):
+        robustness(inst.system, mp, inst.initial_load)
+print("\n--- observability (docs/OBSERVABILITY.md) ---")
+print(obs.render_breakdown(tracer.spans()))

@@ -42,3 +42,16 @@ print(f"makespan at boundary C*    : {report.boundary_makespan:.4f}")
 print(f"tau * M_orig               : {report.tau * report.makespan_orig:.4f}")
 print(f"makespan just beyond       : {report.beyond_makespan:.4f} (must exceed)")
 print(f"sound: {report.sound}, tight: {report.tight}")
+
+# --- observability: trace + metrics for the batched evaluation -----------
+from repro import obs
+from repro.engine import RobustnessEngine
+
+with obs.observed() as tracer:
+    batch = RobustnessEngine().evaluate_allocation(
+        result.assignments, result.etc, result.tau
+    )
+print("\n--- observability (docs/OBSERVABILITY.md) ---")
+print(obs.render_breakdown(tracer.spans()))
+print(obs.get_registry().render_prometheus().rstrip())
+assert np.array_equal(batch.values, result.robustness)  # tracing is inert

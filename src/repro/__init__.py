@@ -7,8 +7,10 @@ independent application allocation (:mod:`repro.alloc`) and a HiPer-D-like
 sensor/application DAG system (:mod:`repro.hiperd`) — together with the
 supporting substrates: heterogeneous ETC generation (:mod:`repro.etcgen`),
 mapping heuristics (:mod:`repro.alloc.heuristics`), a discrete-event
-execution simulator (:mod:`repro.sim`), and the experiment pipelines that
-regenerate the paper's figures and tables (:mod:`repro.experiments`).
+execution simulator (:mod:`repro.sim`), the experiment pipelines that
+regenerate the paper's figures and tables (:mod:`repro.experiments`), and an
+off-by-default observability layer — structured tracing, metrics, profiling
+hooks (:mod:`repro.obs`, see ``docs/OBSERVABILITY.md``).
 """
 
 from repro.core import (

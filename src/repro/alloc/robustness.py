@@ -31,6 +31,7 @@ from repro.core.fepia import FePIAAnalysis
 from repro.core.metric import MetricResult
 from repro.core.norms import L2Norm, Norm, get_norm
 from repro.exceptions import InfeasibleAtOriginError, ValidationError
+from repro.obs import trace as obs_trace
 from repro.utils.serialization import decode_array, decode_float, encode_array, encode_float
 from repro.utils.validation import check_positive
 
@@ -158,21 +159,22 @@ def robustness(
     solver_options:
         Deprecated alias for ``config`` (dict form).
     """
-    resolve_config(config, solver_options)  # dict shim + validation
-    radii = robustness_radii(mapping, etc, tau, norm=norm)
-    j = int(np.argmin(radii))
-    if require_feasible and radii[j] < 0:
-        raise InfeasibleAtOriginError(
-            f"machine {j} violates the makespan bound at C_orig "
-            f"(radius {radii[j]:g} < 0)"
+    with obs_trace.maybe_span("alloc.robustness", n_machines=mapping.n_machines):
+        resolve_config(config, solver_options)  # dict shim + validation
+        radii = robustness_radii(mapping, etc, tau, norm=norm)
+        j = int(np.argmin(radii))
+        if require_feasible and radii[j] < 0:
+            raise InfeasibleAtOriginError(
+                f"machine {j} violates the makespan bound at C_orig "
+                f"(radius {radii[j]:g} < 0)"
+            )
+        return AllocationRobustness(
+            value=float(radii[j]),
+            radii=radii,
+            critical_machine=j,
+            makespan=makespan(mapping, etc),
+            tau=float(tau),
         )
-    return AllocationRobustness(
-        value=float(radii[j]),
-        radii=radii,
-        critical_machine=j,
-        makespan=makespan(mapping, etc),
-        tau=float(tau),
-    )
 
 
 def critical_machine(mapping: Mapping, etc: np.ndarray, tau: float) -> int:

@@ -39,6 +39,18 @@ from typing import Any, Callable, Iterable, Iterator, TypeVar
 import numpy as np
 
 from repro.exceptions import SanitizerError, ValidationError
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+
+
+def _count_sanitizer_event(kind: str, n: int = 1) -> None:
+    """Record sanitizer activity in the obs registry (no-op while disabled)."""
+    if n > 0 and obs_trace.enabled():
+        obs_metrics.get_registry().counter(
+            "repro_sanitizer_events_total",
+            help="sanitizer violations and captured floating-point events",
+            kind=kind,
+        ).inc(n)
 
 __all__ = [
     "Violation",
@@ -314,6 +326,7 @@ def sanitize_batch(batch: Any) -> Any:
     batch is returned unchanged (identical object).
     """
     violations = audit_batch(batch)
+    _count_sanitizer_event("violation", len(violations))
     if not violations:
         return batch
     if getattr(batch, "on_error", "raise") == "raise":
@@ -411,6 +424,7 @@ class Sanitizer:
 
     def _on_fp_event(self, kind: str, flag: int) -> None:
         self.fp_events.append(kind)
+        _count_sanitizer_event("fp-event")
 
     def _patch_all(self) -> None:
         for modname, attr in _PATCH_TARGETS:

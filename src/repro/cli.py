@@ -10,6 +10,8 @@ Usage::
     python -m repro monitor   [--seed N] [--steps N] [--threshold X]
     python -m repro faults    [--seed N] [--tau X] [--eps X] [--confidence X]
     python -m repro lint      [--format text|json] [--select CODES] PATHS...
+    python -m repro trace run [--profile] [--trace-out FILE] SUBCOMMAND ...
+    python -m repro trace check TRACE_FILE [--schema FILE]
 
 Each subcommand prints the regenerated table/figure report (and optionally
 writes it to ``--out``).  Exit status is 0 on success, 2 on bad arguments;
@@ -134,6 +136,56 @@ def build_parser() -> argparse.ArgumentParser:
         "--sanitize-check",
         action="store_true",
         help="run the runtime numeric sanitizer's self-check and exit",
+    )
+
+    ptr = sub.add_parser(
+        "trace",
+        help="observability: run a subcommand traced, or validate a trace file",
+    )
+    tsub = ptr.add_subparsers(dest="trace_command", required=True)
+    tr_run = tsub.add_parser(
+        "run", help="run another repro subcommand with tracing/metrics enabled"
+    )
+    tr_run.add_argument(
+        "--profile",
+        action="store_true",
+        help="print the per-stage cost breakdown after the run",
+    )
+    tr_run.add_argument(
+        "--trace-out",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="write the spans as Chrome trace_event JSON (chrome://tracing)",
+    )
+    tr_run.add_argument(
+        "--metrics-out",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="write the metrics registry after the run",
+    )
+    tr_run.add_argument(
+        "--metrics-format",
+        choices=("json", "prometheus"),
+        default="json",
+        help="format of --metrics-out (default: json)",
+    )
+    tr_run.add_argument(
+        "argv",
+        nargs=argparse.REMAINDER,
+        help="the repro subcommand to run, e.g. 'heuristics --seed 1'",
+    )
+    tr_check = tsub.add_parser(
+        "check", help="validate a Chrome trace JSON file against a golden schema"
+    )
+    tr_check.add_argument("trace_file", type=Path)
+    tr_check.add_argument(
+        "--schema",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="schema description (default: the built-in trace schema)",
     )
 
     return parser
@@ -338,22 +390,33 @@ def _cmd_lint(args) -> int:
         try:
             changed = changed_python_files(exclude=args.exclude)
         except RuntimeError as err:
-            print(f"repro lint: {err}", file=sys.stderr)
-            return 2
-        if not changed:
-            print("0 findings in 0 files (no changed python files)")
-            return 0
-        roots = [p.resolve() for p in paths]
-        if roots:
-            changed = [
-                f
-                for f in changed
-                if any(r == f or r in f.resolve().parents for r in roots)
-            ]
-        paths = changed
-        if not paths:
-            print("0 findings in 0 files (no changed python files under the given paths)")
-            return 0
+            # Not a git work tree (tarball checkout, exported sources):
+            # --changed cannot know what changed, so degrade gracefully to a
+            # full lint of the requested paths instead of erroring out.
+            paths = paths if paths else [Path(".")]
+            print(
+                f"repro lint: --changed unavailable ({err}); "
+                "falling back to a full lint of "
+                + " ".join(str(p) for p in paths),
+                file=sys.stderr,
+            )
+        else:
+            if not changed:
+                print("0 findings in 0 files (no changed python files)")
+                return 0
+            roots = [p.resolve() for p in paths]
+            if roots:
+                changed = [
+                    f
+                    for f in changed
+                    if any(r == f or r in f.resolve().parents for r in roots)
+                ]
+            paths = changed
+            if not paths:
+                print(
+                    "0 findings in 0 files (no changed python files under the given paths)"
+                )
+                return 0
     elif not paths:
         print(
             "repro lint: at least one path is required "
@@ -386,6 +449,82 @@ def _cmd_lint(args) -> int:
     return 0 if report.clean else 1
 
 
+def _cmd_trace_check(args) -> int:
+    import json
+
+    from repro import obs
+
+    try:
+        doc = json.loads(args.trace_file.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as err:
+        print(f"repro trace check: cannot read {args.trace_file}: {err}", file=sys.stderr)
+        return 2
+    schema = None
+    if args.schema is not None:
+        try:
+            schema = json.loads(args.schema.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as err:
+            print(
+                f"repro trace check: cannot read schema {args.schema}: {err}",
+                file=sys.stderr,
+            )
+            return 2
+    problems = obs.validate_chrome_trace(doc, schema)
+    if problems:
+        for p in problems:
+            print(f"INVALID {p}")
+        return 1
+    print(f"ok: {args.trace_file} ({len(doc['traceEvents'])} events)")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro import obs
+
+    if args.trace_command == "check":
+        return _cmd_trace_check(args)
+
+    inner = list(args.argv)
+    if inner and inner[0] == "--":
+        inner = inner[1:]
+    if not inner:
+        print(
+            "repro trace run: give the subcommand to run, e.g. "
+            "'repro trace run --profile heuristics'",
+            file=sys.stderr,
+        )
+        return 2
+    if inner[0] == "trace":
+        print("repro trace run: nesting trace is not supported", file=sys.stderr)
+        return 2
+    if inner[0] not in _COMMANDS:
+        print(f"repro trace run: unknown subcommand {inner[0]!r}", file=sys.stderr)
+        return 2
+    inner_args = build_parser().parse_args(inner)
+    obs.reset_metrics()
+    with obs.observed() as tracer:
+        with tracer.span(f"cli.{inner[0]}"):
+            status = _COMMANDS[inner_args.command](inner_args)
+    spans = tracer.spans()
+    if args.profile:
+        print()
+        print(obs.render_breakdown(spans))
+    if args.trace_out is not None:
+        obs.write_chrome_trace(spans, args.trace_out)
+        print(f"[trace written to {args.trace_out}]")
+    if args.metrics_out is not None:
+        registry = obs.get_registry()
+        text = (
+            registry.render_prometheus()
+            if args.metrics_format == "prometheus"
+            else registry.render_json() + "\n"
+        )
+        args.metrics_out.parent.mkdir(parents=True, exist_ok=True)
+        args.metrics_out.write_text(text, encoding="utf-8")
+        print(f"[metrics written to {args.metrics_out}]")
+    return status
+
+
 _COMMANDS = {
     "fig3": _cmd_fig3,
     "fig4": _cmd_fig4,
@@ -395,6 +534,7 @@ _COMMANDS = {
     "monitor": _cmd_monitor,
     "faults": _cmd_faults,
     "lint": _cmd_lint,
+    "trace": _cmd_trace,
 }
 
 

@@ -31,8 +31,20 @@ from repro.core.impact import AffineImpact
 from repro.core.norms import L1Norm, L2Norm, LInfNorm, Norm, WeightedL2Norm
 from repro.core.perturbation import PerturbationParameter
 from repro.core.radius import RadiusResult
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 
 __all__ = ["RadiusCache", "norm_cache_key"]
+
+
+def _count_cache_event(event: str) -> None:
+    """Increment the cache hit/miss counter (only when obs is enabled)."""
+    if obs_trace.enabled():
+        obs_metrics.get_registry().counter(
+            "repro_cache_events_total",
+            help="radius-cache lookups by outcome",
+            event=event,
+        ).inc()
 
 
 def norm_cache_key(norm: Norm) -> tuple:
@@ -98,14 +110,17 @@ class RadiusCache:
         """Look up a solve; counts a hit/miss and refreshes LRU order."""
         if self.maxsize == 0:
             self.misses += 1
+            _count_cache_event("miss")
             return None
         try:
             value = self._data[key]
         except KeyError:
             self.misses += 1
+            _count_cache_event("miss")
             return None
         self._data.move_to_end(key)
         self.hits += 1
+        _count_cache_event("hit")
         return value
 
     def put(self, key: tuple, value: RadiusResult, *, pin: tuple = ()) -> None:

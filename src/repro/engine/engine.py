@@ -53,6 +53,8 @@ from repro.engine.fault import (
 )
 from repro.exceptions import InfeasibleAtOriginError, ValidationError
 from repro.hiperd.constraints import build_constraints
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.hiperd.model import HiperDSystem
 from repro.utils.serialization import decode_array, decode_float, encode_array, encode_float
 from repro.utils.validation import check_positive
@@ -63,6 +65,15 @@ __all__ = [
     "HiperdBatchResult",
     "BatchRobustnessResult",
 ]
+
+
+def _count_eval(kind: str) -> None:
+    """Increment the engine-entry counter (callers guard on obs enabled)."""
+    obs_metrics.get_registry().counter(
+        "repro_engine_evaluations_total",
+        help="engine evaluation entry points by kind",
+        kind=kind,
+    ).inc()
 
 
 @dataclass(frozen=True)
@@ -307,6 +318,23 @@ class RobustnessEngine:
         l2 norm has the fully-vectorized closed form; other norms raise
         (use the scalar API, which handles them via dual norms).
         """
+        with obs_trace.maybe_span("engine.evaluate_allocation") as sp:
+            if obs_trace.enabled():
+                _count_eval("allocation")
+            out = self._evaluate_allocation(
+                mappings, etc, tau, require_feasible=require_feasible
+            )
+            sp.set_attr("n_mappings", len(out))
+            return out
+
+    def _evaluate_allocation(
+        self,
+        mappings: np.ndarray | Sequence[Mapping] | Sequence[Sequence[int]],
+        etc: np.ndarray,
+        tau: float,
+        *,
+        require_feasible: bool,
+    ) -> AllocationBatchResult:
         if not isinstance(self.norm, L2Norm):
             raise ValidationError(
                 "batched allocation evaluation supports the l2 norm only; "
@@ -351,6 +379,28 @@ class RobustnessEngine:
         feasibility and the Section-4.3 percentage slack all come from the
         same matrix-vector product.
         """
+        with obs_trace.maybe_span("engine.evaluate_hiperd") as sp:
+            if obs_trace.enabled():
+                _count_eval("hiperd")
+            out = self._evaluate_hiperd(
+                system,
+                mappings,
+                load_orig,
+                apply_floor=apply_floor,
+                require_feasible=require_feasible,
+            )
+            sp.set_attr("n_mappings", len(out))
+            return out
+
+    def _evaluate_hiperd(
+        self,
+        system: HiperDSystem,
+        mappings: np.ndarray | Sequence[Mapping] | Sequence[Sequence[int]],
+        load_orig: np.ndarray | Sequence[float],
+        *,
+        apply_floor: bool,
+        require_feasible: bool,
+    ) -> HiperdBatchResult:
         mappings = list(mappings)
         if not mappings:
             raise ValidationError("mappings must be non-empty")
@@ -442,13 +492,14 @@ class RobustnessEngine:
         retry_policy: RetryPolicy | None = None,
     ) -> MetricResult:
         """Eq. 2 for one feature set, using the engine's cache and pool."""
-        return self.evaluate_population(
-            [(features, parameter)],
-            apply_floor=apply_floor,
-            require_feasible=require_feasible,
-            on_error=on_error,
-            retry_policy=retry_policy,
-        )[0]
+        with obs_trace.maybe_span("engine.evaluate_metric"):
+            return self.evaluate_population(
+                [(features, parameter)],
+                apply_floor=apply_floor,
+                require_feasible=require_feasible,
+                on_error=on_error,
+                retry_policy=retry_policy,
+            )[0]
 
     def evaluate_population(
         self,
@@ -476,6 +527,29 @@ class RobustnessEngine:
         overrides the :class:`~repro.engine.fault.RetryPolicy` derived from
         the engine's config.
         """
+        with obs_trace.maybe_span("engine.evaluate_population", on_error=on_error) as sp:
+            if obs_trace.enabled():
+                _count_eval("population")
+            batch = self._evaluate_population(
+                problems,
+                apply_floor=apply_floor,
+                require_feasible=require_feasible,
+                on_error=on_error,
+                retry_policy=retry_policy,
+            )
+            sp.set_attr("n_problems", len(batch.results))
+            sp.set_attr("n_failures", len(batch.failures))
+            return batch
+
+    def _evaluate_population(
+        self,
+        problems: Iterable[tuple[Iterable[PerformanceFeature], PerturbationParameter]],
+        *,
+        apply_floor: bool | None,
+        require_feasible: bool,
+        on_error: str,
+        retry_policy: RetryPolicy | None,
+    ) -> BatchRobustnessResult:
         if on_error not in ON_ERROR_MODES:
             raise ValidationError(
                 f"on_error must be one of {ON_ERROR_MODES}, got {on_error!r}"

@@ -38,12 +38,15 @@ from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
 from repro.core.config import SolverConfig
 from repro.core.radius import RadiusResult, robustness_radius
 from repro.core.solvers.numeric import RETRYABLE_REASONS
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.exceptions import (
     ReproError,
     SolverError,
@@ -220,16 +223,28 @@ class FailureRecord:
         )
 
 
-def fault_radius_task(payload: tuple) -> RadiusResult:
+def fault_radius_task(payload: tuple) -> "RadiusResult | obs_trace.TracedResult":
     """Worker entry point of the fault-isolated path.
 
-    ``payload`` is ``(task, attempt)``; the attempt number is published to
+    ``payload`` is ``(task, attempt)`` or ``(task, attempt, span_context)``;
+    the attempt number is published to
     :data:`repro.faults.inject.CURRENT_ATTEMPT` before the solve so
     injectors with ``heal_after_attempt`` semantics can observe which retry
     they are running under (injector state is re-pickled fresh on every
     submission, so per-process call counters alone cannot span attempts).
+
+    When the payload carries a picklable
+    :class:`~repro.obs.trace.SpanContext` (observability was enabled in the
+    submitting process), the worker records its own solve span parented to
+    it and ships the spans back inside a
+    :class:`~repro.obs.trace.TracedResult`, which the supervisor unwraps and
+    ingests — tracing never changes what the solver computes.
     """
-    task, attempt = payload
+    if len(payload) == 3:
+        task, attempt, span_ctx = payload
+    else:
+        task, attempt = payload
+        span_ctx = None
     inject = None
     try:  # pragma: no cover - exercised via pool workers
         from repro.faults import inject as inject_mod
@@ -240,12 +255,99 @@ def fault_radius_task(payload: tuple) -> RadiusResult:
         pass
     try:
         feature, parameter, norm, config = task
-        return robustness_radius(
-            feature, parameter, norm=norm, apply_floor=False, config=config
-        )
+        if span_ctx is None:
+            # serial in-process call (the caller's tracer sees everything
+            # directly) or an untraced submission
+            return robustness_radius(
+                feature, parameter, norm=norm, apply_floor=False, config=config
+            )
+        # traced pool submission: record into a fresh worker-local tracer and
+        # ship the spans back (forked workers inherit the parent's enabled
+        # state, so the installed tracer cannot be trusted here)
+        tracer = obs_trace.Tracer()
+        obs_trace.enable(tracer)
+        token = obs_trace.activate(span_ctx)
+        try:
+            with tracer.span(
+                "pool.worker.solve", task_attempt=int(attempt), feature=feature.name
+            ):
+                res = robustness_radius(
+                    feature, parameter, norm=norm, apply_floor=False, config=config
+                )
+        finally:
+            obs_trace.deactivate(token)
+            obs_trace.disable()
+        return obs_trace.TracedResult(result=res, spans=tuple(tracer.export()))
     finally:
         if inject is not None:
             inject.CURRENT_ATTEMPT = 0
+
+
+def _terminal_state(record: FailureRecord | None) -> str:
+    """The terminal state label of one task: success, degrade or failure."""
+    if record is None:
+        return "success"
+    return "degrade" if record.fallback_used else "failure"
+
+
+def _record_terminal(
+    index: int,
+    task: tuple,
+    record: FailureRecord | None,
+    wall: float,
+    *,
+    path: str,
+) -> None:
+    """Emit one task's terminal ``fault.task`` span plus latency/failure
+    metrics.  Callers guard on :func:`repro.obs.trace.enabled`."""
+    tracer = obs_trace.get_tracer()
+    if tracer is not None:
+        end = time.perf_counter_ns()
+        span = tracer.start_span(
+            "fault.task",
+            task_index=int(index),
+            feature=task[0].name,
+            parameter=task[1].name,
+            terminal=_terminal_state(record),
+            stage=record.stage if record is not None else None,
+            attempts=record.attempts if record is not None else None,
+            path=path,
+        )
+        span.start_ns = end - int(wall * 1e9)
+        span.end_ns = end
+        tracer.finish(span, status="ok" if record is None else "error")
+    registry = obs_metrics.get_registry()
+    registry.histogram(
+        "repro_radius_solve_seconds",
+        help="terminal per-task radius solve latency (seconds)",
+        path=path,
+    ).observe(wall)
+    if record is not None:
+        registry.counter(
+            "repro_failure_records_total",
+            help="terminal failure records by stage",
+            stage=record.stage,
+        ).inc()
+
+
+def _record_fault_event(
+    name: str, counter: str, help_text: str, **attrs: Any
+) -> None:
+    """Emit an instant span plus a counter increment (obs must be on)."""
+    tracer = obs_trace.get_tracer()
+    if tracer is not None:
+        tracer.event(name, **attrs)
+    obs_metrics.get_registry().counter(counter, help=help_text).inc()
+
+
+def _record_retry(index: int, attempt: int) -> None:
+    _record_fault_event(
+        "fault.retry",
+        "repro_retries_total",
+        "radius solve retry attempts",
+        task_index=int(index),
+        attempt=int(attempt),
+    )
 
 
 def _picklable_one(obj: object) -> bool:
@@ -363,9 +465,16 @@ def solve_radius_tasks_isolated(
         return [], []
     if policy is None:
         policy = RetryPolicy.from_config(config)
-    if len(tasks) <= 1 or config.pool_size <= 0 or not _picklable_one(tasks[0]):
-        return _solve_serial(tasks, config, policy, on_error)
-    return _Supervisor(tasks, config, policy, on_error).run()
+    serial = len(tasks) <= 1 or config.pool_size <= 0 or not _picklable_one(tasks[0])
+    with obs_trace.maybe_span(
+        "fault.solve_batch",
+        n_tasks=len(tasks),
+        on_error=on_error,
+        mode="serial" if serial else "pool",
+    ):
+        if serial:
+            return _solve_serial(tasks, config, policy, on_error)
+        return _Supervisor(tasks, config, policy, on_error).run()
 
 
 def _solve_serial(
@@ -376,11 +485,15 @@ def _solve_serial(
 ) -> tuple[list[RadiusResult], list[FailureRecord]]:
     results: list[RadiusResult] = []
     failures: list[FailureRecord] = []
+    tracing = obs_trace.enabled()
     for i, task in enumerate(tasks):
+        t0 = time.perf_counter() if tracing else 0.0
         res, rec = _solve_one_inline(i, task, config, policy, on_error)
         results.append(res)
         if rec is not None:
             failures.append(rec)
+        if tracing:
+            _record_terminal(i, task, rec, time.perf_counter() - t0, path="serial")
     return results, failures
 
 
@@ -400,6 +513,8 @@ def _solve_one_inline(
     for attempt in range(policy.max_attempts):
         attempts = attempt + 1
         if attempt > 0:
+            if obs_trace.enabled():
+                _record_retry(index, attempt)
             time.sleep(policy.delay(index, attempt - 1))
         cfg = policy.escalated(config, attempt)
         try:
@@ -533,6 +648,10 @@ class _Supervisor:
         self.results[index] = result
         if record is not None:
             self.records[index] = record
+        if obs_trace.enabled():
+            _record_terminal(
+                index, self.tasks[index], record, self._wall(index), path="pool"
+            )
 
     def _terminal_exception(
         self, index: int, attempts: int, stage: str, exc: ReproError
@@ -557,6 +676,14 @@ class _Supervisor:
         """A worker died; every in-flight future is poisoned."""
         items = [popped] if popped is not None else []
         items += [(i, a) for (i, a, _) in self.inflight.values()]
+        if obs_trace.enabled():
+            _record_fault_event(
+                "fault.pool_break",
+                "repro_crashes_total",
+                "process pool breakages (worker crashes)",
+                n_tasks=len(items),
+                probe_mode=self.probe_mode,
+            )
         self.inflight.clear()
         self._kill_executor()
         self.pool_breaks += 1
@@ -601,6 +728,14 @@ class _Supervisor:
         for fut in overdue:
             index, attempt, _ = self.inflight.pop(fut)
             self.suspect[index] = "timeout"
+            if obs_trace.enabled():
+                _record_fault_event(
+                    "fault.timeout",
+                    "repro_timeouts_total",
+                    "per-task deadline overruns",
+                    task_index=index,
+                    attempt=attempt,
+                )
             cfg = self.policy.escalated(self.config, attempt)
             if attempt + 1 < self.policy.max_attempts:
                 logger.warning(
@@ -695,14 +830,25 @@ class _Supervisor:
                 return
             index, attempt = self.pending.popleft()
             if attempt > 0:
+                if obs_trace.enabled():
+                    _record_retry(index, attempt)
                 time.sleep(self.policy.delay(index, attempt - 1))
             cfg = self.policy.escalated(self.config, attempt)
             feature, parameter, norm, _ = self.tasks[index]
             if self.started[index] is None:
                 self.started[index] = time.perf_counter()
+            span_ctx = obs_trace.current_context()
+            if obs_trace.enabled():
+                _record_fault_event(
+                    "pool.submit",
+                    "repro_pool_submits_total",
+                    "futures submitted to the process pool",
+                    task_index=index,
+                    attempt=attempt,
+                )
             try:
                 fut = self.executor.submit(
-                    fault_radius_task, ((feature, parameter, norm, cfg), attempt)
+                    fault_radius_task, ((feature, parameter, norm, cfg), attempt, span_ctx)
                 )
             except (BrokenProcessPool, RuntimeError):
                 self._on_pool_break((index, attempt))
@@ -771,6 +917,11 @@ class _Supervisor:
                     except BaseException as exc:  # noqa: BLE001 - routed per kind
                         self._on_worker_exception(index, attempt, exc)
                         continue
+                    if isinstance(res, obs_trace.TracedResult):
+                        tracer = obs_trace.get_tracer()
+                        if tracer is not None and obs_trace.enabled():
+                            tracer.ingest(res.spans)
+                        res = res.result
                     self._on_result(index, attempt, res)
                 if broke:
                     continue

@@ -32,6 +32,7 @@ from repro.core.solvers.discrete import floor_radius
 from repro.exceptions import InfeasibleAtOriginError, ValidationError
 from repro.hiperd.constraints import ConstraintSet, build_constraints
 from repro.hiperd.model import HiperDSystem
+from repro.obs import trace as obs_trace
 from repro.utils.serialization import decode_array, decode_float, encode_array, encode_float
 
 __all__ = ["HiperdRobustness", "robustness", "boundary_load", "fepia_analysis"]
@@ -130,6 +131,30 @@ def robustness(
     solver_options:
         Deprecated alias for ``config`` (dict form).
     """
+    with obs_trace.maybe_span("hiperd.robustness", n_sensors=system.n_sensors):
+        return _robustness_impl(
+            system,
+            mapping,
+            load_orig,
+            apply_floor=apply_floor,
+            require_feasible=require_feasible,
+            norm=norm,
+            config=config,
+            solver_options=solver_options,
+        )
+
+
+def _robustness_impl(
+    system: HiperDSystem,
+    mapping: Mapping,
+    load_orig,
+    *,
+    apply_floor: bool,
+    require_feasible: bool,
+    norm: Norm | str | None,
+    config: SolverConfig | dict | None,
+    solver_options: dict | None,
+) -> HiperdRobustness:
     resolve_config(config, solver_options)  # dict shim + validation
     norm = get_norm(norm)
     load_orig = np.asarray(load_orig, dtype=float)

@@ -1,0 +1,225 @@
+"""Profiling views over collected spans: per-stage cost breakdown and
+Chrome ``trace_event`` export.
+
+The breakdown aggregates spans by name (count, total, mean, max wall time),
+which answers the profiling question directly: where do radius solves spend
+their time, and which stage of the fault ladder dominates a degraded run.
+The Chrome exporter emits the ``trace_event`` JSON object format — open the
+file in ``chrome://tracing`` or Perfetto — with one complete event
+(``"ph": "X"``) per closed span and one instant event (``"ph": "i"``) per
+zero-duration marker span.
+
+:func:`validate_chrome_trace` checks a trace document against the small
+schema description shipped in ``tests/obs/golden/trace_schema.json`` (CI's
+``trace-selfcheck`` step); the validator is hand-rolled so the check does
+not require a jsonschema dependency.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+from repro.obs.trace import Span
+
+__all__ = [
+    "StageCost",
+    "stage_breakdown",
+    "render_breakdown",
+    "chrome_trace",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+]
+
+
+@dataclass(frozen=True)
+class StageCost:
+    """Aggregate wall-time cost of one span name."""
+
+    name: str
+    count: int
+    total_s: float
+    mean_s: float
+    max_s: float
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready encoding."""
+        return {
+            "name": self.name,
+            "count": self.count,
+            "total_s": self.total_s,
+            "mean_s": self.mean_s,
+            "max_s": self.max_s,
+        }
+
+
+def _as_spans(spans: Iterable[Span | dict[str, Any]]) -> list[Span]:
+    return [s if isinstance(s, Span) else Span.from_dict(s) for s in spans]
+
+
+def stage_breakdown(spans: Iterable[Span | dict[str, Any]]) -> list[StageCost]:
+    """Aggregate spans by name, most expensive stage first."""
+    totals: dict[str, list[float]] = {}
+    for span in _as_spans(spans):
+        acc = totals.setdefault(span.name, [0, 0.0, 0.0])
+        acc[0] += 1
+        acc[1] += span.duration_s
+        acc[2] = max(acc[2], span.duration_s)
+    out = [
+        StageCost(
+            name=name,
+            count=int(n),
+            total_s=total,
+            mean_s=total / n if n else 0.0,
+            max_s=mx,
+        )
+        for name, (n, total, mx) in totals.items()
+    ]
+    return sorted(out, key=lambda c: (-c.total_s, c.name))
+
+
+def render_breakdown(spans: Iterable[Span | dict[str, Any]]) -> str:
+    """The per-stage cost table printed by ``repro trace run --profile``."""
+    from repro.utils.tables import format_table
+
+    rows = [
+        [c.name, c.count, f"{c.total_s * 1e3:.3f}", f"{c.mean_s * 1e3:.3f}", f"{c.max_s * 1e3:.3f}"]
+        for c in stage_breakdown(spans)
+    ]
+    if not rows:
+        return "no spans recorded"
+    return format_table(["stage", "count", "total ms", "mean ms", "max ms"], rows)
+
+
+def chrome_trace(spans: Iterable[Span | dict[str, Any]]) -> dict[str, Any]:
+    """Convert spans to the Chrome ``trace_event`` JSON object format.
+
+    Timestamps are microseconds relative to the earliest span in the batch
+    (``chrome://tracing`` only needs a consistent origin).  The span tree is
+    preserved through ``args`` (``span_id``/``parent_id``), and each process
+    that contributed spans gets its own ``pid`` lane.
+    """
+    materialized = _as_spans(spans)
+    origin_ns = min((s.start_ns for s in materialized), default=0)
+    events: list[dict[str, Any]] = []
+    for span in materialized:
+        ts_us = (span.start_ns - origin_ns) / 1e3
+        args = {
+            "span_id": span.span_id,
+            "parent_id": span.parent_id,
+            "trace_id": span.trace_id,
+            "status": span.status,
+            **span.attrs,
+        }
+        if span.end_ns <= span.start_ns:
+            events.append(
+                {
+                    "name": span.name,
+                    "ph": "i",
+                    "ts": ts_us,
+                    "pid": span.pid,
+                    "tid": 0,
+                    "s": "p",
+                    "args": args,
+                }
+            )
+        else:
+            events.append(
+                {
+                    "name": span.name,
+                    "ph": "X",
+                    "ts": ts_us,
+                    "dur": (span.end_ns - span.start_ns) / 1e3,
+                    "pid": span.pid,
+                    "tid": 0,
+                    "args": args,
+                }
+            )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    spans: Iterable[Span | dict[str, Any]], path: Path | str
+) -> Path:
+    """Write :func:`chrome_trace` output to ``path`` (parents created)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(chrome_trace(spans), indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+#: the schema shape accepted by :func:`validate_chrome_trace` when no file
+#: is provided — kept in sync with ``tests/obs/golden/trace_schema.json``
+DEFAULT_TRACE_SCHEMA: dict[str, Any] = {
+    "required_top": ["traceEvents"],
+    "allowed_ph": ["X", "i", "M"],
+    "event_required": {
+        "name": "string",
+        "ph": "string",
+        "ts": "number",
+        "pid": "integer",
+        "tid": "integer",
+    },
+    "duration_required_for_ph": ["X"],
+}
+
+_TYPE_CHECKS = {
+    "string": lambda v: isinstance(v, str),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "object": lambda v: isinstance(v, dict),
+}
+
+
+def validate_chrome_trace(
+    doc: Any, schema: dict[str, Any] | None = None
+) -> list[str]:
+    """Validate a trace document against a golden schema description.
+
+    Returns a list of human-readable problems (empty = valid).  The schema
+    is the small declarative dict format shipped at
+    ``tests/obs/golden/trace_schema.json``: required top-level keys, the
+    required fields and types of each event, the allowed phase codes, and
+    which phases must carry a duration.
+    """
+    schema = schema if schema is not None else DEFAULT_TRACE_SCHEMA
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return [f"trace document must be a JSON object, got {type(doc).__name__}"]
+    for key in schema.get("required_top", []):
+        if key not in doc:
+            problems.append(f"missing top-level key {key!r}")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        problems.append("traceEvents must be a list")
+        return problems
+    if not events:
+        problems.append("traceEvents is empty (the traced run recorded nothing)")
+    allowed_ph: Sequence[str] = schema.get("allowed_ph", [])
+    requirements: dict[str, str] = schema.get("event_required", {})
+    needs_dur: Sequence[str] = schema.get("duration_required_for_ph", [])
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event[{i}] is not an object")
+            continue
+        for field, type_name in requirements.items():
+            if field not in event:
+                problems.append(f"event[{i}] ({event.get('name')!r}) missing {field!r}")
+            elif not _TYPE_CHECKS[type_name](event[field]):
+                problems.append(
+                    f"event[{i}].{field} should be {type_name}, "
+                    f"got {type(event[field]).__name__}"
+                )
+        ph = event.get("ph")
+        if allowed_ph and ph not in allowed_ph:
+            problems.append(f"event[{i}].ph {ph!r} not in {list(allowed_ph)}")
+        if ph in needs_dur:
+            dur = event.get("dur")
+            if not _TYPE_CHECKS["number"](dur) or dur < 0:
+                problems.append(f"event[{i}] (ph=X) needs a non-negative 'dur'")
+        ts = event.get("ts")
+        if _TYPE_CHECKS["number"](ts) and ts < 0:
+            problems.append(f"event[{i}].ts is negative")
+    return problems

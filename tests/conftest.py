@@ -4,18 +4,22 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
-from hypothesis import HealthCheck, settings
 
-# A single moderate profile: deterministic, no deadline (numeric solves vary
-# in speed on shared CI machines).
-settings.register_profile(
-    "repro",
-    deadline=None,
-    max_examples=50,
-    derandomize=True,
-    suppress_health_check=[HealthCheck.too_slow],
-)
-settings.load_profile("repro")
+try:  # hypothesis is an optional test dependency
+    from hypothesis import HealthCheck, settings
+except ImportError:  # pragma: no cover - exercised only without hypothesis
+    pass
+else:
+    # A single moderate profile: deterministic, no deadline (numeric solves
+    # vary in speed on shared CI machines).
+    settings.register_profile(
+        "repro",
+        deadline=None,
+        max_examples=50,
+        derandomize=True,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    settings.load_profile("repro")
 
 
 @pytest.fixture

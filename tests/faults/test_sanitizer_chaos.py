@@ -17,6 +17,7 @@ True)``:
 from __future__ import annotations
 
 import dataclasses
+import os
 
 import numpy as np
 import pytest
@@ -33,6 +34,8 @@ from repro.faults import wrap_feature
 PARAM = PerturbationParameter("pi", np.array([0.5, 0.5]))
 
 SERIAL = SolverConfig(pool_size=0, max_retries=0, backoff_base=0.0)
+
+CHAOS_POOL_SIZE = int(os.environ.get("REPRO_CHAOS_POOL_SIZE", "2"))
 
 
 def _quad(pi):
@@ -146,3 +149,54 @@ class TestAdmittedFailures:
         )
         assert [m.value for m in plain] == [m.value for m in guarded]
         assert guarded.ok
+
+
+@pytest.mark.chaos
+class TestCrashPlusSanitize:
+    """The previously untested combination: ``sanitize=True`` while a pool
+    worker crashes mid-batch.  The crash must be attributed to its own
+    ``stage="crash"`` record, silent corruption must still earn its
+    ``stage="sanitize"`` record, and neither failure may be double-counted
+    by the other layer."""
+
+    def test_crash_and_sanitize_records_coexist_without_double_count(
+        self, monkeypatch
+    ):
+        _poison_metric(monkeypatch, "q_1")
+        cfg = SolverConfig(
+            pool_size=CHAOS_POOL_SIZE, max_retries=0, backoff_base=0.0
+        )
+        problems = []
+        for i in range(6):
+            feat = _feature(i)
+            if i == 4:
+                feat = wrap_feature(feat, "crash", worker_only=True)
+            problems.append(([feat], PARAM))
+        engine = RobustnessEngine(config=cfg, sanitize=True)
+        batch = engine.evaluate_population(problems, on_error="record")
+
+        by_stage: dict[str, list] = {}
+        for rec in batch.failures:
+            by_stage.setdefault(rec.stage, []).append(rec)
+
+        # crash attribution is present and exact
+        (crash,) = by_stage["crash"]
+        assert crash.problem_index == 4
+        assert "WorkerCrashError" in crash.exception
+        # the smuggled NaN still earns its sanitize record
+        (san,) = by_stage["sanitize"]
+        assert san.problem_index == 1
+        assert san.reason == "nan-radius"
+        assert san.feature == "q_1"
+        # no double-counting: one record per (problem, stage), and the
+        # crashed problem is covered by its crash record alone
+        keys = [(rec.problem_index, rec.stage) for rec in batch.failures]
+        assert len(keys) == len(set(keys))
+        assert [rec.stage for rec in batch.failures if rec.problem_index == 4] == [
+            "crash"
+        ]
+        assert np.isnan(batch[1].value)
+        # healthy problems are untouched by either layer
+        for i in (0, 2, 3, 5):
+            assert batch[i].converged
+            assert np.isfinite(batch[i].value)

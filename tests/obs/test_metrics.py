@@ -1,0 +1,126 @@
+"""Metrics registry: counters, gauges, histograms, JSON/Prometheus export."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro import obs
+from repro.exceptions import ValidationError
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_increments(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            Counter().inc(-1.0)
+
+
+class TestGauge:
+    def test_set_and_inc(self):
+        g = Gauge()
+        g.set(10.0)
+        g.inc(-3.0)
+        assert g.value == 7.0
+
+
+class TestHistogram:
+    def test_observe_and_cumulative(self):
+        h = Histogram(buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 3.0, 100.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == pytest.approx(105.0)
+        assert h.counts == [1, 1, 1, 1]  # last slot is +Inf
+        assert h.cumulative() == [1, 2, 3, 4]
+
+    def test_boundary_lands_in_its_bucket(self):
+        # Prometheus buckets are `le` (inclusive upper bounds).
+        h = Histogram(buckets=(1.0, 2.0))
+        h.observe(1.0)
+        assert h.counts == [1, 0, 0]
+
+    def test_quantile_estimates_from_boundaries(self):
+        h = Histogram(buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 0.6, 1.5, 3.0):
+            h.observe(v)
+        assert h.quantile(0.5) == 1.0
+        assert h.quantile(1.0) == 4.0
+
+    def test_quantile_validation_and_empty(self):
+        h = Histogram(buckets=(1.0,))
+        with pytest.raises(ValidationError):
+            h.quantile(0.0)
+        assert math.isnan(h.quantile(0.5))
+
+    def test_unsorted_or_empty_buckets_rejected(self):
+        with pytest.raises(ValidationError):
+            Histogram(buckets=(2.0, 1.0))
+        with pytest.raises(ValidationError):
+            Histogram(buckets=())
+
+
+class TestRegistry:
+    def test_same_labels_same_child(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x_total", event="hit")
+        b = reg.counter("x_total", event="hit")
+        c = reg.counter("x_total", event="miss")
+        assert a is b and a is not c
+
+    def test_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total")
+        with pytest.raises(ValidationError):
+            reg.gauge("x_total")
+
+    def test_to_json_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total", help="a counter", event="hit").inc(2)
+        reg.histogram("h_seconds", buckets=(1.0, 2.0)).observe(1.5)
+        doc = reg.to_json()
+        assert doc["c_total"]["kind"] == "counter"
+        assert doc["c_total"]["help"] == "a counter"
+        assert doc["c_total"]["children"] == [
+            {"labels": {"event": "hit"}, "value": 2.0}
+        ]
+        hist = doc["h_seconds"]["children"][0]
+        assert hist["buckets"] == [1.0, 2.0]
+        assert hist["counts"] == [0, 1, 0]
+        assert hist["count"] == 1
+
+    def test_render_json_is_valid_json(self):
+        reg = MetricsRegistry()
+        reg.gauge("g", help="a gauge").set(1.25)
+        doc = json.loads(reg.render_json())
+        assert doc["g"]["children"][0]["value"] == 1.25
+
+    def test_render_prometheus_exposition(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_cache_events_total", help="cache", event="hit").inc(3)
+        reg.histogram("repro_solve_seconds", buckets=(0.1, 1.0)).observe(0.5)
+        text = reg.render_prometheus()
+        assert "# TYPE repro_cache_events_total counter" in text
+        assert '# HELP repro_cache_events_total cache' in text
+        assert 'repro_cache_events_total{event="hit"} 3.0' in text
+        assert 'repro_solve_seconds_bucket{le="0.1"} 0' in text
+        assert 'repro_solve_seconds_bucket{le="1.0"} 1' in text
+        assert 'repro_solve_seconds_bucket{le="+Inf"} 1' in text
+        assert "repro_solve_seconds_sum 0.5" in text
+        assert "repro_solve_seconds_count 1" in text
+        assert text.endswith("\n")
+
+    def test_clear_and_reset(self):
+        reg = obs.get_registry()
+        reg.counter("tmp_total").inc()
+        obs.reset_metrics()
+        assert reg.to_json() == {}
+        assert obs.get_registry() is reg

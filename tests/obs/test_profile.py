@@ -1,0 +1,130 @@
+"""Profiling views: stage breakdown, Chrome trace export, schema validation."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import obs
+from repro.obs.profile import DEFAULT_TRACE_SCHEMA
+
+GOLDEN_SCHEMA = Path(__file__).parent / "golden" / "trace_schema.json"
+
+
+def _span(name: str, start: int, end: int, **attrs) -> obs.Span:
+    return obs.Span(
+        name=name,
+        trace_id="t1",
+        span_id=f"s-{name}-{start}",
+        parent_id=None,
+        start_ns=start,
+        end_ns=end,
+        attrs=attrs,
+        pid=7,
+    )
+
+
+class TestStageBreakdown:
+    def test_aggregates_by_name_most_expensive_first(self):
+        spans = [
+            _span("solve", 0, 4_000_000),
+            _span("solve", 0, 2_000_000),
+            _span("cache", 0, 1_000_000),
+        ]
+        out = obs.stage_breakdown(spans)
+        assert [c.name for c in out] == ["solve", "cache"]
+        solve = out[0]
+        assert solve.count == 2
+        assert solve.total_s == pytest.approx(0.006)
+        assert solve.mean_s == pytest.approx(0.003)
+        assert solve.max_s == pytest.approx(0.004)
+        assert solve.to_dict()["name"] == "solve"
+
+    def test_accepts_span_dicts(self):
+        spans = [_span("a", 0, 1000).to_dict()]
+        assert obs.stage_breakdown(spans)[0].name == "a"
+
+    def test_render_empty(self):
+        assert obs.render_breakdown([]) == "no spans recorded"
+
+    def test_render_table_has_header(self):
+        text = obs.render_breakdown([_span("stagey", 0, 5_000_000)])
+        assert "stage" in text and "total ms" in text and "stagey" in text
+
+
+class TestChromeTrace:
+    def test_duration_and_instant_events(self):
+        spans = [_span("work", 2_000, 5_000, k=1), _span("mark", 3_000, 3_000)]
+        doc = obs.chrome_trace(spans)
+        assert doc["displayTimeUnit"] == "ms"
+        work, mark = doc["traceEvents"]
+        assert work["ph"] == "X"
+        assert work["ts"] == 0.0  # origin is the earliest start
+        assert work["dur"] == pytest.approx(3.0)  # 3000 ns = 3 us
+        assert work["pid"] == 7
+        assert work["args"]["k"] == 1
+        assert work["args"]["span_id"] == spans[0].span_id
+        assert mark["ph"] == "i"
+        assert mark["ts"] == pytest.approx(1.0)
+        assert "dur" not in mark
+
+    def test_write_creates_parents(self, tmp_path):
+        out = tmp_path / "deep" / "trace.json"
+        obs.write_chrome_trace([_span("w", 0, 10)], out)
+        doc = json.loads(out.read_text(encoding="utf-8"))
+        assert len(doc["traceEvents"]) == 1
+
+
+class TestValidateChromeTrace:
+    def _valid_doc(self):
+        return obs.chrome_trace([_span("w", 0, 1000), _span("i", 500, 500)])
+
+    def test_valid_doc_passes(self):
+        assert obs.validate_chrome_trace(self._valid_doc()) == []
+
+    def test_golden_schema_matches_builtin_and_passes(self):
+        schema = json.loads(GOLDEN_SCHEMA.read_text(encoding="utf-8"))
+        assert schema == DEFAULT_TRACE_SCHEMA
+        assert obs.validate_chrome_trace(self._valid_doc(), schema) == []
+
+    def test_non_object_document(self):
+        assert obs.validate_chrome_trace([1, 2]) != []
+
+    def test_missing_trace_events(self):
+        problems = obs.validate_chrome_trace({})
+        assert any("traceEvents" in p for p in problems)
+
+    def test_empty_trace_events_flagged(self):
+        problems = obs.validate_chrome_trace({"traceEvents": []})
+        assert any("empty" in p for p in problems)
+
+    def test_bad_phase_and_missing_fields(self):
+        doc = {"traceEvents": [{"name": "x", "ph": "Q", "ts": 0.0, "pid": 1, "tid": 0}]}
+        problems = obs.validate_chrome_trace(doc)
+        assert any("'Q'" in p for p in problems)
+        doc = {"traceEvents": [{"ph": "i", "ts": 0.0, "pid": 1, "tid": 0}]}
+        assert any("missing 'name'" in p for p in obs.validate_chrome_trace(doc))
+
+    def test_x_event_needs_duration(self):
+        doc = {"traceEvents": [{"name": "x", "ph": "X", "ts": 0.0, "pid": 1, "tid": 0}]}
+        problems = obs.validate_chrome_trace(doc)
+        assert any("dur" in p for p in problems)
+
+    def test_negative_timestamp_flagged(self):
+        doc = {
+            "traceEvents": [
+                {"name": "x", "ph": "i", "ts": -5.0, "pid": 1, "tid": 0}
+            ]
+        }
+        assert any("negative" in p for p in obs.validate_chrome_trace(doc))
+
+    def test_wrong_types_flagged(self):
+        doc = {
+            "traceEvents": [
+                {"name": 3, "ph": "i", "ts": "zero", "pid": 1.5, "tid": 0}
+            ]
+        }
+        problems = obs.validate_chrome_trace(doc)
+        assert len(problems) >= 3

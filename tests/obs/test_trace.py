@@ -1,0 +1,171 @@
+"""Tracing core: span lifecycle, parenting, cross-process contexts, the
+off-by-default switch."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro import obs
+from repro.exceptions import ValidationError
+from repro.obs.trace import _NULL_SPAN, SpanContext, TracedResult
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    yield
+    obs.disable()
+    obs.reset_metrics()
+
+
+class TestSpan:
+    def test_dict_round_trip(self):
+        tracer = obs.Tracer()
+        with tracer.span("work", answer=42) as sp:
+            sp.set_attr("extra", "yes")
+        (span,) = tracer.spans()
+        clone = obs.Span.from_dict(span.to_dict())
+        assert clone == span
+        assert clone.attrs == {"answer": 42, "extra": "yes"}
+        assert clone.duration_s == span.duration_s >= 0.0
+
+    def test_open_span_has_zero_duration(self):
+        tracer = obs.Tracer()
+        sp = tracer.start_span("open")
+        assert sp.end_ns == 0
+        assert sp.duration_s == 0.0
+
+    def test_context_is_picklable(self):
+        tracer = obs.Tracer()
+        sp = tracer.start_span("parent")
+        ctx = sp.context()
+        clone = pickle.loads(pickle.dumps(ctx))
+        assert clone == ctx
+        assert clone.span_id == sp.span_id
+
+    def test_traced_result_is_picklable(self):
+        payload = TracedResult(result=1.5, spans=({"name": "s"},))
+        clone = pickle.loads(pickle.dumps(payload))
+        assert clone.result == 1.5
+        assert clone.spans == ({"name": "s"},)
+
+
+class TestTracer:
+    def test_nesting_parents_spans(self):
+        tracer = obs.Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = tracer.spans()
+        assert inner.name == "inner" and outer.name == "outer"
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        assert inner.trace_id == outer.trace_id
+
+    def test_exception_marks_error_status(self):
+        tracer = obs.Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("nope")
+        (span,) = tracer.spans()
+        assert span.status == "error"
+        assert span.end_ns > 0
+
+    def test_event_is_instant(self):
+        tracer = obs.Tracer()
+        ev = tracer.event("marker", index=3)
+        assert ev.start_ns == ev.end_ns
+        assert ev.duration_s == 0.0
+        assert tracer.spans() == [ev]
+
+    def test_capacity_bounds_the_buffer(self):
+        tracer = obs.Tracer(capacity=3)
+        for i in range(5):
+            tracer.event(f"e{i}")
+        assert len(tracer) == 3
+        assert tracer.dropped == 2
+        assert [s.name for s in tracer.spans()] == ["e2", "e3", "e4"]
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValidationError):
+            obs.Tracer(capacity=0)
+
+    def test_ingest_files_worker_spans(self):
+        tracer = obs.Tracer()
+        remote = obs.Span(
+            name="pool.worker.solve",
+            trace_id="t1",
+            span_id="s9",
+            parent_id="s1",
+            start_ns=10,
+            end_ns=20,
+            pid=999,
+        )
+        assert tracer.ingest([remote.to_dict()]) == 1
+        (span,) = tracer.spans()
+        assert span == remote
+
+    def test_clear_resets(self):
+        tracer = obs.Tracer(capacity=1)
+        tracer.event("a")
+        tracer.event("b")
+        tracer.clear()
+        assert len(tracer) == 0
+        assert tracer.dropped == 0
+
+
+class TestStateSwitch:
+    def test_disabled_by_default(self):
+        assert not obs.enabled()
+        assert obs.get_tracer() is None
+        assert obs.current_context() is None
+
+    def test_maybe_span_is_shared_noop_while_disabled(self):
+        span = obs.maybe_span("anything", k=1)
+        assert span is _NULL_SPAN
+        with span as sp:
+            sp.set_attr("ignored", True)  # must not raise
+
+    def test_maybe_span_records_while_enabled(self):
+        with obs.observed() as tracer:
+            with obs.maybe_span("visible", k=1):
+                pass
+        assert [s.name for s in tracer.spans()] == ["visible"]
+
+    def test_observed_restores_previous_state(self):
+        assert not obs.enabled()
+        with obs.observed() as tracer:
+            assert obs.enabled()
+            assert obs.get_tracer() is tracer
+        assert not obs.enabled()
+
+    def test_observed_nested_restores_outer_tracer(self):
+        with obs.observed() as outer:
+            with obs.observed() as inner:
+                assert obs.get_tracer() is inner
+            assert obs.get_tracer() is outer
+
+    def test_enable_disable_roundtrip(self):
+        tracer = obs.enable()
+        assert obs.enabled()
+        assert obs.get_tracer() is tracer
+        obs.disable()
+        assert not obs.enabled()
+        # the tracer (and its spans) survive a disable
+        assert obs.get_tracer() is tracer
+
+    def test_current_context_follows_the_open_span(self):
+        with obs.observed() as tracer:
+            assert obs.current_context() is None
+            with tracer.span("outer") as sp:
+                ctx = obs.current_context()
+                assert ctx == SpanContext(trace_id=sp.trace_id, span_id=sp.span_id)
+            assert obs.current_context() is None
+
+    def test_activate_deactivate(self):
+        ctx = SpanContext(trace_id="t", span_id="s")
+        token = obs.activate(ctx)
+        with obs.observed():
+            assert obs.current_context() == ctx
+        obs.deactivate(token)

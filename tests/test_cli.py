@@ -182,10 +182,28 @@ class TestLintFlags:
         assert "sanitizer checks passed" in out
         assert "FAIL" not in out
 
-    def test_changed_outside_git_exits_two(self, tmp_path, monkeypatch, capsys):
+    def test_changed_outside_git_falls_back_to_full_lint(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        # outside a git work tree --changed cannot know what changed: it must
+        # degrade to a full lint with a warning, not crash with exit 2
         monkeypatch.chdir(tmp_path)
-        assert main(["lint", "--changed"]) == 2
-        assert "git status failed" in capsys.readouterr().err
+        assert main(["lint", "--changed", "--no-cache"]) == 0
+        captured = capsys.readouterr()
+        assert "falling back to a full lint" in captured.err
+        assert "0 findings" in captured.out
+
+    def test_changed_fallback_still_finds_violations(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        (tmp_path / "bad.py").write_text(
+            "import numpy as np\n\ndef f():\n    np.random.seed(0)\n"
+        )
+        monkeypatch.chdir(tmp_path)
+        assert main(["lint", "--changed", "--no-cache"]) == 1
+        captured = capsys.readouterr()
+        assert "falling back to a full lint" in captured.err
+        assert "R001" in captured.out
 
     def test_changed_lints_dirty_files_only(self, tmp_path, monkeypatch, capsys):
         import subprocess

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+
+pytest.importorskip("hypothesis", reason="property tests need hypothesis")
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -167,3 +169,95 @@ class TestHiperdInvariants:
         for m in random_hiperd_mappings(system, 10, seed=80):
             res = hrobustness(system, m, lam0)
             assert res.value <= res.raw_value + 1e-12
+
+
+class TestRadiusInvariants:
+    """Eq. 6 radius invariants: unit equivariance, bound monotonicity, norm
+    ordering, and engine/scalar parity on generated populations."""
+
+    @given(seed=seeds, scale=st.floats(0.1, 10.0))
+    @settings(max_examples=15)
+    def test_etc_scale_equivariance(self, seed, scale):
+        """Eq. 6 is homogeneous in the ETC entries: multiplying every
+        estimated time by s multiplies the radius by exactly s."""
+        etc = cvb_etc_matrix(10, 3, seed=seed)
+        mapping = random_mapping(10, 3, seed=seed + 1)
+        base = robustness(mapping, etc, 1.2).value
+        scaled = robustness(mapping, etc * scale, 1.2).value
+        assert scaled == pytest.approx(scale * base, rel=1e-9)
+
+    @given(seed=seeds, slack=st.floats(0.1, 5.0))
+    @settings(max_examples=20)
+    def test_radius_monotone_in_beta_max(self, seed, slack):
+        """Raising the tolerated maximum beta_max never shrinks the radius."""
+        from repro.core.radius import robustness_radius
+
+        rng = np.random.default_rng(seed)
+        n = 3
+        c = rng.uniform(0.2, 2.0, size=n)
+        origin = rng.uniform(0.0, 1.0, size=n)
+        beta_max = float(c @ origin) + 0.5
+        p = PerturbationParameter("pi", origin)
+
+        def radius(limit: float) -> float:
+            feat = PerformanceFeature(
+                "f", AffineImpact(c), FeatureBounds(upper=limit)
+            )
+            return robustness_radius(feat, p, apply_floor=False).radius
+
+        assert radius(beta_max + slack) >= radius(beta_max) - 1e-12
+
+    @given(seed=seeds)
+    @settings(max_examples=20)
+    def test_norm_radius_ordering(self, seed):
+        """||.||_inf <= ||.||_2 <= ||.||_1 pointwise, so the minimum
+        distance to the boundary inherits r_linf <= r_l2 <= r_l1."""
+        from repro.core.radius import robustness_radius
+
+        rng = np.random.default_rng(seed)
+        n = 3
+        c = rng.uniform(0.2, 2.0, size=n)
+        origin = rng.uniform(0.0, 1.0, size=n)
+        feat = PerformanceFeature(
+            "f", AffineImpact(c), FeatureBounds(upper=float(c @ origin) + 1.0)
+        )
+        p = PerturbationParameter("pi", origin)
+        radii = {
+            norm: robustness_radius(feat, p, norm=norm, apply_floor=False).radius
+            for norm in ("linf", "l2", "l1")
+        }
+        assert radii["linf"] <= radii["l2"] + 1e-12
+        assert radii["l2"] <= radii["l1"] + 1e-12
+
+    @given(seed=seeds)
+    @settings(max_examples=10)
+    def test_engine_matches_scalar_on_generated_populations(self, seed):
+        """The batched engine must agree bit-for-bit with the scalar Eq. 2
+        metric on arbitrary generated populations."""
+        from repro.core.config import SolverConfig
+        from repro.engine import RobustnessEngine
+
+        rng = np.random.default_rng(seed)
+        problems = []
+        for k in range(4):
+            n = int(rng.integers(2, 5))
+            origin = rng.uniform(0.1, 1.0, size=n)
+            feats = [
+                PerformanceFeature(
+                    f"f{k}_{i}",
+                    AffineImpact(rng.uniform(0.2, 2.0, size=n)),
+                    FeatureBounds(upper=rng.uniform(2.0, 6.0) * n),
+                )
+                for i in range(int(rng.integers(1, 4)))
+            ]
+            problems.append((feats, PerturbationParameter(f"pi{k}", origin)))
+
+        cfg = SolverConfig(pool_size=0, cache_size=0)
+        engine = RobustnessEngine(config=cfg)
+        batch = engine.evaluate_population(problems)
+        for result, (feats, param) in zip(batch, problems):
+            scalar = robustness_metric(feats, param, config=cfg)
+            assert result.value == scalar.value  # bit-for-bit
+            assert [r.radius for r in result.radii] == [
+                r.radius for r in scalar.radii
+            ]

@@ -26,7 +26,7 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 PACKAGE_DIR = Path(repro.__file__).resolve().parent
 
 #: the packages held to the strict annotation gate
-TYPED_PACKAGES = ("core", "engine", "analysis")
+TYPED_PACKAGES = ("core", "engine", "analysis", "obs")
 
 
 def _has(tool: str) -> bool:
