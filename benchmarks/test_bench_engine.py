@@ -13,7 +13,11 @@ Claims checked:
   population (measured min-of-repeats with ``time.perf_counter``; in
   practice the gap is two to three orders of magnitude);
 - the HiPer-D stacked pass beats its scalar loop as well (same experiment
-  scale as Figure 4).
+  scale as Figure 4);
+- every execution backend (serial / thread / process / shm) produces
+  bit-for-bit identical radii on a 10k numeric-solve population, and the
+  shared-memory backend's batched zero-copy dispatch beats the per-task
+  process pool on wall time.
 """
 
 from __future__ import annotations
@@ -28,7 +32,16 @@ import pytest
 from repro.alloc.generators import random_assignments
 from repro.alloc.mapping import Mapping
 from repro.alloc.robustness import robustness as alloc_robustness
+from repro.core import (
+    CallableImpact,
+    FeatureBounds,
+    PerformanceFeature,
+    PerturbationParameter,
+    SolverConfig,
+)
 from repro.engine import RobustnessEngine
+from repro.engine.backends import BACKEND_NAMES
+from repro.engine.fault import solve_radius_tasks_isolated
 from repro.etcgen.cvb import cvb_etc_matrix
 from repro.hiperd.generators import (
     PAPER_INITIAL_LOAD,
@@ -45,6 +58,20 @@ N_TASKS = 20
 N_MACHINES = 5
 TAU = 1.2
 MIN_SPEEDUP = 10.0
+
+BACKEND_POP = 10_000
+BACKEND_POOL = 2
+MIN_SHM_OVER_PROCESS = 1.05
+
+
+def _update_bench_json(**fields) -> None:
+    """Merge *fields* into ``out/BENCH_engine.json`` without clobbering the
+    rows other tests in this module may already have written."""
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / "BENCH_engine.json"
+    payload = json.loads(path.read_text(encoding="utf-8")) if path.is_file() else {}
+    payload.update(fields)
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
 
 
 @pytest.fixture(scope="module")
@@ -100,16 +127,12 @@ def test_engine_speedup_on_ga_population(population, save_report):
         f"batched engine   : {t_engine * 1e3:9.2f} ms\n"
         f"speedup          : {speedup:9.1f}x (floor {MIN_SPEEDUP}x)",
     )
-    OUT_DIR.mkdir(exist_ok=True)
-    payload = {
-        "n_mappings": N_MAPPINGS,
-        "loop_seconds": round(t_loop, 4),
-        "engine_seconds": round(t_engine, 4),
-        "speedup": round(speedup, 2),
-        "repeats": 3,
-    }
-    (OUT_DIR / "BENCH_engine.json").write_text(
-        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    _update_bench_json(
+        n_mappings=N_MAPPINGS,
+        loop_seconds=round(t_loop, 4),
+        engine_seconds=round(t_engine, 4),
+        speedup=round(speedup, 2),
+        repeats=3,
     )
     assert np.array_equal(batch.values, loop_values)
     assert speedup >= MIN_SPEEDUP, (
@@ -134,6 +157,74 @@ def test_hiperd_engine_faster_than_loop():
     # Constraint building dominates both paths; the stacked radii/slack pass
     # still has to win clearly.
     assert t_engine < t_loop
+
+
+def _quad(x):
+    return float(np.dot(x, x))
+
+
+def _quad_grad(x):
+    return 2.0 * np.asarray(x, dtype=float)
+
+
+def _numeric_tasks(n: int, config: SolverConfig) -> list:
+    """*n* cheap numeric radius tasks with distinct perturbation origins so
+    the radius cache cannot deduplicate them into a single solve."""
+    rng = np.random.default_rng(SEED + 4)
+    feature = PerformanceFeature(
+        "quad",
+        CallableImpact(_quad, grad=_quad_grad, name="quad"),
+        FeatureBounds.upper_only(4.0),
+    )
+    return [
+        (feature, PerturbationParameter(f"pi_{i}", rng.uniform(0.2, 0.8, 2)), None, config)
+        for i in range(n)
+    ]
+
+
+def test_backend_rows_on_numeric_population(save_report):
+    """Time every execution backend on the same 10k numeric-solve population.
+
+    All four backends must agree bit-for-bit, and the shared-memory backend's
+    batched dispatch must beat the per-task process pool — that win is the
+    reason the backend exists, so it is asserted, not just reported.
+    """
+    config = SolverConfig(solver="numeric", n_starts=1, seed=SEED, pool_size=BACKEND_POOL)
+    tasks = _numeric_tasks(BACKEND_POP, config)
+    for name in BACKEND_NAMES:  # warm pools + imports outside the timed runs
+        solve_radius_tasks_isolated(tasks[:32], config, backend=name)
+
+    rows: dict[str, float] = {}
+    reference = None
+    for name in BACKEND_NAMES:
+        t0 = time.perf_counter()
+        results, records = solve_radius_tasks_isolated(tasks, config, backend=name)
+        rows[name] = round(time.perf_counter() - t0, 4)
+        assert not records, f"{name}: unexpected failures {records[:3]}"
+        radii = [r.radius for r in results]
+        if reference is None:
+            reference = radii
+        else:
+            assert radii == reference, f"{name} diverged from serial radii"
+
+    shm_speedup = round(rows["process"] / rows["shm"], 2)
+    _update_bench_json(
+        backend_population=BACKEND_POP,
+        backend_pool_size=BACKEND_POOL,
+        backends=rows,
+        shm_speedup_over_process=shm_speedup,
+    )
+    lines = "\n".join(f"{name:8s}: {rows[name] * 1e3:10.1f} ms" for name in BACKEND_NAMES)
+    save_report(
+        "engine_backends",
+        f"Backend rows: {BACKEND_POP} numeric solves, pool_size={BACKEND_POOL}\n"
+        f"{lines}\n"
+        f"shm over process : {shm_speedup:.2f}x (floor {MIN_SHM_OVER_PROCESS}x)",
+    )
+    assert shm_speedup >= MIN_SHM_OVER_PROCESS, (
+        f"shared-memory backend no longer beats the process pool "
+        f"({rows['shm']:.3f}s vs {rows['process']:.3f}s)"
+    )
 
 
 def test_bench_engine_allocation(population, benchmark):

@@ -15,6 +15,7 @@ from repro.alloc.mapping import Mapping
 from repro.hiperd.generators import generate_system
 from repro.hiperd.model import HiperDSystem
 from repro.hiperd.nonlinear import power_law_robustness
+from repro.core.config import SolverConfig
 from repro.hiperd.robustness import robustness
 from repro.utils.tables import format_table
 
@@ -52,7 +53,7 @@ def test_nonlinear_report(setting, save_report):
     for k, m in enumerate(mappings):
         lin = robustness(system, m, LAM0, apply_floor=False).raw_value
         nl = power_law_robustness(
-            rescaled, m, LAM0, exps, solver_options={"n_starts": 2}
+            rescaled, m, LAM0, exps, config=SolverConfig(n_starts=2)
         ).raw_value
         rows.append([k, lin, nl])
         # Superlinear growth with matched values at lam0 reaches the limits
@@ -81,7 +82,7 @@ def test_bench_power_law_path(setting, benchmark):
 
     def run():
         return power_law_robustness(
-            system, mappings[0], LAM0, exps, solver_options={"n_starts": 1}
+            system, mappings[0], LAM0, exps, config=SolverConfig(n_starts=1)
         )
 
     out = benchmark.pedantic(run, rounds=3, iterations=1)

@@ -35,6 +35,7 @@ OUT_DIR = Path(__file__).parent / "out"
 #: cost budgets without failing on a tiny-but-noisy baseline.
 CHECKS = [
     ("BENCH_engine.json", "speedup", "higher", 0.4),
+    ("BENCH_engine.json", "shm_speedup_over_process", "higher", 0.7),
     ("BENCH_lint.json", "speedup", "higher", 0.4),
     ("BENCH_obs.json", "disabled_overhead_fraction", "lower", 0.02),
 ]
@@ -47,7 +48,7 @@ def _load(path: Path) -> dict:
 @pytest.mark.parametrize(
     ("name", "metric", "direction", "tolerance"),
     CHECKS,
-    ids=[c[0].removesuffix(".json") for c in CHECKS],
+    ids=[f"{c[0].removesuffix('.json')}-{c[1]}" for c in CHECKS],
 )
 def test_benchmark_has_not_regressed(name, metric, direction, tolerance):
     baseline_path = BASE_DIR / name

@@ -13,6 +13,7 @@ off-by-default observability layer — structured tracing, metrics, profiling
 hooks (:mod:`repro.obs`, see ``docs/OBSERVABILITY.md``).
 """
 
+from repro import api
 from repro.core import (
     AffineImpact,
     CallableImpact,
@@ -39,6 +40,7 @@ from repro.exceptions import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "api",
     "AffineImpact",
     "CallableImpact",
     "FeatureBounds",

@@ -157,7 +157,8 @@ def robustness(
         machine already violates the makespan bound at ``C_orig`` (possible
         only for ``tau < 1``) instead of returning a negative value.
     solver_options:
-        Deprecated alias for ``config`` (dict form).
+        Removed after its deprecation cycle; any value raises
+        :class:`~repro.exceptions.ValidationError`.
     """
     with obs_trace.maybe_span("alloc.robustness", n_machines=mapping.n_machines):
         resolve_config(config, solver_options)  # dict shim + validation

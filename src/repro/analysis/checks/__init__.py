@@ -7,6 +7,7 @@ decorator at import time).
 
 from __future__ import annotations
 
+from repro.analysis.checks.deprecated import DeprecatedEntryPointRule
 from repro.analysis.checks.excepts import SwallowedExceptionRule
 from repro.analysis.checks.floats import FloatEqualityRule
 from repro.analysis.checks.frozen import FrozenMutationRule
@@ -33,6 +34,7 @@ __all__ = [
     "ImpactPurityRule",
     "SwallowedExceptionRule",
     "FrozenMutationRule",
+    "DeprecatedEntryPointRule",
     "SeedProvenanceRule",
     "PoolSharedStateRule",
     "PerturbationAliasingRule",

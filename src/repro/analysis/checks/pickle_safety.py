@@ -54,16 +54,21 @@ def _collect_unpicklable_names(tree: ast.Module) -> set[str]:
     return names
 
 
+#: receiver spellings that identify ``.map`` as an executor fan-out (a bare
+#: ``.map`` is too common an idiom to flag unconditionally)
+_EXECUTOR_RECEIVERS = ("pool", "executor", "backend")
+
+
 @register
 class UnpicklableSubmitRule(Rule):
-    """R004 — lambda/closure passed to ``submit`` or engine fan-out."""
+    """R004 — lambda/closure passed to ``submit``/``map`` or engine fan-out."""
 
     code = "R004"
     name = "unpicklable-pool-payload"
     description = (
-        "lambdas and nested functions passed to ProcessPoolExecutor.submit "
-        "or the engine fan-out cannot pickle under spawn; define the "
-        "callable at module level"
+        "lambdas and nested functions passed to ExecutionBackend/"
+        "ProcessPoolExecutor submit or map, or to the engine fan-out, "
+        "cannot pickle under spawn; define the callable at module level"
     )
     severity = Severity.ERROR
 
@@ -94,8 +99,16 @@ class UnpicklableSubmitRule(Rule):
 
     @staticmethod
     def _is_pool_entry(node: ast.Call) -> bool:
-        if isinstance(node.func, ast.Attribute) and node.func.attr == "submit":
-            return True
+        if isinstance(node.func, ast.Attribute):
+            if node.func.attr == "submit":
+                return True
+            if node.func.attr == "map":
+                receiver = dotted_name(node.func.value)
+                tail = (receiver or "").rsplit(".", 1)[-1]
+                if tail in _EXECUTOR_RECEIVERS or tail.endswith(
+                    tuple("_" + r for r in _EXECUTOR_RECEIVERS)
+                ):
+                    return True
         name = dotted_name(node.func)
         if name is None:
             return False

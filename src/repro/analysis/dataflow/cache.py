@@ -32,7 +32,7 @@ from repro.analysis.findings import Finding
 __all__ = ["SummaryStore", "CACHE_VERSION", "DEFAULT_CACHE_PATH", "content_hash"]
 
 #: bump when the summary or entry schema changes incompatibly
-CACHE_VERSION = 1
+CACHE_VERSION = 2
 
 #: default store location used by ``repro lint`` (cwd-relative)
 DEFAULT_CACHE_PATH = Path(".repro-lint-cache.json")

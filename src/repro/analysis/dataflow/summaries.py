@@ -748,7 +748,21 @@ def _submit_sites(
         if not isinstance(node, ast.Call):
             continue
         fn = node.func
-        if not (isinstance(fn, ast.Attribute) and fn.attr == "submit"):
+        if not isinstance(fn, ast.Attribute):
+            continue
+        # ExecutionBackend and executor fan-out: .submit always; .map only on
+        # receivers that read as executors (bare .map is too common an idiom)
+        if fn.attr == "submit":
+            pass
+        elif fn.attr == "map":
+            receiver = ctx.resolve(fn.value) or ""
+            tail = receiver.rsplit(".", 1)[-1]
+            if not (
+                tail in ("pool", "executor", "backend")
+                or tail.endswith(("_pool", "_executor", "_backend"))
+            ):
+                continue
+        else:
             continue
         target: str | None = None
         kind: str | None = None

@@ -139,16 +139,25 @@ def iter_python_files(
 
 
 def changed_python_files(
-    root: Path | None = None, exclude: Sequence[str] | None = None
+    root: Path | None = None,
+    exclude: Sequence[str] | None = None,
+    ref: str | None = None,
 ) -> list[Path]:
-    """Python files changed relative to ``HEAD`` (``git status --porcelain``:
-    staged, unstaged and untracked).  Backs ``repro lint --changed``.
+    """Python files changed in the working tree — and, with *ref*, in history.
+
+    Without *ref* this is ``git status --porcelain`` (staged, unstaged and
+    untracked).  With *ref* (a commit-ish such as ``origin/main`` or
+    ``HEAD~3``) the committed range ``ref...HEAD`` (``git diff --name-only``,
+    merge-base semantics) is unioned in, so a pre-push lint of a feature
+    branch covers commits that are no longer dirty.  Backs
+    ``repro lint --changed[=REF]``.
 
     *exclude* applies the same discovery glob semantics as
     :func:`iter_python_files` (``None`` means :data:`DEFAULT_EXCLUDES`), so
     an edited fixture does not flood a pre-push lint run.
 
-    Raises :class:`RuntimeError` when *root* is not inside a git work tree.
+    Raises :class:`RuntimeError` when *root* is not inside a git work tree
+    or *ref* does not resolve.
     """
     base = root if root is not None else Path.cwd()
     # -uall lists files inside untracked directories individually (the
@@ -173,6 +182,33 @@ def changed_python_files(
         entry = entry.strip('"')
         if entry.endswith(".py"):
             names.add(entry)
+    if ref is not None:
+        # status paths are relative to cwd; diff paths to the repo top level.
+        # Resolve the top level once so the two name spaces agree.
+        top = subprocess.run(
+            ["git", "rev-parse", "--show-toplevel"],
+            cwd=base,
+            capture_output=True,
+            text=True,
+        )
+        diff = subprocess.run(
+            ["git", "diff", "--name-only", "--diff-filter=d", f"{ref}...HEAD"],
+            cwd=base,
+            capture_output=True,
+            text=True,
+        )
+        if top.returncode != 0 or diff.returncode != 0:
+            detail = (diff.stderr or top.stderr).strip() or f"cannot diff against {ref!r}"
+            raise RuntimeError(f"git diff failed under {base}: {detail}")
+        topdir = Path(top.stdout.strip())
+        for entry in diff.stdout.splitlines():
+            entry = entry.strip().strip('"')
+            if not entry.endswith(".py"):
+                continue
+            try:
+                names.add(str((topdir / entry).relative_to(base.resolve())))
+            except ValueError:
+                continue  # changed outside *root* — not ours to lint
     patterns = DEFAULT_EXCLUDES if exclude is None else tuple(exclude)
     files = [
         base / name

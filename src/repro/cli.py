@@ -9,7 +9,7 @@ Usage::
     python -m repro heuristics [--seed N] [--tau X]
     python -m repro monitor   [--seed N] [--steps N] [--threshold X]
     python -m repro faults    [--seed N] [--tau X] [--eps X] [--confidence X]
-    python -m repro lint      [--format text|json] [--select CODES] PATHS...
+    python -m repro lint      [--format text|json] [--select CODES] [--changed[=REF]] PATHS...
     python -m repro trace run [--profile] [--trace-out FILE] SUBCOMMAND ...
     python -m repro trace check TRACE_FILE [--schema FILE]
 
@@ -30,6 +30,18 @@ import numpy as np
 __all__ = ["main", "build_parser"]
 
 
+def _add_backend_argument(p: argparse.ArgumentParser) -> None:
+    from repro.engine.backends import BACKEND_NAMES
+
+    p.add_argument(
+        "--backend",
+        choices=BACKEND_NAMES,
+        default=None,
+        help="execution backend for the robustness engine "
+        "(default: REPRO_BACKEND env var, then automatic)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for all subcommands."""
     parser = argparse.ArgumentParser(
@@ -44,11 +56,13 @@ def build_parser() -> argparse.ArgumentParser:
     p3.add_argument("--n-mappings", type=int, default=1000)
     p3.add_argument("--tau", type=float, default=1.2)
     p3.add_argument("--out", type=Path, default=None)
+    _add_backend_argument(p3)
 
     p4 = sub.add_parser("fig4", help="Figure 4: robustness vs slack (HiPer-D)")
     p4.add_argument("--seed", type=int, default=7)
     p4.add_argument("--n-mappings", type=int, default=1000)
     p4.add_argument("--out", type=Path, default=None)
+    _add_backend_argument(p4)
 
     pt = sub.add_parser("table2", help="Table 2: mappings A and B")
     pt.add_argument("--out", type=Path, default=None)
@@ -116,9 +130,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pl.add_argument(
         "--changed",
-        action="store_true",
+        nargs="?",
+        const=True,
+        default=None,
+        metavar="REF",
         help="lint only files reported changed by git (staged, unstaged "
-        "and untracked); positional paths become optional",
+        "and untracked); with REF (e.g. --changed=origin/main) files "
+        "committed in REF...HEAD are included too; positional paths "
+        "become optional",
     )
     pl.add_argument(
         "--no-cache",
@@ -203,7 +222,7 @@ def _cmd_fig3(args) -> int:
     from repro.experiments import report_figure3, run_experiment_one
 
     result = run_experiment_one(
-        n_mappings=args.n_mappings, tau=args.tau, seed=args.seed
+        n_mappings=args.n_mappings, tau=args.tau, seed=args.seed, backend=args.backend
     )
     _emit(report_figure3(result), args.out)
     return 0
@@ -212,7 +231,9 @@ def _cmd_fig3(args) -> int:
 def _cmd_fig4(args) -> int:
     from repro.experiments import report_figure4, run_experiment_two
 
-    result = run_experiment_two(n_mappings=args.n_mappings, seed=args.seed)
+    result = run_experiment_two(
+        n_mappings=args.n_mappings, seed=args.seed, backend=args.backend
+    )
     _emit(report_figure4(result), args.out)
     return 0
 
@@ -386,9 +407,22 @@ def _cmd_lint(args) -> int:
         return 0 if n_bad == 0 else 1
 
     paths = list(args.paths)
-    if args.changed:
+    if args.changed is not None:
+        # --changed alone diffs the work tree; --changed=REF also includes
+        # files committed in REF...HEAD.  A value that exists on disk is
+        # almost certainly a positional path that swallowed the flag's
+        # optional argument — reject it rather than hand it to git.
+        ref = None if args.changed is True else str(args.changed)
+        if ref is not None and Path(ref).exists():
+            print(
+                f"repro lint: --changed={ref} looks like a path, not a git "
+                "ref; put paths before --changed or use --changed=REF with "
+                "a commit-ish",
+                file=sys.stderr,
+            )
+            return 2
         try:
-            changed = changed_python_files(exclude=args.exclude)
+            changed = changed_python_files(exclude=args.exclude, ref=ref)
         except RuntimeError as err:
             # Not a git work tree (tarball checkout, exported sources):
             # --changed cannot know what changed, so degrade gracefully to a

@@ -8,10 +8,12 @@ FePIAAnalysis`, the system-specific ``robustness`` functions and the batched
 numeric-solver tolerances, process-pool sizing and cache sizing.
 
 The historical ``solver_options: dict`` (forwarded blindly to the numeric
-solver) is still accepted — both as the deprecated ``solver_options=``
-keyword and as a plain dict passed to ``config=`` — but emits a
-:class:`DeprecationWarning` and will be removed one release after 1.x.
-:func:`resolve_config` implements that shim in one place.
+solver) has completed its deprecation cycle: the ``solver_options=`` keyword
+now raises :class:`~repro.exceptions.ValidationError` with the migration
+recipe, while a plain dict passed to ``config=`` is still converted (one
+release behind on the same path) under a :class:`DeprecationWarning`.
+:func:`resolve_config` implements both shims in one place; the lint rule
+R009 flags internal call sites before they reach either.
 """
 
 from __future__ import annotations
@@ -162,8 +164,9 @@ _DICT_MSG = (
     "pass config=SolverConfig(...) instead"
 )
 _KWARG_MSG = (
-    "the solver_options= keyword is deprecated; "
-    "pass config=SolverConfig(...) instead"
+    "the solver_options= keyword was removed after its deprecation cycle; "
+    "migrate with config=SolverConfig(**solver_options) — "
+    "see the migration table in docs/API.md"
 )
 
 
@@ -175,18 +178,15 @@ def resolve_config(
 ) -> SolverConfig:
     """Normalize the ``config`` / legacy ``solver_options`` pair to a config.
 
-    Exactly one of the two may be given.  A :class:`SolverConfig` passes
-    through; ``None`` yields :data:`DEFAULT_CONFIG`; a plain dict (through
-    either parameter) is converted with :meth:`SolverConfig.from_options`
-    after emitting a :class:`DeprecationWarning`.
+    A :class:`SolverConfig` passes through; ``None`` yields
+    :data:`DEFAULT_CONFIG`; a plain dict via ``config=`` is converted with
+    :meth:`SolverConfig.from_options` after emitting a
+    :class:`DeprecationWarning`.  The ``solver_options=`` keyword completed
+    its deprecation cycle and now raises
+    :class:`~repro.exceptions.ValidationError` with the migration recipe.
     """
     if solver_options is not None:
-        if config is not None:
-            raise ValidationError(
-                "pass either config= or the deprecated solver_options=, not both"
-            )
-        warnings.warn(_KWARG_MSG, DeprecationWarning, stacklevel=stacklevel)
-        return SolverConfig.from_options(solver_options)
+        raise ValidationError(_KWARG_MSG)
     if config is None:
         return DEFAULT_CONFIG
     if isinstance(config, SolverConfig):

@@ -141,8 +141,8 @@ class FePIAAnalysis:
     ) -> MetricResult:
         """Run the analysis step and return the robustness metric.
 
-        ``config`` takes a :class:`~repro.core.config.SolverConfig`;
-        ``solver_options`` is the deprecated dict spelling of the same thing.
+        ``config`` takes a :class:`~repro.core.config.SolverConfig`; the
+        removed ``solver_options`` keyword raises ``ValidationError``.
         """
         cfg = resolve_config(config, solver_options)
         parameter = self.parameter

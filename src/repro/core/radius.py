@@ -155,8 +155,9 @@ def robustness_radius(
         A :class:`~repro.core.config.SolverConfig` (solver choice, numeric
         tolerances).  A plain dict is accepted with a ``DeprecationWarning``.
     solver_options:
-        Deprecated alias for ``config`` (dict form); emits a
-        ``DeprecationWarning``.
+        Removed after its deprecation cycle; any value raises
+        :class:`~repro.exceptions.ValidationError` with the migration
+        recipe (``config=SolverConfig(**solver_options)``).
     """
     cfg = resolve_config(config, solver_options)
     norm = get_norm(norm)

@@ -2,17 +2,31 @@
 
 :class:`RobustnessEngine` evaluates the paper's robustness metric for whole
 populations of mappings in one call — vectorized closed forms for the affine
-systems (allocation Eq. 6, HiPer-D Eqs. 10-11), an LRU solve cache plus an
-optional process pool for non-affine impacts.  Batched results are
+systems (allocation Eq. 6, HiPer-D Eqs. 10-11), an LRU solve cache (plus an
+optional persistent :class:`~repro.engine.store.RadiusStore` tier) and a
+pluggable execution backend for non-affine impacts.  Batched results are
 bit-for-bit identical to the per-mapping scalar API.
 
 See :mod:`repro.engine.engine` for the evaluator,
-:mod:`repro.engine.cache` for the solve cache,
-:mod:`repro.engine.pool` for the process-pool fan-out and
+:mod:`repro.engine.backends` for the execution-backend protocol
+(serial / thread / process / shared-memory),
+:mod:`repro.engine.cache` for the in-memory solve cache,
+:mod:`repro.engine.store` for the persistent solve store and
 :mod:`repro.engine.fault` for the fault-isolated scheduler
 (retries, per-task timeouts, crash attribution, failure records).
 """
 
+from repro.engine.backends import (
+    BACKEND_NAMES,
+    BackendCapabilities,
+    BackendSpec,
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    SharedMemoryBackend,
+    ThreadBackend,
+    resolve_backend,
+)
 from repro.engine.cache import RadiusCache, norm_cache_key
 from repro.engine.engine import (
     AllocationBatchResult,
@@ -25,7 +39,8 @@ from repro.engine.fault import (
     RetryPolicy,
     solve_radius_tasks_isolated,
 )
-from repro.engine.pool import radius_task, solve_radius_tasks
+from repro.engine.pool import radius_task, solve_radius_tasks  # repro: noqa[R009] - legacy re-export kept for compatibility
+from repro.engine.store import RadiusStore
 
 __all__ = [
     "AllocationBatchResult",
@@ -33,10 +48,20 @@ __all__ = [
     "HiperdBatchResult",
     "RobustnessEngine",
     "RadiusCache",
+    "RadiusStore",
     "norm_cache_key",
     "radius_task",
     "solve_radius_tasks",
     "solve_radius_tasks_isolated",
     "RetryPolicy",
     "FailureRecord",
+    "BACKEND_NAMES",
+    "BackendCapabilities",
+    "BackendSpec",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessPoolBackend",
+    "SharedMemoryBackend",
+    "resolve_backend",
 ]

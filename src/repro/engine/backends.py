@@ -1,0 +1,562 @@
+"""Pluggable execution backends for radius solves.
+
+The fault-isolated scheduler (:mod:`repro.engine.fault`) used to be welded
+to :class:`concurrent.futures.ProcessPoolExecutor`.  This module makes the
+execution substrate a first-class API: an :class:`ExecutionBackend` exposes
+``submit`` / ``map`` / ``shutdown`` plus a :class:`BackendCapabilities`
+record, and the supervision ladder (retries, deadlines, crash attribution,
+degradation) is written once against that protocol.
+
+Four backends ship:
+
+- :class:`SerialBackend` — runs tasks inline in the calling thread.  No
+  parallelism, no pickling; the reference substrate every other backend
+  must match bit-for-bit.
+- :class:`ThreadBackend` — a :class:`~concurrent.futures.ThreadPoolExecutor`.
+  Parallel but not isolated: a crashing task takes the process with it, and
+  a hung task cannot be preempted (an abandoned thread runs to completion).
+- :class:`ProcessPoolBackend` — the historical
+  :class:`~concurrent.futures.ProcessPoolExecutor` behavior: isolated
+  workers, enforceable deadlines, payloads must pickle.
+- :class:`SharedMemoryBackend` — a process pool whose payload arrays travel
+  through :mod:`multiprocessing.shared_memory` instead of the pickle pipe
+  (zero-copy for large ``float64`` arrays), with an additional *batched*
+  capability the scheduler uses to amortize per-future overhead.
+
+Backend selection (:func:`resolve_backend`) has a strict precedence: an
+explicit ``backend=`` argument (name, class or instance) wins over the
+``REPRO_BACKEND`` environment variable, which wins over the legacy
+heuristic (``SolverConfig.pool_size > 0`` means ``"process"``, otherwise
+``"serial"``).  That keeps every pre-existing call site working unchanged
+while letting a CI matrix re-route the whole suite through one env var.
+"""
+
+from __future__ import annotations
+
+import copy
+import functools
+import os
+import pickle
+from collections.abc import Callable, Iterable, Sequence
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from io import BytesIO
+from multiprocessing import shared_memory
+from typing import Any, ClassVar
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+__all__ = [
+    "BackendCapabilities",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessPoolBackend",
+    "SharedMemoryBackend",
+    "BackendSpec",
+    "BACKEND_NAMES",
+    "get_backend_class",
+    "register_backend",
+    "resolve_backend",
+]
+
+#: environment variable consulted when no explicit backend is given
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+#: arrays smaller than this pickle inline — a shared-memory segment per
+#: tiny vector would cost more than it saves
+SHM_MIN_ARRAY_BYTES = 128
+
+
+@dataclass(frozen=True)
+class BackendCapabilities:
+    """What one execution backend can and cannot do.
+
+    The scheduler consults these flags instead of ``isinstance`` checks:
+    ``requires_pickling`` gates the representative pickle probe,
+    ``isolated`` decides whether a crashing task can be contained,
+    ``enforces_deadlines`` whether a hung task can be abandoned without
+    leaking work into the parent, and ``batched`` whether the backend
+    profits from chunked submission (see
+    :func:`repro.engine.fault.chunk_radius_tasks`).
+    """
+
+    #: registry name of the backend ("serial", "thread", "process", "shm")
+    name: str
+    #: True when tasks can run concurrently
+    parallel: bool
+    #: True when tasks run in a separate process (crash containment)
+    isolated: bool
+    #: True when an overrun task can be abandoned without poisoning the caller
+    enforces_deadlines: bool
+    #: True when large arrays cross the boundary without a pickle copy
+    zero_copy: bool
+    #: True when payloads and results must survive ``pickle.dumps``
+    requires_pickling: bool
+    #: True when the scheduler should prefer chunked submission
+    batched: bool
+
+
+class ExecutionBackend:
+    """Protocol base class: where radius tasks actually run.
+
+    Subclasses define :attr:`capabilities` (a class attribute) and implement
+    :meth:`submit` and :meth:`shutdown`; :meth:`map` has a generic blocking
+    implementation on top of :meth:`submit`.  All backends are constructed
+    as ``Backend(max_workers=n)`` so the supervisor can rebuild a broken one
+    from its class alone.
+    """
+
+    #: capability record of this backend class
+    capabilities: ClassVar[BackendCapabilities]
+
+    def __init__(self, max_workers: int = 1) -> None:
+        if int(max_workers) < 1:
+            raise ValidationError("max_workers must be >= 1")
+        self.max_workers = int(max_workers)
+
+    def submit(self, fn: Callable[[Any], Any], payload: Any) -> "Future[Any]":
+        """Schedule ``fn(payload)``; returns a standard future."""
+        raise NotImplementedError
+
+    def map(self, fn: Callable[[Any], Any], payloads: Iterable[Any]) -> list[Any]:
+        """Blocking convenience: ``[fn(p) for p in payloads]`` via :meth:`submit`."""
+        futures = [self.submit(fn, p) for p in payloads]
+        return [f.result() for f in futures]
+
+    def shutdown(self, *, kill: bool = False) -> None:
+        """Release the backend's resources.
+
+        ``kill=True`` is the supervisor's crash/timeout teardown: do not
+        wait for in-flight work, cancel what can be cancelled, and terminate
+        worker processes where the substrate has any.
+        """
+        raise NotImplementedError
+
+
+class SerialBackend(ExecutionBackend):
+    """Run every task inline in the calling thread.
+
+    The degenerate backend: ``submit`` executes immediately and returns an
+    already-completed future.  Exceptions are captured on the future (never
+    raised out of ``submit``) so the supervisor's result handling is
+    identical across backends.
+    """
+
+    capabilities = BackendCapabilities(
+        name="serial",
+        parallel=False,
+        isolated=False,
+        enforces_deadlines=False,
+        zero_copy=False,
+        requires_pickling=False,
+        batched=False,
+    )
+
+    def submit(self, fn: Callable[[Any], Any], payload: Any) -> "Future[Any]":
+        future: Future[Any] = Future()
+        try:
+            future.set_result(fn(payload))
+        except BaseException as exc:  # noqa: BLE001 - captured on the future
+            future.set_exception(exc)
+        return future
+
+    def shutdown(self, *, kill: bool = False) -> None:
+        """Nothing to release."""
+
+
+class ThreadBackend(ExecutionBackend):
+    """A :class:`~concurrent.futures.ThreadPoolExecutor` substrate.
+
+    Parallel for workloads that release the GIL (the SLSQP inner loops
+    spend most of their time in numpy/scipy), with no pickling cost.  Not
+    isolated: an ``os._exit`` in a task kills the whole process, and an
+    abandoned deadline-overrun thread keeps running until its task returns
+    (the executor is discarded, not the thread).  Attempt-aware fault
+    injectors are racy here — :data:`repro.faults.inject.CURRENT_ATTEMPT`
+    is process-global, so concurrent tasks at different attempts can
+    observe each other's value.
+    """
+
+    capabilities = BackendCapabilities(
+        name="thread",
+        parallel=True,
+        isolated=False,
+        enforces_deadlines=False,
+        zero_copy=True,
+        requires_pickling=False,
+        batched=False,
+    )
+
+    def __init__(self, max_workers: int = 1) -> None:
+        super().__init__(max_workers)
+        self._executor = ThreadPoolExecutor(max_workers=self.max_workers)
+
+    def submit(self, fn: Callable[[Any], Any], payload: Any) -> "Future[Any]":
+        return self._executor.submit(fn, payload)
+
+    def shutdown(self, *, kill: bool = False) -> None:
+        self._executor.shutdown(wait=not kill, cancel_futures=kill)
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """The historical process-pool substrate, extracted from the scheduler.
+
+    Workers are separate processes: a crash surfaces as a broken executor
+    (which the supervisor attributes and contains), and a hung worker can
+    be terminated.  Payloads and results must pickle.
+    """
+
+    capabilities = BackendCapabilities(
+        name="process",
+        parallel=True,
+        isolated=True,
+        enforces_deadlines=True,
+        zero_copy=False,
+        requires_pickling=True,
+        batched=False,
+    )
+
+    def __init__(self, max_workers: int = 1) -> None:
+        super().__init__(max_workers)
+        self._executor = ProcessPoolExecutor(max_workers=self.max_workers)
+
+    def submit(self, fn: Callable[[Any], Any], payload: Any) -> "Future[Any]":
+        return self._executor.submit(fn, payload)
+
+    def shutdown(self, *, kill: bool = False) -> None:
+        if not kill:
+            self._executor.shutdown(wait=True)
+            return
+        # Kill path: a worker may be hung or dead — never wait on it.
+        processes = dict(getattr(self._executor, "_processes", None) or {})
+        self._executor.shutdown(wait=False, cancel_futures=True)
+        for proc in processes.values():
+            try:
+                proc.terminate()
+            except Exception:  # pragma: no cover  # repro: noqa[R007] - best-effort teardown of a dead process
+                pass
+
+
+# -- shared-memory payload codec ---------------------------------------------
+
+
+def _noop_register(name: str, rtype: str) -> None:
+    """Stand-in for ``resource_tracker.register`` during attach.
+
+    Python 3.11's :class:`~multiprocessing.shared_memory.SharedMemory`
+    registers every *attach* with the resource tracker, so a worker merely
+    reading a segment would schedule a spurious unlink of the parent's
+    memory at interpreter exit.  Workers therefore attach with registration
+    suppressed; the creating process owns the unlink.
+    """
+
+
+def attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without resource-tracker registration."""
+    from multiprocessing import resource_tracker
+
+    original = resource_tracker.register
+    resource_tracker.register = _noop_register  # type: ignore[assignment]
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original  # type: ignore[assignment]
+
+
+class _ShmPickler(pickle.Pickler):
+    """Pickler that externalizes large float64 arrays into a side channel.
+
+    Qualifying arrays (C-contiguous ``float64`` of at least
+    :data:`SHM_MIN_ARRAY_BYTES`) are replaced by a persistent id and
+    collected on :attr:`arrays`; everything else pickles normally.
+    """
+
+    def __init__(self, file: BytesIO) -> None:
+        super().__init__(file, protocol=pickle.HIGHEST_PROTOCOL)
+        self.arrays: list[np.ndarray] = []
+
+    def persistent_id(self, obj: Any) -> Any:
+        if (
+            isinstance(obj, np.ndarray)
+            and obj.dtype == np.float64
+            and obj.flags["C_CONTIGUOUS"]
+            and obj.nbytes >= SHM_MIN_ARRAY_BYTES
+        ):
+            self.arrays.append(obj)
+            return ("repro-shm", len(self.arrays) - 1)
+        return None
+
+
+class _ShmUnpickler(pickle.Unpickler):
+    """Counterpart of :class:`_ShmPickler`: resolves ids to segment views."""
+
+    def __init__(self, file: BytesIO, views: Sequence[np.ndarray]) -> None:
+        super().__init__(file)
+        self._views = views
+
+    def persistent_load(self, pid: Any) -> Any:
+        tag, index = pid
+        if tag != "repro-shm":  # pragma: no cover - corrupt payload guard
+            raise pickle.UnpicklingError(f"unknown persistent id tag {tag!r}")
+        return self._views[int(index)]
+
+
+def pack_payload(
+    payload: Any,
+) -> tuple[bytes, shared_memory.SharedMemory | None, tuple[tuple[int, tuple[int, ...]], ...]]:
+    """Encode ``payload`` with large arrays hoisted into one shared segment.
+
+    Returns ``(pickled, segment, descriptors)`` where ``descriptors`` holds
+    each hoisted array's ``(offset, shape)`` within the segment.  When no
+    array qualifies, ``segment`` is None and ``pickled`` is a plain pickle
+    of the payload.
+    """
+    buf = BytesIO()
+    pickler = _ShmPickler(buf)
+    pickler.dump(payload)
+    if not pickler.arrays:
+        return buf.getvalue(), None, ()
+    total = sum(a.nbytes for a in pickler.arrays)
+    segment = shared_memory.SharedMemory(create=True, size=max(1, total))
+    descriptors: list[tuple[int, tuple[int, ...]]] = []
+    offset = 0
+    for arr in pickler.arrays:
+        view: np.ndarray = np.ndarray(
+            arr.shape, dtype=np.float64, buffer=segment.buf, offset=offset
+        )
+        view[...] = arr
+        descriptors.append((offset, arr.shape))
+        offset += arr.nbytes
+    return buf.getvalue(), segment, tuple(descriptors)
+
+
+def unpack_payload(
+    data: bytes,
+    segment: shared_memory.SharedMemory | None,
+    descriptors: tuple[tuple[int, tuple[int, ...]], ...],
+) -> Any:
+    """Decode a payload produced by :func:`pack_payload`.
+
+    Hoisted arrays come back as *read-only views* into the segment — the
+    caller must keep the segment open while the payload is in use, and must
+    deep-copy anything derived from those views before closing it.
+    """
+    if segment is None:
+        return pickle.loads(data)
+    views = []
+    for offset, shape in descriptors:
+        view: np.ndarray = np.ndarray(
+            shape, dtype=np.float64, buffer=segment.buf, offset=offset
+        )
+        view.flags.writeable = False
+        views.append(view)
+    return _ShmUnpickler(BytesIO(data), views).load()
+
+
+def shm_invoke(
+    fn: Callable[[Any], Any],
+    data: bytes,
+    segment_name: str | None,
+    descriptors: tuple[tuple[int, tuple[int, ...]], ...],
+) -> Any:
+    """Worker-side trampoline: rebuild the payload, run ``fn``, detach.
+
+    The result is deep-copied before the segment closes so no view into
+    shared memory survives into the (post-return) result pickling; the
+    parent unlinks the segment once the future completes.
+    """
+    if segment_name is None:
+        return fn(pickle.loads(data))
+    segment = attach_segment(segment_name)
+    try:
+        payload = unpack_payload(data, segment, descriptors)
+        result = copy.deepcopy(fn(payload))
+        del payload
+        return result
+    finally:
+        try:
+            segment.close()
+        except BufferError:  # pragma: no cover - a stray view pins the buffer
+            pass
+
+
+class SharedMemoryBackend(ProcessPoolBackend):
+    """A process pool whose array traffic rides shared memory.
+
+    ``submit`` packs each payload with :func:`pack_payload`: large float64
+    arrays (perturbation origins, impact coefficient matrices) are written
+    once into a :class:`~multiprocessing.shared_memory.SharedMemory`
+    segment and the worker maps them zero-copy, while the remaining object
+    graph travels as a small pickle.  Payloads with no qualifying array
+    fall through to plain pickling — the backend is then exactly a
+    :class:`ProcessPoolBackend`.
+
+    Segment lifecycle: the parent creates and unlinks (a done-callback per
+    future); workers attach with resource-tracker registration suppressed
+    (see :func:`attach_segment`) and never unlink.
+    """
+
+    capabilities = BackendCapabilities(
+        name="shm",
+        parallel=True,
+        isolated=True,
+        enforces_deadlines=True,
+        zero_copy=True,
+        requires_pickling=True,
+        batched=True,
+    )
+
+    def __init__(self, max_workers: int = 1) -> None:
+        super().__init__(max_workers)
+        self._segments: dict[str, shared_memory.SharedMemory] = {}
+
+    def submit(self, fn: Callable[[Any], Any], payload: Any) -> "Future[Any]":
+        data, segment, descriptors = pack_payload(payload)
+        if segment is None:
+            return self._executor.submit(fn, payload)
+        self._segments[segment.name] = segment
+        try:
+            future = self._executor.submit(
+                shm_invoke, fn, data, segment.name, descriptors
+            )
+        except BaseException:
+            self._release(segment.name)
+            raise
+        future.add_done_callback(functools.partial(self._done, segment.name))
+        return future
+
+    def _done(self, name: str, _future: "Future[Any]") -> None:
+        self._release(name)
+
+    def _release(self, name: str) -> None:
+        segment = self._segments.pop(name, None)
+        if segment is None:
+            return
+        try:
+            segment.close()
+            segment.unlink()
+        except OSError:  # pragma: no cover - already unlinked at teardown
+            pass
+
+    def shutdown(self, *, kill: bool = False) -> None:
+        super().shutdown(kill=kill)
+        for name in list(self._segments):
+            self._release(name)
+
+
+# -- registry and resolution --------------------------------------------------
+
+_REGISTRY: dict[str, type[ExecutionBackend]] = {}
+
+
+def register_backend(cls: type[ExecutionBackend]) -> type[ExecutionBackend]:
+    """Register a backend class under its capabilities name (decorator)."""
+    _REGISTRY[cls.capabilities.name] = cls
+    return cls
+
+
+for _cls in (SerialBackend, ThreadBackend, ProcessPoolBackend, SharedMemoryBackend):
+    register_backend(_cls)
+
+#: the built-in backend names, in registration order
+BACKEND_NAMES = tuple(_REGISTRY)
+
+
+def get_backend_class(name: str) -> type[ExecutionBackend]:
+    """Look up a registered backend class by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValidationError(
+            f"unknown backend {name!r}; registered backends: {sorted(_REGISTRY)}"
+        ) from None
+
+
+class BackendSpec:
+    """A recipe the scheduler uses to (re)build its execution backend.
+
+    Crash recovery rebuilds the executor, so the supervisor needs a factory,
+    not just an instance.  A spec made from a user-supplied *instance* hands
+    that instance out on the first :meth:`create` and constructs fresh ones
+    (same class, same worker count) afterwards.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        workers: int,
+        factory: type[ExecutionBackend],
+        instance: ExecutionBackend | None = None,
+    ) -> None:
+        self.name = name
+        self.workers = max(1, int(workers))
+        self.factory = factory
+        self._instance = instance
+
+    @property
+    def capabilities(self) -> BackendCapabilities:
+        """Capability record of the backend this spec builds."""
+        return self.factory.capabilities
+
+    def create(self, max_workers: int | None = None) -> ExecutionBackend:
+        """Build (or hand out) a backend with ``max_workers`` workers."""
+        if self._instance is not None and max_workers in (None, self._instance.max_workers):
+            instance, self._instance = self._instance, None
+            return instance
+        self._instance = None
+        return self.factory(max_workers=max_workers or self.workers)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BackendSpec(name={self.name!r}, workers={self.workers})"
+
+
+def _default_name(pool_size: int) -> str:
+    """Backend name when neither an argument nor the env var chooses one."""
+    env = os.environ.get(BACKEND_ENV_VAR)
+    if env:
+        if env not in _REGISTRY:
+            raise ValidationError(
+                f"{BACKEND_ENV_VAR}={env!r} is not a registered backend; "
+                f"choose one of {sorted(_REGISTRY)}"
+            )
+        return env
+    return "process" if pool_size > 0 else "serial"
+
+
+def resolve_backend(
+    backend: "str | ExecutionBackend | type[ExecutionBackend] | BackendSpec | None",
+    pool_size: int = 0,
+) -> BackendSpec:
+    """Normalize a backend selection to a :class:`BackendSpec`.
+
+    Precedence: explicit ``backend`` (name, class, instance or spec) over
+    the ``REPRO_BACKEND`` environment variable over the legacy heuristic
+    (``pool_size > 0`` selects ``"process"``, otherwise ``"serial"``).
+    ``pool_size`` also sizes the worker count of parallel backends
+    (minimum 1 worker; ``pool_size <= 0`` with an explicitly parallel
+    backend gets 2 workers).
+    """
+    if isinstance(backend, BackendSpec):
+        return backend
+    workers = int(pool_size) if pool_size > 0 else 2
+    if backend is None:
+        name = _default_name(pool_size)
+        return BackendSpec(name, workers, _REGISTRY[name])
+    if isinstance(backend, str):
+        return BackendSpec(backend, workers, get_backend_class(backend))
+    if isinstance(backend, ExecutionBackend):
+        return BackendSpec(
+            type(backend).capabilities.name,
+            backend.max_workers,
+            type(backend),
+            instance=backend,
+        )
+    if isinstance(backend, type) and issubclass(backend, ExecutionBackend):
+        return BackendSpec(backend.capabilities.name, workers, backend)
+    raise ValidationError(
+        "backend must be a name, an ExecutionBackend class/instance, a "
+        f"BackendSpec or None, got {type(backend).__name__}"
+    )

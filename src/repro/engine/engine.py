@@ -26,7 +26,8 @@ numeric branch re-enters the scalar solver verbatim.
 from __future__ import annotations
 
 import dataclasses
-from collections.abc import Iterable, Sequence
+import itertools
+from collections.abc import Iterable, Iterator, Sequence
 from typing import Any
 from dataclasses import dataclass
 
@@ -44,6 +45,7 @@ from repro.core.perturbation import PerturbationParameter
 from repro.core.radius import RadiusResult
 from repro.core.solvers.analytic import affine_radius
 from repro.core.solvers.discrete import floor_radius
+from repro.engine.backends import BackendSpec, ExecutionBackend
 from repro.engine.cache import RadiusCache
 from repro.engine.fault import (
     ON_ERROR_MODES,
@@ -51,6 +53,7 @@ from repro.engine.fault import (
     RetryPolicy,
     solve_radius_tasks_isolated,
 )
+from repro.engine.store import RadiusStore, key_digest, persistable_key
 from repro.exceptions import InfeasibleAtOriginError, ValidationError
 from repro.hiperd.constraints import build_constraints
 from repro.obs import metrics as obs_metrics
@@ -106,6 +109,37 @@ class BatchRobustnessResult(Sequence):
     def ok(self) -> bool:
         """True when no task failed or degraded."""
         return not self.failures
+
+    @classmethod
+    def merge(cls, batches: "Iterable[BatchRobustnessResult]") -> "BatchRobustnessResult":
+        """Concatenate chunked batches into one population-level result.
+
+        ``problem_index`` on every failure record is shifted by the number
+        of results preceding its chunk, so :meth:`failures_for` keeps
+        working on the merged batch.  ``task_index`` stays chunk-local (the
+        task numbering of one fan-out has no meaning across chunks).  The
+        merged ``on_error`` is taken from the chunks (they all ran under
+        the same mode when produced by the streaming evaluator).
+        """
+        results: list[MetricResult] = []
+        failures: list[FailureRecord] = []
+        on_error = "raise"
+        for batch in batches:
+            offset = len(results)
+            results.extend(batch.results)
+            failures.extend(
+                dataclasses.replace(
+                    rec,
+                    problem_index=(
+                        rec.problem_index + offset
+                        if rec.problem_index is not None
+                        else None
+                    ),
+                )
+                for rec in batch.failures
+            )
+            on_error = batch.on_error
+        return cls(results=tuple(results), failures=tuple(failures), on_error=on_error)
 
     def failures_for(self, problem_index: int) -> tuple[FailureRecord, ...]:
         """The failure records belonging to one problem of the batch."""
@@ -291,10 +325,24 @@ class RobustnessEngine:
         config: SolverConfig | dict | None = None,
         solver_options: dict | None = None,
         sanitize: bool = False,
+        backend: "str | ExecutionBackend | type[ExecutionBackend] | BackendSpec | None" = None,
+        store: "RadiusStore | str | None" = None,
     ) -> None:
         self.config = resolve_config(config, solver_options)
         self.norm = get_norm(norm)
         self.cache = RadiusCache(self.config.cache_size)
+        #: execution substrate for numeric solves — a registered backend
+        #: name, class, instance or spec; None defers to ``REPRO_BACKEND``
+        #: and then the legacy ``pool_size`` heuristic (see
+        #: :func:`repro.engine.backends.resolve_backend`)
+        self.backend = backend
+        #: optional persistent solve store (path or
+        #: :class:`~repro.engine.store.RadiusStore`); probed after the LRU
+        #: tier, written with converged value-keyed solves, saved after each
+        #: population evaluation
+        self.store: RadiusStore | None = (
+            store if isinstance(store, RadiusStore) or store is None else RadiusStore(store)
+        )
         #: when True, every evaluation is audited by
         #: :mod:`repro.analysis.sanitize`: NaN/inconsistent radii raise
         #: :class:`~repro.exceptions.SanitizerError` (or become
@@ -541,6 +589,80 @@ class RobustnessEngine:
             sp.set_attr("n_failures", len(batch.failures))
             return batch
 
+    def iter_population(
+        self,
+        problems: Iterable[tuple[Iterable[PerformanceFeature], PerturbationParameter]],
+        *,
+        chunk_size: int = 256,
+        apply_floor: bool | None = None,
+        require_feasible: bool = False,
+        on_error: str = "raise",
+        retry_policy: RetryPolicy | None = None,
+    ) -> "Iterator[BatchRobustnessResult]":
+        """Evaluate a population in chunks, yielding one batch per chunk.
+
+        ``problems`` may be any iterable — a generator is consumed lazily,
+        ``chunk_size`` problems at a time, so populations far larger than
+        memory stream through without ever being materialized.  Each yielded
+        :class:`BatchRobustnessResult` is a normal eager batch of its chunk
+        (failure ``problem_index`` values are chunk-local); merge them with
+        :meth:`BatchRobustnessResult.merge` or use
+        :meth:`evaluate_population_stream` for the one-shot merged form.
+        Chunking changes result identity not at all: the solve cache carries
+        over between chunks exactly as it does within one eager batch.
+        """
+        if int(chunk_size) < 1:
+            raise ValidationError(f"chunk_size must be >= 1, got {chunk_size!r}")
+        iterator = iter(problems)
+        while True:
+            chunk = list(itertools.islice(iterator, int(chunk_size)))
+            if not chunk:
+                return
+            yield self.evaluate_population(
+                chunk,
+                apply_floor=apply_floor,
+                require_feasible=require_feasible,
+                on_error=on_error,
+                retry_policy=retry_policy,
+            )
+
+    def evaluate_population_stream(
+        self,
+        problems: Iterable[tuple[Iterable[PerformanceFeature], PerturbationParameter]],
+        *,
+        chunk_size: int = 256,
+        apply_floor: bool | None = None,
+        require_feasible: bool = False,
+        on_error: str = "raise",
+        retry_policy: RetryPolicy | None = None,
+    ) -> BatchRobustnessResult:
+        """Chunked :meth:`evaluate_population` with incremental merging.
+
+        Equivalent to the eager call on ``list(problems)`` (results are
+        bit-for-bit identical), but only ``chunk_size`` problems are
+        resident at a time — the input can be a generator of arbitrary
+        length.  Failure records carry population-level ``problem_index``
+        values after the merge.
+        """
+        with obs_trace.maybe_span(
+            "engine.evaluate_population_stream", chunk_size=int(chunk_size)
+        ) as sp:
+            if obs_trace.enabled():
+                _count_eval("stream")
+            batch = BatchRobustnessResult.merge(
+                self.iter_population(
+                    problems,
+                    chunk_size=chunk_size,
+                    apply_floor=apply_floor,
+                    require_feasible=require_feasible,
+                    on_error=on_error,
+                    retry_policy=retry_policy,
+                )
+            )
+            sp.set_attr("n_problems", len(batch.results))
+            sp.set_attr("n_failures", len(batch.failures))
+            return batch
+
     def _evaluate_population(
         self,
         problems: Iterable[tuple[Iterable[PerformanceFeature], PerturbationParameter]],
@@ -593,6 +715,12 @@ class RobustnessEngine:
                     )
                 key = self.cache.key_for(f, param, self.norm, self.config)
                 cached = self.cache.get(key)
+                if cached is None and self.store is not None and persistable_key(key):
+                    stored = self.store.get(key_digest(key))
+                    if stored is not None:
+                        # promote the persistent hit into the LRU tier
+                        self.cache.put(key, stored, pin=(f.impact,))
+                        cached = stored
                 if cached is not None:
                     row.append(
                         dataclasses.replace(
@@ -605,19 +733,27 @@ class RobustnessEngine:
                 task_where.append((ip, len(row) - 1, key))
             slots.append(row)
 
-        # Pass 2: solve the cache misses (pooled when configured), with
-        # per-task fault isolation.
+        # Pass 2: solve the cache misses (fanned over the configured
+        # execution backend), with per-task fault isolation.
         solved, failures = solve_radius_tasks_isolated(
-            tasks, self.config, policy=retry_policy, on_error=on_error
+            tasks,
+            self.config,
+            policy=retry_policy,
+            on_error=on_error,
+            backend=self.backend,
         )
 
-        # Pass 3: fill slots, populate the cache, assemble the metrics.
+        # Pass 3: fill slots, populate the cache tiers, assemble the metrics.
         # Only converged solves are cached: placeholders, Monte-Carlo bounds
         # and uncertified results must not shadow a future exact solve.
         for (ip, islot, key), res, task in zip(task_where, solved, tasks):
             slots[ip][islot] = res
             if res.converged:
                 self.cache.put(key, res, pin=(task[0].impact,))
+                if self.store is not None and persistable_key(key):
+                    self.store.put(key_digest(key), res)
+        if self.store is not None:
+            self.store.save()
         metrics = tuple(
             metric_from_radii(tuple(row), param, apply_floor=apply_floor)
             for row, (_, param) in zip(slots, problems)

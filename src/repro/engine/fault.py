@@ -1,9 +1,13 @@
-"""Fault-tolerant process-pool scheduling of radius solves.
+"""Fault-tolerant scheduling of radius solves over pluggable backends.
 
 The legacy pool fan-out (``executor.map``) was all-or-nothing: one
 ``SolverError``, one hung solve or one crashed worker aborted the whole
 batch.  This module replaces it with future-per-task submission plus a
-supervision loop that keeps every failure contained to its task:
+supervision loop that keeps every failure contained to its task.  The
+execution substrate is a pluggable :class:`~repro.engine.backends.
+ExecutionBackend` (serial / thread / process / shared-memory, selected via
+``backend=`` or the ``REPRO_BACKEND`` env var) and the whole ladder below
+is expressed once against that protocol:
 
 - **solver failures** (``SolverError``, retryable non-convergence) are
   retried under an escalation ladder (:class:`RetryPolicy`): more
@@ -13,10 +17,11 @@ supervision loop that keeps every failure contained to its task:
 - **hung solves** are bounded by :attr:`~repro.core.config.SolverConfig.
   task_timeout`; an overrun abandons the worker, rebuilds the pool, and
   retries the task with a doubled deadline;
-- **crashed workers** surface as ``BrokenProcessPool``, which poisons every
-  in-flight future.  The supervisor requeues the innocent tasks, rebuilds
-  the pool, and — after repeated breakage — drops to single-in-flight
-  *probe mode* where the guilty task is identified exactly;
+- **crashed workers** surface as a broken executor (``BrokenExecutor``),
+  which poisons every in-flight future.  The supervisor requeues the
+  innocent tasks, rebuilds the backend, and — after repeated breakage —
+  drops to single-in-flight *probe mode* where the guilty task is
+  identified exactly;
 - tasks whose terminal state is still a failure are reported as structured
   :class:`FailureRecord` entries instead of exceptions (``on_error="record"``
   / ``"degrade"``), so a 1000-task batch always completes.
@@ -35,8 +40,7 @@ import logging
 import pickle
 import time
 from collections import deque
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from concurrent.futures.process import BrokenProcessPool
+from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, Future, wait
 from dataclasses import dataclass
 from typing import Any
 
@@ -45,6 +49,7 @@ import numpy as np
 from repro.core.config import SolverConfig
 from repro.core.radius import RadiusResult, robustness_radius
 from repro.core.solvers.numeric import RETRYABLE_REASONS
+from repro.engine.backends import BackendSpec, ExecutionBackend, resolve_backend
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
 from repro.exceptions import (
@@ -60,6 +65,7 @@ __all__ = [
     "FailureRecord",
     "solve_radius_tasks_isolated",
     "fault_radius_task",
+    "chunk_radius_tasks",
     "ON_ERROR_MODES",
 ]
 
@@ -226,21 +232,27 @@ class FailureRecord:
 def fault_radius_task(payload: tuple) -> "RadiusResult | obs_trace.TracedResult":
     """Worker entry point of the fault-isolated path.
 
-    ``payload`` is ``(task, attempt)`` or ``(task, attempt, span_context)``;
-    the attempt number is published to
-    :data:`repro.faults.inject.CURRENT_ATTEMPT` before the solve so
-    injectors with ``heal_after_attempt`` semantics can observe which retry
-    they are running under (injector state is re-pickled fresh on every
-    submission, so per-process call counters alone cannot span attempts).
+    ``payload`` is ``(task, attempt)``, ``(task, attempt, span_context)`` or
+    ``(task, attempt, span_context, same_process)``; the attempt number is
+    published to :data:`repro.faults.inject.CURRENT_ATTEMPT` before the
+    solve so injectors with ``heal_after_attempt`` semantics can observe
+    which retry they are running under (injector state is re-pickled fresh
+    on every submission, so per-process call counters alone cannot span
+    attempts).
 
     When the payload carries a picklable
     :class:`~repro.obs.trace.SpanContext` (observability was enabled in the
     submitting process), the worker records its own solve span parented to
-    it and ships the spans back inside a
-    :class:`~repro.obs.trace.TracedResult`, which the supervisor unwraps and
-    ingests — tracing never changes what the solver computes.
+    it.  Isolated backends ship the spans back inside a
+    :class:`~repro.obs.trace.TracedResult`, which the supervisor unwraps
+    and ingests; same-process backends (``same_process=True``, e.g. the
+    thread backend) record straight into the installed tracer — tracing
+    never changes what the solver computes.
     """
-    if len(payload) == 3:
+    same_process = False
+    if len(payload) == 4:
+        task, attempt, span_ctx, same_process = payload
+    elif len(payload) == 3:
         task, attempt, span_ctx = payload
     else:
         task, attempt = payload
@@ -261,6 +273,25 @@ def fault_radius_task(payload: tuple) -> "RadiusResult | obs_trace.TracedResult"
             return robustness_radius(
                 feature, parameter, norm=norm, apply_floor=False, config=config
             )
+        if same_process:
+            # worker thread of a same-process backend: the installed tracer
+            # is the parent's (it is thread-safe); only the span context
+            # needs activating in this thread
+            installed = obs_trace.get_tracer()
+            if installed is None:  # pragma: no cover - tracing raced off
+                return robustness_radius(
+                    feature, parameter, norm=norm, apply_floor=False, config=config
+                )
+            token = obs_trace.activate(span_ctx)
+            try:
+                with installed.span(
+                    "pool.worker.solve", task_attempt=int(attempt), feature=feature.name
+                ):
+                    return robustness_radius(
+                        feature, parameter, norm=norm, apply_floor=False, config=config
+                    )
+            finally:
+                obs_trace.deactivate(token)
         # traced pool submission: record into a fresh worker-local tracer and
         # ship the spans back (forked workers inherit the parent's enabled
         # state, so the installed tracer cannot be trusted here)
@@ -297,6 +328,7 @@ def _record_terminal(
     wall: float,
     *,
     path: str,
+    backend: str = "serial",
 ) -> None:
     """Emit one task's terminal ``fault.task`` span plus latency/failure
     metrics.  Callers guard on :func:`repro.obs.trace.enabled`."""
@@ -312,6 +344,7 @@ def _record_terminal(
             stage=record.stage if record is not None else None,
             attempts=record.attempts if record is not None else None,
             path=path,
+            backend=backend,
         )
         span.start_ns = end - int(wall * 1e9)
         span.end_ns = end
@@ -321,6 +354,7 @@ def _record_terminal(
         "repro_radius_solve_seconds",
         help="terminal per-task radius solve latency (seconds)",
         path=path,
+        backend=backend,
     ).observe(wall)
     if record is not None:
         registry.counter(
@@ -429,6 +463,7 @@ def solve_radius_tasks_isolated(
     *,
     policy: RetryPolicy | None = None,
     on_error: str = "record",
+    backend: "str | ExecutionBackend | type[ExecutionBackend] | BackendSpec | None" = None,
 ) -> tuple[list[RadiusResult], list[FailureRecord]]:
     """Solve radius tasks with per-task fault isolation.
 
@@ -449,6 +484,14 @@ def solve_radius_tasks_isolated(
         entries plus NaN-radius placeholder results; ``"degrade"`` — like
         ``"record"``, but solver-stage failures additionally fall back to a
         Monte-Carlo bound on the radius.
+    backend:
+        Execution substrate: a registered name (``"serial"`` / ``"thread"``
+        / ``"process"`` / ``"shm"``), an :class:`~repro.engine.backends.
+        ExecutionBackend` class or instance, a prebuilt
+        :class:`~repro.engine.backends.BackendSpec`, or None for the
+        default resolution (``REPRO_BACKEND`` env var, then the legacy
+        ``pool_size`` heuristic; see :func:`~repro.engine.backends.
+        resolve_backend`).
 
     Returns
     -------
@@ -465,16 +508,31 @@ def solve_radius_tasks_isolated(
         return [], []
     if policy is None:
         policy = RetryPolicy.from_config(config)
-    serial = len(tasks) <= 1 or config.pool_size <= 0 or not _picklable_one(tasks[0])
+    spec = resolve_backend(backend, config.pool_size)
+    caps = spec.capabilities
+    serial = (
+        len(tasks) <= 1
+        or not caps.parallel
+        or (caps.requires_pickling and not _picklable_one(tasks[0]))
+    )
+    batched = (
+        not serial
+        and caps.batched
+        and on_error != "raise"
+        and config.task_timeout is None
+    )
     with obs_trace.maybe_span(
         "fault.solve_batch",
         n_tasks=len(tasks),
         on_error=on_error,
         mode="serial" if serial else "pool",
+        backend=caps.name,
     ):
         if serial:
-            return _solve_serial(tasks, config, policy, on_error)
-        return _Supervisor(tasks, config, policy, on_error).run()
+            return _solve_serial(tasks, config, policy, on_error, backend_name=caps.name)
+        if batched:
+            return _solve_batched(tasks, config, policy, on_error, spec)
+        return _Supervisor(tasks, config, policy, on_error, spec).run()
 
 
 def _solve_serial(
@@ -482,6 +540,8 @@ def _solve_serial(
     config: SolverConfig,
     policy: RetryPolicy,
     on_error: str,
+    *,
+    backend_name: str = "serial",
 ) -> tuple[list[RadiusResult], list[FailureRecord]]:
     results: list[RadiusResult] = []
     failures: list[FailureRecord] = []
@@ -493,7 +553,9 @@ def _solve_serial(
         if rec is not None:
             failures.append(rec)
         if tracing:
-            _record_terminal(i, task, rec, time.perf_counter() - t0, path="serial")
+            _record_terminal(
+                i, task, rec, time.perf_counter() - t0, path="serial", backend=backend_name
+            )
     return results, failures
 
 
@@ -581,6 +643,156 @@ def _terminal_solve_failure(
     return _failed_result(task, reason or "solver-exception"), record
 
 
+def chunk_radius_tasks(payload: tuple) -> "tuple | obs_trace.TracedResult":
+    """Worker entry point of the batched (chunked) path.
+
+    ``payload`` is ``(tasks, start_index, config, policy, on_error,
+    span_context)``.  Each task runs the *same* inline retry ladder as the
+    per-task path (:func:`_solve_one_inline`, global task indices, so
+    backoff jitter and failure records are bit-for-bit identical except for
+    wall times); the chunk returns ``(results, records, walls)`` aligned
+    with ``tasks``.  Batched submission is only used in ``on_error`` modes
+    that cannot raise, so a chunk either returns completely or dies with
+    its worker (the scheduler then falls back to per-task submission for
+    exact attribution).
+    """
+    tasks, start_index, config, policy, on_error, span_ctx = payload
+    tracer: obs_trace.Tracer | None = None
+    token = None
+    if span_ctx is not None:
+        # same fresh-tracer discipline as fault_radius_task: never trust the
+        # (possibly fork-inherited) installed tracer in a pool worker
+        tracer = obs_trace.Tracer()
+        obs_trace.enable(tracer)
+        token = obs_trace.activate(span_ctx)
+    try:
+        results: list[RadiusResult] = []
+        records: list[FailureRecord | None] = []
+        walls: list[float] = []
+        for offset, task in enumerate(tasks):
+            index = int(start_index) + offset
+            t0 = time.perf_counter()
+            if tracer is not None:
+                with tracer.span(
+                    "pool.worker.solve", task_index=index, feature=task[0].name
+                ):
+                    res, rec = _solve_one_inline(index, task, config, policy, on_error)
+            else:
+                res, rec = _solve_one_inline(index, task, config, policy, on_error)
+            results.append(res)
+            records.append(rec)
+            walls.append(time.perf_counter() - t0)
+        out = (results, records, walls)
+        if tracer is None:
+            return out
+        return obs_trace.TracedResult(result=out, spans=tuple(tracer.export()))
+    finally:
+        if token is not None:
+            obs_trace.deactivate(token)
+        if tracer is not None:
+            obs_trace.disable()
+
+
+def _batch_chunks(n_tasks: int, workers: int, chunk_size: int | None) -> list[tuple[int, int]]:
+    """``(start, stop)`` chunk bounds: ~4 chunks per worker unless pinned."""
+    from repro.engine.pool import default_chunksize
+
+    size = int(chunk_size) if chunk_size else default_chunksize(n_tasks, workers)
+    return [(start, min(start + size, n_tasks)) for start in range(0, n_tasks, size)]
+
+
+def _solve_batched(
+    tasks: list[tuple],
+    config: SolverConfig,
+    policy: RetryPolicy,
+    on_error: str,
+    spec: BackendSpec,
+) -> tuple[list[RadiusResult], list[FailureRecord]]:
+    """Chunked fan-out for backends with the ``batched`` capability.
+
+    Amortizes per-future overhead (and, on the shared-memory backend, packs
+    each chunk's arrays into one segment).  Chunks that die with their
+    worker or fail to round-trip are re-run through the per-task supervisor
+    (fresh backend) so crash containment and attribution still hold.
+    """
+    n = len(tasks)
+    results: list[RadiusResult | None] = [None] * n
+    records: dict[int, FailureRecord] = {}
+    tracing = obs_trace.enabled()
+    span_ctx = obs_trace.current_context() if tracing else None
+    leftovers: list[tuple[int, int]] = []  # chunk bounds needing per-task re-run
+    backend = spec.create()
+    try:
+        futures: dict[Future, tuple[int, int]] = {}
+        for start, stop in _batch_chunks(n, spec.workers, config.chunk_size):
+            if tracing:
+                _record_fault_event(
+                    "pool.submit",
+                    "repro_pool_submits_total",
+                    "futures submitted to the process pool",
+                    task_index=start,
+                    attempt=0,
+                    chunk=(start, stop),
+                    backend=spec.name,
+                )
+            payload = (tasks[start:stop], start, config, policy, on_error, span_ctx)
+            try:
+                futures[backend.submit(chunk_radius_tasks, payload)] = (start, stop)
+            except (BrokenExecutor, RuntimeError):
+                leftovers.append((start, stop))
+        for fut, (start, stop) in futures.items():
+            try:
+                out = fut.result()
+            except ValidationError:
+                raise
+            except BaseException as exc:  # noqa: BLE001 - chunk re-runs under the supervisor
+                logger.warning(
+                    "chunk [%d:%d) failed on backend %r (%s); re-running "
+                    "per-task under the supervisor",
+                    start,
+                    stop,
+                    spec.name,
+                    exc,
+                )
+                leftovers.append((start, stop))
+                continue
+            if isinstance(out, obs_trace.TracedResult):
+                tracer = obs_trace.get_tracer()
+                if tracer is not None and obs_trace.enabled():
+                    tracer.ingest(out.spans)
+                out = out.result
+            chunk_results, chunk_records, walls = out
+            for offset in range(stop - start):
+                index = start + offset
+                results[index] = chunk_results[offset]
+                rec = chunk_records[offset]
+                if rec is not None:
+                    records[index] = rec
+                if tracing:
+                    _record_terminal(
+                        index,
+                        tasks[index],
+                        rec,
+                        walls[offset],
+                        path="pool",
+                        backend=spec.name,
+                    )
+    finally:
+        backend.shutdown(kill=True)
+    # Re-run broken chunks per-task: exact crash attribution, sub-batch span
+    # indices are remapped onto the original batch via the records.
+    for start, stop in leftovers:
+        sub = tasks[start:stop]
+        sub_results, sub_failures = _Supervisor(sub, config, policy, on_error, spec).run()
+        for offset, res in enumerate(sub_results):
+            results[start + offset] = res
+        for rec in sub_failures:
+            index = start + rec.task_index
+            records[index] = dataclasses.replace(rec, task_index=index)
+    failures = [records[i] for i in sorted(records)]
+    return [res for res in results if res is not None], failures
+
+
 class _Supervisor:
     """Pooled scheduler: window submission, deadlines, crash attribution."""
 
@@ -590,11 +802,13 @@ class _Supervisor:
         config: SolverConfig,
         policy: RetryPolicy,
         on_error: str,
+        spec: BackendSpec,
     ) -> None:
         self.tasks = tasks
         self.config = config
         self.policy = policy
         self.on_error = on_error
+        self.spec = spec
         n = len(tasks)
         self.results: list[RadiusResult | None] = [None] * n
         self.records: dict[int, FailureRecord] = {}
@@ -602,26 +816,27 @@ class _Supervisor:
         self.suspect: list[str | None] = [None] * n  # "crash"/"timeout" history
         self.pending: deque[tuple[int, int]] = deque((i, 0) for i in range(n))
         self.inflight: dict = {}  # future -> (index, attempt, deadline)
-        self.executor: ProcessPoolExecutor | None = None
+        self.executor: ExecutionBackend | None = None
         self.probe_mode = False
         self.pool_breaks = 0
         self.serial_only = False
 
     # -- executor lifecycle ---------------------------------------------------
     def _window(self) -> int:
-        return 1 if self.probe_mode else max(1, 2 * self.config.pool_size)
+        return 1 if self.probe_mode else max(1, 2 * self.spec.workers)
 
     def _ensure_executor(self) -> bool:
         if self.executor is not None:
             return True
         try:
-            self.executor = ProcessPoolExecutor(
-                max_workers=1 if self.probe_mode else self.config.pool_size
+            self.executor = self.spec.create(
+                max_workers=1 if self.probe_mode else self.spec.workers
             )
             return True
         except OSError as exc:  # pragma: no cover - resource exhaustion
             logger.warning(
-                "cannot create a process pool (%s); degrading to inline serial solves",
+                "cannot create a %s backend (%s); degrading to inline serial solves",
+                self.spec.name,
                 exc,
             )
             self.serial_only = True
@@ -631,13 +846,7 @@ class _Supervisor:
         if self.executor is None:
             return
         executor, self.executor = self.executor, None
-        processes = dict(getattr(executor, "_processes", None) or {})
-        executor.shutdown(wait=False, cancel_futures=True)
-        for proc in processes.values():
-            try:
-                proc.terminate()
-            except Exception:  # pragma: no cover  # repro: noqa[R007] - best-effort teardown of a dead process
-                pass
+        executor.shutdown(kill=True)
 
     # -- terminal bookkeeping -------------------------------------------------
     def _wall(self, index: int) -> float:
@@ -650,7 +859,12 @@ class _Supervisor:
             self.records[index] = record
         if obs_trace.enabled():
             _record_terminal(
-                index, self.tasks[index], record, self._wall(index), path="pool"
+                index,
+                self.tasks[index],
+                record,
+                self._wall(index),
+                path="pool",
+                backend=self.spec.name,
             )
 
     def _terminal_exception(
@@ -845,12 +1059,18 @@ class _Supervisor:
                     "futures submitted to the process pool",
                     task_index=index,
                     attempt=attempt,
+                    backend=self.spec.name,
                 )
+            assert self.executor is not None
+            same_process = not self.spec.capabilities.isolated
+            payload = (
+                ((feature, parameter, norm, cfg), attempt, span_ctx, True)
+                if same_process and span_ctx is not None
+                else ((feature, parameter, norm, cfg), attempt, span_ctx)
+            )
             try:
-                fut = self.executor.submit(
-                    fault_radius_task, ((feature, parameter, norm, cfg), attempt, span_ctx)
-                )
-            except (BrokenProcessPool, RuntimeError):
+                fut = self.executor.submit(fault_radius_task, payload)
+            except (BrokenExecutor, RuntimeError):
                 self._on_pool_break((index, attempt))
                 continue
             deadline = (
@@ -910,7 +1130,7 @@ class _Supervisor:
                     index, attempt, _ = self.inflight.pop(fut)
                     try:
                         res = fut.result()
-                    except BrokenProcessPool:
+                    except BrokenExecutor:
                         self._on_pool_break((index, attempt))
                         broke = True
                         break

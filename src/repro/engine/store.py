@@ -1,0 +1,188 @@
+"""Persistent content-addressed store of numeric radius solves.
+
+The in-memory :class:`~repro.engine.cache.RadiusCache` dies with its engine;
+population studies re-pay every SLSQP multistart on each process start.
+:class:`RadiusStore` promotes the cache to an optional on-disk tier with the
+same design as the lint layer's :class:`~repro.analysis.dataflow.cache.
+SummaryStore`: one JSON document, atomically replaced (tmp + rename), with a
+version fingerprint that discards the whole store on schema change; a
+corrupt or unreadable file degrades to an empty store, never to an error.
+
+Entries are addressed by a sha256 digest of the engine's *value-based*
+cache key — affine impact coefficients, feature bounds, origin vector, norm
+and numeric solver settings.  Keys with identity-based components
+(arbitrary callables, custom norm objects) are **not persistable**: their
+``id()`` means nothing in another process, so :func:`persistable_key`
+rejects them and the engine keeps those solves in the LRU tier only.
+Values are converged :class:`~repro.core.radius.RadiusResult` payloads
+(:meth:`~repro.core.radius.RadiusResult.to_dict` round-trips them exactly).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import struct
+from pathlib import Path
+from typing import Any
+
+from repro.core.radius import RadiusResult
+from repro.exceptions import ValidationError
+
+__all__ = ["RadiusStore", "STORE_VERSION", "persistable_key", "key_digest"]
+
+#: bump when the key encoding or entry schema changes incompatibly
+STORE_VERSION = 1
+
+#: key-tuple heads that embed a process-local ``id()`` (not persistable)
+_IDENTITY_TAGS = frozenset({"impact-id", "norm-id"})
+
+
+def persistable_key(key: tuple) -> bool:
+    """Whether a :meth:`RadiusCache.key_for` key is value-based throughout.
+
+    Identity-keyed components (``("impact-id", id)`` / ``("norm-id", id)``)
+    are process-local and must never reach disk.
+    """
+    if isinstance(key, tuple):
+        if len(key) == 2 and key[0] in _IDENTITY_TAGS:
+            return False
+        return all(persistable_key(item) for item in key)
+    return True
+
+
+def _encode(key: Any, out: bytearray) -> None:
+    """Canonical, collision-resistant byte encoding of one key component."""
+    if isinstance(key, tuple):
+        out += b"t%d:" % len(key)
+        for item in key:
+            _encode(item, out)
+    elif isinstance(key, bytes):
+        out += b"b%d:" % len(key)
+        out += key
+    elif isinstance(key, str):
+        raw = key.encode("utf-8")
+        out += b"s%d:" % len(raw)
+        out += raw
+    elif isinstance(key, bool):
+        out += b"B1" if key else b"B0"
+    elif isinstance(key, int):
+        raw = str(key).encode("ascii")
+        out += b"i%d:" % len(raw)
+        out += raw
+    elif isinstance(key, float):
+        out += b"f"
+        out += struct.pack("<d", key)
+    elif key is None:
+        out += b"n"
+    else:
+        raise ValidationError(
+            f"cache key component of type {type(key).__name__} is not encodable"
+        )
+
+
+def key_digest(key: tuple) -> str:
+    """sha256 hex digest of a value-based cache key."""
+    out = bytearray()
+    _encode(key, out)
+    return hashlib.sha256(bytes(out)).hexdigest()
+
+
+class RadiusStore:
+    """JSON-backed persistent tier of the engine's radius cache.
+
+    Usage: construct with a path, :meth:`load` once, :meth:`get`/:meth:`put`
+    during evaluation, :meth:`save` when done (the engine does all of this
+    when handed a store).  Only *converged* solves belong in the store —
+    the engine enforces that, mirroring the LRU tier's policy.
+    """
+
+    def __init__(self, path: "Path | str") -> None:
+        self.path = Path(path)
+        self._entries: dict[str, dict[str, Any]] = {}
+        self._dirty = False
+        self._loaded = False
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def fingerprint(self) -> str:
+        """Schema stamp; a mismatch on load discards the whole store."""
+        return f"repro-radius-store-v{STORE_VERSION}"
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def load(self) -> None:
+        """Read the store from disk, degrading to empty on any mismatch."""
+        self._loaded = True
+        try:
+            doc = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            self._entries = {}
+            return
+        if (
+            not isinstance(doc, dict)
+            or doc.get("fingerprint") != self.fingerprint
+            or not isinstance(doc.get("entries"), dict)
+        ):
+            self._entries = {}
+            self._dirty = True
+            return
+        self._entries = doc["entries"]
+
+    def save(self) -> None:
+        """Atomically persist the store (no-op when nothing changed)."""
+        if not self._dirty:
+            return
+        doc = {"fingerprint": self.fingerprint, "entries": self._entries}
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        try:
+            tmp.parent.mkdir(parents=True, exist_ok=True)
+            tmp.write_text(json.dumps(doc), encoding="utf-8")
+            os.replace(tmp, self.path)
+        except OSError:
+            return
+        self._dirty = False
+
+    # -- entries ---------------------------------------------------------------
+
+    def _ensure_loaded(self) -> None:
+        if not self._loaded:
+            self.load()
+
+    def get(self, digest: str) -> RadiusResult | None:
+        """The stored solve under ``digest``, or None."""
+        self._ensure_loaded()
+        entry = self._entries.get(digest)
+        if entry is None:
+            self.misses += 1
+            return None
+        try:
+            result = RadiusResult.from_dict(entry)
+        except (ValidationError, KeyError, TypeError):
+            # one corrupt entry must not poison the store
+            self._entries.pop(digest, None)
+            self._dirty = True
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, digest: str, result: RadiusResult) -> None:
+        """Record one converged solve under its key digest."""
+        self._ensure_loaded()
+        self._entries[digest] = result.to_dict()
+        self._dirty = True
+
+    def stats(self) -> dict:
+        """Hit/miss/size counters (for logging and tests)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "size": len(self._entries),
+            "path": str(self.path),
+        }

@@ -67,8 +67,14 @@ def run_experiment_one(
     task_het: float = 0.7,
     machine_het: float = 0.7,
     seed=None,
+    backend=None,
 ) -> ExperimentOneResult:
-    """Run the Section 4.2 experiment with the paper's default parameters."""
+    """Run the Section 4.2 experiment with the paper's default parameters.
+
+    ``backend`` selects the engine's execution backend (see
+    :func:`repro.engine.backends.resolve_backend`); the allocation metric is
+    closed-form, so it only matters for engines extended with numeric solves.
+    """
     n_tasks = check_positive_int(n_tasks, "n_tasks")
     n_machines = check_positive_int(n_machines, "n_machines")
     n_mappings = check_positive_int(n_mappings, "n_mappings")
@@ -87,7 +93,7 @@ def run_experiment_one(
 
     f = batch_finishing_times(assignments, etc)
     makespans = f.max(axis=1)
-    rho = RobustnessEngine().evaluate_allocation(assignments, etc, tau).values
+    rho = RobustnessEngine(backend=backend).evaluate_allocation(assignments, etc, tau).values
     lbi = batch_load_balance_index(assignments, etc)
 
     counts = np.zeros_like(f)

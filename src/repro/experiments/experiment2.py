@@ -69,10 +69,13 @@ def run_experiment_two(
     n_mappings: int = 1000,
     initial_load=PAPER_INITIAL_LOAD,
     seed=None,
+    backend=None,
     **system_kwargs,
 ) -> ExperimentTwoResult:
     """Run the Section 4.3 experiment.
 
+    ``backend`` selects the engine's execution backend (closed-form HiPer-D
+    evaluation never fans out, so it is a forward-compatibility hook).
     Extra keyword arguments are forwarded to
     :func:`repro.hiperd.generators.generate_system` (e.g. ``n_paths``,
     ``target_fraction``).
@@ -83,7 +86,7 @@ def run_experiment_two(
     mappings = random_hiperd_mappings(system, n_mappings, seed=rng_maps)
     load = np.asarray(initial_load, dtype=float)
 
-    batch = RobustnessEngine().evaluate_hiperd(system, mappings, load)
+    batch = RobustnessEngine(backend=backend).evaluate_hiperd(system, mappings, load)
 
     return ExperimentTwoResult(
         system=system,

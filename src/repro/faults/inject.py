@@ -25,15 +25,20 @@ cannot span retry attempts.  Attempt-aware healing is therefore driven by
 injector with ``heal_after_attempt=k`` behaves normally from attempt ``k``
 on, modeling transient faults that a retry genuinely fixes.
 
-``worker_only=True`` restricts firing to processes other than the one that
-built the injector (decided by PID), so the engine's in-parent value probes
-never trip a crash/hang meant for a pool worker.
+``worker_only=True`` restricts firing to execution contexts other than the
+one that built the injector: raise/nan/hang fire once the PID *or* the
+thread differs from the constructing one (so they also work under the
+thread execution backend), while ``"crash"`` additionally requires a
+different PID — ``os._exit`` from a worker thread would take the whole
+parent down, which is not the fault being modeled.  Either way the engine's
+in-parent value probes never trip a fault meant for a worker.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import os
+import threading
 import time
 
 import numpy as np
@@ -85,7 +90,8 @@ class FaultyImpact(ImpactFunction):
         Behave normally once :data:`CURRENT_ATTEMPT` reaches this value
         (None = never heal).
     worker_only:
-        Fire only in processes other than the constructing one.
+        Fire only in execution contexts other than the constructing one —
+        a different process or (except for ``"crash"``) a different thread.
     """
 
     def __init__(
@@ -111,6 +117,7 @@ class FaultyImpact(ImpactFunction):
         self.heal_after_attempt = heal_after_attempt
         self.worker_only = bool(worker_only)
         self._origin_pid = os.getpid()
+        self._origin_thread = threading.get_ident()
         self._calls = 0
 
     def __getstate__(self) -> dict:
@@ -123,8 +130,14 @@ class FaultyImpact(ImpactFunction):
     @property
     def armed(self) -> bool:
         """Whether the fault condition currently holds (counter included)."""
-        if self.worker_only and os.getpid() == self._origin_pid:
-            return False
+        if self.worker_only:
+            same_pid = os.getpid() == self._origin_pid
+            if self.mode == "crash":
+                # crashing an in-process worker thread would kill the parent
+                if same_pid:
+                    return False
+            elif same_pid and threading.get_ident() == self._origin_thread:
+                return False
         if (
             self.heal_after_attempt is not None
             and CURRENT_ATTEMPT >= self.heal_after_attempt

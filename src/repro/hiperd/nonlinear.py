@@ -186,8 +186,8 @@ def power_law_robustness(
 
     Floored (the load is discrete), computed with the numeric convex solver;
     with all exponents 1 this equals the linear closed form.  ``config``
-    takes a :class:`~repro.core.config.SolverConfig`; ``solver_options`` is
-    the deprecated dict spelling.
+    takes a :class:`~repro.core.config.SolverConfig`; the removed
+    ``solver_options`` keyword raises ``ValidationError``.
     """
     from repro.core.config import resolve_config
 

@@ -129,7 +129,8 @@ def robustness(
         uniformity (the linear model needs no solver knobs).  A plain dict is
         accepted with a ``DeprecationWarning``.
     solver_options:
-        Deprecated alias for ``config`` (dict form).
+        Removed after its deprecation cycle; any value raises
+        :class:`~repro.exceptions.ValidationError`.
     """
     with obs_trace.maybe_span("hiperd.robustness", n_sensors=system.n_sensors):
         return _robustness_impl(
@@ -140,7 +141,7 @@ def robustness(
             require_feasible=require_feasible,
             norm=norm,
             config=config,
-            solver_options=solver_options,
+            solver_options=solver_options,  # repro: noqa[R009] - shim forwards to the validating resolver
         )
 
 

@@ -1,4 +1,4 @@
-"""R004 fixture: unpicklable callables across the pool boundary (3 findings)."""
+"""R004 fixture: unpicklable callables across the pool boundary (4 findings)."""
 
 from concurrent.futures import ProcessPoolExecutor
 
@@ -14,4 +14,5 @@ def fan_out(tasks, config):
     with ProcessPoolExecutor() as pool:
         pool.submit(lambda: 1)
         pool.submit(local_worker, tasks[0])
+        pool.map(lambda t: t, tasks)
     return solve_radius_tasks_isolated(tasks, config, on_error=scale)

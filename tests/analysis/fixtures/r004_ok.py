@@ -10,4 +10,10 @@ def worker(task):
 def fan_out(tasks):
     with ProcessPoolExecutor() as pool:
         futures = [pool.submit(worker, t) for t in tasks]
-    return [f.result() for f in futures]
+        mapped = list(pool.map(worker, tasks))
+    return [f.result() for f in futures] + mapped
+
+
+def plain_map_is_not_a_pool(records):
+    # .map on a non-executor receiver is ordinary data-structure API
+    return records.map(lambda r: r)

@@ -1,0 +1,16 @@
+"""R009 fixture: the modern spellings — clean."""
+
+from repro.core.config import SolverConfig
+from repro.core.metric import robustness_metric
+from repro.engine.fault import solve_radius_tasks_isolated
+
+
+def modern_everything(tasks, features, parameter, results):
+    config = SolverConfig(n_starts=2, pool_size=2)
+    solved, failures = solve_radius_tasks_isolated(
+        tasks, config, on_error="record", backend="thread"
+    )
+    metric = robustness_metric(features, parameter, config=config)
+    # unrelated name sharing a tail with the legacy entry point is fine
+    radius_task = results.radius_task
+    return solved, failures, metric, radius_task

@@ -32,8 +32,8 @@ from repro.analysis.runner import (
 
 class TestRegistry:
     def test_registered_rule_codes(self):
-        assert len(all_rules()) >= 13
-        expected = [f"R00{i}" for i in range(1, 9)]
+        assert len(all_rules()) >= 14
+        expected = [f"R00{i}" for i in range(1, 10)]
         expected += [f"R10{i}" for i in range(1, 5)]
         expected += ["W000"]
         assert sorted(all_rules()) == sorted(expected)
@@ -289,3 +289,34 @@ class TestChangedFiles:
     def test_outside_git_raises_runtime_error(self, tmp_path):
         with pytest.raises(RuntimeError, match="git status failed"):
             changed_python_files(tmp_path)
+
+    def test_ref_includes_committed_files(self, tmp_path):
+        repo = self._repo(tmp_path)
+        (repo / "committed.py").write_text("a = 1\n")
+        (repo / "prose.txt").write_text("not python\n")
+        self._git(repo, "add", ".")
+        self._git(repo, "commit", "-q", "-m", "change")
+        # a clean tree still reports the files of the committed range
+        assert changed_python_files(repo) == []
+        names = sorted(p.name for p in changed_python_files(repo, ref="HEAD~1"))
+        assert names == ["committed.py"]
+
+    def test_ref_combines_with_working_tree_changes(self, tmp_path):
+        repo = self._repo(tmp_path)
+        (repo / "committed.py").write_text("a = 1\n")
+        self._git(repo, "add", "committed.py")
+        self._git(repo, "commit", "-q", "-m", "change")
+        (repo / "dirty.py").write_text("b = 1\n")
+        names = sorted(p.name for p in changed_python_files(repo, ref="HEAD~1"))
+        assert names == ["committed.py", "dirty.py"]
+
+    def test_ref_deleted_files_are_skipped(self, tmp_path):
+        repo = self._repo(tmp_path)
+        self._git(repo, "rm", "-q", "tracked.py")
+        self._git(repo, "commit", "-q", "-m", "drop")
+        assert changed_python_files(repo, ref="HEAD~1") == []
+
+    def test_bad_ref_raises_runtime_error(self, tmp_path):
+        repo = self._repo(tmp_path)
+        with pytest.raises(RuntimeError, match="git diff"):
+            changed_python_files(repo, ref="no-such-ref")

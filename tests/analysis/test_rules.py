@@ -21,11 +21,12 @@ EXPECTED_BAD = {
     "R001": 3,
     "R002": 2,
     "R003": 3,
-    "R004": 3,
+    "R004": 4,
     "R005": 2,
     "R006": 4,
     "R007": 3,
     "R008": 2,
+    "R009": 5,
     "R101": 3,
     "R102": 3,
     "R103": 5,

@@ -18,9 +18,10 @@ from repro.analysis import lint_paths, render_text
 REPO_ROOT = Path(__file__).resolve().parents[2]
 
 #: the deliberate, documented suppressions currently in the tree (pickle
-#: probes, dead-process teardown, exact-literal exponent dispatch); update
-#: this count when adding or removing a justified noqa
-EXPECTED_SUPPRESSIONS = 5
+#: probes, dead-process teardown, exact-literal exponent dispatch, the
+#: legacy-entry-point re-export and its shim pass-through); update this
+#: count when adding or removing a justified noqa
+EXPECTED_SUPPRESSIONS = 8
 
 
 def _lint(path: Path):

@@ -69,10 +69,9 @@ class TestResolveConfig:
             cfg = resolve_config({"n_starts": 3}, None)
         assert cfg.n_starts == 3
 
-    def test_solver_options_warns(self):
-        with pytest.warns(DeprecationWarning, match="solver_options"):
-            cfg = resolve_config(None, {"maxiter": 50})
-        assert cfg.maxiter == 50
+    def test_solver_options_removed(self):
+        with pytest.raises(ValidationError, match="solver_options.*SolverConfig"):
+            resolve_config(None, {"maxiter": 50})
 
     def test_both_given_raises(self):
         with pytest.raises(ValidationError):
@@ -84,7 +83,7 @@ class TestResolveConfig:
 
 
 class TestShimThroughAnalysis:
-    """The deprecated dict keyword still works end to end."""
+    """The removed keyword fails loudly; the dict config shim still works."""
 
     def _analysis(self):
         return (
@@ -93,11 +92,9 @@ class TestShimThroughAnalysis:
             .add_feature("q", impact=lambda x: float(x @ x), upper=4.0)
         )
 
-    def test_solver_options_dict_still_accepted(self):
-        with pytest.warns(DeprecationWarning):
-            old = self._analysis().analyze(solver_options={"n_starts": 2})
-        new = self._analysis().analyze(config=SolverConfig(n_starts=2))
-        assert old.value == new.value
+    def test_solver_options_raises_with_migration_recipe(self):
+        with pytest.raises(ValidationError, match="docs/API.md"):
+            self._analysis().analyze(solver_options={"n_starts": 2})
 
     def test_analytic_solver_rejected_for_callable_impact(self):
         with pytest.raises(ValidationError, match="analytic"):

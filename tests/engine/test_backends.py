@@ -1,0 +1,419 @@
+"""Execution-backend protocol: capabilities, resolution, codec, parity.
+
+The acceptance matrix of the backend redesign: the same seeded population
+must come back bit-for-bit identical from all four backends — results,
+failure records under injected faults (modulo wall time) and per-task
+observability accounting — and the batched (chunked) path must agree with
+the per-task supervisor.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core.config import SolverConfig
+from repro.core.features import FeatureBounds, PerformanceFeature
+from repro.core.impact import CallableImpact
+from repro.core.perturbation import PerturbationParameter
+from repro.engine import solve_radius_tasks_isolated
+from repro.engine.backends import (
+    BACKEND_ENV_VAR,
+    BACKEND_NAMES,
+    BackendSpec,
+    SerialBackend,
+    ThreadBackend,
+    get_backend_class,
+    pack_payload,
+    resolve_backend,
+    unpack_payload,
+)
+from repro.exceptions import ValidationError
+from repro.faults import wrap_feature
+
+PARAM = PerturbationParameter("pi", np.array([0.5, 0.5]))
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    obs.reset_metrics()
+    yield
+    obs.disable()
+    obs.reset_metrics()
+
+
+def _quad(pi):
+    return float(pi @ pi)
+
+
+def _quad_grad(pi):
+    return 2.0 * pi
+
+
+def _wavy(pi):
+    return float(pi @ pi + 0.3 * np.sin(8 * pi[0]) * np.cos(8 * pi[1]))
+
+
+def _feature(i: int) -> PerformanceFeature:
+    return PerformanceFeature(
+        f"q_{i}",
+        CallableImpact(_quad, grad=_quad_grad, name="quad"),
+        FeatureBounds.upper_only(4.0 + 0.01 * i),
+    )
+
+
+def _tasks(n: int, config: SolverConfig, faulty=()) -> list[tuple]:
+    from repro.core.norms import get_norm
+
+    norm = get_norm(None)
+    tasks = []
+    for i in range(n):
+        f = _feature(i)
+        if i in faulty:
+            f = wrap_feature(f, "nan", on_call=1)
+        tasks.append((f, PARAM, norm, config))
+    return tasks
+
+
+def _square(x):
+    return x * x
+
+
+def _result_dicts(results):
+    return [r.to_dict() for r in results]
+
+
+def _records_no_wall(records):
+    return [dataclasses.replace(r, wall_time=0.0) for r in records]
+
+
+class TestCapabilities:
+    def test_registry_names(self):
+        assert BACKEND_NAMES == ("serial", "thread", "process", "shm")
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValidationError, match="serial"):
+            get_backend_class("quantum")
+
+    @pytest.mark.parametrize(
+        "name, parallel, isolated, zero_copy, batched",
+        [
+            ("serial", False, False, False, False),
+            ("thread", True, False, True, False),
+            ("process", True, True, False, False),
+            ("shm", True, True, True, True),
+        ],
+    )
+    def test_capability_matrix(self, name, parallel, isolated, zero_copy, batched):
+        caps = get_backend_class(name).capabilities
+        assert caps.name == name
+        assert caps.parallel is parallel
+        assert caps.isolated is isolated
+        assert caps.zero_copy is zero_copy
+        assert caps.batched is batched
+
+    def test_deadlines_require_isolation(self):
+        # a deadline is only enforceable when the worker can be killed
+        for name in BACKEND_NAMES:
+            caps = get_backend_class(name).capabilities
+            if caps.enforces_deadlines:
+                assert caps.isolated
+
+
+class TestResolve:
+    def test_legacy_heuristic(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        assert resolve_backend(None, 0).name == "serial"
+        spec = resolve_backend(None, 3)
+        assert spec.name == "process"
+        assert spec.workers == 3
+
+    def test_name_and_class_and_spec(self):
+        assert resolve_backend("thread", 2).name == "thread"
+        assert resolve_backend(ThreadBackend, 2).name == "thread"
+        spec = BackendSpec("serial", 1, SerialBackend)
+        assert resolve_backend(spec, 4) is spec
+
+    def test_instance_is_handed_out_once(self):
+        inst = SerialBackend()
+        spec = resolve_backend(inst, 0)
+        assert spec.create() is inst
+
+    def test_env_var_overrides_heuristic(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "thread")
+        assert resolve_backend(None, 0).name == "thread"
+        # an explicit backend still beats the environment
+        assert resolve_backend("serial", 0).name == "serial"
+
+    def test_env_var_unknown_raises(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "gpu")
+        with pytest.raises(ValidationError, match="REPRO_BACKEND"):
+            resolve_backend(None, 0)
+
+    def test_bad_backend_type_raises(self):
+        with pytest.raises(ValidationError):
+            resolve_backend(42, 0)  # type: ignore[arg-type]
+
+    def test_worker_count_validated(self):
+        with pytest.raises(ValidationError):
+            SerialBackend(max_workers=0)
+
+
+class TestExecute:
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_submit_and_map_round_trip(self, name):
+        backend = get_backend_class(name)(max_workers=2)
+        try:
+            assert backend.submit(_square, 7).result(timeout=60) == 49
+            assert backend.map(_square, [1, 2, 3]) == [1, 4, 9]
+        finally:
+            backend.shutdown()
+
+    @pytest.mark.parametrize("name", ["serial", "thread"])
+    def test_exceptions_surface_via_future(self, name):
+        backend = get_backend_class(name)(max_workers=1)
+        try:
+            fut = backend.submit(_square, "no")
+            with pytest.raises(TypeError):
+                fut.result(timeout=60)
+        finally:
+            backend.shutdown()
+
+
+class TestShmCodec:
+    def test_large_arrays_are_hoisted_and_views_read_only(self):
+        big = np.arange(64, dtype=float)  # 512 bytes -> hoisted
+        small = np.arange(4, dtype=float)  # 32 bytes -> stays inline
+        payload = {"big": big, "small": small, "tag": "x"}
+        data, segment, descriptors = pack_payload(payload)
+        assert segment is not None
+        assert len(descriptors) == 1
+        try:
+            out = unpack_payload(data, segment, descriptors)
+            np.testing.assert_array_equal(out["big"], big)
+            np.testing.assert_array_equal(out["small"], small)
+            assert out["tag"] == "x"
+            assert not out["big"].flags.writeable
+            del out
+        finally:
+            segment.close()
+            segment.unlink()
+
+    def test_no_arrays_means_no_segment(self):
+        data, segment, descriptors = pack_payload({"n": 3, "s": "y"})
+        assert segment is None
+        assert descriptors == ()
+        assert unpack_payload(data, None, descriptors) == {"n": 3, "s": "y"}
+
+    def test_non_contiguous_arrays_stay_inline(self):
+        strided = np.arange(128, dtype=float)[::2]
+        data, segment, descriptors = pack_payload({"a": strided})
+        assert segment is None
+        np.testing.assert_array_equal(
+            unpack_payload(data, None, descriptors)["a"], strided
+        )
+
+
+class TestParityMatrix:
+    """Same seeded population, bit-for-bit across all four backends."""
+
+    CONFIG = SolverConfig(
+        pool_size=2, n_starts=2, max_retries=1, backoff_base=0.0, seed=11
+    )
+
+    def _run(self, name, faulty=(), on_error="record", config=None):
+        cfg = config or self.CONFIG
+        return solve_radius_tasks_isolated(
+            _tasks(6, cfg, faulty=faulty), cfg, on_error=on_error, backend=name
+        )
+
+    def test_clean_population_identical(self):
+        reference, ref_failures = self._run("serial")
+        assert ref_failures == []
+        for name in ("thread", "process", "shm"):
+            results, failures = self._run(name)
+            assert _result_dicts(results) == _result_dicts(reference), name
+            assert failures == [], name
+
+    def test_failure_records_identical_under_faults(self):
+        faulty = (1, 4)
+        reference, ref_failures = self._run("serial", faulty=faulty)
+        assert {r.task_index for r in ref_failures} == set(faulty)
+        for name in ("thread", "process", "shm"):
+            results, failures = self._run(name, faulty=faulty)
+            assert _result_dicts(results) == _result_dicts(reference), name
+            assert _records_no_wall(failures) == _records_no_wall(ref_failures), name
+
+    def test_degrade_mode_identical(self):
+        # maxiter=1 makes the wavy landscape non-convergent, so every task
+        # falls back to the (seeded, hence reproducible) Monte-Carlo bound
+        cfg = SolverConfig(pool_size=2, maxiter=1, max_retries=0, backoff_base=0.0, seed=11)
+        tasks = [
+            (
+                PerformanceFeature(
+                    f"w_{i}",
+                    CallableImpact(_wavy, name="wavy"),
+                    FeatureBounds.upper_only(3.0 + 0.05 * i),
+                ),
+                PARAM,
+                None,
+                cfg,
+            )
+            for i in range(4)
+        ]
+        reference, ref_failures = solve_radius_tasks_isolated(
+            tasks, cfg, on_error="degrade", backend="serial"
+        )
+        assert all(rec.fallback_used for rec in ref_failures)
+        assert all(res.solver == "montecarlo" for res in reference)
+        for name in ("thread", "process", "shm"):
+            results, failures = solve_radius_tasks_isolated(
+                tasks, cfg, on_error="degrade", backend=name
+            )
+            assert _result_dicts(results) == _result_dicts(reference), name
+            assert _records_no_wall(failures) == _records_no_wall(ref_failures), name
+
+    def test_batched_agrees_with_per_task_supervisor(self):
+        # a task deadline disables the chunked path, forcing shm through the
+        # per-task supervisor; results must not depend on the path taken
+        batched, batched_failures = self._run("shm", faulty=(0,))
+        per_task_cfg = self.CONFIG.replace(task_timeout=60.0)
+        per_task, per_task_failures = self._run(
+            "shm", faulty=(0,), config=per_task_cfg
+        )
+        assert _result_dicts(batched) == _result_dicts(per_task)
+        assert _records_no_wall(batched_failures) == _records_no_wall(
+            per_task_failures
+        )
+
+    def test_chunk_size_does_not_change_results(self):
+        reference, _ = self._run("shm")
+        for chunk_size in (1, 2, 5):
+            cfg = self.CONFIG.replace(chunk_size=chunk_size)
+            results, failures = self._run("shm", config=cfg)
+            assert _result_dicts(results) == _result_dicts(reference), chunk_size
+            assert failures == []
+
+
+@pytest.mark.chaos
+class TestCrashParity:
+    """Worker crashes are contained identically on both process substrates."""
+
+    def test_process_and_shm_agree_under_crashes(self):
+        cfg = SolverConfig(
+            pool_size=2, n_starts=1, max_retries=1, backoff_base=0.0, seed=2
+        )
+
+        def run(name):
+            tasks = []
+            for i in range(6):
+                f = _feature(i)
+                if i == 2:
+                    f = wrap_feature(f, "crash", worker_only=True)
+                tasks.append((f, PARAM, None, cfg))
+            return solve_radius_tasks_isolated(
+                tasks, cfg, on_error="record", backend=name
+            )
+
+        proc_results, proc_failures = run("process")
+        shm_results, shm_failures = run("shm")
+
+        # the crashing task fails the same way (stage, attempts, placement)...
+        assert [r.task_index for r in proc_failures] == [2]
+        assert [r.task_index for r in shm_failures] == [2]
+        for rec in (proc_failures[0], shm_failures[0]):
+            assert rec.stage == "crash"
+            assert "WorkerCrashError" in rec.exception
+        assert proc_failures[0].attempts == shm_failures[0].attempts
+
+        # ...and every healthy task is bit-for-bit identical
+        healthy = [i for i in range(6) if i != 2]
+        assert [proc_results[i].to_dict() for i in healthy] == [
+            shm_results[i].to_dict() for i in healthy
+        ]
+        assert not proc_results[2].converged
+        assert not shm_results[2].converged
+
+
+class TestObservabilityParity:
+    """Per-task accounting is backend-independent."""
+
+    CONFIG = SolverConfig(
+        pool_size=2, n_starts=1, max_retries=1, backoff_base=0.0, seed=5
+    )
+
+    def _accounting(self, name):
+        obs.reset_metrics()
+        tasks = _tasks(4, self.CONFIG, faulty=(3,))
+        with obs.observed() as tracer:
+            solve_radius_tasks_isolated(
+                tasks, self.CONFIG, on_error="record", backend=name
+            )
+        spans = tracer.spans()
+        terminals = [s for s in spans if s.name == "fault.task"]
+        hist = obs.get_registry().to_json().get("repro_radius_solve_seconds", {})
+        n_solves = sum(c["count"] for c in hist.get("children", []))
+        states = sorted(
+            (s.attrs["task_index"], s.attrs["terminal"]) for s in terminals
+        )
+        backends = {s.attrs.get("backend") for s in terminals}
+        obs.disable()
+        obs.reset_metrics()
+        return states, n_solves, backends
+
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_every_backend_accounts_for_every_task(self, name):
+        states, n_solves, backends = self._accounting(name)
+        assert states == [
+            (0, "success"),
+            (1, "success"),
+            (2, "success"),
+            (3, "failure"),
+        ]
+        assert n_solves == 4
+        # terminal spans carry the backend that ran the batch
+        assert backends == {name}
+
+    def test_worker_spans_cross_processes_only_when_isolated(self):
+        import os
+
+        for name, expect_other_pid in (("thread", False), ("process", True)):
+            with obs.observed() as tracer:
+                solve_radius_tasks_isolated(
+                    _tasks(4, self.CONFIG),
+                    self.CONFIG,
+                    on_error="record",
+                    backend=name,
+                )
+            worker_pids = {
+                s.pid for s in tracer.spans() if s.name == "pool.worker.solve"
+            }
+            assert worker_pids, name
+            if expect_other_pid:
+                assert worker_pids != {os.getpid()}, name
+            else:
+                assert worker_pids == {os.getpid()}, name
+            obs.disable()
+
+
+class TestEnginePopulationParity:
+    """End-to-end: RobustnessEngine(backend=...) across the matrix."""
+
+    def test_population_values_identical(self):
+        config = SolverConfig(pool_size=2, n_starts=1, seed=3)
+        problems = [([_feature(i)], PARAM) for i in range(5)]
+        from repro.engine import RobustnessEngine
+
+        reference = None
+        for name in BACKEND_NAMES:
+            batch = RobustnessEngine(config=config, backend=name).evaluate_population(
+                problems, on_error="record"
+            )
+            values = [m.value for m in batch]
+            if reference is None:
+                reference = values
+            assert values == reference, name
+            assert batch.failures == ()

@@ -1,0 +1,198 @@
+"""Persistent content-addressed radius store: keys, digests, lifecycle."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.config import SolverConfig
+from repro.core.features import FeatureBounds, PerformanceFeature
+from repro.core.impact import AffineImpact
+from repro.core.perturbation import PerturbationParameter
+from repro.core.radius import RadiusResult
+from repro.engine import RadiusStore, RobustnessEngine
+from repro.engine.store import STORE_VERSION, key_digest, persistable_key
+from repro.exceptions import ValidationError
+
+
+def _result(radius: float = 1.5) -> RadiusResult:
+    return RadiusResult(
+        feature="phi",
+        parameter="pi",
+        radius=radius,
+        boundary_point=np.array([0.3, 0.4]),
+        binding_bound="upper",
+        value_at_origin=0.5,
+        feasible_at_origin=True,
+        solver="numeric",
+    )
+
+
+class TestPersistableKey:
+    def test_value_based_key_accepted(self):
+        key = (
+            ("affine", b"\x00" * 16, (2,), 0.0),
+            (0.0, 4.0),
+            (b"\x00" * 16, (2,)),
+            ("l2", None),
+            (("maxiter", 100), ("n_starts", 4)),
+        )
+        assert persistable_key(key)
+
+    @pytest.mark.parametrize("tag", ["impact-id", "norm-id"])
+    def test_identity_tags_rejected(self, tag):
+        assert not persistable_key(((tag, 139876), (0.0, 4.0)))
+
+    def test_identity_tag_rejected_at_any_depth(self):
+        assert not persistable_key(((("norm-id", 7),), "x"))
+
+    def test_scalars_are_persistable(self):
+        assert persistable_key((1, 2.5, "s", b"b", True, None))
+
+
+class TestKeyDigest:
+    def test_stable_and_hex(self):
+        key = (("affine", b"ab", (2,), 1.0), (0.0, 4.0))
+        d = key_digest(key)
+        assert d == key_digest(key)
+        assert len(d) == 64
+        int(d, 16)  # valid hex
+
+    def test_bool_and_int_do_not_collide(self):
+        assert key_digest((True,)) != key_digest((1,))
+        assert key_digest((False,)) != key_digest((0,))
+
+    def test_float_and_int_do_not_collide(self):
+        assert key_digest((1.0,)) != key_digest((1,))
+
+    def test_string_and_bytes_do_not_collide(self):
+        assert key_digest(("ab",)) != key_digest((b"ab",))
+
+    def test_nesting_is_significant(self):
+        assert key_digest((("a", "b"),)) != key_digest(("a", "b"))
+
+    def test_unencodable_component_raises(self):
+        with pytest.raises(ValidationError, match="not encodable"):
+            key_digest((object(),))
+
+
+class TestStoreLifecycle:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "store.json"
+        store = RadiusStore(path)
+        res = _result()
+        store.put("d1", res)
+        store.save()
+        assert path.exists()
+
+        fresh = RadiusStore(path)
+        got = fresh.get("d1")
+        assert got is not None
+        assert got.to_dict() == res.to_dict()
+        assert fresh.stats()["hits"] == 1
+
+    def test_missing_file_is_empty(self, tmp_path):
+        store = RadiusStore(tmp_path / "nope.json")
+        assert store.get("d1") is None
+        assert len(store) == 0
+        assert store.stats()["misses"] == 1
+
+    def test_corrupt_file_degrades_to_empty(self, tmp_path):
+        path = tmp_path / "store.json"
+        path.write_text("{not json")
+        store = RadiusStore(path)
+        store.load()
+        assert len(store) == 0
+
+    def test_fingerprint_mismatch_discards(self, tmp_path):
+        path = tmp_path / "store.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "fingerprint": f"repro-radius-store-v{STORE_VERSION + 1}",
+                    "entries": {"d1": _result().to_dict()},
+                }
+            )
+        )
+        store = RadiusStore(path)
+        store.load()
+        assert len(store) == 0
+        # the discard is persisted on save, preventing repeated re-parsing
+        store.save()
+        doc = json.loads(path.read_text())
+        assert doc["fingerprint"] == store.fingerprint
+        assert doc["entries"] == {}
+
+    def test_corrupt_entry_dropped_not_fatal(self, tmp_path):
+        path = tmp_path / "store.json"
+        store = RadiusStore(path)
+        store.put("good", _result())
+        store.save()
+        doc = json.loads(path.read_text())
+        doc["entries"]["bad"] = {"type": "RadiusResult", "version": 1}
+        path.write_text(json.dumps(doc))
+
+        fresh = RadiusStore(path)
+        assert fresh.get("bad") is None
+        assert fresh.get("good") is not None
+        fresh.save()
+        assert "bad" not in json.loads(path.read_text())["entries"]
+
+    def test_save_without_changes_is_noop(self, tmp_path):
+        path = tmp_path / "store.json"
+        store = RadiusStore(path)
+        store.save()
+        assert not path.exists()
+
+
+class TestEngineIntegration:
+    CONFIG = SolverConfig(solver="numeric", n_starts=1, seed=7)
+
+    def _problems(self):
+        param = PerturbationParameter("pi", np.array([0.4, 0.6]))
+        problems = []
+        for i in range(4):
+            f = PerformanceFeature(
+                f"a_{i}",
+                AffineImpact(np.array([1.0, 0.5 + 0.1 * i])),
+                FeatureBounds.upper_only(3.0),
+            )
+            problems.append(([f], param))
+        return problems
+
+    def test_store_populated_and_reused(self, tmp_path):
+        path = tmp_path / "radius.json"
+        store = RadiusStore(path)
+        engine = RobustnessEngine(config=self.CONFIG, store=store)
+        first = engine.evaluate_population(self._problems())
+        assert len(store) == 4
+        assert path.exists()
+
+        warm_store = RadiusStore(path)
+        warm = RobustnessEngine(config=self.CONFIG, store=warm_store)
+        second = warm.evaluate_population(self._problems())
+        assert warm_store.hits == 4
+        assert [m.value for m in second] == [m.value for m in first]
+
+    def test_identity_keyed_solves_stay_out_of_store(self, tmp_path):
+        from repro.core.impact import CallableImpact
+
+        store = RadiusStore(tmp_path / "radius.json")
+        param = PerturbationParameter("pi", np.array([0.4, 0.6]))
+        feature = PerformanceFeature(
+            "c",
+            CallableImpact(lambda pi: float(pi @ pi), name="quad"),
+            FeatureBounds.upper_only(4.0),
+        )
+        RobustnessEngine(config=self.CONFIG, store=store).evaluate_metric(
+            [feature], param
+        )
+        assert len(store) == 0
+
+    def test_store_path_accepts_string(self, tmp_path):
+        store = RadiusStore(str(tmp_path / "s.json"))
+        store.put("d", _result())
+        store.save()
+        assert (tmp_path / "s.json").exists()

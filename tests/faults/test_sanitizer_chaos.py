@@ -152,6 +152,10 @@ class TestAdmittedFailures:
 
 
 @pytest.mark.chaos
+@pytest.mark.skipif(
+    os.environ.get("REPRO_BACKEND") in ("serial", "thread"),
+    reason="crash containment requires an isolating backend (process or shm)",
+)
 class TestCrashPlusSanitize:
     """The previously untested combination: ``sanitize=True`` while a pool
     worker crashes mid-batch.  The crash must be attributed to its own

@@ -28,6 +28,13 @@ class TestParser:
         assert args.seed == 2003
         assert args.n_mappings == 1000
         assert args.tau == 1.2
+        assert args.backend is None
+
+    def test_backend_choices(self):
+        args = build_parser().parse_args(["fig4", "--backend", "thread"])
+        assert args.backend == "thread"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig3", "--backend", "quantum"])
 
 
 class TestCommands:
@@ -230,6 +237,37 @@ class TestLintFlags:
         committed.write_text(committed.read_text() + "\ny = 2\n")
         assert main(["lint", "--changed", "--no-cache"]) == 1
         assert "R001" in capsys.readouterr().out
+
+    def test_changed_ref_lints_committed_range(self, tmp_path, monkeypatch, capsys):
+        import subprocess
+
+        monkeypatch.setenv("HOME", str(tmp_path))
+        monkeypatch.setenv("GIT_AUTHOR_NAME", "t")
+        monkeypatch.setenv("GIT_AUTHOR_EMAIL", "t@t")
+        monkeypatch.setenv("GIT_COMMITTER_NAME", "t")
+        monkeypatch.setenv("GIT_COMMITTER_EMAIL", "t@t")
+        subprocess.run(["git", "init", "-q"], cwd=tmp_path, check=True)
+        (tmp_path / "seed.py").write_text("x = 1\n")
+        subprocess.run(["git", "add", "."], cwd=tmp_path, check=True)
+        subprocess.run(["git", "commit", "-q", "-m", "seed"], cwd=tmp_path, check=True)
+        (tmp_path / "bad.py").write_text(
+            "import numpy as np\n\ndef f():\n    np.random.seed(0)\n"
+        )
+        subprocess.run(["git", "add", "."], cwd=tmp_path, check=True)
+        subprocess.run(["git", "commit", "-q", "-m", "bad"], cwd=tmp_path, check=True)
+        monkeypatch.chdir(tmp_path)
+        # the working tree is clean, but the committed range has the violation
+        assert main(["lint", "--changed", "--no-cache"]) == 0
+        capsys.readouterr()
+        assert main(["lint", "--changed=HEAD~1", "--no-cache"]) == 1
+        assert "R001" in capsys.readouterr().out
+
+    def test_changed_ref_that_is_a_path_exits_2(self, tmp_path, monkeypatch, capsys):
+        # `--changed src/` is a likely misreading of the CLI: catch it
+        (tmp_path / "src").mkdir()
+        monkeypatch.chdir(tmp_path)
+        assert main(["lint", "--changed", "src", "--no-cache"]) == 2
+        assert "git ref" in capsys.readouterr().err
 
 
 def _fake_faults(monkeypatch, *, holds=True, sound=True, tight=True):

@@ -13,14 +13,17 @@ import pytest
 
 PUBLIC_MODULES = [
     "repro",
+    "repro.api",
     "repro.core",
     "repro.core.config",
     "repro.core.norms",
     "repro.core.solvers",
     "repro.core.multi",
     "repro.engine",
+    "repro.engine.backends",
     "repro.engine.cache",
     "repro.engine.pool",
+    "repro.engine.store",
     "repro.etcgen",
     "repro.alloc",
     "repro.alloc.heuristics",
