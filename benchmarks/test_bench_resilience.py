@@ -1,0 +1,83 @@
+"""Schedule-run throughput benchmark for the resilience subsystem.
+
+:func:`repro.sim.run_schedule` is the inner loop of every resilience
+evaluation — the radius-vs-resilience experiment calls it once per mapping,
+so population sweeps live or die on its per-step cost.  This benchmark
+
+- measures steps-per-second through a representative schedule (all four
+  event kinds, outages included) on a mid-sized workload;
+- checks the emitted series is bit-for-bit stable across repeats (a
+  benchmark that silently changes answers measures nothing);
+- lands the numbers in ``benchmarks/out/BENCH_resilience.json`` for the
+  regression gate in ``test_bench_regression.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.alloc.mapping import Mapping
+from repro.etcgen.cvb import cvb_etc_matrix
+from repro.faults import PerturbationSchedule
+from repro.sim import run_schedule
+
+OUT_DIR = Path(__file__).parent / "out"
+
+N_TASKS = 40
+N_MACHINES = 8
+N_STEPS = 400
+N_EVENTS = 12
+REPEATS = 5
+TAU = 1.2
+
+
+def _case():
+    etc = cvb_etc_matrix(N_TASKS, N_MACHINES, seed=11)
+    mapping = Mapping(np.arange(N_TASKS) % N_MACHINES, N_MACHINES)
+    schedule = PerturbationSchedule.generate(
+        N_EVENTS, N_TASKS, N_MACHINES, seed=12
+    )
+    return mapping, etc, schedule
+
+
+def test_schedule_run_throughput():
+    mapping, etc, schedule = _case()
+    run_schedule(mapping, etc, schedule, TAU, n_steps=50)  # warm up
+
+    best = float("inf")
+    reference = None
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        run = run_schedule(mapping, etc, schedule, TAU, n_steps=N_STEPS)
+        best = min(best, time.perf_counter() - t0)
+        if reference is None:
+            reference = run
+        else:
+            assert run.values.tobytes() == reference.values.tobytes()
+
+    steps_per_second = N_STEPS / best
+
+    OUT_DIR.mkdir(exist_ok=True)
+    payload = {
+        "n_tasks": N_TASKS,
+        "n_machines": N_MACHINES,
+        "n_steps": N_STEPS,
+        "n_events": N_EVENTS,
+        "run_seconds": round(best, 6),
+        "steps_per_second": round(steps_per_second, 1),
+        "n_violations": reference.n_violations,
+        "repeats": REPEATS,
+    }
+    out = OUT_DIR / "BENCH_resilience.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(
+        f"\nschedule run: {N_STEPS} steps in {best * 1e3:.2f} ms "
+        f"({steps_per_second:,.0f} steps/s)\n[report saved to {out}]"
+    )
+    # sanity floor, far below any real machine: the gate proper compares
+    # against the committed baseline with tolerance
+    assert steps_per_second > 100.0

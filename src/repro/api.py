@@ -8,6 +8,7 @@ execution-backend selection::
     result = api.evaluate(features, parameter)
     batch = api.evaluate_population(problems, backend="shm", on_error="record")
     curve = api.robustness_curve(mappings, etc, taus=[1.1, 1.2, 1.5])
+    report = api.evaluate_resilience(mapping, etc, schedule, tau=1.2)
 
 Every function accepts the same orthogonal keywords:
 
@@ -55,7 +56,11 @@ from repro.engine.engine import (
 from repro.engine.fault import RetryPolicy
 from repro.engine.store import RadiusStore
 from repro.exceptions import ValidationError
+from repro.faults.schedule import PerturbationSchedule
 from repro.hiperd.model import HiperDSystem
+from repro.resilience.evaluate import ResilienceReport
+from repro.resilience.evaluate import evaluate_resilience as _evaluate_resilience
+from repro.utils.clock import Clock
 from repro.utils.serialization import encode_array, decode_array
 
 __all__ = [
@@ -64,8 +69,11 @@ __all__ = [
     "evaluate_stream",
     "evaluate_allocation",
     "evaluate_hiperd",
+    "evaluate_resilience",
     "robustness_curve",
     "RobustnessCurve",
+    "ResilienceReport",
+    "PerturbationSchedule",
     "RobustnessEngine",
     "BatchRobustnessResult",
     "AllocationBatchResult",
@@ -287,6 +295,53 @@ def robustness_curve(
     tau_arr = np.asarray(list(taus), dtype=float)
     if tau_arr.ndim != 1 or tau_arr.size == 0:
         raise ValidationError("taus must be a non-empty 1-D sequence")
+    diffs = np.diff(tau_arr)
+    if diffs.size and not (np.all(diffs > 0) or np.all(diffs < 0)):
+        raise ValidationError(
+            "taus must be strictly monotonic (all increasing or all "
+            f"decreasing) so the curve is well-ordered; got {tau_arr.tolist()}"
+        )
     engine = _engine(norm, config, backend, store)
     rows = [engine.evaluate_allocation(mappings, etc, float(t)).values for t in tau_arr]
     return RobustnessCurve(taus=tau_arr, values=np.vstack(rows))
+
+
+def evaluate_resilience(
+    mapping: "Mapping | Sequence[int] | np.ndarray",
+    etc: np.ndarray,
+    schedule: PerturbationSchedule,
+    tau: float,
+    *,
+    n_steps: int = 200,
+    tail_fraction: float = 0.1,
+    clock: "Clock | None" = None,
+) -> ResilienceReport:
+    """Temporal resilience of one mapping under a perturbation schedule.
+
+    Runs ``mapping`` through ``schedule`` (:func:`repro.sim.run_schedule`),
+    sampling the predicted makespan on ``n_steps`` uniform points of the
+    schedule horizon, and summarizes the series (dip, time to recovery,
+    degradation integral, steady-state offset, antifragility) into one
+    serializable :class:`~repro.resilience.ResilienceReport`.
+
+    Unlike the engine facades this is a pure simulation pass — there is no
+    numeric solve, so no ``backend=``/``store=`` keywords.  The report is a
+    deterministic function of its arguments; the only randomness lives in
+    (seeded) schedule generation.  ``mapping`` may be a
+    :class:`~repro.alloc.mapping.Mapping` or a bare assignment vector (the
+    machine count is then taken from ``etc``'s column count).
+    """
+    if not isinstance(mapping, Mapping):
+        etc_arr = np.asarray(etc, dtype=float)
+        if etc_arr.ndim != 2:
+            raise ValidationError(f"etc must be 2-D, got shape {etc_arr.shape}")
+        mapping = Mapping(np.asarray(mapping, dtype=np.int64), etc_arr.shape[1])
+    return _evaluate_resilience(
+        mapping,
+        etc,
+        schedule,
+        tau,
+        n_steps=n_steps,
+        tail_fraction=tail_fraction,
+        clock=clock,
+    )

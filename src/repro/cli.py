@@ -9,6 +9,7 @@ Usage::
     python -m repro heuristics [--seed N] [--tau X]
     python -m repro monitor   [--seed N] [--steps N] [--threshold X]
     python -m repro faults    [--seed N] [--tau X] [--eps X] [--confidence X]
+    python -m repro resilience [--seed N] [--tau X] [--n-steps N] [--experiment]
     python -m repro lint      [--format text|json] [--select CODES] [--changed[=REF]] PATHS...
     python -m repro trace run [--profile] [--trace-out FILE] SUBCOMMAND ...
     python -m repro trace check TRACE_FILE [--schema FILE]
@@ -92,6 +93,33 @@ def build_parser() -> argparse.ArgumentParser:
     pf.add_argument("--eps", type=float, default=0.01)
     pf.add_argument("--confidence", type=float, default=0.99)
     pf.add_argument("--fail-fraction", type=float, default=0.5)
+
+    pr = sub.add_parser(
+        "resilience",
+        help="temporal resilience: run a mapping through a perturbation "
+        "schedule, or sweep the radius-vs-recovery correlation",
+    )
+    pr.add_argument("--seed", type=int, default=2003)
+    pr.add_argument("--tau", type=float, default=1.2)
+    pr.add_argument("--n-steps", type=int, default=200)
+    pr.add_argument("--n-events", type=int, default=8)
+    pr.add_argument("--horizon", type=float, default=100.0)
+    pr.add_argument(
+        "--experiment",
+        action="store_true",
+        help="run the radius-vs-resilience population sweep instead of a "
+        "single schedule run",
+    )
+    pr.add_argument("--n-mappings", type=int, default=200)
+    pr.add_argument("--out", type=Path, default=None)
+    pr.add_argument(
+        "--json-out",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="also write the serialized result (repro.io JSON codec)",
+    )
+    _add_backend_argument(pr)
 
     pl = sub.add_parser(
         "lint",
@@ -381,6 +409,46 @@ def _cmd_faults(args) -> int:
     return 0 if cert.holds and hv.sound and hv.tight else 1
 
 
+def _cmd_resilience(args) -> int:
+    from repro.alloc.generators import random_mapping
+    from repro.etcgen import cvb_etc_matrix
+    from repro.faults import PerturbationSchedule
+    from repro.io import save_result
+    from repro.resilience import (
+        evaluate_resilience,
+        report_experiment,
+        report_resilience,
+        run_resilience_experiment,
+    )
+
+    if args.experiment:
+        result = run_resilience_experiment(
+            n_mappings=args.n_mappings,
+            tau=args.tau,
+            n_events=args.n_events,
+            n_steps=args.n_steps,
+            horizon=args.horizon,
+            seed=args.seed,
+            backend=args.backend,
+        )
+        _emit(report_experiment(result), args.out)
+    else:
+        etc = cvb_etc_matrix(20, 5, seed=args.seed)
+        mapping = random_mapping(20, 5, seed=args.seed + 1)
+        schedule = PerturbationSchedule.generate(
+            args.n_events, 20, 5, horizon=args.horizon, seed=args.seed + 2
+        )
+        result = evaluate_resilience(
+            mapping, etc, schedule, args.tau, n_steps=args.n_steps
+        )
+        _emit(report_resilience(result), args.out)
+    if args.json_out is not None:
+        args.json_out.parent.mkdir(parents=True, exist_ok=True)
+        save_result(result, args.json_out)
+        print(f"[result written to {args.json_out}]")
+    return 0
+
+
 def _cmd_lint(args) -> int:
     from repro.analysis import (
         SummaryStore,
@@ -567,6 +635,7 @@ _COMMANDS = {
     "heuristics": _cmd_heuristics,
     "monitor": _cmd_monitor,
     "faults": _cmd_faults,
+    "resilience": _cmd_resilience,
     "lint": _cmd_lint,
     "trace": _cmd_trace,
 }

@@ -59,6 +59,7 @@ from repro.exceptions import (
     ValidationError,
     WorkerCrashError,
 )
+from repro.utils.clock import get_clock
 
 __all__ = [
     "RetryPolicy",
@@ -182,7 +183,9 @@ class FailureRecord:
     exception: str | None
     #: True when a Monte-Carlo bound replaced the exact solve
     fallback_used: bool = False
-    #: wall-clock seconds from first submission to terminal state
+    #: wall-clock seconds from first submission to terminal state, measured
+    #: on the active :func:`repro.utils.clock.get_clock` (deterministic when
+    #: a :class:`~repro.utils.clock.FakeClock` is installed)
     wall_time: float = 0.0
     #: non-convergence reason from the numeric solver's taxonomy, if any
     reason: str | None = None
@@ -334,7 +337,7 @@ def _record_terminal(
     metrics.  Callers guard on :func:`repro.obs.trace.enabled`."""
     tracer = obs_trace.get_tracer()
     if tracer is not None:
-        end = time.perf_counter_ns()
+        end = int(get_clock().perf_counter() * 1e9)
         span = tracer.start_span(
             "fault.task",
             task_index=int(index),
@@ -546,15 +549,16 @@ def _solve_serial(
     results: list[RadiusResult] = []
     failures: list[FailureRecord] = []
     tracing = obs_trace.enabled()
+    clock = get_clock()
     for i, task in enumerate(tasks):
-        t0 = time.perf_counter() if tracing else 0.0
+        t0 = clock.perf_counter() if tracing else 0.0
         res, rec = _solve_one_inline(i, task, config, policy, on_error)
         results.append(res)
         if rec is not None:
             failures.append(rec)
         if tracing:
             _record_terminal(
-                i, task, rec, time.perf_counter() - t0, path="serial", backend=backend_name
+                i, task, rec, clock.perf_counter() - t0, path="serial", backend=backend_name
             )
     return results, failures
 
@@ -568,7 +572,7 @@ def _solve_one_inline(
 ) -> tuple[RadiusResult, FailureRecord | None]:
     """Retry ladder for one task executed in the current process."""
     feature, parameter, norm, _ = task
-    start = time.perf_counter()
+    start = get_clock().perf_counter()
     last_exc: ReproError | None = None
     last_res: RadiusResult | None = None
     attempts = 0
@@ -596,7 +600,7 @@ def _solve_one_inline(
             # genuinely unreachable boundary.
             return res, None
         last_res = res
-    wall = time.perf_counter() - start
+    wall = get_clock().perf_counter() - start
     if last_exc is not None:
         if on_error == "raise":
             raise last_exc
@@ -669,9 +673,10 @@ def chunk_radius_tasks(payload: tuple) -> "tuple | obs_trace.TracedResult":
         results: list[RadiusResult] = []
         records: list[FailureRecord | None] = []
         walls: list[float] = []
+        clock = get_clock()
         for offset, task in enumerate(tasks):
             index = int(start_index) + offset
-            t0 = time.perf_counter()
+            t0 = clock.perf_counter()
             if tracer is not None:
                 with tracer.span(
                     "pool.worker.solve", task_index=index, feature=task[0].name
@@ -681,7 +686,7 @@ def chunk_radius_tasks(payload: tuple) -> "tuple | obs_trace.TracedResult":
                 res, rec = _solve_one_inline(index, task, config, policy, on_error)
             results.append(res)
             records.append(rec)
-            walls.append(time.perf_counter() - t0)
+            walls.append(clock.perf_counter() - t0)
         out = (results, records, walls)
         if tracer is None:
             return out
@@ -851,7 +856,7 @@ class _Supervisor:
     # -- terminal bookkeeping -------------------------------------------------
     def _wall(self, index: int) -> float:
         t0 = self.started[index]
-        return 0.0 if t0 is None else time.perf_counter() - t0
+        return 0.0 if t0 is None else get_clock().perf_counter() - t0
 
     def _finish(self, index: int, result: RadiusResult, record: FailureRecord | None) -> None:
         self.results[index] = result
@@ -1050,7 +1055,7 @@ class _Supervisor:
             cfg = self.policy.escalated(self.config, attempt)
             feature, parameter, norm, _ = self.tasks[index]
             if self.started[index] is None:
-                self.started[index] = time.perf_counter()
+                self.started[index] = get_clock().perf_counter()
             span_ctx = obs_trace.current_context()
             if obs_trace.enabled():
                 _record_fault_event(

@@ -1,6 +1,6 @@
-"""Fault injection and empirical radius validation.
+"""Fault injection, perturbation schedules and empirical radius validation.
 
-Two complementary attacks on the library's own trustworthiness:
+Three complementary attacks on the library's own trustworthiness:
 
 - :mod:`~repro.faults.inject` — deterministic, seedable injectors
   (raise / NaN / hang / crash) that wrap impact functions, used by the chaos
@@ -12,9 +12,14 @@ Two complementary attacks on the library's own trustworthiness:
   acceptance-sampling :func:`~repro.faults.validate.certify` API turns zero
   observed violations into a confidence-bounded certificate.  A machine-
   failure scenario (:func:`~repro.faults.validate.machine_failure_scenario`)
-  exercises the larger fail-stop disturbance through the event simulator.
+  exercises the larger fail-stop disturbance through the event simulator;
+- :mod:`~repro.faults.schedule` — deterministic, seeded
+  :class:`PerturbationSchedule` objects (step / ramp / spike / burst-crash
+  events addressed by simulated time) that :func:`repro.sim.run_schedule`
+  executes to produce the time series the temporal resilience metrics
+  (:mod:`repro.resilience`) are computed from.
 
-See ``docs/FAULTS.md`` for a worked example.
+See ``docs/FAULTS.md`` and ``docs/RESILIENCE.md`` for worked examples.
 """
 
 from repro.faults.inject import (
@@ -22,6 +27,11 @@ from repro.faults.inject import (
     FaultyImpact,
     choose_fault_indices,
     wrap_feature,
+)
+from repro.faults.schedule import (
+    EVENT_KINDS,
+    PerturbationEvent,
+    PerturbationSchedule,
 )
 from repro.faults.validate import (
     Certificate,
@@ -37,6 +47,9 @@ __all__ = [
     "FaultyImpact",
     "wrap_feature",
     "choose_fault_indices",
+    "EVENT_KINDS",
+    "PerturbationEvent",
+    "PerturbationSchedule",
     "PerturbationValidation",
     "Certificate",
     "validate_allocation_radius",

@@ -46,6 +46,7 @@ import numpy as np
 from repro.core.features import PerformanceFeature
 from repro.core.impact import ImpactFunction, as_impact
 from repro.exceptions import SolverError, ValidationError
+from repro.utils.rng import ensure_rng
 
 __all__ = [
     "CURRENT_ATTEMPT",
@@ -185,14 +186,17 @@ def wrap_feature(feature: PerformanceFeature, mode: str, **kwargs) -> Performanc
     )
 
 
-def choose_fault_indices(n_tasks: int, fraction: float, seed: int = 0) -> np.ndarray:
+def choose_fault_indices(
+    n_tasks: int, fraction: float, seed: "int | np.random.Generator" = 0
+) -> np.ndarray:
     """Seeded choice of which tasks of a batch carry an injector.
 
     Returns a sorted array of ``round(n_tasks * fraction)`` distinct indices;
-    deterministic in ``(n_tasks, fraction, seed)``.
+    deterministic in ``(n_tasks, fraction, seed)``.  ``seed`` may also be an
+    existing :class:`numpy.random.Generator` to thread a shared stream.
     """
     if not 0.0 <= float(fraction) <= 1.0:
         raise ValidationError(f"fraction must be in [0, 1], got {fraction!r}")
     n_faulty = int(round(n_tasks * float(fraction)))
-    rng = np.random.default_rng(seed)
+    rng = ensure_rng(seed)
     return np.sort(rng.choice(n_tasks, size=n_faulty, replace=False))

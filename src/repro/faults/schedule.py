@@ -1,0 +1,275 @@
+"""Deterministic, seeded perturbation schedules addressed by simulated time.
+
+The injectors in :mod:`repro.faults.inject` misbehave *per call*; a
+:class:`PerturbationSchedule` instead describes how the world drifts *over
+simulated time*, so :func:`repro.sim.run_schedule` can execute a mapping
+through a disturbance and emit the performance-feature time series the
+resilience metrics (:mod:`repro.resilience`) are computed from.
+
+A schedule is an ordered set of :class:`PerturbationEvent` entries over a
+finite ``horizon``.  Four event kinds cover the RESMETRIC disturbance
+taxonomy:
+
+- ``"step"`` — from ``time`` onward, the target application's actual
+  computation time is inflated by ``magnitude`` (a fraction of its
+  unperturbed time) and stays inflated;
+- ``"ramp"`` — the inflation rises linearly from 0 at ``time`` to
+  ``magnitude`` at ``time + duration``, then holds;
+- ``"spike"`` — the inflation holds at ``magnitude`` during
+  ``[time, time + duration)`` and returns to 0 afterwards (a transient
+  overload that the system can recover from);
+- ``"burst_crash"`` — the target *machine* is down during
+  ``[time, time + duration)``: its applications must execute on the
+  least-loaded surviving machine until the outage ends (fail-stop with
+  recovery).
+
+Multiple events on the same application stack additively.  Everything is a
+pure function of the event list: ``deltas_at`` / ``down_machines_at`` have
+no hidden state, so two runs of the same schedule are bit-for-bit
+identical.  :meth:`PerturbationSchedule.generate` draws a random schedule
+from a **single seeded generator** (one :func:`~repro.utils.rng.ensure_rng`
+stream), making the whole disturbance a deterministic function of the seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.rng import ensure_rng
+
+__all__ = ["EVENT_KINDS", "PerturbationEvent", "PerturbationSchedule"]
+
+#: valid event kinds, in the order ``generate`` cycles through them
+EVENT_KINDS = ("step", "ramp", "spike", "burst_crash")
+
+
+@dataclass(frozen=True)
+class PerturbationEvent:
+    """One scheduled disturbance (see module docstring for semantics)."""
+
+    #: one of :data:`EVENT_KINDS`
+    kind: str
+    #: simulated time the event begins (>= 0)
+    time: float
+    #: ramp rise time / spike width / outage length (ignored for ``step``)
+    duration: float
+    #: fractional inflation of the target's computation time (>= 0;
+    #: ignored for ``burst_crash``)
+    magnitude: float
+    #: application index (``step``/``ramp``/``spike``) or machine index
+    #: (``burst_crash``)
+    target: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in EVENT_KINDS:
+            raise ValidationError(
+                f"event kind must be one of {EVENT_KINDS}, got {self.kind!r}"
+            )
+        if not np.isfinite(self.time) or self.time < 0:
+            raise ValidationError(f"event time must be finite and >= 0, got {self.time!r}")
+        if not np.isfinite(self.duration) or self.duration < 0:
+            raise ValidationError(
+                f"event duration must be finite and >= 0, got {self.duration!r}"
+            )
+        if self.kind in ("ramp", "spike", "burst_crash") and self.duration == 0:
+            raise ValidationError(f"{self.kind!r} events need a positive duration")
+        if not np.isfinite(self.magnitude) or self.magnitude < 0:
+            raise ValidationError(
+                f"event magnitude must be finite and >= 0, got {self.magnitude!r}"
+            )
+        if int(self.target) < 0:
+            raise ValidationError(f"event target must be >= 0, got {self.target!r}")
+
+    def inflation_at(self, t: float) -> float:
+        """Fractional inflation this event contributes at simulated time ``t``."""
+        if self.kind == "burst_crash" or t < self.time:
+            return 0.0
+        if self.kind == "step":
+            return self.magnitude
+        if self.kind == "ramp":
+            return self.magnitude * min(1.0, (t - self.time) / self.duration)
+        # spike: active on [time, time + duration)
+        return self.magnitude if t < self.time + self.duration else 0.0
+
+    def to_dict(self) -> dict:
+        """Encode as a JSON-ready dict."""
+        return {
+            "kind": self.kind,
+            "time": float(self.time),
+            "duration": float(self.duration),
+            "magnitude": float(self.magnitude),
+            "target": int(self.target),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PerturbationEvent":
+        """Decode a payload written by :meth:`to_dict`."""
+        return cls(
+            kind=str(data["kind"]),
+            time=float(data["time"]),
+            duration=float(data["duration"]),
+            magnitude=float(data["magnitude"]),
+            target=int(data["target"]),
+        )
+
+
+@dataclass(frozen=True)
+class PerturbationSchedule:
+    """A time-addressed disturbance: events over a finite horizon.
+
+    The schedule is pure data — evaluating it never mutates it — and every
+    query is deterministic, so a ``(seed, schedule)`` pair pins an entire
+    resilience run bit-for-bit.
+    """
+
+    #: the scheduled events (any order; queries scan all of them)
+    events: tuple[PerturbationEvent, ...]
+    #: end of simulated time; events must start strictly before it
+    horizon: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events", tuple(self.events))
+        if not np.isfinite(self.horizon) or self.horizon <= 0:
+            raise ValidationError(
+                f"horizon must be finite and > 0, got {self.horizon!r}"
+            )
+        for ev in self.events:
+            if not isinstance(ev, PerturbationEvent):
+                raise ValidationError(f"events must be PerturbationEvent, got {ev!r}")
+            if ev.time >= self.horizon:
+                raise ValidationError(
+                    f"event at t={ev.time} starts at/after the horizon {self.horizon}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def deltas_at(self, t: float, c_orig: np.ndarray) -> np.ndarray:
+        """Additive perturbation of the actual-time vector at time ``t``.
+
+        ``c_orig`` is the unperturbed per-application computation-time
+        vector; the return value is ``delta`` such that the actual times at
+        ``t`` are ``c_orig + delta``.  Inflations of the same application
+        stack additively; application indices beyond ``c_orig`` are ignored
+        (a schedule can be reused across workload sizes).
+        """
+        c_orig = np.asarray(c_orig, dtype=float)
+        delta = np.zeros_like(c_orig)
+        for ev in self.events:
+            if ev.kind == "burst_crash" or ev.target >= c_orig.size:
+                continue
+            delta[ev.target] += c_orig[ev.target] * ev.inflation_at(float(t))
+        return delta
+
+    def down_machines_at(self, t: float) -> tuple[int, ...]:
+        """Machines inside a ``burst_crash`` outage at time ``t`` (sorted)."""
+        t = float(t)
+        down = {
+            ev.target
+            for ev in self.events
+            if ev.kind == "burst_crash" and ev.time <= t < ev.time + ev.duration
+        }
+        return tuple(sorted(down))
+
+    def outages(self) -> tuple[PerturbationEvent, ...]:
+        """The ``burst_crash`` events, ordered by start time."""
+        return tuple(
+            sorted(
+                (ev for ev in self.events if ev.kind == "burst_crash"),
+                key=lambda ev: (ev.time, ev.target),
+            )
+        )
+
+    def to_dict(self) -> dict:
+        """Encode as a JSON-ready dict (round-trips via :meth:`from_dict`)."""
+        return {
+            "type": "PerturbationSchedule",
+            "version": 1,
+            "horizon": float(self.horizon),
+            "events": [ev.to_dict() for ev in self.events],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PerturbationSchedule":
+        """Decode a payload written by :meth:`to_dict`; validates the type tag."""
+        if data.get("type") != "PerturbationSchedule":
+            raise ValidationError(
+                f"expected type 'PerturbationSchedule', got {data.get('type')!r}"
+            )
+        return cls(
+            events=tuple(PerturbationEvent.from_dict(ev) for ev in data["events"]),
+            horizon=float(data["horizon"]),
+        )
+
+    @classmethod
+    def generate(
+        cls,
+        n_events: int,
+        n_tasks: int,
+        n_machines: int,
+        *,
+        horizon: float = 100.0,
+        kinds: tuple[str, ...] = EVENT_KINDS,
+        magnitude_range: tuple[float, float] = (0.2, 1.0),
+        duration_fraction: tuple[float, float] = (0.05, 0.25),
+        seed: int | np.random.Generator | None = 0,
+    ) -> "PerturbationSchedule":
+        """Draw a random schedule from a single seeded generator.
+
+        Events cycle through ``kinds`` round-robin (so every requested kind
+        appears for ``n_events >= len(kinds)``); start times, targets,
+        magnitudes and durations all come from the one
+        :func:`~repro.utils.rng.ensure_rng` stream, making the schedule a
+        deterministic function of ``seed``.
+
+        ``magnitude_range`` bounds the fractional inflation; durations are
+        drawn as a fraction of ``horizon`` within ``duration_fraction``.
+        ``burst_crash`` events are only generated when ``n_machines >= 2``
+        (a surviving machine is needed to adopt the displaced work).
+        """
+        if int(n_events) < 0:
+            raise ValidationError(f"n_events must be >= 0, got {n_events!r}")
+        if int(n_tasks) < 1 or int(n_machines) < 1:
+            raise ValidationError("need at least one application and one machine")
+        bad = [k for k in kinds if k not in EVENT_KINDS]
+        if bad or not kinds:
+            raise ValidationError(
+                f"kinds must be a non-empty subset of {EVENT_KINDS}, got {kinds!r}"
+            )
+        lo, hi = float(magnitude_range[0]), float(magnitude_range[1])
+        if not 0 <= lo <= hi:
+            raise ValidationError(f"bad magnitude_range {magnitude_range!r}")
+        dlo, dhi = float(duration_fraction[0]), float(duration_fraction[1])
+        if not 0 < dlo <= dhi:
+            raise ValidationError(f"bad duration_fraction {duration_fraction!r}")
+        rng = ensure_rng(seed)
+        horizon = float(horizon)
+        usable = [k for k in kinds if k != "burst_crash" or int(n_machines) >= 2]
+        if not usable:
+            raise ValidationError(
+                "burst_crash-only schedules need n_machines >= 2"
+            )
+        events = []
+        for k in range(int(n_events)):
+            kind = usable[k % len(usable)]
+            # start in the first 60% of the horizon so recovery is observable
+            start = float(rng.uniform(0.0, 0.6 * horizon))
+            duration = float(rng.uniform(dlo, dhi) * horizon)
+            magnitude = float(rng.uniform(lo, hi))
+            if kind == "burst_crash":
+                target = int(rng.integers(0, int(n_machines)))
+            else:
+                target = int(rng.integers(0, int(n_tasks)))
+            events.append(
+                PerturbationEvent(
+                    kind=kind,
+                    time=start,
+                    duration=duration,
+                    magnitude=magnitude,
+                    target=target,
+                )
+            )
+        return cls(events=tuple(events), horizon=horizon)

@@ -12,9 +12,11 @@ plus every result object of the analysis APIs through one registry-backed
 codec (:func:`result_to_dict` / :func:`result_from_dict` /
 :func:`save_result` / :func:`load_result`): ``RadiusResult``,
 ``MetricResult``, ``AllocationRobustness``, ``HiperdRobustness``,
-``ConstraintSet`` and the engine's batch results all round-trip through
-their own ``to_dict``/``from_dict`` pair, dispatched on the payload's
-``"type"`` tag.
+``ConstraintSet``, the engine's batch results and the resilience objects
+(``PerturbationSchedule``, ``ScheduleRunResult``, ``ResilienceMetrics``,
+``ResilienceReport``, ``ResilienceExperimentResult``) all round-trip
+through their own ``to_dict``/``from_dict`` pair, dispatched on the
+payload's ``"type"`` tag.
 
 ``save_json``/``load_json`` are the raw helpers.  Every payload carries a
 ``"type"`` tag and a ``"version"`` so future format changes can stay
@@ -67,8 +69,13 @@ def _result_registry() -> dict:
         FailureRecord,
         HiperdBatchResult,
     )
+    from repro.faults.schedule import PerturbationSchedule
     from repro.hiperd.constraints import ConstraintSet
     from repro.hiperd.robustness import HiperdRobustness
+    from repro.resilience.evaluate import ResilienceReport
+    from repro.resilience.experiment import ResilienceExperimentResult
+    from repro.resilience.metrics import ResilienceMetrics
+    from repro.sim.schedule_run import ScheduleRunResult
 
     return {
         "RadiusResult": RadiusResult,
@@ -80,6 +87,11 @@ def _result_registry() -> dict:
         "HiperdBatchResult": HiperdBatchResult,
         "BatchRobustnessResult": BatchRobustnessResult,
         "FailureRecord": FailureRecord,
+        "PerturbationSchedule": PerturbationSchedule,
+        "ScheduleRunResult": ScheduleRunResult,
+        "ResilienceMetrics": ResilienceMetrics,
+        "ResilienceReport": ResilienceReport,
+        "ResilienceExperimentResult": ResilienceExperimentResult,
     }
 
 

@@ -1,0 +1,57 @@
+"""Temporal resilience: how a mapping behaves *through* a disturbance.
+
+The paper's robustness radius is a static promise — a distance to the
+failure boundary.  This package measures the dynamic counterpart: a
+mapping is executed through a seeded
+:class:`~repro.faults.schedule.PerturbationSchedule`
+(:func:`repro.sim.run_schedule` emits the performance-feature series) and
+the series is summarized by pure metric functions —
+
+- dip magnitude, time to recovery, degradation integral, steady-state
+  offset and antifragility score (:mod:`~repro.resilience.metrics`);
+- :func:`evaluate_resilience` bundles a run and its metrics into one
+  serializable :class:`ResilienceReport` (obs spans/metrics included);
+- :func:`run_resilience_experiment` sweeps a random population for the
+  static radius *and* the temporal metrics under one shared schedule and
+  reports the radius-vs-recovery correlation
+  (:mod:`~repro.resilience.experiment`).
+
+See ``docs/RESILIENCE.md`` for the formulas and a CLI walkthrough
+(``repro resilience``).
+"""
+
+from repro.resilience.evaluate import ResilienceReport, evaluate_resilience
+from repro.resilience.experiment import (
+    ResilienceExperimentResult,
+    run_resilience_experiment,
+)
+from repro.resilience.metrics import (
+    ResilienceMetrics,
+    antifragility_score,
+    degradation_integral,
+    dip_magnitude,
+    evaluate_series,
+    resilience_metrics,
+    steady_state_offset,
+    time_to_recovery,
+    violation_flags,
+)
+from repro.resilience.report import report_experiment, report_resilience
+
+__all__ = [
+    "ResilienceMetrics",
+    "ResilienceReport",
+    "ResilienceExperimentResult",
+    "violation_flags",
+    "dip_magnitude",
+    "time_to_recovery",
+    "degradation_integral",
+    "steady_state_offset",
+    "antifragility_score",
+    "resilience_metrics",
+    "evaluate_series",
+    "evaluate_resilience",
+    "run_resilience_experiment",
+    "report_resilience",
+    "report_experiment",
+]

@@ -1,0 +1,244 @@
+"""Temporal resilience metrics over performance-feature time series.
+
+The paper's robustness radius is a *static* distance to the failure
+boundary; these metrics (after RESMETRIC, arXiv 2501.18245) summarize how a
+system behaves *through* a disturbance, given the series a schedule run
+(:func:`repro.sim.run_schedule`) emits: sample times ``t_k``, feature
+values ``v_k`` (makespan — higher is worse), the acceptable-region limit
+``L = tau * M_orig`` and the nominal baseline ``B = M_orig``.
+
+Definitions (all pure functions; ``docs/RESILIENCE.md`` derives them):
+
+- **dip magnitude** — worst relative degradation vs. nominal,
+  ``max_k (v_k - B) / B`` floored at 0 (``inf`` when a total outage drove
+  the value to infinity);
+- **time to recovery** — duration of the violating episode: with ``i`` the
+  first and ``j`` the last violating sample, ``t_{j+1} - t_i`` (0 with no
+  violation; ``inf`` when the final sample still violates — the system
+  never recovered inside the horizon);
+- **degradation integral** — area between the series and the limit while
+  violating, ``sum_k w_k * (v_k - L) * [v_k violating]`` with trapezoid
+  nodal weights ``w_k`` of the sample grid (a single-sample series uses
+  unit weight).  Zero **iff** no step violates;
+- **steady-state offset** — relative offset of the settled tail,
+  ``(mean of the last ceil(tail_fraction * n) samples - B) / B`` (signed:
+  negative means the system ended *better* than nominal);
+- **antifragility score** — ``max(0, -steady_state_offset)``: positive
+  exactly when the post-disturbance steady state beats the nominal
+  baseline (for this closed-form feature it is 0 unless a disturbance
+  permanently *reduced* computation times).
+
+Violation flags use the same float guard as the schedule runner
+(:data:`repro.sim.schedule_run.VIOLATION_RTOL`), and the degradation
+excess is gated on the flag, so "integral is zero" and "no violating step"
+are exactly the same statement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.sim.schedule_run import VIOLATION_RTOL, ScheduleRunResult
+from repro.utils.serialization import decode_float, encode_float
+from repro.utils.validation import as_1d_float_array
+
+__all__ = [
+    "ResilienceMetrics",
+    "violation_flags",
+    "dip_magnitude",
+    "time_to_recovery",
+    "degradation_integral",
+    "steady_state_offset",
+    "antifragility_score",
+    "resilience_metrics",
+    "evaluate_series",
+]
+
+
+def _series(times, values) -> tuple[np.ndarray, np.ndarray]:
+    times = as_1d_float_array(times, "times")
+    values = np.asarray(values, dtype=float).ravel()
+    if times.size == 0:
+        raise ValidationError("resilience metrics need a non-empty series")
+    if values.size != times.size:
+        raise ValidationError(
+            f"values has {values.size} entries for {times.size} sample times"
+        )
+    if np.any(np.diff(times) <= 0):
+        raise ValidationError("sample times must be strictly increasing")
+    return times, values
+
+
+def violation_flags(values, limit: float) -> np.ndarray:
+    """Per-step violation flags, ``v > L`` with the shared float guard."""
+    values = np.asarray(values, dtype=float).ravel()
+    return values > float(limit) * (1.0 + VIOLATION_RTOL)
+
+
+def dip_magnitude(values, baseline: float) -> float:
+    """Worst relative degradation vs. nominal: ``max_k (v_k - B)/B``, >= 0."""
+    values = np.asarray(values, dtype=float).ravel()
+    baseline = float(baseline)
+    if baseline <= 0:
+        raise ValidationError(f"baseline must be > 0, got {baseline!r}")
+    if values.size == 0:
+        raise ValidationError("dip_magnitude needs a non-empty series")
+    return float(max(0.0, (np.max(values) - baseline) / baseline))
+
+
+def time_to_recovery(times, violations) -> float:
+    """Duration of the violating episode (0 = never violated, inf = never
+    recovered inside the horizon)."""
+    times = as_1d_float_array(times, "times")
+    flags = np.asarray(violations, dtype=bool).ravel()
+    if flags.size != times.size:
+        raise ValidationError(
+            f"violations has {flags.size} entries for {times.size} sample times"
+        )
+    idx = np.flatnonzero(flags)
+    if idx.size == 0:
+        return 0.0
+    first, last = int(idx[0]), int(idx[-1])
+    if last == times.size - 1:
+        return float("inf")
+    return float(times[last + 1] - times[first])
+
+
+def degradation_integral(times, values, limit: float) -> float:
+    """Area under the excess over the limit, restricted to violating steps.
+
+    Trapezoid nodal weights of the grid (``w_0 = (t_1-t_0)/2``, interior
+    ``w_k = (t_{k+1}-t_{k-1})/2``, ``w_{n-1} = (t_{n-1}-t_{n-2})/2``; a
+    single-sample series uses ``w_0 = 1``), each multiplied by the excess
+    ``v_k - L`` when step ``k`` violates and by 0 otherwise — so the
+    integral is zero exactly when no step violates.
+    """
+    times, values = _series(times, values)
+    flags = violation_flags(values, limit)
+    excess = np.where(flags, values - float(limit), 0.0)
+    if times.size == 1:
+        return float(excess[0])
+    weights = np.empty_like(times)
+    weights[0] = (times[1] - times[0]) / 2.0
+    weights[-1] = (times[-1] - times[-2]) / 2.0
+    if times.size > 2:
+        weights[1:-1] = (times[2:] - times[:-2]) / 2.0
+    return float(np.sum(excess * weights))
+
+
+def steady_state_offset(values, baseline: float, *, tail_fraction: float = 0.1) -> float:
+    """Relative offset of the settled tail vs. nominal (signed)."""
+    values = np.asarray(values, dtype=float).ravel()
+    baseline = float(baseline)
+    if baseline <= 0:
+        raise ValidationError(f"baseline must be > 0, got {baseline!r}")
+    if values.size == 0:
+        raise ValidationError("steady_state_offset needs a non-empty series")
+    if not 0.0 < float(tail_fraction) <= 1.0:
+        raise ValidationError(
+            f"tail_fraction must be in (0, 1], got {tail_fraction!r}"
+        )
+    n_tail = max(1, int(np.ceil(values.size * float(tail_fraction))))
+    return float((np.mean(values[-n_tail:]) - baseline) / baseline)
+
+
+def antifragility_score(values, baseline: float, *, tail_fraction: float = 0.1) -> float:
+    """``max(0, -steady_state_offset)`` — positive iff the settled system
+    outperforms its own nominal baseline."""
+    return max(0.0, -steady_state_offset(values, baseline, tail_fraction=tail_fraction))
+
+
+@dataclass(frozen=True)
+class ResilienceMetrics:
+    """The resilience summary of one schedule run."""
+
+    #: worst relative degradation vs. nominal (>= 0, inf on total outage)
+    dip: float
+    #: duration of the violating episode (0 none, inf never recovered)
+    time_to_recovery: float
+    #: area under the excess-over-limit curve while violating
+    degradation_integral: float
+    #: signed relative offset of the settled tail vs. nominal
+    steady_state_offset: float
+    #: ``max(0, -steady_state_offset)``
+    antifragility: float
+    #: number of violating samples
+    n_violations: int
+    #: fraction of samples that violated
+    violation_fraction: float
+    #: whether the final sample was back inside the acceptable region
+    recovered: bool
+
+    def to_dict(self) -> dict:
+        """Encode as a JSON-ready dict (round-trips via :meth:`from_dict`)."""
+        return {
+            "type": "ResilienceMetrics",
+            "version": 1,
+            "dip": encode_float(self.dip),
+            "time_to_recovery": encode_float(self.time_to_recovery),
+            "degradation_integral": encode_float(self.degradation_integral),
+            "steady_state_offset": encode_float(self.steady_state_offset),
+            "antifragility": encode_float(self.antifragility),
+            "n_violations": int(self.n_violations),
+            "violation_fraction": float(self.violation_fraction),
+            "recovered": bool(self.recovered),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ResilienceMetrics":
+        """Decode a payload written by :meth:`to_dict`; validates the type tag."""
+        if data.get("type") != "ResilienceMetrics":
+            raise ValidationError(
+                f"expected type 'ResilienceMetrics', got {data.get('type')!r}"
+            )
+        return cls(
+            dip=decode_float(data["dip"]),
+            time_to_recovery=decode_float(data["time_to_recovery"]),
+            degradation_integral=decode_float(data["degradation_integral"]),
+            steady_state_offset=decode_float(data["steady_state_offset"]),
+            antifragility=decode_float(data["antifragility"]),
+            n_violations=int(data["n_violations"]),
+            violation_fraction=float(data["violation_fraction"]),
+            recovered=bool(data["recovered"]),
+        )
+
+
+def resilience_metrics(
+    times,
+    values,
+    limit: float,
+    baseline: float,
+    *,
+    tail_fraction: float = 0.1,
+) -> ResilienceMetrics:
+    """All resilience metrics of one series (see module docstring)."""
+    times, values = _series(times, values)
+    flags = violation_flags(values, limit)
+    return ResilienceMetrics(
+        dip=dip_magnitude(values, baseline),
+        time_to_recovery=time_to_recovery(times, flags),
+        degradation_integral=degradation_integral(times, values, limit),
+        steady_state_offset=steady_state_offset(
+            values, baseline, tail_fraction=tail_fraction
+        ),
+        antifragility=antifragility_score(
+            values, baseline, tail_fraction=tail_fraction
+        ),
+        n_violations=int(np.count_nonzero(flags)),
+        violation_fraction=float(np.count_nonzero(flags) / flags.size),
+        recovered=bool(not flags[-1]),
+    )
+
+
+def evaluate_series(run: ScheduleRunResult, *, tail_fraction: float = 0.1) -> ResilienceMetrics:
+    """Resilience metrics of a :class:`~repro.sim.schedule_run.ScheduleRunResult`."""
+    return resilience_metrics(
+        run.times,
+        run.values,
+        run.limit,
+        run.baseline,
+        tail_fraction=tail_fraction,
+    )

@@ -1,0 +1,111 @@
+"""Plain-text reports for resilience runs and the correlation experiment."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.resilience.evaluate import ResilienceReport
+from repro.resilience.experiment import ResilienceExperimentResult
+from repro.utils.tables import ascii_scatter, format_table
+
+__all__ = ["report_resilience", "report_experiment"]
+
+
+def _fmt(x: float) -> str:
+    if not np.isfinite(x):
+        return "inf" if x > 0 else ("-inf" if x < 0 else "nan")
+    return f"{x:.4g}"
+
+
+def report_resilience(report: ResilienceReport) -> str:
+    """One schedule run: the metric summary plus the violating episodes."""
+    run, m = report.run, report.metrics
+    lines = [
+        "=== Temporal resilience "
+        f"({run.n_steps} samples over [0, {run.times[-1]:.4g}], "
+        f"tau={run.tau}) ===",
+        "",
+        format_table(
+            ["metric", "value"],
+            [
+                ["baseline makespan M_orig", _fmt(run.baseline)],
+                ["limit tau * M_orig", _fmt(run.limit)],
+                ["dip magnitude", _fmt(m.dip)],
+                ["time to recovery", _fmt(m.time_to_recovery)],
+                ["degradation integral", _fmt(m.degradation_integral)],
+                ["steady-state offset", _fmt(m.steady_state_offset)],
+                ["antifragility score", _fmt(m.antifragility)],
+                ["violating samples", f"{m.n_violations}/{run.n_steps}"],
+                ["recovered inside horizon", str(m.recovered)],
+            ],
+            title="resilience metrics",
+        ),
+    ]
+    if run.outages:
+        lines.append("")
+        lines.append(
+            format_table(
+                ["machine", "start", "end", "displaced apps"],
+                [
+                    [o.machine, _fmt(o.start), _fmt(o.end), len(o.displaced)]
+                    for o in run.outages
+                ],
+                title="machine outages",
+            )
+        )
+    finite = np.isfinite(run.values)
+    if finite.sum() >= 2 and np.ptp(run.values[finite]) > 0:
+        lines.append("")
+        lines.append(
+            ascii_scatter(
+                run.times[finite],
+                run.values[finite],
+                xlabel="simulated time",
+                ylabel="makespan",
+            )
+        )
+    return "\n".join(lines)
+
+
+def report_experiment(result: ResilienceExperimentResult) -> str:
+    """The radius-vs-resilience sweep: correlations plus the scatter."""
+    finite = np.isfinite(result.recovery_times)
+    violated = result.recovery_times > 0
+    lines = [
+        "=== Radius vs resilience "
+        f"({result.n_mappings} random mappings, tau={result.tau}, "
+        f"{len(result.schedule.events)} schedule events) ===",
+        "",
+        format_table(
+            ["pair", "pearson", "spearman"],
+            [
+                [
+                    "radius vs recovery time",
+                    _fmt(result.pearson_radius_recovery),
+                    _fmt(result.spearman_radius_recovery),
+                ],
+                [
+                    "radius vs degradation integral",
+                    _fmt(result.pearson_radius_integral),
+                    _fmt(result.spearman_radius_integral),
+                ],
+            ],
+            title="correlations (pearson over finite pairs; spearman over all)",
+        ),
+        "",
+        f"mappings that violated at all: {int(np.count_nonzero(violated))}"
+        f"/{result.n_mappings}",
+        f"mappings with finite recovery: {result.n_finite_recovery}"
+        f"/{result.n_mappings}",
+    ]
+    if finite.sum() >= 2 and np.ptp(result.radii[finite]) > 0:
+        lines.append("")
+        lines.append(
+            ascii_scatter(
+                result.radii[finite],
+                result.recovery_times[finite],
+                xlabel="robustness radius",
+                ylabel="recovery time",
+            )
+        )
+    return "\n".join(lines)

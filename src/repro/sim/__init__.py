@@ -15,11 +15,16 @@ by actually executing mappings:
   the makespan against ``tau * M_orig``;
 - :mod:`~repro.sim.failures` — fail-stop machine-failure scenarios: a
   machine dies mid-run, its unfinished work is reassigned, and the degraded
-  makespan is reported against the same tolerance bound.
+  makespan is reported against the same tolerance bound;
+- :mod:`~repro.sim.schedule_run` — execution of a mapping *through* a
+  :class:`~repro.faults.schedule.PerturbationSchedule`: per-step
+  performance-feature values, violation flags and outage records, feeding
+  the temporal resilience metrics in :mod:`repro.resilience`.
 """
 
 from repro.sim.engine import Event, Simulator
 from repro.sim.failures import MachineFailureResult, simulate_machine_failure
+from repro.sim.schedule_run import OutageRecord, ScheduleRunResult, run_schedule
 from repro.sim.tasksim import TaskSimResult, simulate_mapping
 from repro.sim.validate import MakespanValidation, validate_allocation_robustness
 
@@ -32,4 +37,7 @@ __all__ = [
     "validate_allocation_robustness",
     "MachineFailureResult",
     "simulate_machine_failure",
+    "OutageRecord",
+    "ScheduleRunResult",
+    "run_schedule",
 ]

@@ -27,6 +27,7 @@ import numpy as np
 from repro.alloc.mapping import Mapping
 from repro.exceptions import ValidationError
 from repro.sim.engine import Simulator
+from repro.utils.clock import Clock, get_clock
 from repro.utils.validation import as_1d_float_array
 
 __all__ = ["MachineFailureResult", "simulate_machine_failure"]
@@ -51,6 +52,9 @@ class MachineFailureResult:
     fail_time: float
     #: ``makespan <= tau * baseline`` when ``tau`` was supplied, else None
     within_tolerance: bool | None
+    #: wall-clock seconds the simulation took, measured on the caller's
+    #: clock (deterministic under :class:`~repro.utils.clock.FakeClock`)
+    wall_time: float = 0.0
 
 
 def simulate_machine_failure(
@@ -61,6 +65,7 @@ def simulate_machine_failure(
     *,
     actual_times=None,
     tau: float | None = None,
+    clock: Clock | None = None,
 ) -> MachineFailureResult:
     """Execute ``mapping``, kill one machine mid-run, reassign its work.
 
@@ -82,7 +87,13 @@ def simulate_machine_failure(
         assigned* machine (default: the unperturbed ``C_orig`` from ``etc``).
     tau:
         Optional makespan tolerance factor; fills ``within_tolerance``.
+    clock:
+        Monotonic clock used to measure ``wall_time`` (default: the active
+        :func:`repro.utils.clock.get_clock`; inject a
+        :class:`~repro.utils.clock.FakeClock` for deterministic timings).
     """
+    clock = get_clock() if clock is None else clock
+    t_start = clock.perf_counter()
     etc = np.asarray(etc, dtype=float)
     if etc.shape != (mapping.n_tasks, mapping.n_machines):
         raise ValidationError(
@@ -185,4 +196,5 @@ def simulate_machine_failure(
         failed_machine=fail_machine,
         fail_time=fail_time,
         within_tolerance=None if tau is None else bool(makespan <= float(tau) * baseline),
+        wall_time=clock.perf_counter() - t_start,
     )

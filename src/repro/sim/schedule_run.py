@@ -1,0 +1,267 @@
+"""Execute a mapping through a perturbation schedule; emit a time series.
+
+The static robustness radius answers "how far is the failure boundary?";
+the resilience metrics (:mod:`repro.resilience`) instead ask "what happens
+*through* a disturbance?".  This module supplies the raw material: it
+samples the performance feature (the mapping's predicted makespan under the
+Section 3.1 serial-machine model) on a uniform grid of simulated time while
+a :class:`~repro.faults.schedule.PerturbationSchedule` inflates computation
+times and takes machines down, and records at every step whether the
+paper's QoS requirement ``M(t) <= tau * M_orig`` still holds.
+
+Semantics per sample time ``t``:
+
+- the actual-time vector is ``C(t) = max(C_orig + schedule.deltas_at(t), 0)``;
+- machines inside a ``burst_crash`` outage are down; their applications
+  execute on the surviving machine with the least accumulated work (their
+  ETC entry there — fail-stop reassignment, matching
+  :mod:`repro.sim.failures`), in ascending application order;
+- the feature value is the resulting makespan; with *every* machine down
+  the value is ``inf`` (and violating).
+
+Everything is a pure function of ``(mapping, etc, schedule, tau)`` plus the
+sampling grid, so two runs are bit-for-bit identical — the reproducibility
+contract the resilience experiments rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.alloc.mapping import Mapping
+from repro.exceptions import ValidationError
+from repro.faults.schedule import PerturbationSchedule
+from repro.utils.clock import Clock, get_clock
+from repro.utils.serialization import decode_array, encode_array, encode_float, decode_float
+from repro.utils.validation import check_positive, check_positive_int
+
+__all__ = ["OutageRecord", "ScheduleRunResult", "run_schedule", "VIOLATION_RTOL"]
+
+#: relative float tolerance above the limit before a step counts as a
+#: violation (guards round-off on values constructed to sit on the bound);
+#: shared with the resilience metrics so "violating step" means one thing
+VIOLATION_RTOL = 1e-12
+
+
+@dataclass(frozen=True)
+class OutageRecord:
+    """One machine outage observed during a schedule run."""
+
+    #: the machine that was down
+    machine: int
+    #: outage interval in simulated time
+    start: float
+    end: float
+    #: applications displaced onto surviving machines during the outage
+    displaced: tuple[int, ...]
+
+    def to_dict(self) -> dict:
+        """Encode as a JSON-ready dict."""
+        return {
+            "machine": int(self.machine),
+            "start": float(self.start),
+            "end": float(self.end),
+            "displaced": [int(i) for i in self.displaced],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "OutageRecord":
+        """Decode a payload written by :meth:`to_dict`."""
+        return cls(
+            machine=int(data["machine"]),
+            start=float(data["start"]),
+            end=float(data["end"]),
+            displaced=tuple(int(i) for i in data["displaced"]),
+        )
+
+
+@dataclass(frozen=True)
+class ScheduleRunResult:
+    """Performance-feature time series of one schedule run."""
+
+    #: sample times, shape ``(n_steps,)``
+    times: np.ndarray
+    #: predicted makespan at each sample time (``inf`` = total outage)
+    values: np.ndarray
+    #: per-step QoS violation flags (``values > tau * M_orig``)
+    violations: np.ndarray
+    #: l2 norm of the actual-time perturbation at each step
+    perturbation_norms: np.ndarray
+    #: the unperturbed makespan ``M_orig``
+    baseline: float
+    #: the acceptable-region limit ``tau * M_orig``
+    limit: float
+    #: the tolerance factor the run was evaluated against
+    tau: float
+    #: one record per machine outage the schedule contained
+    outages: tuple[OutageRecord, ...]
+    #: wall-clock seconds the run took on the caller's clock
+    wall_time: float = 0.0
+
+    @property
+    def n_steps(self) -> int:
+        """Number of samples in the series."""
+        return int(self.times.size)
+
+    @property
+    def n_violations(self) -> int:
+        """Number of violating samples."""
+        return int(np.count_nonzero(self.violations))
+
+    def to_dict(self) -> dict:
+        """Encode as a JSON-ready dict (round-trips via :meth:`from_dict`)."""
+        return {
+            "type": "ScheduleRunResult",
+            "version": 1,
+            "times": encode_array(self.times),
+            "values": encode_array(self.values),
+            "violations": [bool(v) for v in self.violations],
+            "perturbation_norms": encode_array(self.perturbation_norms),
+            "baseline": encode_float(self.baseline),
+            "limit": encode_float(self.limit),
+            "tau": float(self.tau),
+            "outages": [o.to_dict() for o in self.outages],
+            "wall_time": float(self.wall_time),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScheduleRunResult":
+        """Decode a payload written by :meth:`to_dict`; validates the type tag."""
+        if data.get("type") != "ScheduleRunResult":
+            raise ValidationError(
+                f"expected type 'ScheduleRunResult', got {data.get('type')!r}"
+            )
+        return cls(
+            times=decode_array(data["times"]),
+            values=decode_array(data["values"]),
+            violations=np.asarray(data["violations"], dtype=bool),
+            perturbation_norms=decode_array(data["perturbation_norms"]),
+            baseline=decode_float(data["baseline"]),
+            limit=decode_float(data["limit"]),
+            tau=float(data["tau"]),
+            outages=tuple(OutageRecord.from_dict(o) for o in data["outages"]),
+            wall_time=float(data.get("wall_time", 0.0)),
+        )
+
+
+def _makespan_with_outages(
+    c: np.ndarray,
+    assignment: np.ndarray,
+    etc: np.ndarray,
+    down: tuple[int, ...],
+    n_machines: int,
+) -> tuple[float, tuple[int, ...]]:
+    """Makespan under fail-stop reassignment; also the displaced app set."""
+    finish = np.zeros(n_machines)
+    np.add.at(finish, assignment, c)
+    if not down:
+        return float(finish.max()), ()
+    down_set = set(down)
+    up = [j for j in range(n_machines) if j not in down_set]
+    if not up:
+        return float("inf"), tuple(int(i) for i in np.flatnonzero(np.isin(assignment, list(down_set))))
+    finish[list(down_set)] = 0.0
+    displaced = np.flatnonzero(np.isin(assignment, list(down_set)))
+    for i in displaced:
+        # least-loaded surviving machine adopts, at its own ETC entry
+        target = min(up, key=lambda j: (finish[j], j))
+        finish[target] += float(etc[i, target])
+    return float(finish.max()), tuple(int(i) for i in displaced)
+
+
+def run_schedule(
+    mapping: Mapping,
+    etc: np.ndarray,
+    schedule: PerturbationSchedule,
+    tau: float,
+    *,
+    n_steps: int = 200,
+    clock: Clock | None = None,
+) -> ScheduleRunResult:
+    """Sample the makespan of ``mapping`` through ``schedule``.
+
+    Parameters
+    ----------
+    mapping:
+        The application-to-machine assignment under test.
+    etc:
+        The ``(n_tasks, n_machines)`` estimate matrix; displaced
+        applications run with their ETC entry on the adopting machine.
+    schedule:
+        The disturbance to execute (see
+        :class:`~repro.faults.schedule.PerturbationSchedule`).
+    tau:
+        Makespan tolerance factor of the acceptable region
+        ``M(t) <= tau * M_orig``.
+    n_steps:
+        Number of uniformly spaced samples over ``[0, horizon]``.
+    clock:
+        Monotonic clock measuring ``wall_time`` (default the active
+        :func:`repro.utils.clock.get_clock`).
+    """
+    clock = get_clock() if clock is None else clock
+    t_start = clock.perf_counter()
+    etc = np.asarray(etc, dtype=float)
+    if etc.shape != (mapping.n_tasks, mapping.n_machines):
+        raise ValidationError(
+            f"etc must have shape ({mapping.n_tasks}, {mapping.n_machines}), "
+            f"got {etc.shape}"
+        )
+    tau = check_positive(tau, "tau")
+    n_steps = check_positive_int(n_steps, "n_steps")
+
+    c_orig = mapping.executed_times(etc).astype(float)
+    baseline_finish = np.zeros(mapping.n_machines)
+    np.add.at(baseline_finish, mapping.assignment, c_orig)
+    baseline = float(baseline_finish.max())
+    limit = tau * baseline
+
+    times = np.linspace(0.0, schedule.horizon, n_steps)
+    values = np.empty(n_steps)
+    norms = np.empty(n_steps)
+    violations = np.zeros(n_steps, dtype=bool)
+    outage_displaced: dict[tuple[int, float, float], set[int]] = {
+        (ev.target, ev.time, ev.time + ev.duration): set()
+        for ev in schedule.outages()
+    }
+
+    for k, t in enumerate(times):
+        delta = schedule.deltas_at(float(t), c_orig)
+        c = np.maximum(c_orig + delta, 0.0)
+        norms[k] = float(np.linalg.norm(c - c_orig))
+        down = schedule.down_machines_at(float(t))
+        value, displaced = _makespan_with_outages(
+            c, mapping.assignment, etc, down, mapping.n_machines
+        )
+        values[k] = value
+        violations[k] = value > limit * (1.0 + VIOLATION_RTOL)
+        if displaced:
+            for key, seen in outage_displaced.items():
+                machine, start, end = key
+                if machine in down and start <= t < end:
+                    seen.update(
+                        int(i) for i in displaced if mapping.assignment[i] == machine
+                    )
+
+    outages = tuple(
+        OutageRecord(
+            machine=machine,
+            start=start,
+            end=end,
+            displaced=tuple(sorted(seen)),
+        )
+        for (machine, start, end), seen in sorted(outage_displaced.items(), key=lambda kv: (kv[0][1], kv[0][0]))
+    )
+    return ScheduleRunResult(
+        times=times,
+        values=values,
+        violations=violations,
+        perturbation_norms=norms,
+        baseline=baseline,
+        limit=limit,
+        tau=tau,
+        outages=outages,
+        wall_time=clock.perf_counter() - t_start,
+    )

@@ -1,6 +1,7 @@
-"""Shared utilities: RNG plumbing, validation helpers, ASCII tables,
-JSON-safe float/array codecs."""
+"""Shared utilities: RNG plumbing, injectable clocks, validation helpers,
+ASCII tables, JSON-safe float/array codecs."""
 
+from repro.utils.clock import Clock, FakeClock, SystemClock, get_clock, set_clock, use_clock
 from repro.utils.rng import ensure_rng, spawn_rngs
 from repro.utils.serialization import (
     decode_array,
@@ -21,6 +22,12 @@ from repro.utils.validation import (
 from repro.utils.tables import format_table, format_series
 
 __all__ = [
+    "Clock",
+    "SystemClock",
+    "FakeClock",
+    "get_clock",
+    "set_clock",
+    "use_clock",
     "ensure_rng",
     "spawn_rngs",
     "as_1d_float_array",

@@ -1,0 +1,128 @@
+"""Injectable monotonic clocks for deterministic timing measurements.
+
+Wall-clock reads (``time.monotonic`` / ``time.perf_counter``) leak
+nondeterminism into otherwise reproducible results: the fault-tolerant solve
+layer stamps every :class:`~repro.engine.fault.FailureRecord` with a
+``wall_time``, and the failure simulator reports how long a degraded run
+took to execute.  Tests and resilience experiments that assert on those
+timings need a clock they control.
+
+:func:`get_clock` returns the process-wide active clock (a real
+:class:`SystemClock` unless a test installed something else), and
+:func:`use_clock` swaps in a replacement for a ``with`` block.
+:class:`FakeClock` is a deterministic stand-in: every read returns the
+current value and then advances it by a fixed ``tick``, so the k-th read of
+a run always observes the same timestamp — making measured durations a pure
+function of the call sequence.
+
+The active clock only affects *measurement* (timestamps and durations);
+sleeping and deadline waiting still happen in real time.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterator
+from contextlib import contextmanager
+from typing import Protocol, runtime_checkable
+
+__all__ = ["Clock", "SystemClock", "FakeClock", "get_clock", "set_clock", "use_clock"]
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """Anything that can report monotonic time in seconds."""
+
+    def monotonic(self) -> float:
+        """Seconds on a monotonically non-decreasing clock."""
+        ...  # pragma: no cover - protocol
+
+    def perf_counter(self) -> float:
+        """Seconds on the highest-resolution monotonic clock available."""
+        ...  # pragma: no cover - protocol
+
+
+class SystemClock:
+    """The real wall clock (delegates to :mod:`time`)."""
+
+    def monotonic(self) -> float:
+        """``time.monotonic()``."""
+        return time.monotonic()
+
+    def perf_counter(self) -> float:
+        """``time.perf_counter()``."""
+        return time.perf_counter()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "SystemClock()"
+
+
+class FakeClock:
+    """A deterministic clock: each read returns then advances the time.
+
+    Parameters
+    ----------
+    start:
+        Initial reading, in seconds.
+    tick:
+        Amount every read advances the clock by.  With ``tick > 0`` repeated
+        reads are strictly increasing (so duration measurements are positive
+        and exactly reproducible); ``tick=0`` freezes time.
+    """
+
+    def __init__(self, start: float = 0.0, tick: float = 0.001) -> None:
+        if float(tick) < 0:
+            raise ValueError(f"tick must be >= 0, got {tick!r}")
+        self._now = float(start)
+        self._tick = float(tick)
+        #: number of reads served so far
+        self.reads = 0
+
+    def _read(self) -> float:
+        now = self._now
+        self._now += self._tick
+        self.reads += 1
+        return now
+
+    def monotonic(self) -> float:
+        """Current fake time; advances by ``tick``."""
+        return self._read()
+
+    def perf_counter(self) -> float:
+        """Same stream as :meth:`monotonic` (one timeline, not two)."""
+        return self._read()
+
+    def advance(self, seconds: float) -> None:
+        """Jump the clock forward without counting as a read."""
+        if float(seconds) < 0:
+            raise ValueError(f"cannot advance backwards ({seconds!r})")
+        self._now += float(seconds)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FakeClock(now={self._now!r}, tick={self._tick!r})"
+
+
+_ACTIVE: Clock = SystemClock()
+
+
+def get_clock() -> Clock:
+    """The process-wide active clock (default: :class:`SystemClock`)."""
+    return _ACTIVE
+
+
+def set_clock(clock: Clock | None) -> Clock:
+    """Install ``clock`` (None restores the system clock); returns the old one."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = SystemClock() if clock is None else clock
+    return previous
+
+
+@contextmanager
+def use_clock(clock: Clock) -> Iterator[Clock]:
+    """Swap the active clock for the duration of a ``with`` block."""
+    previous = set_clock(clock)
+    try:
+        yield clock
+    finally:
+        set_clock(previous)

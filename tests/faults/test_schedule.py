@@ -1,0 +1,175 @@
+"""Perturbation schedules: event semantics, stacking, generation, codec."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.faults import EVENT_KINDS, PerturbationEvent, PerturbationSchedule
+
+
+def ev(kind="spike", time=10.0, duration=5.0, magnitude=0.5, target=0):
+    return PerturbationEvent(
+        kind=kind, time=time, duration=duration, magnitude=magnitude, target=target
+    )
+
+
+class TestEventValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValidationError, match="kind"):
+            ev(kind="meteor")
+
+    @pytest.mark.parametrize("time", [-1.0, float("nan"), float("inf")])
+    def test_bad_time_rejected(self, time):
+        with pytest.raises(ValidationError, match="time"):
+            ev(time=time)
+
+    @pytest.mark.parametrize("kind", ["ramp", "spike", "burst_crash"])
+    def test_timed_kinds_need_duration(self, kind):
+        with pytest.raises(ValidationError, match="duration"):
+            ev(kind=kind, duration=0.0)
+
+    def test_step_allows_zero_duration(self):
+        assert ev(kind="step", duration=0.0).inflation_at(20.0) == 0.5
+
+    def test_negative_magnitude_rejected(self):
+        with pytest.raises(ValidationError, match="magnitude"):
+            ev(magnitude=-0.1)
+
+    def test_negative_target_rejected(self):
+        with pytest.raises(ValidationError, match="target"):
+            ev(target=-1)
+
+
+class TestEventSemantics:
+    def test_step_holds_forever(self):
+        e = ev(kind="step", time=10.0, magnitude=0.4)
+        assert e.inflation_at(9.999) == 0.0
+        assert e.inflation_at(10.0) == 0.4
+        assert e.inflation_at(1e9) == 0.4
+
+    def test_ramp_rises_linearly_then_holds(self):
+        e = ev(kind="ramp", time=10.0, duration=4.0, magnitude=0.8)
+        assert e.inflation_at(10.0) == 0.0
+        assert e.inflation_at(12.0) == pytest.approx(0.4)
+        assert e.inflation_at(14.0) == pytest.approx(0.8)
+        assert e.inflation_at(100.0) == pytest.approx(0.8)
+
+    def test_spike_is_transient(self):
+        e = ev(kind="spike", time=10.0, duration=5.0, magnitude=0.5)
+        assert e.inflation_at(9.0) == 0.0
+        assert e.inflation_at(10.0) == 0.5
+        assert e.inflation_at(14.999) == 0.5
+        assert e.inflation_at(15.0) == 0.0  # half-open interval
+
+    def test_burst_crash_contributes_no_inflation(self):
+        e = ev(kind="burst_crash", time=10.0, duration=5.0)
+        assert e.inflation_at(12.0) == 0.0
+
+
+class TestSchedule:
+    def test_events_before_horizon_enforced(self):
+        with pytest.raises(ValidationError, match="horizon"):
+            PerturbationSchedule(events=(ev(time=50.0),), horizon=50.0)
+
+    def test_bad_horizon_rejected(self):
+        with pytest.raises(ValidationError, match="horizon"):
+            PerturbationSchedule(events=(), horizon=0.0)
+
+    def test_deltas_stack_additively(self):
+        sched = PerturbationSchedule(
+            events=(
+                ev(kind="step", time=0.0, magnitude=0.5, target=1),
+                ev(kind="spike", time=0.0, duration=10.0, magnitude=0.25, target=1),
+            ),
+            horizon=20.0,
+        )
+        c = np.array([4.0, 8.0])
+        np.testing.assert_allclose(sched.deltas_at(5.0, c), [0.0, 8.0 * 0.75])
+        np.testing.assert_allclose(sched.deltas_at(15.0, c), [0.0, 4.0])
+
+    def test_out_of_range_targets_ignored(self):
+        sched = PerturbationSchedule(
+            events=(ev(kind="step", time=0.0, magnitude=1.0, target=99),),
+            horizon=20.0,
+        )
+        np.testing.assert_array_equal(sched.deltas_at(5.0, np.ones(3)), np.zeros(3))
+
+    def test_down_machines_window(self):
+        sched = PerturbationSchedule(
+            events=(
+                ev(kind="burst_crash", time=10.0, duration=5.0, target=2),
+                ev(kind="burst_crash", time=12.0, duration=5.0, target=0),
+            ),
+            horizon=30.0,
+        )
+        assert sched.down_machines_at(9.0) == ()
+        assert sched.down_machines_at(10.0) == (2,)
+        assert sched.down_machines_at(13.0) == (0, 2)
+        assert sched.down_machines_at(15.0) == (0,)
+        assert sched.down_machines_at(17.0) == ()
+
+    def test_outages_sorted_by_start(self):
+        a = ev(kind="burst_crash", time=12.0, duration=5.0, target=0)
+        b = ev(kind="burst_crash", time=10.0, duration=5.0, target=2)
+        sched = PerturbationSchedule(events=(a, b), horizon=30.0)
+        assert sched.outages() == (b, a)
+
+
+class TestGenerate:
+    def test_deterministic_in_seed(self):
+        a = PerturbationSchedule.generate(8, 10, 4, seed=5)
+        b = PerturbationSchedule.generate(8, 10, 4, seed=5)
+        assert a == b
+        assert a != PerturbationSchedule.generate(8, 10, 4, seed=6)
+
+    def test_round_robin_covers_all_kinds(self):
+        sched = PerturbationSchedule.generate(8, 10, 4, seed=0)
+        assert {e.kind for e in sched.events} == set(EVENT_KINDS)
+
+    def test_single_machine_skips_burst_crash(self):
+        sched = PerturbationSchedule.generate(8, 10, 1, seed=0)
+        assert "burst_crash" not in {e.kind for e in sched.events}
+
+    def test_burst_crash_only_single_machine_rejected(self):
+        with pytest.raises(ValidationError, match="burst_crash"):
+            PerturbationSchedule.generate(4, 10, 1, kinds=("burst_crash",), seed=0)
+
+    def test_kind_subset_respected(self):
+        sched = PerturbationSchedule.generate(6, 10, 4, kinds=("spike",), seed=0)
+        assert {e.kind for e in sched.events} == {"spike"}
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValidationError, match="kinds"):
+            PerturbationSchedule.generate(4, 10, 4, kinds=("spike", "meteor"), seed=0)
+
+    def test_targets_in_range(self):
+        sched = PerturbationSchedule.generate(40, 7, 3, seed=11)
+        for e in sched.events:
+            bound = 3 if e.kind == "burst_crash" else 7
+            assert 0 <= e.target < bound
+
+    def test_generator_threading(self):
+        rng = np.random.default_rng(9)
+        a = PerturbationSchedule.generate(4, 10, 4, seed=rng)
+        b = PerturbationSchedule.generate(4, 10, 4, seed=np.random.default_rng(9))
+        assert a == b
+
+
+class TestCodec:
+    def test_roundtrip(self):
+        sched = PerturbationSchedule.generate(8, 10, 4, seed=3)
+        assert PerturbationSchedule.from_dict(sched.to_dict()) == sched
+
+    def test_wrong_tag_rejected(self):
+        with pytest.raises(ValidationError, match="PerturbationSchedule"):
+            PerturbationSchedule.from_dict({"type": "Mapping"})
+
+    def test_io_registry_roundtrip(self, tmp_path):
+        from repro.io import load_result, save_result
+
+        sched = PerturbationSchedule.generate(6, 10, 4, seed=3)
+        path = tmp_path / "sched.json"
+        save_result(sched, path)
+        assert load_result(path) == sched

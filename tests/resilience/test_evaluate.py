@@ -1,0 +1,118 @@
+"""evaluate_resilience: reproducibility, serialization, observability."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import api, obs
+from repro.alloc.mapping import Mapping
+from repro.etcgen.cvb import cvb_etc_matrix
+from repro.faults import PerturbationSchedule
+from repro.io import load_result, save_result
+from repro.resilience import ResilienceReport, evaluate_resilience
+from repro.utils.clock import FakeClock
+
+pytestmark = pytest.mark.resilience
+
+
+@pytest.fixture(scope="module")
+def case():
+    etc = cvb_etc_matrix(12, 4, seed=1)
+    mapping = Mapping(np.arange(12) % 4, 4)
+    schedule = PerturbationSchedule.generate(6, 12, 4, seed=3)
+    return mapping, etc, schedule
+
+
+class TestEvaluate:
+    def test_bit_for_bit_reproducible(self, case):
+        mapping, etc, schedule = case
+        a = evaluate_resilience(mapping, etc, schedule, 1.1, n_steps=120)
+        b = evaluate_resilience(mapping, etc, schedule, 1.1, n_steps=120)
+        assert a.metrics == b.metrics
+        assert a.run.values.tobytes() == b.run.values.tobytes()
+
+    def test_reproducible_from_serialized_schedule(self, case):
+        mapping, etc, schedule = case
+        clone = PerturbationSchedule.from_dict(
+            json.loads(json.dumps(schedule.to_dict()))
+        )
+        a = evaluate_resilience(mapping, etc, schedule, 1.1, n_steps=120)
+        b = evaluate_resilience(mapping, etc, clone, 1.1, n_steps=120)
+        assert a.metrics == b.metrics
+
+    def test_metrics_match_run(self, case):
+        mapping, etc, schedule = case
+        rep = evaluate_resilience(mapping, etc, schedule, 1.1, n_steps=120)
+        assert rep.metrics.n_violations == rep.run.n_violations
+        assert rep.metrics.recovered == (not rep.run.violations[-1])
+
+    def test_wall_time_from_injected_clock(self, case):
+        mapping, etc, schedule = case
+        rep = evaluate_resilience(
+            mapping, etc, schedule, 1.1, n_steps=50, clock=FakeClock(tick=0.25)
+        )
+        assert rep.run.wall_time == 0.25
+
+
+class TestFacade:
+    def test_api_matches_direct_call(self, case):
+        mapping, etc, schedule = case
+        via_api = api.evaluate_resilience(mapping, etc, schedule, 1.1, n_steps=80)
+        direct = evaluate_resilience(mapping, etc, schedule, 1.1, n_steps=80)
+        assert via_api.metrics == direct.metrics
+
+    def test_api_accepts_bare_assignment(self, case):
+        mapping, etc, schedule = case
+        via_vec = api.evaluate_resilience(
+            mapping.assignment, etc, schedule, 1.1, n_steps=80
+        )
+        via_map = api.evaluate_resilience(mapping, etc, schedule, 1.1, n_steps=80)
+        assert via_vec.metrics == via_map.metrics
+
+
+class TestSerialization:
+    def test_report_roundtrip_via_io(self, case, tmp_path):
+        mapping, etc, schedule = case
+        rep = evaluate_resilience(mapping, etc, schedule, 1.1, n_steps=60)
+        path = tmp_path / "report.json"
+        save_result(rep, path)
+        back = load_result(path)
+        assert isinstance(back, ResilienceReport)
+        assert back.metrics == rep.metrics
+        np.testing.assert_array_equal(back.run.values, rep.run.values)
+
+
+class TestObservability:
+    def test_silent_by_default(self, case):
+        mapping, etc, schedule = case
+        obs.reset_metrics()
+        evaluate_resilience(mapping, etc, schedule, 1.1, n_steps=60)
+        assert json.loads(obs.get_registry().render_json()) == {}
+
+    def test_span_and_metrics_when_enabled(self, case):
+        mapping, etc, schedule = case
+        obs.reset_metrics()
+        with obs.observed() as tracer:
+            rep = evaluate_resilience(mapping, etc, schedule, 1.1, n_steps=120)
+        names = [s.name for s in tracer.spans()]
+        assert "resilience.run" in names
+        registry = json.loads(obs.get_registry().render_json())
+        assert "repro_resilience_runs_total" in registry
+        assert "repro_resilience_dip_ratio" in registry
+        if 0.0 < rep.metrics.time_to_recovery < np.inf:
+            assert "repro_resilience_recovery_seconds" in registry
+            hist = registry["repro_resilience_recovery_seconds"]["children"][0]
+            assert hist["sum"] == pytest.approx(rep.metrics.time_to_recovery)
+
+    def test_outcome_label(self, case):
+        mapping, etc, schedule = case
+        obs.reset_metrics()
+        quiet = PerturbationSchedule(events=(), horizon=10.0)
+        with obs.observed():
+            evaluate_resilience(mapping, etc, quiet, 1.1, n_steps=20)
+        registry = json.loads(obs.get_registry().render_json())
+        children = registry["repro_resilience_runs_total"]["children"]
+        assert [c["labels"] for c in children] == [{"outcome": "clean"}]

@@ -1,0 +1,111 @@
+"""The radius-vs-resilience experiment: determinism, correlation sign,
+serialization, and the rank/linear correlation helpers."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.io import load_result, save_result
+from repro.resilience import ResilienceExperimentResult, run_resilience_experiment
+from repro.resilience.experiment import _pearson, _rankdata, _spearman
+
+pytestmark = pytest.mark.resilience
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_resilience_experiment(
+        n_tasks=12, n_machines=4, n_mappings=60, n_steps=80, seed=7
+    )
+
+
+class TestCorrelationHelpers:
+    def test_pearson_perfect_line(self):
+        x = np.arange(10.0)
+        assert _pearson(x, 2 * x + 1) == pytest.approx(1.0)
+        assert _pearson(x, -x) == pytest.approx(-1.0)
+
+    def test_pearson_ignores_nonfinite_pairs(self):
+        x = np.array([1.0, 2.0, 3.0, 4.0])
+        y = np.array([1.0, 2.0, np.inf, 4.0])
+        assert _pearson(x, y) == pytest.approx(1.0)
+
+    def test_pearson_degenerate_is_nan(self):
+        assert np.isnan(_pearson(np.ones(5), np.arange(5.0)))
+        assert np.isnan(_pearson(np.array([1.0]), np.array([2.0])))
+
+    def test_rankdata_ties_averaged(self):
+        np.testing.assert_allclose(
+            _rankdata(np.array([10.0, 20.0, 20.0, 30.0])), [1.0, 2.5, 2.5, 4.0]
+        )
+
+    def test_rankdata_inf_ranks_last(self):
+        ranks = _rankdata(np.array([1.0, np.inf, 0.5]))
+        assert ranks[1] == 3.0
+
+    def test_spearman_monotone_nonlinear(self):
+        x = np.arange(1.0, 11.0)
+        assert _spearman(x, x**3) == pytest.approx(1.0)
+        assert _spearman(x, -np.log(x)) == pytest.approx(-1.0)
+
+
+class TestExperiment:
+    def test_deterministic_in_seed(self, result):
+        again = run_resilience_experiment(
+            n_tasks=12, n_machines=4, n_mappings=60, n_steps=80, seed=7
+        )
+        np.testing.assert_array_equal(result.radii, again.radii)
+        np.testing.assert_array_equal(result.recovery_times, again.recovery_times)
+        assert result.spearman_radius_recovery == again.spearman_radius_recovery
+
+    def test_shapes_and_bounds(self, result):
+        assert result.n_mappings == 60
+        for arr in (
+            result.radii,
+            result.recovery_times,
+            result.degradation_integrals,
+            result.dips,
+        ):
+            assert arr.shape == (60,)
+        assert np.all(result.radii >= 0)
+        assert np.all(result.recovery_times >= 0)
+        assert np.all(result.degradation_integrals >= 0)
+        assert 0 <= result.n_finite_recovery <= 60
+
+    def test_radius_anticorrelates_with_recovery(self, result):
+        """The paper's geometry: a larger static radius means the schedule
+        trips the mapping less, so recovery is faster.  The rank correlation
+        must come out clearly negative on this population."""
+        assert result.spearman_radius_recovery < -0.2
+        assert result.spearman_radius_integral < -0.2
+
+    def test_default_kinds_are_recoverable(self, result):
+        assert {e.kind for e in result.schedule.events} <= {"spike", "burst_crash"}
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValidationError, match="kinds"):
+            run_resilience_experiment(n_mappings=4, kinds=("meteor",), seed=0)
+
+    def test_serialized_correlation_result(self, result, tmp_path):
+        path = tmp_path / "experiment.json"
+        save_result(result, path)
+        back = load_result(path)
+        assert isinstance(back, ResilienceExperimentResult)
+        assert back.spearman_radius_recovery == result.spearman_radius_recovery
+        assert back.pearson_radius_recovery == result.pearson_radius_recovery
+        np.testing.assert_array_equal(back.radii, result.radii)
+        assert back.schedule == result.schedule
+
+    def test_roundtrip_through_plain_json(self, result):
+        back = ResilienceExperimentResult.from_dict(
+            json.loads(json.dumps(result.to_dict()))
+        )
+        np.testing.assert_array_equal(back.recovery_times, result.recovery_times)
+
+    def test_wrong_tag_rejected(self):
+        with pytest.raises(ValidationError, match="ResilienceExperimentResult"):
+            ResilienceExperimentResult.from_dict({"type": "Mapping"})

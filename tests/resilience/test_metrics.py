@@ -1,0 +1,212 @@
+"""Resilience metrics: hand-traced values, edge cases, and the two
+acceptance properties (integral zero iff no violation; recovery time
+monotone in dip duration)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.resilience import (
+    ResilienceMetrics,
+    antifragility_score,
+    degradation_integral,
+    dip_magnitude,
+    resilience_metrics,
+    steady_state_offset,
+    time_to_recovery,
+    violation_flags,
+)
+
+pytestmark = pytest.mark.resilience
+
+T = np.arange(10.0)  # 0..9, unit spacing
+
+
+class TestDipMagnitude:
+    def test_hand_traced(self):
+        assert dip_magnitude([8.0, 12.0, 8.0], 8.0) == pytest.approx(0.5)
+
+    def test_floored_at_zero_when_always_below(self):
+        assert dip_magnitude([4.0, 6.0], 8.0) == 0.0
+
+    def test_inf_on_total_outage(self):
+        assert dip_magnitude([8.0, np.inf], 8.0) == np.inf
+
+    def test_bad_baseline_rejected(self):
+        with pytest.raises(ValidationError, match="baseline"):
+            dip_magnitude([1.0], 0.0)
+
+
+class TestTimeToRecovery:
+    def test_no_violation_is_zero(self):
+        assert time_to_recovery(T, np.zeros(10, dtype=bool)) == 0.0
+
+    def test_unrecovered_is_inf(self):
+        flags = np.zeros(10, dtype=bool)
+        flags[-1] = True
+        assert time_to_recovery(T, flags) == np.inf
+
+    def test_episode_duration(self):
+        flags = np.zeros(10, dtype=bool)
+        flags[3:6] = True  # violating at t=3,4,5; first clean sample t=6
+        assert time_to_recovery(T, flags) == 3.0
+
+    def test_spans_disjoint_episodes(self):
+        flags = np.zeros(10, dtype=bool)
+        flags[2] = flags[7] = True
+        assert time_to_recovery(T, flags) == 6.0
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            time_to_recovery(T, np.zeros(3, dtype=bool))
+
+
+class TestDegradationIntegral:
+    def test_hand_traced_interior_violation(self):
+        # limit 10; values exceed by 2 at t=4 and t=5 -> excess 2 with unit
+        # nodal weights -> integral 4
+        values = np.full(10, 8.0)
+        values[4:6] = 12.0
+        assert degradation_integral(T, values, 10.0) == pytest.approx(4.0)
+
+    def test_single_sample_unit_weight(self):
+        assert degradation_integral([0.0], [12.0], 10.0) == pytest.approx(2.0)
+        assert degradation_integral([0.0], [8.0], 10.0) == 0.0
+
+    def test_nonuniform_grid(self):
+        # violating only at the middle node of grid [0, 1, 3]: weight
+        # (3-0)/2 = 1.5, excess 2 -> 3.0
+        assert degradation_integral(
+            [0.0, 1.0, 3.0], [5.0, 12.0, 5.0], 10.0
+        ) == pytest.approx(3.0)
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValidationError, match="empty"):
+            degradation_integral([], [], 10.0)
+
+    def test_non_increasing_times_rejected(self):
+        with pytest.raises(ValidationError, match="increasing"):
+            degradation_integral([0.0, 0.0, 1.0], [1.0, 1.0, 1.0], 10.0)
+
+    def test_zero_iff_no_violation_exhaustive_small(self):
+        # enumerate all violation patterns on a 4-sample series
+        limit = 10.0
+        for pattern in range(16):
+            values = np.array(
+                [12.0 if pattern & (1 << k) else 8.0 for k in range(4)]
+            )
+            integral = degradation_integral(np.arange(4.0), values, limit)
+            if pattern == 0:
+                assert integral == 0.0
+            else:
+                assert integral > 0.0
+
+
+class TestSteadyStateAndAntifragility:
+    def test_offset_signed(self):
+        values = np.full(10, 8.0)
+        values[-1] = 10.0
+        assert steady_state_offset(values, 8.0) == pytest.approx(0.25)
+
+    def test_antifragility_positive_when_tail_beats_baseline(self):
+        values = np.full(10, 8.0)
+        values[-1] = 6.0
+        assert antifragility_score(values, 8.0) == pytest.approx(0.25)
+
+    def test_antifragility_zero_when_degraded(self):
+        values = np.full(10, 9.0)
+        assert antifragility_score(values, 8.0) == 0.0
+
+    def test_tail_fraction_validated(self):
+        with pytest.raises(ValidationError, match="tail_fraction"):
+            steady_state_offset(np.ones(5), 1.0, tail_fraction=0.0)
+
+
+class TestViolationFlags:
+    def test_tolerance_guard(self):
+        limit = 10.0
+        # exactly on the limit (and within the float guard) is NOT violating
+        assert not violation_flags([limit], limit)[0]
+        assert violation_flags([limit * (1 + 1e-9)], limit)[0]
+
+
+class TestResilienceMetricsBundle:
+    def test_consistency_with_parts(self):
+        values = np.full(10, 8.0)
+        values[3:6] = 12.0
+        m = resilience_metrics(T, values, 10.0, 8.0)
+        assert m.dip == dip_magnitude(values, 8.0)
+        assert m.time_to_recovery == 3.0
+        assert m.degradation_integral == degradation_integral(T, values, 10.0)
+        assert m.n_violations == 3
+        assert m.violation_fraction == pytest.approx(0.3)
+        assert m.recovered is True
+
+    def test_codec_roundtrip_with_inf(self):
+        import json
+
+        values = np.full(10, 8.0)
+        values[-1] = np.inf
+        m = resilience_metrics(T, values, 10.0, 8.0)
+        assert m.time_to_recovery == np.inf
+        back = ResilienceMetrics.from_dict(json.loads(json.dumps(m.to_dict())))
+        assert back == m
+
+    def test_wrong_tag_rejected(self):
+        with pytest.raises(ValidationError, match="ResilienceMetrics"):
+            ResilienceMetrics.from_dict({"type": "Mapping"})
+
+
+pytest.importorskip("hypothesis", reason="property tests need hypothesis")
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+
+class TestProperties:
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=40)
+    def test_integral_zero_iff_no_violating_step(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 40))
+        times = np.cumsum(rng.uniform(0.1, 2.0, size=n))
+        values = rng.uniform(0.0, 20.0, size=n)
+        limit = float(rng.uniform(1.0, 20.0))
+        integral = degradation_integral(times, values, limit)
+        violated = bool(violation_flags(values, limit).any())
+        assert (integral > 0.0) == violated
+        assert integral >= 0.0
+
+    @given(
+        start=st.integers(1, 5),
+        width_a=st.integers(1, 6),
+        extra=st.integers(1, 6),
+    )
+    @settings(max_examples=40)
+    def test_recovery_time_monotone_in_dip_duration(self, start, width_a, extra):
+        """Widening a violating dip (same start, later re-entry) never
+        shortens the recovery time."""
+        n = start + width_a + extra + 2  # room for a clean sample after
+        times = np.arange(float(n + 1))
+
+        def recovery(width):
+            flags = np.zeros(n + 1, dtype=bool)
+            flags[start : start + width] = True
+            return time_to_recovery(times, flags)
+
+        assert recovery(width_a + extra) >= recovery(width_a)
+        # and strictly longer on a unit grid with the end still observed
+        assert recovery(width_a + extra) == recovery(width_a) + extra
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=25)
+    def test_dip_scale_invariant(self, seed):
+        """Dip is a ratio: rescaling values and baseline together is a no-op."""
+        rng = np.random.default_rng(seed)
+        values = rng.uniform(1.0, 20.0, size=10)
+        baseline = float(rng.uniform(1.0, 10.0))
+        scale = float(rng.uniform(0.1, 50.0))
+        assert dip_magnitude(values * scale, baseline * scale) == pytest.approx(
+            dip_magnitude(values, baseline)
+        )

@@ -185,3 +185,35 @@ class TestRobustnessCurve:
         etc, assignments = alloc_case
         with pytest.raises(ValidationError, match="taus"):
             api.robustness_curve(assignments, etc, taus)
+
+    def test_empty_sweep_raises_clear_error(self, alloc_case):
+        etc, assignments = alloc_case
+        with pytest.raises(ValidationError, match="non-empty"):
+            api.robustness_curve(assignments, etc, [])
+
+    def test_single_point_sweep(self, alloc_case):
+        etc, assignments = alloc_case
+        curve = api.robustness_curve(assignments, etc, [1.2])
+        assert len(curve) == 1
+        assert curve.values.shape == (1, len(assignments))
+        single = api.evaluate_allocation(assignments, etc, 1.2)
+        assert np.array_equal(curve.values[0], single.values)
+
+    @pytest.mark.parametrize(
+        "taus",
+        [
+            [1.1, 1.3, 1.2],  # not monotone
+            [1.1, 1.1, 1.2],  # repeated value (not strict)
+            [1.5, 1.2, 1.4],  # decreasing then increasing
+        ],
+    )
+    def test_non_monotonic_taus_raise_clear_error(self, taus, alloc_case):
+        etc, assignments = alloc_case
+        with pytest.raises(ValidationError, match="monotonic"):
+            api.robustness_curve(assignments, etc, taus)
+
+    def test_decreasing_sweep_still_allowed(self, alloc_case):
+        etc, assignments = alloc_case
+        down = api.robustness_curve(assignments, etc, [1.5, 1.2, 1.05])
+        up = api.robustness_curve(assignments, etc, [1.05, 1.2, 1.5])
+        assert np.array_equal(down.values, up.values[::-1])

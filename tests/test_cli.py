@@ -77,6 +77,52 @@ class TestCommands:
         assert "anchor robustness" in text
         assert "adaptive violating steps" in text
 
+    def test_resilience_single_run(self, capsys, tmp_path):
+        json_out = tmp_path / "report.json"
+        rc = main(
+            [
+                "resilience",
+                "--seed",
+                "5",
+                "--n-steps",
+                "60",
+                "--json-out",
+                str(json_out),
+            ]
+        )
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "Temporal resilience" in text
+        assert "time to recovery" in text
+        payload = json.loads(json_out.read_text())
+        assert payload["type"] == "ResilienceReport"
+
+    def test_resilience_experiment_emits_serialized_correlations(
+        self, capsys, tmp_path
+    ):
+        json_out = tmp_path / "experiment.json"
+        rc = main(
+            [
+                "resilience",
+                "--experiment",
+                "--n-mappings",
+                "30",
+                "--n-steps",
+                "50",
+                "--seed",
+                "5",
+                "--json-out",
+                str(json_out),
+            ]
+        )
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "Radius vs resilience" in text
+        assert "radius vs recovery time" in text
+        payload = json.loads(json_out.read_text())
+        assert payload["type"] == "ResilienceExperimentResult"
+        assert "spearman_radius_recovery" in payload
+
 
 class TestLintExitCodes:
     """repro lint: 0 clean, 1 findings, 2 usage error."""

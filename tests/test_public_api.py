@@ -33,6 +33,8 @@ PUBLIC_MODULES = [
     "repro.hiperd.nonlinear",
     "repro.hiperd.sensitivity",
     "repro.sim",
+    "repro.faults",
+    "repro.resilience",
     "repro.experiments",
     "repro.dynamics",
     "repro.io",

@@ -179,3 +179,17 @@ class TestIoRegistry:
         back = result_from_dict(result_to_dict(ab))
         assert np.array_equal(back.values, ab.values)
         assert np.array_equal(back.makespans, ab.makespans)
+
+    def test_resilience_objects_registered(self):
+        """Every resilience result type dispatches through the registry."""
+        from repro.alloc.mapping import Mapping
+        from repro.faults import PerturbationSchedule
+        from repro.resilience import evaluate_resilience
+
+        etc = cvb_etc_matrix(12, 4, seed=1)
+        mapping = Mapping(np.arange(12) % 4, 4)
+        schedule = PerturbationSchedule.generate(6, 12, 4, seed=3)
+        report = evaluate_resilience(mapping, etc, schedule, 1.1, n_steps=40)
+        for obj in (schedule, report, report.run, report.metrics):
+            back = result_from_dict(result_to_dict(obj))
+            assert type(back) is type(obj)

@@ -1,0 +1,123 @@
+"""The injectable monotonic clock: protocol, fake, and engine integration."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.clock import (
+    Clock,
+    FakeClock,
+    SystemClock,
+    get_clock,
+    set_clock,
+    use_clock,
+)
+
+
+class TestSystemClock:
+    def test_is_a_clock(self):
+        assert isinstance(SystemClock(), Clock)
+
+    def test_monotonic_advances(self):
+        clock = SystemClock()
+        a = clock.monotonic()
+        b = clock.monotonic()
+        assert b >= a
+
+    def test_perf_counter_advances(self):
+        clock = SystemClock()
+        a = clock.perf_counter()
+        b = clock.perf_counter()
+        assert b >= a
+
+
+class TestFakeClock:
+    def test_is_a_clock(self):
+        assert isinstance(FakeClock(), Clock)
+
+    def test_deterministic_ticks(self):
+        clock = FakeClock(start=10.0, tick=0.5)
+        assert clock.perf_counter() == 10.0
+        assert clock.perf_counter() == 10.5
+        assert clock.monotonic() == 11.0
+        assert clock.reads == 3
+
+    def test_advance(self):
+        clock = FakeClock(start=0.0, tick=0.0)
+        clock.advance(5.0)
+        assert clock.perf_counter() == 5.0
+
+    def test_two_instances_independent(self):
+        a, b = FakeClock(tick=1.0), FakeClock(tick=1.0)
+        a.perf_counter()
+        assert b.perf_counter() == 0.0
+
+
+class TestActiveClock:
+    def test_default_is_system(self):
+        assert isinstance(get_clock(), SystemClock)
+
+    def test_set_returns_previous(self):
+        fake = FakeClock()
+        prev = set_clock(fake)
+        try:
+            assert get_clock() is fake
+        finally:
+            set_clock(prev)
+        assert isinstance(get_clock(), SystemClock)
+
+    def test_set_none_restores_system(self):
+        prev = set_clock(FakeClock())
+        set_clock(None)
+        assert isinstance(get_clock(), SystemClock)
+        set_clock(prev)
+
+    def test_use_clock_restores_on_exit(self):
+        fake = FakeClock()
+        with use_clock(fake):
+            assert get_clock() is fake
+        assert isinstance(get_clock(), SystemClock)
+
+    def test_use_clock_restores_on_error(self):
+        try:
+            with use_clock(FakeClock()):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert isinstance(get_clock(), SystemClock)
+
+
+class TestEngineIntegration:
+    def test_engine_solve_under_fake_clock(self):
+        """The engine's duration stamps all route through the active clock."""
+        from repro.core.features import FeatureBounds, PerformanceFeature
+        from repro.core.impact import AffineImpact
+        from repro.core.perturbation import PerturbationParameter
+        from repro.engine import RobustnessEngine
+
+        feature = PerformanceFeature(
+            "f",
+            AffineImpact(np.array([1.0, 0.5]), intercept=0.1),
+            FeatureBounds.upper_only(3.0),
+        )
+        param = PerturbationParameter("pi", np.array([0.4, 0.6]))
+
+        def run():
+            with use_clock(FakeClock(start=0.0, tick=0.25)):
+                engine = RobustnessEngine(backend="serial")
+                return engine.evaluate_population([([feature], param)])
+
+        a, b = run(), run()
+        assert [m.value for m in a] == [m.value for m in b]
+
+    def test_sim_failure_wall_time_deterministic(self):
+        from repro.alloc.mapping import Mapping
+        from repro.sim import simulate_machine_failure
+
+        mapping = Mapping(np.array([0, 0, 1, 1]), 2)
+        etc = np.full((4, 2), 4.0)
+        res = simulate_machine_failure(
+            mapping, etc, 0, 2.0, tau=1.2, clock=FakeClock(start=0.0, tick=0.5)
+        )
+        # entry read at 0.0, exit read at 0.5 -> exactly 0.5 elapsed
+        assert res.wall_time == 0.5
