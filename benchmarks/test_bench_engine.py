@@ -14,7 +14,7 @@ Claims checked:
   practice the gap is two to three orders of magnitude);
 - the HiPer-D stacked pass beats its scalar loop as well (same experiment
   scale as Figure 4);
-- every execution backend (serial / thread / process / shm) produces
+- every execution backend (serial / thread / process / shm / asyncio) produces
   bit-for-bit identical radii on a 10k numeric-solve population, and the
   shared-memory backend's batched zero-copy dispatch beats the per-task
   process pool on wall time.
@@ -185,7 +185,7 @@ def _numeric_tasks(n: int, config: SolverConfig) -> list:
 def test_backend_rows_on_numeric_population(save_report):
     """Time every execution backend on the same 10k numeric-solve population.
 
-    All four backends must agree bit-for-bit, and the shared-memory backend's
+    All five backends must agree bit-for-bit, and the shared-memory backend's
     batched dispatch must beat the per-task process pool — that win is the
     reason the backend exists, so it is asserted, not just reported.
     """

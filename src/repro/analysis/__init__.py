@@ -22,10 +22,16 @@ R005  exception-pickle-contract  kw-only exception ``__init__`` sans ``__reduce_
 R006  impact-mutates-pi          impact/feature functions must be pure in ``pi``
 R007  swallowed-exception        broad except hiding failure information
 R008  frozen-field-mutation      ``object.__setattr__`` outside ``__post_init__``
+R009  deprecated-entry-point     removed/deprecated API still referenced
 R101  tainted-seed-provenance    RNG seed not derivable from config/constants
 R102  pool-shared-state-race     pool task reads state the submitter mutates
 R103  aliased-perturbation       callee mutates a caller's ``pi`` in place
 R104  unrecorded-failure-path    handler drops errors without a FailureRecord
+R110  blocking-call-in-async     sleep/result/IO inside ``async def`` stalls loop
+R111  await-straddle-race        shared state RMW across await / from pool task
+R112  lock-order-cycle           conflicting lock acquisition orders (deadlock)
+R113  fire-and-forget-task       discarded create_task handle loses exceptions
+R114  context-propagation-gap    obs context not carried across executor hop
 W000  stale-suppression          ``noqa[CODE]`` marker that no longer fires
 ====  =========================  ==============================================
 

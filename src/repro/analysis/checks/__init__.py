@@ -7,6 +7,13 @@ decorator at import time).
 
 from __future__ import annotations
 
+from repro.analysis.checks.concur import (
+    AwaitStraddleRule,
+    BlockingInAsyncRule,
+    ContextPropagationGapRule,
+    FireAndForgetTaskRule,
+    LockOrderCycleRule,
+)
 from repro.analysis.checks.deprecated import DeprecatedEntryPointRule
 from repro.analysis.checks.excepts import SwallowedExceptionRule
 from repro.analysis.checks.floats import FloatEqualityRule
@@ -39,5 +46,10 @@ __all__ = [
     "PoolSharedStateRule",
     "PerturbationAliasingRule",
     "UnrecordedFailureRule",
+    "BlockingInAsyncRule",
+    "AwaitStraddleRule",
+    "LockOrderCycleRule",
+    "FireAndForgetTaskRule",
+    "ContextPropagationGapRule",
     "StaleSuppressionRule",
 ]

@@ -32,7 +32,9 @@ from repro.analysis.findings import Finding
 __all__ = ["SummaryStore", "CACHE_VERSION", "DEFAULT_CACHE_PATH", "content_hash"]
 
 #: bump when the summary or entry schema changes incompatibly
-CACHE_VERSION = 2
+#: (v3: concurrency facts — async/await boundaries, lock regions, task
+#: spawns, blocking calls, obs-context flags — for R110–R114)
+CACHE_VERSION = 3
 
 #: default store location used by ``repro lint`` (cwd-relative)
 DEFAULT_CACHE_PATH = Path(".repro-lint-cache.json")

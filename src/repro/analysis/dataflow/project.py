@@ -15,6 +15,15 @@ monotone fixpoints on the call graph:
 - :meth:`transitive_global_reads` — mutable module globals captured
   directly or through callees (bounded BFS).
 
+The concurrency family (R110–R114) adds three more:
+
+- :attr:`blocking_roots` — sync functions that (transitively) perform a
+  blocking call, with a human-readable chain for the finding message;
+- :meth:`transitive_locks` — lock identities a function may acquire,
+  directly or through callees (bounded BFS, feeds the R112 lock graph);
+- :attr:`uses_obs_context` — whether a function (transitively) consumes
+  ambient obs/contextvar state (R114).
+
 All fixpoints are computed lazily on first use and cached for the lifetime
 of the context, which is one lint run.
 """
@@ -48,6 +57,9 @@ class ProjectContext:
         self._mutated_closure: dict[str, frozenset[str]] | None = None
         self._creates_fr: dict[str, bool] | None = None
         self._global_reads: dict[str, frozenset[str]] = {}
+        self._blocking_roots: dict[str, str] | None = None
+        self._locks: dict[str, frozenset[str]] = {}
+        self._uses_context: dict[str, bool] | None = None
 
     # -- resolution --------------------------------------------------------
 
@@ -190,3 +202,85 @@ class ProjectContext:
         result = frozenset(reads)
         self._global_reads[qualname] = result
         return result
+
+    # -- fixpoint: transitively-blocking sync functions (R110) -------------
+
+    @property
+    def blocking_roots(self) -> dict[str, str]:
+        """Sync function qualname -> description of the blocking call it
+        performs, directly or through sync callees.  Async functions are
+        excluded: their own blocking sites are reported where they occur,
+        and an ``await``-ed async callee never blocks the loop."""
+        if self._blocking_roots is None:
+            roots: dict[str, str] = {}
+            for qual, f in self.functions.items():
+                if f.is_async or not f.blocking_calls:
+                    continue
+                bc = f.blocking_calls[0]
+                roots[qual] = f"{bc.api} (line {bc.line})"
+            for _ in range(_MAX_DEPTH):
+                changed = False
+                for qual, f in self.functions.items():
+                    if qual in roots or f.is_async:
+                        continue
+                    for rec in f.calls:
+                        desc = roots.get(rec.callee)
+                        callee = self.functions.get(rec.callee)
+                        if desc is None or callee is None or callee.is_async:
+                            continue
+                        short = rec.callee.rsplit(".", 1)[-1]
+                        roots[qual] = f"{short}() -> {desc}"
+                        changed = True
+                        break
+                if not changed:
+                    break
+            self._blocking_roots = roots
+        return self._blocking_roots
+
+    # -- bounded BFS: transitive lock acquisition (R112) -------------------
+
+    def transitive_locks(self, qualname: str) -> frozenset[str]:
+        """Lock identities *qualname* may acquire, directly or via callees."""
+        cached = self._locks.get(qualname)
+        if cached is not None:
+            return cached
+        seen: set[str] = set()
+        locks: set[str] = set()
+        frontier = [qualname]
+        for _ in range(_MAX_DEPTH):
+            if not frontier:
+                break
+            next_frontier: list[str] = []
+            for name in frontier:
+                if name in seen:
+                    continue
+                seen.add(name)
+                f = self.functions.get(name)
+                if f is None:
+                    continue
+                locks.update(r.name for r in f.lock_regions)
+                next_frontier.extend(f.call_names)
+            frontier = next_frontier
+        result = frozenset(locks)
+        self._locks[qualname] = result
+        return result
+
+    # -- fixpoint: transitive obs-context consumption (R114) ---------------
+
+    @property
+    def uses_obs_context(self) -> dict[str, bool]:
+        """Function qualname -> "consumes ambient obs/contextvar state"."""
+        if self._uses_context is None:
+            status = {q: f.uses_context for q, f in self.functions.items()}
+            for _ in range(_MAX_DEPTH):
+                changed = False
+                for qual, f in self.functions.items():
+                    if status[qual]:
+                        continue
+                    if any(status.get(c, False) for c in f.call_names):
+                        status[qual] = True
+                        changed = True
+                if not changed:
+                    break
+            self._uses_context = status
+        return self._uses_context

@@ -20,6 +20,12 @@ toward *fewer false positives*:
 - **Handler shapes** record, for every ``except`` clause, what it catches
   and whether it locally raises / stores the bound exception / calls out —
   enough for R104 to decide if a failure can vanish.
+- **Concurrency facts** (the R110–R114 family) are shape-based: lock
+  acquisition is a ``with``/``async with`` on a receiver whose name reads
+  as a lock, a blocking call is a known-blocking API or a ``.result()``/
+  ``.join()``-style wait on a future-ish receiver, and obs-context use is
+  a call into the :mod:`repro.obs.trace` ambient-context helpers or a
+  ``.get()``/``.set()`` on a module-level ``ContextVar``.
 """
 
 from __future__ import annotations
@@ -36,12 +42,16 @@ __all__ = [
     "CallRecord",
     "SubmitSite",
     "HandlerInfo",
+    "LockRegion",
+    "TaskSpawn",
+    "BlockingCall",
     "FunctionSummary",
     "ModuleSummary",
     "summarize_module",
     "module_name_for_path",
     "SEED_CONDUITS",
     "RNG_FACTORIES",
+    "BLOCKING_CALLS",
 ]
 
 #: calls that *produce* seeded randomness from their argument — a derived
@@ -76,6 +86,51 @@ _MUTATORS = frozenset(
 
 #: perturbation-parameter names covered by the aliasing rule R103
 PI_PARAMS = frozenset({"pi", "pi_orig"})
+
+#: resolved call names that block the calling thread (R110); a call that is
+#: directly awaited is never counted — ``await`` hands the loop back
+BLOCKING_CALLS = frozenset(
+    {
+        "time.sleep",
+        "os.system",
+        "os.wait",
+        "os.waitpid",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "socket.create_connection",
+        "urllib.request.urlopen",
+        "requests.get",
+        "requests.post",
+        "requests.put",
+        "requests.delete",
+        "requests.request",
+        "concurrent.futures.wait",
+        "concurrent.futures.as_completed",
+        "open",
+        "builtins.open",
+        "input",
+        "builtins.input",
+    }
+)
+
+#: blocking *method* names, gated on a receiver whose name reads as the
+#: matching kind of object — ``fut.result()`` blocks, ``row.result()`` is
+#: just a method that happens to share the name
+_BLOCKING_METHODS: dict[str, tuple[str, ...]] = {
+    "result": ("fut", "future", "promise"),
+    "join": ("thread", "proc", "process", "pool", "worker"),
+    "acquire": ("lock", "mutex", "sem"),
+    "get": ("queue",),
+}
+
+#: receiver-name fragments that read as a lock (regions for R111/R112)
+_LOCK_HINTS = ("lock", "mutex")
+
+#: obs ambient-context consumers / producers (tails of resolved call names)
+_CONTEXT_USE_TAILS = frozenset({"current_context", "get_tracer", "activate"})
+_CONTEXT_CAPTURE_TAILS = frozenset({"current_context", "copy_context"})
 
 
 def module_name_for_path(path: str) -> str:
@@ -214,6 +269,78 @@ class HandlerInfo:
 
 
 @dataclass(frozen=True)
+class LockRegion:
+    """One ``with <lock>:`` / ``async with <lock>:`` block."""
+
+    #: qualified lock identity (``mod.Class._lock`` / ``mod.GLOBAL_LOCK``)
+    name: str
+    line: int
+    col: int
+    end_line: int
+    is_async: bool
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name, "line": self.line, "col": self.col,
+            "end_line": self.end_line, "is_async": self.is_async,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "LockRegion":
+        return cls(
+            name=d["name"], line=d["line"], col=d["col"],
+            end_line=d["end_line"], is_async=d["is_async"],
+        )
+
+    def covers(self, line: int) -> bool:
+        return self.line <= line <= self.end_line
+
+
+@dataclass(frozen=True)
+class TaskSpawn:
+    """One ``asyncio.create_task``/``ensure_future`` call."""
+
+    line: int
+    col: int
+    #: ``"create_task"`` or ``"ensure_future"``
+    api: str
+    #: qualified coroutine function when resolvable
+    target: str | None
+    #: the returned handle is dropped (bare expression statement)
+    discarded: bool
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "line": self.line, "col": self.col, "api": self.api,
+            "target": self.target, "discarded": self.discarded,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "TaskSpawn":
+        return cls(
+            line=d["line"], col=d["col"], api=d["api"],
+            target=d["target"], discarded=d["discarded"],
+        )
+
+
+@dataclass(frozen=True)
+class BlockingCall:
+    """One call that blocks the calling thread (R110)."""
+
+    line: int
+    col: int
+    #: human-readable api label (``time.sleep`` / ``<fut>.result``)
+    api: str
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"line": self.line, "col": self.col, "api": self.api}
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "BlockingCall":
+        return cls(line=d["line"], col=d["col"], api=d["api"])
+
+
+@dataclass(frozen=True)
 class FunctionSummary:
     """Per-function facts feeding the project-level propagation phase."""
 
@@ -249,6 +376,22 @@ class FunctionSummary:
     returns_derived: bool = False
     #: ... conditional on these project functions also being derived
     returns_depends: tuple[str, ...] = ()
+    #: declared ``async def``
+    is_async: bool = False
+    #: lines of suspension points (``await`` / ``async with`` / ``async for``)
+    await_lines: tuple[int, ...] = ()
+    blocking_calls: tuple[BlockingCall, ...] = ()
+    lock_regions: tuple[LockRegion, ...] = ()
+    task_spawns: tuple[TaskSpawn, ...] = ()
+    #: (name, line, kind) accesses of shared state — ``self.attr`` or
+    #: mutable module globals — recorded only for async functions (R111)
+    shared_accesses: tuple[tuple[str, int, str], ...] = ()
+    #: consumes ambient obs/contextvar state (``current_context``,
+    #: ``get_tracer``, ``activate``, ``ContextVar.get/set``)
+    uses_context: bool = False
+    #: snapshots ambient context before handing work off
+    #: (``current_context()`` / ``copy_context()``)
+    captures_context: bool = False
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -271,6 +414,14 @@ class FunctionSummary:
             "has_on_error": self.has_on_error,
             "returns_derived": self.returns_derived,
             "returns_depends": list(self.returns_depends),
+            "is_async": self.is_async,
+            "await_lines": list(self.await_lines),
+            "blocking_calls": [b.to_dict() for b in self.blocking_calls],
+            "lock_regions": [r.to_dict() for r in self.lock_regions],
+            "task_spawns": [t.to_dict() for t in self.task_spawns],
+            "shared_accesses": [list(a) for a in self.shared_accesses],
+            "uses_context": self.uses_context,
+            "captures_context": self.captures_context,
         }
 
     @classmethod
@@ -295,6 +446,22 @@ class FunctionSummary:
             has_on_error=d["has_on_error"],
             returns_derived=d["returns_derived"],
             returns_depends=tuple(d["returns_depends"]),
+            is_async=d.get("is_async", False),
+            await_lines=tuple(int(x) for x in d.get("await_lines", ())),
+            blocking_calls=tuple(
+                BlockingCall.from_dict(b) for b in d.get("blocking_calls", ())
+            ),
+            lock_regions=tuple(
+                LockRegion.from_dict(r) for r in d.get("lock_regions", ())
+            ),
+            task_spawns=tuple(
+                TaskSpawn.from_dict(t) for t in d.get("task_spawns", ())
+            ),
+            shared_accesses=tuple(
+                (str(a), int(b), str(c)) for a, b, c in d.get("shared_accesses", ())
+            ),
+            uses_context=d.get("uses_context", False),
+            captures_context=d.get("captures_context", False),
         )
 
 
@@ -311,6 +478,8 @@ class ModuleSummary:
     constant_globals: tuple[str, ...] = ()
     #: classes that assign ``self.on_error`` somewhere (R104 scope)
     classes_with_on_error: tuple[str, ...] = ()
+    #: module-level names bound to ``ContextVar(...)`` instances
+    contextvar_globals: tuple[str, ...] = ()
     functions: dict[str, FunctionSummary] = field(default_factory=dict)
 
     def to_dict(self) -> dict[str, Any]:
@@ -321,6 +490,7 @@ class ModuleSummary:
             "mutable_globals": list(self.mutable_globals),
             "constant_globals": list(self.constant_globals),
             "classes_with_on_error": list(self.classes_with_on_error),
+            "contextvar_globals": list(self.contextvar_globals),
             "functions": {k: f.to_dict() for k, f in self.functions.items()},
         }
 
@@ -333,6 +503,7 @@ class ModuleSummary:
             mutable_globals=tuple(d["mutable_globals"]),
             constant_globals=tuple(d["constant_globals"]),
             classes_with_on_error=tuple(d["classes_with_on_error"]),
+            contextvar_globals=tuple(d.get("contextvar_globals", ())),
             functions={
                 k: FunctionSummary.from_dict(f) for k, f in d["functions"].items()
             },
@@ -750,10 +921,14 @@ def _submit_sites(
         fn = node.func
         if not isinstance(fn, ast.Attribute):
             continue
-        # ExecutionBackend and executor fan-out: .submit always; .map only on
-        # receivers that read as executors (bare .map is too common an idiom)
+        # ExecutionBackend and executor fan-out: .submit and .run_in_executor
+        # always; .map only on receivers that read as executors (bare .map is
+        # too common an idiom)
+        arg_index = 0
         if fn.attr == "submit":
             pass
+        elif fn.attr == "run_in_executor":
+            arg_index = 1
         elif fn.attr == "map":
             receiver = ctx.resolve(fn.value) or ""
             tail = receiver.rsplit(".", 1)[-1]
@@ -766,8 +941,8 @@ def _submit_sites(
             continue
         target: str | None = None
         kind: str | None = None
-        if node.args:
-            arg0 = node.args[0]
+        if len(node.args) > arg_index:
+            arg0 = node.args[arg_index]
             if isinstance(arg0, ast.Name):
                 resolved = ctx.resolve(arg0)
                 if resolved is not None:
@@ -783,6 +958,263 @@ def _submit_sites(
             SubmitSite(line=node.lineno, col=node.col_offset, target=target, target_kind=kind)
         )
     return sites
+
+
+def _receiver_tail(expr: ast.expr, ctx: FileContext) -> str | None:
+    """Lowercased last segment of a resolved receiver name chain."""
+    resolved = ctx.resolve(expr)
+    if resolved is None:
+        return None
+    return resolved.rsplit(".", 1)[-1].lower()
+
+
+def _await_info(body: list[ast.AST]) -> tuple[tuple[int, ...], frozenset[int]]:
+    """(suspension-point lines, ids of Call nodes that are directly awaited)."""
+    lines: set[int] = set()
+    awaited: set[int] = set()
+    for node in body:
+        if isinstance(node, ast.Await):
+            lines.add(node.lineno)
+            if isinstance(node.value, ast.Call):
+                awaited.add(id(node.value))
+        elif isinstance(node, (ast.AsyncWith, ast.AsyncFor)):
+            lines.add(node.lineno)
+    return tuple(sorted(lines)), frozenset(awaited)
+
+
+def _blocking_calls(
+    body: list[ast.AST], ctx: FileContext, awaited_ids: frozenset[int]
+) -> list[BlockingCall]:
+    """Calls that block the calling thread; directly-awaited calls exempt."""
+    out: list[BlockingCall] = []
+    for node in body:
+        if not isinstance(node, ast.Call) or id(node) in awaited_ids:
+            continue
+        fn = node.func
+        resolved = ctx.resolve(fn)
+        if resolved in BLOCKING_CALLS:
+            out.append(BlockingCall(node.lineno, node.col_offset, resolved))
+            continue
+        if not isinstance(fn, ast.Attribute):
+            continue
+        hints = _BLOCKING_METHODS.get(fn.attr)
+        if hints is None:
+            continue
+        tail = _receiver_tail(fn.value, ctx)
+        if tail is not None and any(h in tail for h in hints):
+            out.append(
+                BlockingCall(node.lineno, node.col_offset, f"<{tail}>.{fn.attr}")
+            )
+        elif fn.attr == "result" and isinstance(fn.value, ast.Call):
+            inner = fn.value.func
+            itail = _receiver_tail(inner, ctx) or ""
+            itail = itail.rsplit(".", 1)[-1]
+            if itail in ("submit", "run_coroutine_threadsafe"):
+                out.append(
+                    BlockingCall(
+                        node.lineno, node.col_offset, f"{itail}(...).result"
+                    )
+                )
+    return out
+
+
+def _lock_name(
+    expr: ast.expr, ctx: FileContext, module: str, class_name: str | None
+) -> str | None:
+    """Qualified lock identity for a with-item receiver, or None."""
+    resolved = ctx.resolve(expr)
+    if resolved is None:
+        return None
+    tail = resolved.rsplit(".", 1)[-1].lower()
+    if not any(h in tail for h in _LOCK_HINTS) and "sem" not in tail:
+        return None
+    return _qualify(resolved, ctx, module, class_name)
+
+
+def _lock_regions(
+    body: list[ast.AST], ctx: FileContext, module: str, class_name: str | None
+) -> list[LockRegion]:
+    regions: list[LockRegion] = []
+    for node in body:
+        if not isinstance(node, (ast.With, ast.AsyncWith)):
+            continue
+        for item in node.items:
+            name = _lock_name(item.context_expr, ctx, module, class_name)
+            if name is None:
+                continue
+            regions.append(
+                LockRegion(
+                    name=name,
+                    line=node.lineno,
+                    col=item.context_expr.col_offset,
+                    end_line=node.end_lineno or node.lineno,
+                    is_async=isinstance(node, ast.AsyncWith),
+                )
+            )
+    return regions
+
+
+def _task_spawns(
+    body: list[ast.AST], ctx: FileContext, module: str, class_name: str | None
+) -> list[TaskSpawn]:
+    spawns: dict[int, tuple[ast.Call, str, str | None]] = {}
+    for node in body:
+        if not isinstance(node, ast.Call):
+            continue
+        fn = node.func
+        resolved = ctx.resolve(fn)
+        api: str | None = None
+        if resolved in ("asyncio.create_task", "asyncio.ensure_future"):
+            api = resolved.rsplit(".", 1)[-1]
+        elif isinstance(fn, ast.Attribute) and fn.attr in (
+            "create_task",
+            "ensure_future",
+        ):
+            tail = _receiver_tail(fn.value, ctx)
+            if tail is not None and "loop" in tail:
+                api = fn.attr
+        if api is None:
+            continue
+        target: str | None = None
+        if node.args:
+            arg0 = node.args[0]
+            texpr = arg0.func if isinstance(arg0, ast.Call) else arg0
+            if isinstance(texpr, (ast.Name, ast.Attribute)):
+                r = ctx.resolve(texpr)
+                if r is not None:
+                    target = _qualify(r, ctx, module, class_name)
+        spawns[id(node)] = (node, api, target)
+    if not spawns:
+        return []
+    # a handle is discarded exactly when the spawn is a bare expression
+    # statement; assigning, awaiting, returning or passing it on keeps it
+    discarded = {
+        id(node.value)
+        for node in body
+        if isinstance(node, ast.Expr) and id(node.value) in spawns
+    }
+    return [
+        TaskSpawn(
+            line=call.lineno,
+            col=call.col_offset,
+            api=api,
+            target=target,
+            discarded=key in discarded,
+        )
+        for key, (call, api, target) in spawns.items()
+    ]
+
+
+def _context_flags(
+    body: list[ast.AST], ctx: FileContext, contextvar_globals: frozenset[str]
+) -> tuple[bool, bool]:
+    """(uses ambient context, captures it before a hand-off)."""
+    uses = captures = False
+    for node in body:
+        if not isinstance(node, ast.Call):
+            continue
+        fn = node.func
+        resolved = ctx.resolve(fn)
+        if resolved is not None:
+            tail = resolved.rsplit(".", 1)[-1]
+            if tail in _CONTEXT_USE_TAILS:
+                uses = True
+            if tail in _CONTEXT_CAPTURE_TAILS:
+                captures = True
+        if (
+            isinstance(fn, ast.Attribute)
+            and fn.attr in ("get", "set")
+            and isinstance(fn.value, ast.Name)
+            and fn.value.id in contextvar_globals
+        ):
+            uses = True
+    return uses, captures
+
+
+def _shared_accesses(
+    body: list[ast.AST],
+    params: tuple[str, ...],
+    mutable_globals: frozenset[str],
+) -> list[tuple[str, int, str]]:
+    """(name, line, read|write) accesses of ``self.attr`` / mutable globals."""
+    local_binds = {
+        n
+        for node in body
+        if isinstance(node, ast.Assign)
+        for t in node.targets
+        for n in _target_names(t)
+    } | set(params)
+    out: list[tuple[str, int, str]] = []
+    for node in body:
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            kind = "write" if isinstance(node.ctx, (ast.Store, ast.Del)) else "read"
+            out.append((f"self.{node.attr}", node.lineno, kind))
+        elif isinstance(node, ast.Name) and node.id in mutable_globals:
+            if node.id in local_binds:
+                continue
+            kind = "write" if isinstance(node.ctx, ast.Store) else "read"
+            out.append((node.id, node.lineno, kind))
+        elif isinstance(node, (ast.Assign, ast.AugAssign)):
+            # writes through a subscript or mutator reach the container
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for t in targets:
+                if not isinstance(t, ast.Subscript):
+                    continue
+                inner = t.value
+                if (
+                    isinstance(inner, ast.Attribute)
+                    and isinstance(inner.value, ast.Name)
+                    and inner.value.id == "self"
+                ):
+                    out.append((f"self.{inner.attr}", node.lineno, "write"))
+                elif (
+                    isinstance(inner, ast.Name)
+                    and inner.id in mutable_globals
+                    and inner.id not in local_binds
+                ):
+                    out.append((inner.id, node.lineno, "write"))
+        elif isinstance(node, ast.Call):
+            fn = node.func
+            if isinstance(fn, ast.Attribute) and fn.attr in _MUTATORS:
+                recv = fn.value
+                if (
+                    isinstance(recv, ast.Attribute)
+                    and isinstance(recv.value, ast.Name)
+                    and recv.value.id == "self"
+                ):
+                    out.append((f"self.{recv.attr}", node.lineno, "write"))
+                elif (
+                    isinstance(recv, ast.Name)
+                    and recv.id in mutable_globals
+                    and recv.id not in local_binds
+                ):
+                    out.append((recv.id, node.lineno, "write"))
+    return sorted(set(out))
+
+
+def _contextvar_globals(tree: ast.Module, ctx: FileContext) -> frozenset[str]:
+    """Module-level names bound to a ``ContextVar(...)``."""
+    found: set[str] = set()
+    for node in tree.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        if not isinstance(value, ast.Call):
+            continue
+        resolved = ctx.resolve(value.func)
+        if resolved is None or resolved.rsplit(".", 1)[-1] != "ContextVar":
+            continue
+        found.update(n for t in targets for n in _target_names(t))
+    return frozenset(found)
 
 
 def _handler_infos(
@@ -952,11 +1384,22 @@ def _summarize_function(
     mutable_globals: frozenset[str],
     constant_globals: frozenset[str],
     on_error_classes: frozenset[str],
+    contextvar_globals: frozenset[str] = frozenset(),
 ) -> FunctionSummary:
     params = _param_names(func.args)
     body = _own_walk(func)
     full_body = list(ast.walk(func))
     rebind = _first_rebind_lines(body, params)
+
+    is_async = isinstance(func, ast.AsyncFunctionDef)
+    await_lines, awaited_ids = _await_info(body)
+    blocking = _blocking_calls(body, ctx, awaited_ids)
+    lock_regions = _lock_regions(body, ctx, module, class_name)
+    task_spawns = _task_spawns(body, ctx, module, class_name)
+    uses_ctx, captures_ctx = _context_flags(full_body, ctx, contextvar_globals)
+    shared = (
+        _shared_accesses(body, params, mutable_globals) if is_async else []
+    )
 
     scope = _SeedScope(ctx, module, class_name, params, constant_globals)
     scope.fixpoint(full_body)
@@ -1008,6 +1451,16 @@ def _summarize_function(
         has_on_error=has_on_error,
         returns_derived=returns_derived,
         returns_depends=returns_depends,
+        is_async=is_async,
+        await_lines=await_lines,
+        blocking_calls=tuple(blocking),
+        lock_regions=tuple(lock_regions),
+        task_spawns=tuple(
+            sorted(task_spawns, key=lambda t: (t.line, t.col))
+        ),
+        shared_accesses=tuple(shared),
+        uses_context=uses_ctx,
+        captures_context=captures_ctx,
     )
 
 
@@ -1016,12 +1469,13 @@ def summarize_module(ctx: FileContext) -> ModuleSummary:
     module = module_name_for_path(ctx.path)
     mutable_globals, constant_globals = _module_globals(ctx.tree)
     on_error_classes = _classes_with_on_error(ctx.tree)
+    contextvar_globals = _contextvar_globals(ctx.tree, ctx)
     functions: dict[str, FunctionSummary] = {}
     for node in ctx.tree.body:
         if isinstance(node, _FuncDef):
             s = _summarize_function(
                 node, ctx, module, None, mutable_globals, constant_globals,
-                on_error_classes,
+                on_error_classes, contextvar_globals,
             )
             functions[s.name] = s
         elif isinstance(node, ast.ClassDef):
@@ -1029,7 +1483,7 @@ def summarize_module(ctx: FileContext) -> ModuleSummary:
                 if isinstance(item, _FuncDef):
                     s = _summarize_function(
                         item, ctx, module, node.name, mutable_globals,
-                        constant_globals, on_error_classes,
+                        constant_globals, on_error_classes, contextvar_globals,
                     )
                     functions[s.name] = s
     # module-level rng sites (outside any function) get a synthetic summary
@@ -1059,5 +1513,6 @@ def summarize_module(ctx: FileContext) -> ModuleSummary:
         mutable_globals=tuple(sorted(mutable_globals)),
         constant_globals=tuple(sorted(constant_globals)),
         classes_with_on_error=tuple(sorted(on_error_classes)),
+        contextvar_globals=tuple(sorted(contextvar_globals)),
         functions=functions,
     )

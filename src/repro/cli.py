@@ -452,6 +452,7 @@ def _cmd_resilience(args) -> int:
 def _cmd_lint(args) -> int:
     from repro.analysis import (
         SummaryStore,
+        all_rules,
         changed_python_files,
         lint_paths,
         render_json,
@@ -526,7 +527,28 @@ def _cmd_lint(args) -> int:
             file=sys.stderr,
         )
         return 2
-    select = args.select.split(",") if args.select else None
+    select = None
+    if args.select:
+        select = [code.strip() for code in args.select.split(",") if code.strip()]
+        if not select:
+            print(
+                f"repro lint: --select={args.select!r} names no rule codes; "
+                "expected a comma-separated list like R001,R110",
+                file=sys.stderr,
+            )
+            return 2
+        unknown = sorted(set(select) - set(all_rules()))
+        if unknown:
+            print(
+                "repro lint: unknown rule code"
+                + ("s" if len(unknown) > 1 else "")
+                + " "
+                + ", ".join(unknown)
+                + "; valid codes: "
+                + ", ".join(sorted(all_rules())),
+                file=sys.stderr,
+            )
+            return 2
     cache = None
     if not args.no_cache and select is None:
         store = SummaryStore(args.cache_file) if args.cache_file else SummaryStore()

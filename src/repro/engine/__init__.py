@@ -9,7 +9,7 @@ bit-for-bit identical to the per-mapping scalar API.
 
 See :mod:`repro.engine.engine` for the evaluator,
 :mod:`repro.engine.backends` for the execution-backend protocol
-(serial / thread / process / shared-memory),
+(serial / thread / process / shared-memory / asyncio),
 :mod:`repro.engine.cache` for the in-memory solve cache,
 :mod:`repro.engine.store` for the persistent solve store and
 :mod:`repro.engine.fault` for the fault-isolated scheduler
@@ -18,6 +18,7 @@ See :mod:`repro.engine.engine` for the evaluator,
 
 from repro.engine.backends import (
     BACKEND_NAMES,
+    AsyncioBackend,
     BackendCapabilities,
     BackendSpec,
     ExecutionBackend,
@@ -63,5 +64,6 @@ __all__ = [
     "ThreadBackend",
     "ProcessPoolBackend",
     "SharedMemoryBackend",
+    "AsyncioBackend",
     "resolve_backend",
 ]

@@ -7,7 +7,7 @@ execution substrate a first-class API: an :class:`ExecutionBackend` exposes
 record, and the supervision ladder (retries, deadlines, crash attribution,
 degradation) is written once against that protocol.
 
-Four backends ship:
+Five backends ship:
 
 - :class:`SerialBackend` — runs tasks inline in the calling thread.  No
   parallelism, no pickling; the reference substrate every other backend
@@ -22,6 +22,11 @@ Four backends ship:
   through :mod:`multiprocessing.shared_memory` instead of the pickle pipe
   (zero-copy for large ``float64`` arrays), with an additional *batched*
   capability the scheduler uses to amortize per-future overhead.
+- :class:`AsyncioBackend` — an :mod:`asyncio` event loop on a daemon
+  thread; each task is a coroutine that bounds concurrency with a
+  semaphore and hands the CPU-bound solve to an inner thread pool.  The
+  substrate a host application embedding the engine in an async service
+  would use; like :class:`ThreadBackend` it is parallel but not isolated.
 
 Backend selection (:func:`resolve_backend`) has a strict precedence: an
 explicit ``backend=`` argument (name, class or instance) wins over the
@@ -33,10 +38,12 @@ while letting a CI matrix re-route the whole suite through one env var.
 
 from __future__ import annotations
 
+import asyncio
 import copy
 import functools
 import os
 import pickle
+import threading
 from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
@@ -55,6 +62,7 @@ __all__ = [
     "ThreadBackend",
     "ProcessPoolBackend",
     "SharedMemoryBackend",
+    "AsyncioBackend",
     "BackendSpec",
     "BACKEND_NAMES",
     "get_backend_class",
@@ -83,7 +91,8 @@ class BackendCapabilities:
     :func:`repro.engine.fault.chunk_radius_tasks`).
     """
 
-    #: registry name of the backend ("serial", "thread", "process", "shm")
+    #: registry name of the backend ("serial", "thread", "process", "shm",
+    #: "asyncio")
     name: str
     #: True when tasks can run concurrently
     parallel: bool
@@ -447,6 +456,100 @@ class SharedMemoryBackend(ProcessPoolBackend):
             self._release(name)
 
 
+class AsyncioBackend(ExecutionBackend):
+    """An :mod:`asyncio` event loop running on a dedicated daemon thread.
+
+    ``submit`` schedules one coroutine per task with
+    :func:`asyncio.run_coroutine_threadsafe`, which already returns the
+    :class:`concurrent.futures.Future` the supervisor expects.  The
+    coroutine bounds in-flight work with a semaphore sized to
+    ``max_workers`` and delegates the CPU-bound solve itself to an inner
+    :class:`~concurrent.futures.ThreadPoolExecutor` via
+    ``loop.run_in_executor`` — the event loop only coordinates, so a
+    long-running solve never starves other tasks' scheduling.
+
+    Capability-wise this is a sibling of :class:`ThreadBackend`: parallel
+    (for GIL-releasing workloads), zero-copy, nothing to pickle, but not
+    isolated — a hard crash in a task takes the whole process down, and a
+    deadline overrun can only be abandoned, not preempted.  The inner pool
+    threads inherit the submitter's :mod:`contextvars` context exactly like
+    a plain thread pool, so observability spans propagate unchanged.
+    """
+
+    capabilities = BackendCapabilities(
+        name="asyncio",
+        parallel=True,
+        isolated=False,
+        enforces_deadlines=False,
+        zero_copy=True,
+        requires_pickling=False,
+        batched=False,
+    )
+
+    def __init__(self, max_workers: int = 1) -> None:
+        super().__init__(max_workers)
+        self._pool = ThreadPoolExecutor(max_workers=self.max_workers)
+        self._sem: asyncio.Semaphore | None = None
+        self._closed = False
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._run_loop, name="repro-asyncio-backend", daemon=True
+        )
+        self._thread.start()
+
+    def _run_loop(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        try:
+            self._loop.run_forever()
+        finally:
+            # After stop(): cancel whatever is still in flight and let the
+            # cancellations settle before closing, so no task is destroyed
+            # pending.  Loop until quiescent — a late submit's ensure_future
+            # callback can materialize a task during the first drain pass.
+            while True:
+                pending = asyncio.all_tasks(self._loop)
+                if not pending:
+                    break
+                for task in pending:
+                    task.cancel()
+                self._loop.run_until_complete(
+                    asyncio.gather(*pending, return_exceptions=True)
+                )
+            self._loop.close()
+
+    async def _invoke(self, fn: Callable[[Any], Any], payload: Any) -> Any:
+        # Lazily built on the loop thread so it binds to the right loop;
+        # coroutines only interleave at awaits, so the check is race-free.
+        if self._sem is None:
+            self._sem = asyncio.Semaphore(self.max_workers)
+        async with self._sem:
+            loop = asyncio.get_running_loop()
+            return await loop.run_in_executor(self._pool, fn, payload)
+
+    def submit(self, fn: Callable[[Any], Any], payload: Any) -> "Future[Any]":
+        return asyncio.run_coroutine_threadsafe(self._invoke(fn, payload), self._loop)
+
+    async def _drain(self) -> None:
+        current = asyncio.current_task()
+        pending = [t for t in asyncio.all_tasks() if t is not current]
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+
+    def shutdown(self, *, kill: bool = False) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if kill:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+        else:
+            if self._loop.is_running():
+                asyncio.run_coroutine_threadsafe(self._drain(), self._loop).result()
+            self._pool.shutdown(wait=True)
+        if self._loop.is_running():
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=5.0)
+
+
 # -- registry and resolution --------------------------------------------------
 
 _REGISTRY: dict[str, type[ExecutionBackend]] = {}
@@ -458,7 +561,13 @@ def register_backend(cls: type[ExecutionBackend]) -> type[ExecutionBackend]:
     return cls
 
 
-for _cls in (SerialBackend, ThreadBackend, ProcessPoolBackend, SharedMemoryBackend):
+for _cls in (
+    SerialBackend,
+    ThreadBackend,
+    ProcessPoolBackend,
+    SharedMemoryBackend,
+    AsyncioBackend,
+):
     register_backend(_cls)
 
 #: the built-in backend names, in registration order

@@ -1,0 +1,17 @@
+"""R110: blocking calls reach the event loop, directly and via a helper."""
+
+import time
+
+
+async def fetch():
+    time.sleep(0.1)  # blocks the loop directly
+    return 1
+
+
+def helper():
+    time.sleep(0.5)
+    return 2
+
+
+async def poll():
+    return helper()  # blocks the loop through a sync helper

@@ -1,0 +1,22 @@
+"""Async code that never stalls the loop — R110 stays silent."""
+
+import asyncio
+import time
+
+
+async def fetch():
+    await asyncio.sleep(0.1)
+    return 1
+
+
+def helper():
+    time.sleep(0.5)  # blocking is fine in sync-only call chains
+    return 2
+
+
+async def poll(loop):
+    return await loop.run_in_executor(None, helper)
+
+
+def sync_wait(fut):
+    return fut.result()  # never reached from async code

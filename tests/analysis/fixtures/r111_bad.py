@@ -1,0 +1,28 @@
+"""R111: shared-state read-modify-writes without a lock."""
+
+import asyncio
+
+TOTALS = {}
+
+
+class Counter:
+    def __init__(self):
+        self.value = 0
+
+    async def bump(self):
+        current = self.value
+        await asyncio.sleep(0)
+        self.value = current + 1  # another task can interleave
+
+
+def tally(key):
+    TOTALS[key] = TOTALS.get(key, 0) + 1
+
+
+class Runner:
+    def __init__(self, pool):
+        self.pool = pool
+
+    def fan_out(self, keys):
+        for k in keys:
+            self.pool.submit(tally, k)  # workers race on TOTALS

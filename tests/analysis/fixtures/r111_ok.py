@@ -1,0 +1,38 @@
+"""Shared-state updates guarded by locks — R111 stays silent."""
+
+import asyncio
+import threading
+
+SAFE_TOTALS = {}
+_TOTALS_LOCK = threading.Lock()
+
+
+class SafeCounter:
+    def __init__(self):
+        self.value = 0
+        self._lock = asyncio.Lock()
+
+    async def bump(self):
+        async with self._lock:
+            current = self.value
+            await asyncio.sleep(0)
+            self.value = current + 1
+
+    async def peek(self):
+        snapshot = self.value  # read-only across the await is fine
+        await asyncio.sleep(0)
+        return snapshot
+
+
+def tally_safe(key):
+    with _TOTALS_LOCK:
+        SAFE_TOTALS[key] = SAFE_TOTALS.get(key, 0) + 1
+
+
+class Runner:
+    def __init__(self, pool):
+        self.pool = pool
+
+    def fan_out(self, keys):
+        for k in keys:
+            self.pool.submit(tally_safe, k)

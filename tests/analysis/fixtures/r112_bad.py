@@ -1,0 +1,18 @@
+"""R112: two paths acquire the same locks in opposite orders."""
+
+import threading
+
+LOCK_A = threading.Lock()
+LOCK_B = threading.Lock()
+
+
+def forward():
+    with LOCK_A:
+        with LOCK_B:
+            pass
+
+
+def backward():
+    with LOCK_B:
+        with LOCK_A:
+            pass

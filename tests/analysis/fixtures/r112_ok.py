@@ -1,0 +1,32 @@
+"""Consistent lock ordering everywhere — R112 stays silent."""
+
+import threading
+
+LOCK_A = threading.Lock()
+LOCK_B = threading.Lock()
+
+
+def forward():
+    with LOCK_A:
+        with LOCK_B:
+            update()
+
+
+def also_forward():
+    with LOCK_A:
+        with LOCK_B:
+            update()
+
+
+def with_helper():
+    with LOCK_A:
+        guarded()  # helper acquires LOCK_B: still A-before-B
+
+
+def guarded():
+    with LOCK_B:
+        update()
+
+
+def update():
+    pass

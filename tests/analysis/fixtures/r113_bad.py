@@ -1,0 +1,12 @@
+"""R113: task handles are dropped — exceptions can vanish."""
+
+import asyncio
+
+
+async def kick(worker):
+    asyncio.create_task(worker())  # handle discarded
+
+
+async def kick_all(workers):
+    for w in workers:
+        asyncio.ensure_future(w())  # handle discarded

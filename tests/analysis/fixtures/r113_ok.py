@@ -1,0 +1,17 @@
+"""Task handles are retained — R113 stays silent."""
+
+import asyncio
+
+
+async def kick(worker):
+    task = asyncio.create_task(worker())
+    return await task
+
+
+async def kick_all(workers):
+    tasks = [asyncio.create_task(w()) for w in workers]
+    return await asyncio.gather(*tasks)
+
+
+async def fire_checked(worker, registry):
+    registry.append(asyncio.ensure_future(worker()))

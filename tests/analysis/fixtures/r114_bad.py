@@ -1,0 +1,21 @@
+"""R114: context-consuming callables cross executor hops unaccompanied."""
+
+from contextvars import ContextVar
+
+REQUEST_ID = ContextVar("request_id", default="-")
+
+
+def handle(item):
+    return (REQUEST_ID.get(), item)
+
+
+class Dispatcher:
+    def __init__(self, pool):
+        self.pool = pool
+
+    def dispatch(self, items):
+        return [self.pool.submit(handle, it) for it in items]
+
+
+async def dispatch_async(loop, items):
+    return [loop.run_in_executor(None, handle, it) for it in items]

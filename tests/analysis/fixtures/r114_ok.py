@@ -1,0 +1,31 @@
+"""Context is snapshotted before the executor hop — R114 stays silent."""
+
+from contextvars import ContextVar, copy_context
+
+REQUEST_ID = ContextVar("request_id", default="-")
+
+
+def handle(item):
+    return (REQUEST_ID.get(), item)
+
+
+def dispatch_safe(pool, items):
+    ctx = copy_context()
+    return [pool.submit(ctx.run, handle, it) for it in items]
+
+
+class Dispatcher:
+    def __init__(self, pool):
+        self.pool = pool
+
+    def dispatch(self, items):
+        snapshot = copy_context()
+        return [self.pool.submit(snapshot.run, handle, it) for it in items]
+
+
+def plain(pool, items):
+    return [pool.submit(transform, it) for it in items]
+
+
+def transform(item):
+    return item * 2

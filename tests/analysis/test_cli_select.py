@@ -1,0 +1,68 @@
+"""Exit-code contract of ``repro lint --select``.
+
+An unknown or empty rule selection must be a loud usage error (exit 2
+naming the valid codes), never a silent no-op lint that exits 0 while
+checking nothing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import all_rules
+from repro.cli import main
+
+
+@pytest.fixture
+def clean_file(tmp_path):
+    f = tmp_path / "x.py"
+    f.write_text("x = 1\n")
+    return f
+
+
+class TestSelectExitCodes:
+    def test_unknown_code_exits_2_and_lists_valid_codes(self, clean_file, capsys):
+        assert main(["lint", "--select", "R999", str(clean_file)]) == 2
+        err = capsys.readouterr().err
+        assert "unknown rule code" in err
+        assert "R999" in err
+        # the message teaches the valid vocabulary, concur rules included
+        for code in ("R001", "R110", "R114", "W000"):
+            assert code in err
+
+    def test_multiple_unknown_codes_all_named(self, clean_file, capsys):
+        assert main(["lint", "--select", "R999,Q001", str(clean_file)]) == 2
+        err = capsys.readouterr().err
+        assert "unknown rule codes" in err
+        assert "Q001, R999" in err
+
+    def test_known_plus_unknown_still_errors(self, clean_file, capsys):
+        assert main(["lint", "--select", "R001,R999", str(clean_file)]) == 2
+        err = capsys.readouterr().err
+        assert "R999" in err
+        assert "R001," not in err.split("valid codes:")[0]
+
+    @pytest.mark.parametrize("selector", [",", " , ", ",,"])
+    def test_effectively_empty_selection_exits_2(self, clean_file, capsys, selector):
+        assert main(["lint", "--select", selector, str(clean_file)]) == 2
+        err = capsys.readouterr().err
+        assert "names no rule codes" in err
+
+    def test_whitespace_around_codes_tolerated(self, clean_file, capsys):
+        assert main(["lint", "--select", " R110 , R111 ", str(clean_file)]) == 0
+        out = capsys.readouterr().out
+        assert "0 findings" in out
+
+    def test_every_registered_code_is_selectable(self, clean_file, capsys):
+        selector = ",".join(sorted(all_rules()))
+        assert main(["lint", "--select", selector, str(clean_file)]) == 0
+        capsys.readouterr()
+
+    def test_concur_select_finds_hazard(self, tmp_path, capsys):
+        bad = tmp_path / "svc.py"
+        bad.write_text(
+            "import time\n\nasync def poll():\n    time.sleep(1)\n"
+        )
+        assert main(["lint", "--select", "R110", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "R110" in out

@@ -316,6 +316,36 @@ class TestIncrementalLint:
         assert [f.code for f in warm.findings] == [f.code for f in cold.findings]
         assert warm.n_suppressed == cold.n_suppressed == 1
 
+    def test_rule_set_fingerprint_change_forces_reanalysis(
+        self, tmp_path, monkeypatch
+    ):
+        """A warm cache written under an older rule set (pre-R110) must be
+        discarded wholesale once the registry grows — stale summaries lack
+        the newer facts and would silently produce no new-rule findings."""
+        import repro.analysis.runner as runner_mod
+
+        pkg = self._tree(tmp_path)
+        cache_file = tmp_path / "cache.json"
+        monkeypatch.setattr(
+            runner_mod, "_fingerprint", lambda: "v2:R001,R002"
+        )
+        stale = lint_paths([pkg], cache=SummaryStore(cache_file))
+        assert stale.n_reanalyzed == 2
+
+        monkeypatch.undo()
+        warm = lint_paths([pkg], cache=SummaryStore(cache_file))
+        assert warm.n_reanalyzed == 2  # nothing trusted from the stale store
+        assert warm.files_cached == 0
+
+    def test_fingerprint_covers_concur_rules_and_v3_schema(self):
+        from repro.analysis.runner import _fingerprint
+
+        fp = _fingerprint()
+        assert fp.startswith(f"v{CACHE_VERSION}:")
+        assert CACHE_VERSION >= 3
+        for code in ("R110", "R111", "R112", "R113", "R114"):
+            assert code in fp
+
     def test_select_bypasses_cache(self, tmp_path):
         pkg = self._tree(tmp_path)
         store = SummaryStore(tmp_path / "cache.json")

@@ -31,6 +31,11 @@ EXPECTED_BAD = {
     "R102": 3,
     "R103": 5,
     "R104": 2,
+    "R110": 2,
+    "R111": 2,
+    "R112": 2,
+    "R113": 2,
+    "R114": 2,
     "W000": 2,
 }
 

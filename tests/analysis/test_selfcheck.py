@@ -53,6 +53,23 @@ class TestShippedTreeIsClean:
         report, detail = _lint(path)
         assert report.clean, f"repro lint violations in {tree}:\n{detail}"
 
+    def test_concur_rules_clean_with_zero_suppressions(self):
+        """The concurrency family (R110-R114) holds over src *and* tests
+        with no noqa escape hatches at all — the engine's own asyncio /
+        thread / contextvar plumbing is the primary audience of these
+        rules, and it must satisfy them outright."""
+        concur = ["R110", "R111", "R112", "R113", "R114"]
+        src = Path(repro.__file__).resolve().parent
+        for tree in (src, REPO_ROOT / "tests"):
+            report = lint_paths([tree], select=concur)
+            detail = render_text(
+                report.findings,
+                files_checked=report.files_checked,
+                n_suppressed=report.n_suppressed,
+            )
+            assert report.clean, f"concur-rule violations in {tree}:\n{detail}"
+            assert report.n_suppressed == 0, tree
+
     def test_suppression_budget(self):
         """Suppressions are tracked: adding one must be a conscious act."""
         src = Path(repro.__file__).resolve().parent

@@ -1,7 +1,7 @@
 """Execution-backend protocol: capabilities, resolution, codec, parity.
 
 The acceptance matrix of the backend redesign: the same seeded population
-must come back bit-for-bit identical from all four backends — results,
+must come back bit-for-bit identical from all five backends — results,
 failure records under injected faults (modulo wall time) and per-task
 observability accounting — and the batched (chunked) path must agree with
 the per-task supervisor.
@@ -92,7 +92,7 @@ def _records_no_wall(records):
 
 class TestCapabilities:
     def test_registry_names(self):
-        assert BACKEND_NAMES == ("serial", "thread", "process", "shm")
+        assert BACKEND_NAMES == ("serial", "thread", "process", "shm", "asyncio")
 
     def test_unknown_name_raises(self):
         with pytest.raises(ValidationError, match="serial"):
@@ -105,6 +105,7 @@ class TestCapabilities:
             ("thread", True, False, True, False),
             ("process", True, True, False, False),
             ("shm", True, True, True, True),
+            ("asyncio", True, False, True, False),
         ],
     )
     def test_capability_matrix(self, name, parallel, isolated, zero_copy, batched):
@@ -172,7 +173,7 @@ class TestExecute:
         finally:
             backend.shutdown()
 
-    @pytest.mark.parametrize("name", ["serial", "thread"])
+    @pytest.mark.parametrize("name", ["serial", "thread", "asyncio"])
     def test_exceptions_surface_via_future(self, name):
         backend = get_backend_class(name)(max_workers=1)
         try:
@@ -218,7 +219,7 @@ class TestShmCodec:
 
 
 class TestParityMatrix:
-    """Same seeded population, bit-for-bit across all four backends."""
+    """Same seeded population, bit-for-bit across all five backends."""
 
     CONFIG = SolverConfig(
         pool_size=2, n_starts=2, max_retries=1, backoff_base=0.0, seed=11
@@ -233,7 +234,7 @@ class TestParityMatrix:
     def test_clean_population_identical(self):
         reference, ref_failures = self._run("serial")
         assert ref_failures == []
-        for name in ("thread", "process", "shm"):
+        for name in ("thread", "process", "shm", "asyncio"):
             results, failures = self._run(name)
             assert _result_dicts(results) == _result_dicts(reference), name
             assert failures == [], name
@@ -242,7 +243,7 @@ class TestParityMatrix:
         faulty = (1, 4)
         reference, ref_failures = self._run("serial", faulty=faulty)
         assert {r.task_index for r in ref_failures} == set(faulty)
-        for name in ("thread", "process", "shm"):
+        for name in ("thread", "process", "shm", "asyncio"):
             results, failures = self._run(name, faulty=faulty)
             assert _result_dicts(results) == _result_dicts(reference), name
             assert _records_no_wall(failures) == _records_no_wall(ref_failures), name
@@ -269,7 +270,7 @@ class TestParityMatrix:
         )
         assert all(rec.fallback_used for rec in ref_failures)
         assert all(res.solver == "montecarlo" for res in reference)
-        for name in ("thread", "process", "shm"):
+        for name in ("thread", "process", "shm", "asyncio"):
             results, failures = solve_radius_tasks_isolated(
                 tasks, cfg, on_error="degrade", backend=name
             )
@@ -296,6 +297,24 @@ class TestParityMatrix:
             results, failures = self._run("shm", config=cfg)
             assert _result_dicts(results) == _result_dicts(reference), chunk_size
             assert failures == []
+
+    def test_chunked_streaming_config_inert_on_asyncio(self):
+        # asyncio is not a batched substrate: chunk_size must be a no-op,
+        # and results must still match the serial reference stream-for-stream
+        reference, _ = self._run("serial")
+        for chunk_size in (1, 3):
+            cfg = self.CONFIG.replace(chunk_size=chunk_size)
+            results, failures = self._run("asyncio", config=cfg)
+            assert _result_dicts(results) == _result_dicts(reference), chunk_size
+            assert failures == []
+
+    def test_asyncio_matches_under_faults_and_chunking(self):
+        faulty = (2,)
+        reference, ref_failures = self._run("serial", faulty=faulty)
+        cfg = self.CONFIG.replace(chunk_size=2)
+        results, failures = self._run("asyncio", faulty=faulty, config=cfg)
+        assert _result_dicts(results) == _result_dicts(reference)
+        assert _records_no_wall(failures) == _records_no_wall(ref_failures)
 
 
 @pytest.mark.chaos

@@ -309,7 +309,7 @@ class TestEngineIntegration:
 
 @pytest.mark.chaos
 @pytest.mark.skipif(
-    os.environ.get("REPRO_BACKEND") in ("serial", "thread"),
+    os.environ.get("REPRO_BACKEND") in ("serial", "thread", "asyncio"),
     reason="crash/hang containment requires an isolating backend (process or shm)",
 )
 class TestChaosAcceptance:

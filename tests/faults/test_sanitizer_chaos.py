@@ -153,7 +153,7 @@ class TestAdmittedFailures:
 
 @pytest.mark.chaos
 @pytest.mark.skipif(
-    os.environ.get("REPRO_BACKEND") in ("serial", "thread"),
+    os.environ.get("REPRO_BACKEND") in ("serial", "thread", "asyncio"),
     reason="crash containment requires an isolating backend (process or shm)",
 )
 class TestCrashPlusSanitize:
