@@ -38,6 +38,7 @@ CHECKS = [
     ("BENCH_engine.json", "shm_speedup_over_process", "higher", 0.7),
     ("BENCH_lint.json", "speedup", "higher", 0.4),
     ("BENCH_lint.json", "concur_files_per_second", "higher", 0.4),
+    ("BENCH_lint.json", "perf_files_per_second", "higher", 0.4),
     ("BENCH_obs.json", "disabled_overhead_fraction", "lower", 0.02),
     ("BENCH_resilience.json", "steps_per_second", "higher", 0.3),
 ]

@@ -32,6 +32,11 @@ R111  await-straddle-race        shared state RMW across await / from pool task
 R112  lock-order-cycle           conflicting lock acquisition orders (deadlock)
 R113  fire-and-forget-task       discarded create_task handle loses exceptions
 R114  context-propagation-gap    obs context not carried across executor hop
+R120  per-element-ndarray-loop   Python loop where one numpy expression would do
+R121  per-task-array-pickle      full ndarray pickled per submit in a task loop
+R122  unhoisted-loop-invariant   expensive invariant call runs every iteration
+R123  concat-in-loop             quadratic np.concatenate/append accumulation
+R124  radius-cache-bypass        raw solve ignores the configured RadiusStore
 W000  stale-suppression          ``noqa[CODE]`` marker that no longer fires
 ====  =========================  ==============================================
 
@@ -44,7 +49,10 @@ layer, :mod:`repro.analysis.sanitize`, audits numeric post-conditions
 mismatches) that no static rule can see.
 
 Suppress a deliberate violation inline with ``# repro: noqa[CODE]`` plus a
-justification.  Programmatic use::
+justification.  Findings that carry a :class:`~repro.analysis.findings.Fix`
+can be repaired mechanically — ``repro lint --fix`` (or
+:func:`~repro.analysis.fixes.fix_paths`) applies the safe ones and re-lints
+to a fixpoint; ``--fix --diff`` previews the edits.  Programmatic use::
 
     from repro.analysis import lint_paths
     report = lint_paths([Path("src")])
@@ -54,7 +62,8 @@ justification.  Programmatic use::
 from __future__ import annotations
 
 from repro.analysis.dataflow import ProjectContext, SummaryStore
-from repro.analysis.findings import Finding, Severity
+from repro.analysis.findings import Finding, Fix, FixSafety, Severity, TextEdit
+from repro.analysis.fixes import FileFixResult, FixOutcome, apply_fixes, fix_paths
 from repro.analysis.registry import (
     ProjectRule,
     Rule,
@@ -78,6 +87,13 @@ from repro.analysis.suppressions import suppressed_codes
 __all__ = [
     "Finding",
     "Severity",
+    "Fix",
+    "FixSafety",
+    "TextEdit",
+    "FileFixResult",
+    "FixOutcome",
+    "apply_fixes",
+    "fix_paths",
     "Rule",
     "ProjectRule",
     "register",

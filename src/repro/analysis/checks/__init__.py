@@ -24,6 +24,13 @@ from repro.analysis.checks.interproc import (
     SeedProvenanceRule,
     UnrecordedFailureRule,
 )
+from repro.analysis.checks.perf import (
+    ConcatInLoopRule,
+    ElementwiseLoopRule,
+    PerTaskArrayPickleRule,
+    RadiusCacheBypassRule,
+    UnhoistedInvariantRule,
+)
 from repro.analysis.checks.pickle_safety import (
     ExceptionReduceRule,
     UnpicklableSubmitRule,
@@ -51,5 +58,10 @@ __all__ = [
     "LockOrderCycleRule",
     "FireAndForgetTaskRule",
     "ContextPropagationGapRule",
+    "ElementwiseLoopRule",
+    "PerTaskArrayPickleRule",
+    "UnhoistedInvariantRule",
+    "ConcatInLoopRule",
+    "RadiusCacheBypassRule",
     "StaleSuppressionRule",
 ]

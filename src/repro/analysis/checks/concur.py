@@ -17,7 +17,7 @@ from collections.abc import Iterator
 
 from repro.analysis.dataflow.project import ProjectContext
 from repro.analysis.dataflow.summaries import FunctionSummary, ModuleSummary
-from repro.analysis.findings import Finding, Severity
+from repro.analysis.findings import Finding, Fix, Severity, TextEdit
 from repro.analysis.registry import ProjectRule, register
 
 __all__ = [
@@ -302,6 +302,18 @@ class FireAndForgetTaskRule(ProjectRule):
                         f"{spawn.api}({what}) handle is discarded — keep a "
                         "reference (or await/gather it) so the task cannot "
                         "be collected and its exception cannot vanish",
+                        fix=Fix(
+                            description="bind the task handle to _task",
+                            edits=(
+                                TextEdit(
+                                    start_line=spawn.line,
+                                    start_col=spawn.col,
+                                    end_line=spawn.line,
+                                    end_col=spawn.col,
+                                    replacement="_task = ",
+                                ),
+                            ),
+                        ),
                     )
 
 

@@ -21,7 +21,7 @@ import ast
 from collections.abc import Iterator
 
 from repro.analysis.context import FileContext
-from repro.analysis.findings import Finding, Severity
+from repro.analysis.findings import Finding, Fix, FixSafety, Severity, TextEdit
 from repro.analysis.registry import Rule, register
 
 __all__ = ["SwallowedExceptionRule"]
@@ -68,7 +68,39 @@ class SwallowedExceptionRule(Rule):
                 f"{what} swallows the exception (no raise, bound name "
                 "unused); failures must surface as exceptions or "
                 "FailureRecords",
+                fix=self._reraise_fix(node),
             )
+
+    @staticmethod
+    def _reraise_fix(handler: ast.ExceptHandler) -> Fix | None:
+        """Append a bare ``raise`` at the end of the handler body.
+
+        ``suggested``-only: re-raising changes control flow — the right
+        repair may instead be a FailureRecord or a narrower exception type,
+        so a human has to confirm the scaffold.
+        """
+        if not handler.body:
+            return None  # pragma: no cover - empty handlers do not parse
+        if handler.body[0].lineno == handler.lineno:
+            return None  # single-line suite: no room for an indented raise
+        last = handler.body[-1]
+        end_line, end_col = last.end_lineno, last.end_col_offset
+        if end_line is None or end_col is None:
+            return None
+        indent = handler.body[0].col_offset
+        return Fix(
+            description="re-raise at the end of the swallowing handler",
+            edits=(
+                TextEdit(
+                    start_line=end_line,
+                    start_col=end_col,
+                    end_line=end_line,
+                    end_col=end_col,
+                    replacement="\n" + " " * indent + "raise",
+                ),
+            ),
+            safety=FixSafety.SUGGESTED,
+        )
 
     @staticmethod
     def _handles_exception(handler: ast.ExceptHandler) -> bool:

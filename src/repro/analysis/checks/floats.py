@@ -25,7 +25,7 @@ import ast
 from collections.abc import Iterator
 
 from repro.analysis.context import FileContext, dotted_name
-from repro.analysis.findings import Finding, Severity
+from repro.analysis.findings import Finding, Fix, Severity, TextEdit
 from repro.analysis.registry import Rule, register
 
 __all__ = ["FloatEqualityRule"]
@@ -95,5 +95,50 @@ class FloatEqualityRule(Rule):
                         f"exact float comparison with '{sym}' on a measured "
                         "quantity; solver outputs carry rounding error — use "
                         "a tolerance-based comparison",
+                        fix=self._isclose_fix(ctx, node),
                     )
                     break  # one finding per Compare is enough
+
+    @staticmethod
+    def _isclose_fix(ctx: FileContext, node: ast.Compare) -> Fix | None:
+        """Rewrite ``a == b`` to ``np.isclose(a, b)`` (``!=`` gains ``not``).
+
+        Only the simple two-operand shape is rewritten, and only when the
+        file already binds numpy — the fix never adds an import.  Chained
+        comparisons keep their finding but carry no fix.
+        """
+        if len(node.ops) != 1 or len(node.comparators) != 1:
+            return None
+        isclose = _isclose_expr(ctx)
+        if isclose is None:
+            return None
+        left = ast.get_source_segment(ctx.source, node.left)
+        right = ast.get_source_segment(ctx.source, node.comparators[0])
+        end_line, end_col = node.end_lineno, node.end_col_offset
+        if left is None or right is None or end_line is None or end_col is None:
+            return None
+        prefix = "" if isinstance(node.ops[0], ast.Eq) else "not "
+        return Fix(
+            description=f"rewrite exact comparison as {prefix}{isclose}(...)",
+            edits=(
+                TextEdit(
+                    start_line=node.lineno,
+                    start_col=node.col_offset,
+                    end_line=end_line,
+                    end_col=end_col,
+                    replacement=f"{prefix}{isclose}({left}, {right})",
+                ),
+            ),
+        )
+
+
+def _isclose_expr(ctx: FileContext) -> str | None:
+    """How this file spells ``numpy.isclose``, or None without a numpy
+    binding."""
+    for local, (module, orig) in ctx.from_imports.items():
+        if module == "numpy" and orig == "isclose":
+            return local
+    for local, target in ctx.module_aliases.items():
+        if target == "numpy":
+            return f"{local}.isclose"
+    return None

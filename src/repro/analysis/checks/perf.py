@@ -1,0 +1,226 @@
+"""Performance rules R120–R124 (project phase) guarding the numeric hot path.
+
+The robustness-radius pipeline spends its time in a handful of shapes —
+per-scenario radius solves, perturbation sweeps, Monte-Carlo batches — and
+the difference between the vectorised and the naive form of each is easily
+an order of magnitude.  This family consumes the performance facts
+extracted into each :class:`~repro.analysis.dataflow.summaries.
+FunctionSummary` (known-ndarray locals, loop regions, per-element loops,
+loop-invariant expensive calls, loop accumulation sites, array-carrying
+submit sites) plus the :attr:`~repro.analysis.dataflow.project.
+ProjectContext.consults_radius_store` fixpoint, and flags the naive forms.
+
+None of the rules apply to test files: tests and benchmarks legitimately
+spell out naive reference loops to check the vectorised implementations
+against.  Like the rest of the dataflow families the rules are shape-based
+and lean toward fewer false positives — an unknown array, an unresolvable
+callee, or an argument whose loop-variance cannot be established never
+fires.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.analysis.dataflow.project import ProjectContext
+from repro.analysis.dataflow.summaries import FunctionSummary
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import ProjectRule, register
+
+__all__ = [
+    "ElementwiseLoopRule",
+    "PerTaskArrayPickleRule",
+    "UnhoistedInvariantRule",
+    "ConcatInLoopRule",
+    "RadiusCacheBypassRule",
+]
+
+#: callee tails that perform a raw (uncached) radius / metric solve
+_RAW_SOLVER_TAILS = {
+    "robustness_radius",
+    "robustness_metric",
+    "solve_radius_tasks_isolated",
+}
+
+#: parameter / attribute names that mean "a radius store is configured"
+_STORE_NAMES = {"store", "radius_store", "cache", "radius_cache"}
+
+
+@register
+class ElementwiseLoopRule(ProjectRule):
+    """R120: a Python ``for`` loop walks a known ndarray element by element
+    (``for i in range(len(xs))`` indexing, or arithmetic on each scalar),
+    paying interpreter dispatch per element where one vectorised numpy
+    expression would do."""
+
+    code = "R120"
+    name = "per-element-ndarray-loop"
+    description = (
+        "per-element Python loop over a known ndarray — vectorise with a "
+        "whole-array numpy expression"
+    )
+    severity = Severity.WARNING
+    applies_to_tests = False
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        for mod in project.modules:
+            for f in mod.functions.values():
+                for el in f.element_loops:
+                    yield self.finding_at(
+                        mod.path,
+                        el.line,
+                        el.col,
+                        f"Python loop processes ndarray '{el.array}' element "
+                        f"by element ({el.detail}) — replace with a "
+                        "vectorised numpy expression over the whole array",
+                    )
+
+
+@register
+class PerTaskArrayPickleRule(ProjectRule):
+    """R121: a loop submits work to an executor passing a known ndarray as a
+    task argument, so the same large array is pickled once per task instead
+    of once per pool (or sliced per task)."""
+
+    code = "R121"
+    name = "per-task-array-pickle"
+    description = (
+        "ndarray passed as a task argument from a per-task submit loop — "
+        "pickled once per task; share it or pass slices"
+    )
+    severity = Severity.WARNING
+    applies_to_tests = False
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        for mod in project.modules:
+            for f in mod.functions.values():
+                for site in f.submit_sites:
+                    if not site.in_loop or not site.ndarray_args:
+                        continue
+                    arrays = ", ".join(f"'{a}'" for a in site.ndarray_args)
+                    yield self.finding_at(
+                        mod.path,
+                        site.line,
+                        site.col,
+                        f"submit inside a loop passes ndarray {arrays} to "
+                        "every task — each submit pickles the full array; "
+                        "pass per-task slices or use an initializer to "
+                        "share it once",
+                    )
+
+
+@register
+class UnhoistedInvariantRule(ProjectRule):
+    """R122: an expensive call (``np.linalg.*``, solver / engine
+    construction, RNG creation) sits inside a loop although every argument
+    is loop-invariant — the result is identical each iteration and the call
+    belongs before the loop."""
+
+    code = "R122"
+    name = "unhoisted-loop-invariant"
+    description = (
+        "expensive call with loop-invariant arguments inside a loop — "
+        "hoist it above the loop"
+    )
+    severity = Severity.WARNING
+    applies_to_tests = False
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        for mod in project.modules:
+            for f in mod.functions.values():
+                for lc in f.loop_calls:
+                    tail = lc.callee.rsplit(".", 1)[-1]
+                    yield self.finding_at(
+                        mod.path,
+                        lc.line,
+                        lc.col,
+                        f"{tail}() has only loop-invariant arguments but "
+                        f"runs every iteration of the loop at line "
+                        f"{lc.loop_line} — hoist it above the loop",
+                    )
+
+
+@register
+class ConcatInLoopRule(ProjectRule):
+    """R123: an accumulator is rebound to ``np.concatenate``/``np.append``
+    of itself inside a loop, reallocating and copying the whole array every
+    iteration (quadratic growth). Collect parts in a list and concatenate
+    once after the loop."""
+
+    code = "R123"
+    name = "concat-in-loop"
+    severity = Severity.WARNING
+    description = (
+        "np.concatenate/np.append accumulation inside a loop reallocates "
+        "every iteration — collect parts and concatenate once"
+    )
+    applies_to_tests = False
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        for mod in project.modules:
+            for f in mod.functions.values():
+                for site in f.accum_sites:
+                    yield self.finding_at(
+                        mod.path,
+                        site.line,
+                        site.col,
+                        f"'{site.name}' grows via np.{site.func} inside the "
+                        f"loop at line {site.loop_line}, copying the whole "
+                        "array each iteration — append parts to a list and "
+                        "concatenate once after the loop",
+                    )
+
+
+@register
+class RadiusCacheBypassRule(ProjectRule):
+    """R124: a function has a radius store / cache configured (a ``store``
+    parameter, a ``self.store``/``self.cache`` attribute, or a
+    ``RadiusStore`` it constructed) yet performs a raw radius solve without
+    it — or any helper it calls — ever probing the store, so every call
+    recomputes what the store exists to memoise."""
+
+    code = "R124"
+    name = "radius-cache-bypass"
+    description = (
+        "raw radius solve in a function with a configured RadiusStore that "
+        "is never consulted — probe the store first"
+    )
+    severity = Severity.WARNING
+    applies_to_tests = False
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        consults = project.consults_radius_store
+        for mod in project.modules:
+            for fname, f in mod.functions.items():
+                qual = f"{mod.module}.{fname}"
+                if not self._store_configured(f):
+                    continue
+                if consults.get(qual, False):
+                    continue
+                for rec in f.calls:
+                    tail = rec.callee.rsplit(".", 1)[-1]
+                    if tail not in _RAW_SOLVER_TAILS:
+                        continue
+                    # a raw solve is also cleared when the solve itself is
+                    # wrapped by a store-probing project helper
+                    if consults.get(rec.callee, False):
+                        continue
+                    yield self.finding_at(
+                        mod.path,
+                        rec.line,
+                        rec.col,
+                        f"{tail}() recomputes a radius although a radius "
+                        "store is configured here and never consulted — "
+                        "probe store.get(...) before solving (or route "
+                        "through the caching engine)",
+                    )
+
+    @staticmethod
+    def _store_configured(f: FunctionSummary) -> bool:
+        if any(p in _STORE_NAMES for p in f.params):
+            return True
+        if any(attr in _STORE_NAMES for attr in f.self_reads):
+            return True
+        return any(
+            name.rsplit(".", 1)[-1] == "RadiusStore" for name in f.call_names
+        )

@@ -33,8 +33,11 @@ __all__ = ["SummaryStore", "CACHE_VERSION", "DEFAULT_CACHE_PATH", "content_hash"
 
 #: bump when the summary or entry schema changes incompatibly
 #: (v3: concurrency facts — async/await boundaries, lock regions, task
-#: spawns, blocking calls, obs-context flags — for R110–R114)
-CACHE_VERSION = 3
+#: spawns, blocking calls, obs-context flags — for R110–R114;
+#: v4: performance facts — ndarray-typed locals, loop regions, element
+#: loops, loop-invariant calls, accumulation sites — for R120–R124, plus
+#: fix payloads on cached raw findings)
+CACHE_VERSION = 4
 
 #: default store location used by ``repro lint`` (cwd-relative)
 DEFAULT_CACHE_PATH = Path(".repro-lint-cache.json")

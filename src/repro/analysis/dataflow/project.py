@@ -24,6 +24,12 @@ The concurrency family (R110–R114) adds three more:
 - :attr:`uses_obs_context` — whether a function (transitively) consumes
   ambient obs/contextvar state (R114).
 
+The performance family (R120–R124) adds one:
+
+- :attr:`consults_radius_store` — whether a function (transitively) probes
+  a radius store / LRU cache (``<store>.get`` / ``<cache>.get``) before
+  computing, which is what clears a raw-solver call under R124.
+
 All fixpoints are computed lazily on first use and cached for the lifetime
 of the context, which is one lint run.
 """
@@ -60,6 +66,7 @@ class ProjectContext:
         self._blocking_roots: dict[str, str] | None = None
         self._locks: dict[str, frozenset[str]] = {}
         self._uses_context: dict[str, bool] | None = None
+        self._consults_store: dict[str, bool] | None = None
 
     # -- resolution --------------------------------------------------------
 
@@ -284,3 +291,41 @@ class ProjectContext:
                     break
             self._uses_context = status
         return self._uses_context
+
+    # -- fixpoint: transitive radius-store consultation (R124) -------------
+
+    @property
+    def consults_radius_store(self) -> dict[str, bool]:
+        """Function qualname -> "probes a radius store / cache first".
+
+        The local seed is any ``<receiver>.get(...)`` call whose receiver
+        chain names a store or cache (``store.get``, ``self.cache.get``,
+        ``RadiusStore.get``); the closure propagates backwards through the
+        call graph so a helper that does the lookup clears its callers.
+        """
+        if self._consults_store is None:
+            status = {
+                q: any(_is_store_lookup(name) for name in f.call_names)
+                for q, f in self.functions.items()
+            }
+            for _ in range(_MAX_DEPTH):
+                changed = False
+                for qual, f in self.functions.items():
+                    if status[qual]:
+                        continue
+                    if any(status.get(c, False) for c in f.call_names):
+                        status[qual] = True
+                        changed = True
+                if not changed:
+                    break
+            self._consults_store = status
+        return self._consults_store
+
+
+def _is_store_lookup(call_name: str) -> bool:
+    """``<...store/cache>.get`` — the shape of an LRU / RadiusStore probe."""
+    parts = call_name.split(".")
+    if len(parts) < 2 or parts[-1] != "get":
+        return False
+    receiver = parts[-2].lower()
+    return "store" in receiver or "cache" in receiver

@@ -1,0 +1,30 @@
+"""Autofix layer: apply the machine-applicable repairs findings carry.
+
+``repro lint --fix`` is built from two pieces:
+
+- :func:`apply_fixes` — the single-pass primitive.  It groups fixable
+  findings by file, resolves overlapping fixes deterministically (document
+  order, rule code as tie-break; a fix is applied whole or not at all),
+  patches the text bottom-up against *original* coordinates, and re-parses
+  every patched file — a fix that breaks the syntax reverts its whole file.
+- :func:`fix_paths` — the convergence driver behind the CLI.  It loops
+  lint → apply → re-lint until no fix applies (a handful of passes at
+  most: the only multi-pass case is several stale codes sharing one noqa
+  marker), which is what makes ``--fix`` idempotent: a second invocation
+  finds nothing left to do.
+
+Safety classes: ``safe`` fixes apply by default; ``suggested`` fixes
+(control-flow scaffolds like the R007 re-raise) only with
+``include_suggested=True`` / ``--fix-suggested``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.fixes.applier import (
+    FileFixResult,
+    FixOutcome,
+    apply_fixes,
+    fix_paths,
+)
+
+__all__ = ["FileFixResult", "FixOutcome", "apply_fixes", "fix_paths"]

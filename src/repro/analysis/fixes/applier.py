@@ -1,0 +1,269 @@
+"""Fix applier: deterministic span edits + syntactic-validity guarantee.
+
+Coordinates follow the finding convention (1-based lines, 0-based cols).
+All edits of one pass address the *original* text of their file; the
+applier converts spans to absolute offsets up front and patches bottom-up,
+so earlier edits never shift later ones.
+
+Conflict policy (deterministic by construction): fixes are ordered by
+(first-edit offset, last-edit end, rule code, description); a fix whose
+edits intersect an already-claimed span — or start at the exact offset
+another fix starts at — is skipped whole.  A skipped fix is not lost: the
+finding fires again on the next lint pass and the :func:`fix_paths` driver
+re-applies until nothing is left (bounded; in practice one extra pass).
+"""
+
+from __future__ import annotations
+
+import ast
+import difflib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Sequence
+
+from repro.analysis.findings import Finding, Fix, FixSafety, TextEdit
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.dataflow.cache import SummaryStore
+    from repro.analysis.runner import LintReport
+
+__all__ = ["FileFixResult", "FixOutcome", "apply_fixes", "fix_paths"]
+
+#: convergence bound for the ``--fix`` driver; the only known multi-pass
+#: shape (several stale codes in one noqa marker) converges in two
+_MAX_PASSES = 10
+
+
+@dataclass
+class FileFixResult:
+    """Outcome of one fix pass over one file."""
+
+    path: str
+    #: fixes applied (whole-fix granularity)
+    n_applied: int = 0
+    #: fixes skipped because their spans collided with an applied fix
+    n_skipped_overlap: int = 0
+    #: ``suggested`` fixes withheld (run with ``--fix-suggested`` to apply)
+    n_skipped_suggested: int = 0
+    original: str = ""
+    fixed: str = ""
+    #: the patched text re-parsed cleanly; ``False`` means the whole file
+    #: was reverted and its fixes recorded as failed
+    reparse_ok: bool = True
+    #: descriptions of the applied fixes, in document order
+    applied: list[str] = field(default_factory=list)
+
+    @property
+    def changed(self) -> bool:
+        return self.n_applied > 0 and self.fixed != self.original
+
+
+@dataclass
+class FixOutcome:
+    """Aggregate outcome of one :func:`apply_fixes` pass (or a whole
+    :func:`fix_paths` run, merged across passes)."""
+
+    files: list[FileFixResult] = field(default_factory=list)
+
+    @property
+    def n_applied(self) -> int:
+        return sum(f.n_applied for f in self.files)
+
+    @property
+    def n_skipped_suggested(self) -> int:
+        return sum(f.n_skipped_suggested for f in self.files)
+
+    @property
+    def n_files_changed(self) -> int:
+        return len({f.path for f in self.files if f.changed})
+
+    @property
+    def reparse_failures(self) -> list[str]:
+        return [f.path for f in self.files if not f.reparse_ok]
+
+    def merge(self, other: "FixOutcome") -> None:
+        self.files.extend(other.files)
+
+    def diff(self) -> str:
+        """Unified diff of every changed file (the ``--fix --diff`` view)."""
+        chunks: list[str] = []
+        for f in sorted(self.files, key=lambda r: r.path):
+            if not f.changed:
+                continue
+            chunks.append(
+                "".join(
+                    difflib.unified_diff(
+                        f.original.splitlines(keepends=True),
+                        f.fixed.splitlines(keepends=True),
+                        fromfile=f"a/{f.path}",
+                        tofile=f"b/{f.path}",
+                    )
+                )
+            )
+        return "".join(chunks)
+
+
+def _line_starts(text: str) -> list[int]:
+    starts = [0]
+    for i, ch in enumerate(text):
+        if ch == "\n":
+            starts.append(i + 1)
+    return starts
+
+def _offset(starts: list[int], line: int, col: int, text_len: int) -> int:
+    if line < 1:
+        return 0
+    if line > len(starts):
+        return text_len
+    return min(starts[line - 1] + col, text_len)
+
+
+def _fix_spans(
+    fix: Fix, starts: list[int], text_len: int
+) -> list[tuple[int, int, str]] | None:
+    """(start, end, replacement) offsets for every edit, or None when the
+    fix is malformed (inverted span)."""
+    spans: list[tuple[int, int, str]] = []
+    for e in fix.edits:
+        s = _offset(starts, e.start_line, e.start_col, text_len)
+        t = _offset(starts, e.end_line, e.end_col, text_len)
+        if t < s:
+            return None
+        spans.append((s, t, e.replacement))
+    return sorted(spans)
+
+
+def _conflicts(
+    spans: Sequence[tuple[int, int, str]],
+    claimed: Sequence[tuple[int, int]],
+) -> bool:
+    for s, t, _ in spans:
+        for cs, ct in claimed:
+            if s == cs or (s < ct and t > cs):
+                return True
+    return False
+
+
+def _apply_file(
+    path: str,
+    source: str,
+    fixes: list[tuple[Finding, Fix]],
+    include_suggested: bool,
+) -> FileFixResult:
+    result = FileFixResult(path=path, original=source, fixed=source)
+    starts = _line_starts(source)
+    candidates: list[tuple[tuple[int, int, str, str], Fix, list[tuple[int, int, str]]]] = []
+    for finding, fix in fixes:
+        if fix.safety is FixSafety.SUGGESTED and not include_suggested:
+            result.n_skipped_suggested += 1
+            continue
+        spans = _fix_spans(fix, starts, len(source))
+        if spans is None or not spans:
+            continue
+        key = (spans[0][0], spans[-1][1], finding.code, fix.description)
+        candidates.append((key, fix, spans))
+    candidates.sort(key=lambda c: c[0])
+
+    claimed: list[tuple[int, int]] = []
+    accepted: list[tuple[int, int, str]] = []
+    for _key, fix, spans in candidates:
+        if _conflicts(spans, claimed):
+            result.n_skipped_overlap += 1
+            continue
+        claimed.extend((s, t) for s, t, _ in spans)
+        accepted.extend(spans)
+        result.n_applied += 1
+        result.applied.append(fix.description)
+    if not accepted:
+        return result
+
+    text = source
+    for s, t, replacement in sorted(accepted, reverse=True):
+        text = text[:s] + replacement + text[t:]
+    try:
+        ast.parse(text)
+    except SyntaxError:
+        # a fix produced unparsable code: revert the whole file — the
+        # guarantee is that --fix never leaves a file in a worse state
+        result.n_applied = 0
+        result.applied.clear()
+        result.reparse_ok = False
+        return result
+    result.fixed = text
+    return result
+
+
+def apply_fixes(
+    findings: Sequence[Finding],
+    *,
+    include_suggested: bool = False,
+    write: bool = False,
+    sources: dict[str, str] | None = None,
+) -> FixOutcome:
+    """One pass: apply the fixes attached to *findings*.
+
+    *sources* overrides file reads (for in-memory callers and tests);
+    without it each file is read from disk.  With ``write=True`` changed
+    files are written back in place.  Unreadable paths (e.g. the
+    ``<string>`` pseudo-path of :func:`~repro.analysis.runner.lint_source`
+    when no override is given) are skipped silently — their findings simply
+    remain.
+    """
+    by_path: dict[str, list[tuple[Finding, Fix]]] = {}
+    for f in findings:
+        if f.fix is not None:
+            by_path.setdefault(f.path, []).append((f, f.fix))
+    outcome = FixOutcome()
+    for path in sorted(by_path):
+        if sources is not None and path in sources:
+            source = sources[path]
+        else:
+            try:
+                source = Path(path).read_text(encoding="utf-8")
+            except OSError:
+                continue
+        result = _apply_file(path, source, by_path[path], include_suggested)
+        outcome.files.append(result)
+        if write and result.changed:
+            Path(path).write_text(result.fixed, encoding="utf-8")
+        if sources is not None and result.changed:
+            sources[path] = result.fixed
+    return outcome
+
+
+def fix_paths(
+    paths: list[Path],
+    *,
+    select: list[str] | None = None,
+    exclude: Sequence[str] | None = None,
+    cache: "SummaryStore | None" = None,
+    include_suggested: bool = False,
+    write: bool = True,
+    max_passes: int = _MAX_PASSES,
+) -> tuple["LintReport", FixOutcome]:
+    """Fix driver behind ``repro lint --fix``: lint, apply, repeat to a
+    fixpoint.
+
+    Returns the *final* lint report (what remains after fixing) and the
+    merged fix outcome.  With ``write=False`` this is a single-pass
+    preview — nothing touches disk and the report is the pre-fix state
+    (the ``--diff`` / ``--fix-dry-run`` view).
+    """
+    from repro.analysis.runner import lint_paths
+
+    report = lint_paths(paths, select=select, exclude=exclude, cache=cache)
+    total = FixOutcome()
+    if not write:
+        outcome = apply_fixes(
+            report.findings, include_suggested=include_suggested, write=False
+        )
+        return report, outcome
+    for _ in range(max_passes):
+        outcome = apply_fixes(
+            report.findings, include_suggested=include_suggested, write=True
+        )
+        total.merge(outcome)
+        if outcome.n_applied == 0:
+            break
+        report = lint_paths(paths, select=select, exclude=exclude, cache=cache)
+    return report, total

@@ -16,7 +16,7 @@ from collections.abc import Iterable, Iterator
 from typing import TYPE_CHECKING
 
 from repro.analysis.context import FileContext
-from repro.analysis.findings import Finding, Severity
+from repro.analysis.findings import Finding, Fix, Severity
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.analysis.dataflow.project import ProjectContext
@@ -46,7 +46,13 @@ class Rule(ABC):
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         """Yield findings for one file."""
 
-    def finding(self, ctx: FileContext, node: ast.AST, message: str) -> Finding:
+    def finding(
+        self,
+        ctx: FileContext,
+        node: ast.AST,
+        message: str,
+        fix: Fix | None = None,
+    ) -> Finding:
         return Finding(
             code=self.code,
             name=self.name,
@@ -55,6 +61,7 @@ class Rule(ABC):
             line=getattr(node, "lineno", 1),
             col=getattr(node, "col_offset", 0),
             severity=self.severity,
+            fix=fix,
         )
 
 
@@ -77,7 +84,12 @@ class ProjectRule(Rule):
         """Yield findings across the whole project."""
 
     def finding_at(
-        self, path: str, line: int, col: int, message: str
+        self,
+        path: str,
+        line: int,
+        col: int,
+        message: str,
+        fix: Fix | None = None,
     ) -> Finding:
         """Construct a finding at an explicit location (no AST node)."""
         return Finding(
@@ -88,6 +100,7 @@ class ProjectRule(Rule):
             line=line,
             col=col,
             severity=self.severity,
+            fix=fix,
         )
 
 

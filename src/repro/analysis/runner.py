@@ -386,6 +386,7 @@ def _stale_findings(
 
     rule = StaleSuppressionRule()
     known = set(all_rules())
+    lines: list[str] | None = None
     out: list[Finding] = []
     for line, codes in sorted(analysis.markers.items()):
         for code in sorted(codes):
@@ -394,9 +395,26 @@ def _stale_findings(
             if (line, code) in used:
                 continue
             if code not in known:
-                out.append(rule.stale_finding(analysis.path, line, code, known=False))
+                is_known = False
             elif code in ran:
-                out.append(rule.stale_finding(analysis.path, line, code, known=True))
+                is_known = True
+            else:
+                continue
+            if lines is None:
+                # read the file once, lazily: cached analyses carry no
+                # source, and stale markers are the rare case
+                try:
+                    lines = Path(analysis.path).read_text(
+                        encoding="utf-8"
+                    ).splitlines()
+                except OSError:
+                    lines = []
+            text = lines[line - 1] if 0 < line <= len(lines) else None
+            out.append(
+                rule.stale_finding(
+                    analysis.path, line, code, known=is_known, line_text=text
+                )
+            )
     return out
 
 

@@ -1,0 +1,9 @@
+"""R002 golden: unseeded default_rng gains an explicit 0 placeholder."""
+
+import numpy as np
+
+rng = np.random.default_rng(0)
+
+
+def fresh():
+    return np.random.default_rng(0)

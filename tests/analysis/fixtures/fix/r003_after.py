@@ -1,0 +1,11 @@
+"""R003 golden: exact float comparisons rewritten to np.isclose."""
+
+import numpy as np
+
+
+def same(radius, expected):
+    return np.isclose(radius, expected)
+
+
+def differs(makespan, bound):
+    return not np.isclose(makespan, bound)

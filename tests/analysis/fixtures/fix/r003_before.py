@@ -1,0 +1,11 @@
+"""R003 golden: exact float comparisons rewritten to np.isclose."""
+
+import numpy as np
+
+
+def same(radius, expected):
+    return radius == expected
+
+
+def differs(makespan, bound):
+    return makespan != bound

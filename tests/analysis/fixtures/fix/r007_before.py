@@ -1,0 +1,8 @@
+"""R007 golden: swallowed broad except gains a re-raise scaffold."""
+
+
+def run(task, log):
+    try:
+        return task()
+    except Exception:
+        log("failed")

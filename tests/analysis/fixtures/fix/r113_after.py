@@ -1,0 +1,7 @@
+"""R113 golden: a discarded create_task handle gets bound."""
+
+import asyncio
+
+
+async def main(worker):
+    _task = asyncio.create_task(worker())

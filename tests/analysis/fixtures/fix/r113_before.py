@@ -1,0 +1,7 @@
+"""R113 golden: a discarded create_task handle gets bound."""
+
+import asyncio
+
+
+async def main(worker):
+    asyncio.create_task(worker())

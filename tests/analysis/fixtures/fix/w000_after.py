@@ -1,0 +1,11 @@
+"""W000 golden: stale noqa markers removed without touching live codes."""
+
+import random
+
+
+def f():
+    return 1
+
+
+def roll():
+    return random.random()  # repro: noqa[R001] replay-exempt helper

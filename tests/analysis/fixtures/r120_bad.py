@@ -1,0 +1,27 @@
+"""R120 bad: per-element Python loops over known ndarrays."""
+
+import numpy as np
+
+
+def scale(xs):
+    xs = np.asarray(xs, dtype=float)
+    out = np.zeros(len(xs))
+    for i in range(len(xs)):
+        out[i] = xs[i] * 2.0
+    return out
+
+
+def sum_squares(loads):
+    loads = np.asarray(loads, dtype=float)
+    acc = 0.0
+    for t in range(loads.shape[0]):
+        acc += loads[t] ** 2
+    return acc
+
+
+def norm1(v):
+    v = np.ascontiguousarray(v)
+    s = 0.0
+    for x in v:
+        s += abs(x)
+    return s

@@ -1,0 +1,32 @@
+"""R120 ok: vectorised math, sequential recurrences, plain lists."""
+
+import numpy as np
+
+
+def scale(xs):
+    xs = np.asarray(xs, dtype=float)
+    return xs * 2.0
+
+
+def walk(steps):
+    # genuinely sequential: each step depends on the previous state, so
+    # the per-step fill must not be flagged as vectorisable
+    steps = np.asarray(steps, dtype=float)
+    out = np.empty(steps.shape[0])
+    state = 0.0
+    for t in range(steps.shape[0]):
+        state = advance(state, steps[t])
+        out[t] = state
+    return out
+
+
+def advance(state, step):
+    return state + step
+
+
+def tally(items):
+    # plain list, not a known ndarray
+    total = 0.0
+    for x in items:
+        total += x
+    return total

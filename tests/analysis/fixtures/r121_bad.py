@@ -1,0 +1,23 @@
+"""R121 bad: per-task submits pickling the full ndarray every time."""
+
+import numpy as np
+
+
+def fan_out(pool, n_tasks):
+    data = np.zeros((512, 512))
+    futs = []
+    for i in range(n_tasks):
+        futs.append(pool.submit(solve_one, data, i))
+    return futs
+
+
+def sweep(pool, grid, reps):
+    grid = np.asarray(grid, dtype=float)
+    out = []
+    for r in range(reps):
+        out.append(pool.submit(solve_one, grid, r))
+    return out
+
+
+def solve_one(arr, i):
+    return float(arr.sum()) + i

@@ -1,0 +1,22 @@
+"""R121 ok: arrays cross the pool boundary once, or as per-task slices."""
+
+import numpy as np
+
+
+def one_shot(pool):
+    # single submit outside any loop: the array is pickled once
+    data = np.zeros((512, 512))
+    return pool.submit(solve_one, data)
+
+
+def sliced(pool, grid, reps):
+    # per-task slices, not the whole array per task
+    grid = np.asarray(grid, dtype=float)
+    futs = []
+    for r in range(reps):
+        futs.append(pool.submit(solve_one, grid[r]))
+    return futs
+
+
+def solve_one(arr, i=0):
+    return float(arr.sum()) + i

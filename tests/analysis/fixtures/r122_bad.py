@@ -1,0 +1,19 @@
+"""R122 bad: loop-invariant expensive calls run every iteration."""
+
+import numpy as np
+
+
+def solve_many(mat, rhs_batch):
+    outs = []
+    for rhs in rhs_batch:
+        inv = np.linalg.inv(mat)
+        outs.append(inv @ rhs)
+    return outs
+
+
+def resample(seed, rounds):
+    vals = []
+    for _ in range(rounds):
+        rng = np.random.default_rng(seed)
+        vals.append(rng.standard_normal())
+    return vals

@@ -1,0 +1,21 @@
+"""R122 ok: expensive calls hoisted, or genuinely loop-variant."""
+
+import numpy as np
+
+
+def solve_many(mat, rhs_batch):
+    inv = np.linalg.inv(mat)
+    return [inv @ rhs for rhs in rhs_batch]
+
+
+def perturb_each(mats):
+    # the argument is the loop variable: a fresh inverse per iteration
+    outs = []
+    for m in mats:
+        outs.append(np.linalg.inv(m))
+    return outs
+
+
+def resample(seed, rounds):
+    rng = np.random.default_rng(seed)
+    return [rng.standard_normal() for _ in range(rounds)]

@@ -1,0 +1,17 @@
+"""R123 bad: quadratic array accumulation inside loops."""
+
+import numpy as np
+
+
+def collect(chunks):
+    acc = np.zeros(0)
+    for c in chunks:
+        acc = np.concatenate([acc, np.asarray(c, dtype=float)])
+    return acc
+
+
+def history(samples):
+    hist = np.empty(0)
+    for s in samples:
+        hist = np.append(hist, s)
+    return hist

@@ -1,0 +1,15 @@
+"""R123 ok: parts collected in a list, one concatenate after the loop."""
+
+import numpy as np
+
+
+def collect(chunks):
+    parts = []
+    for c in chunks:
+        parts.append(np.asarray(c, dtype=float))
+    return np.concatenate(parts) if parts else np.zeros(0)
+
+
+def merge_once(a, b):
+    # a single concatenate outside any loop is linear
+    return np.concatenate([np.asarray(a), np.asarray(b)])

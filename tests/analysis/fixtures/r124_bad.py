@@ -1,0 +1,22 @@
+"""R124 bad: a configured radius store is never consulted before raw
+solves, so every call recomputes what the store exists to memoise."""
+
+from repro.core.radius import robustness_radius
+
+
+def sweep(system, mapping, loads, store):
+    out = []
+    for load in loads:
+        out.append(robustness_radius(system, mapping, load))
+    return out
+
+
+class Runner:
+    def __init__(self, store):
+        self.store = store
+
+    def solve(self, system, mapping, load):
+        # touches the store (evicts!) but never probes it before solving
+        if len(self.store) > 10_000:
+            self.store.clear()
+        return robustness_radius(system, mapping, load)

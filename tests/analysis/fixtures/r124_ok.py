@@ -1,0 +1,40 @@
+"""R124 ok: the configured store is probed before any raw solve — or no
+store is configured at all."""
+
+from repro.core.radius import robustness_radius
+
+
+def sweep(system, mapping, loads, store):
+    out = []
+    for load in loads:
+        hit = store.get((id(mapping), float(load.sum())))
+        if hit is None:
+            hit = robustness_radius(system, mapping, load)
+        out.append(hit)
+    return out
+
+
+def plain_sweep(system, mapping, loads):
+    # no store anywhere in sight: raw solves are the right thing
+    return [robustness_radius(system, mapping, load) for load in loads]
+
+
+def cached_solve(system, mapping, load, store):
+    return lookup(store, system, mapping, load)
+
+
+def lookup(store, system, mapping, load):
+    # the probe lives in a helper; the caller is cleared transitively
+    hit = store.get((id(mapping), float(load.sum())))
+    return hit if hit is not None else robustness_radius(system, mapping, load)
+
+
+class Runner:
+    def __init__(self, store):
+        self.store = store
+
+    def solve(self, system, mapping, load):
+        cached = self.store.get(load)
+        if cached is not None:
+            return cached
+        return robustness_radius(system, mapping, load)

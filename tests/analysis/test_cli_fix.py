@@ -1,0 +1,135 @@
+"""Exit-code and composition contract of ``repro lint --fix``.
+
+Nonsensical flag combinations are loud usage errors (exit 2), the diff
+preview never writes, the write path converges in place, and ``--fix``
+composes with ``--select`` and ``--changed``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+FIXABLE = "import numpy as np\n\nrng = np.random.default_rng()\n"
+
+
+@pytest.fixture
+def fixable_file(tmp_path):
+    f = tmp_path / "mod.py"
+    f.write_text(FIXABLE, encoding="utf-8")
+    return f
+
+
+class TestFlagInterplay:
+    def test_diff_without_fix_exits_2(self, fixable_file, capsys):
+        assert main(["lint", "--diff", str(fixable_file)]) == 2
+        assert "--diff requires --fix" in capsys.readouterr().err
+
+    def test_fix_plus_dry_run_exits_2(self, fixable_file, capsys):
+        assert (
+            main(["lint", "--fix", "--fix-dry-run", str(fixable_file)]) == 2
+        )
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_fix_plus_json_exits_2(self, fixable_file, capsys):
+        assert (
+            main(["lint", "--fix", "--format", "json", str(fixable_file)])
+            == 2
+        )
+        assert "text output only" in capsys.readouterr().err
+
+    def test_dry_run_plus_json_exits_2(self, fixable_file, capsys):
+        assert (
+            main(["lint", "--fix-dry-run", "--format", "json", str(fixable_file)])
+            == 2
+        )
+        capsys.readouterr()
+
+    def test_fix_suggested_alone_exits_2(self, fixable_file, capsys):
+        assert main(["lint", "--fix-suggested", str(fixable_file)]) == 2
+        assert "--fix-suggested requires" in capsys.readouterr().err
+
+    def test_flag_errors_beat_path_validation(self, capsys):
+        # usage errors are reported even when no path is given
+        assert main(["lint", "--diff"]) == 2
+        assert "--diff requires --fix" in capsys.readouterr().err
+
+
+class TestFixEndToEnd:
+    def test_fix_writes_and_exits_0_when_all_fixed(self, fixable_file, capsys):
+        rc = main(["lint", "--no-cache", "--fix", str(fixable_file)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fixed 1 finding(s) in 1 file(s)" in out
+        assert (
+            fixable_file.read_text(encoding="utf-8")
+            == "import numpy as np\n\nrng = np.random.default_rng(0)\n"
+        )
+
+    def test_diff_previews_without_writing(self, fixable_file, capsys):
+        rc = main(["lint", "--no-cache", "--fix", "--diff", str(fixable_file)])
+        assert rc == 1  # findings remain: nothing was written
+        out = capsys.readouterr().out
+        assert "-rng = np.random.default_rng()" in out
+        assert "+rng = np.random.default_rng(0)" in out
+        assert "would fix 1 finding(s)" in out
+        assert fixable_file.read_text(encoding="utf-8") == FIXABLE
+
+    def test_dry_run_summarizes_without_writing(self, fixable_file, capsys):
+        rc = main(["lint", "--no-cache", "--fix-dry-run", str(fixable_file)])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "would fix 1 finding(s)" in out
+        assert "---" not in out  # no diff in dry-run mode
+        assert fixable_file.read_text(encoding="utf-8") == FIXABLE
+
+    def test_fix_exits_1_when_unfixable_findings_remain(self, tmp_path, capsys):
+        f = tmp_path / "mod.py"
+        # R001 has no fixer: the finding must survive --fix and drive exit 1
+        f.write_text("from random import choice\nx = choice([1])\n")
+        rc = main(["lint", "--no-cache", "--fix", str(f)])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "fixed 0 finding(s)" in out
+        assert "R001" in out
+
+    def test_suggested_fixes_withheld_then_applied(self, tmp_path, capsys):
+        f = tmp_path / "mod.py"
+        src = (
+            "def run(task, log):\n"
+            "    try:\n"
+            "        return task()\n"
+            "    except Exception:\n"
+            "        log('failed')\n"
+        )
+        f.write_text(src, encoding="utf-8")
+        rc = main(["lint", "--no-cache", "--fix", str(f)])
+        assert rc == 1
+        assert "suggested fix(es) withheld" in capsys.readouterr().out
+        assert f.read_text(encoding="utf-8") == src
+        rc = main(
+            ["lint", "--no-cache", "--fix", "--fix-suggested", str(f)]
+        )
+        assert rc == 0
+        capsys.readouterr()
+        assert f.read_text(encoding="utf-8").rstrip().endswith("raise")
+
+    def test_fix_composes_with_select(self, tmp_path, capsys):
+        f = tmp_path / "mod.py"
+        f.write_text(FIXABLE + "\ny = 1  # repro: noqa[R003] stale\n")
+        # only W000 selected: the stale marker goes, the rng stays unseeded
+        rc = main(["lint", "--fix", "--select", "W000", str(f)])
+        assert rc == 0
+        capsys.readouterr()
+        text = f.read_text(encoding="utf-8")
+        assert "noqa" not in text
+        assert "default_rng()" in text
+
+    def test_fix_clean_tree_is_a_no_op(self, tmp_path, capsys):
+        f = tmp_path / "mod.py"
+        f.write_text("x = 1\n", encoding="utf-8")
+        rc = main(["lint", "--no-cache", "--fix", str(f)])
+        assert rc == 0
+        assert "fixed 0 finding(s) in 0 file(s)" in capsys.readouterr().out
+        assert f.read_text(encoding="utf-8") == "x = 1\n"

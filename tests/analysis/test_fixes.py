@@ -1,0 +1,230 @@
+"""Autofix engine tests: span applier, conflict policy, convergence.
+
+Covers the three layers of ``repro lint --fix``:
+
+- :func:`apply_fixes` span mechanics (offsets, insertions, whole-fix
+  atomicity, deterministic conflict resolution, the re-parse revert);
+- per-fixer golden before/after pairs under ``fixtures/fix/`` — the exact
+  text each fixer produces is contract;
+- the :func:`fix_paths` driver: convergence to a fixpoint, idempotency
+  (a second run applies nothing), and a clean re-lint of the fixed tree.
+"""
+
+from __future__ import annotations
+
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    Finding,
+    Fix,
+    FixSafety,
+    Severity,
+    TextEdit,
+    apply_fixes,
+    fix_paths,
+    lint_paths,
+)
+
+FIX_FIXTURES = Path(__file__).parent / "fixtures" / "fix"
+
+#: fixer stem -> (code it fixes, whether the fix is classed 'suggested')
+FIXERS = {
+    "w000": ("W000", False),
+    "r002": ("R002", False),
+    "r003": ("R003", False),
+    "r007": ("R007", True),
+    "r113": ("R113", False),
+}
+
+
+def _finding(
+    path: str = "src/m.py",
+    code: str = "R999",
+    line: int = 1,
+    col: int = 0,
+    fix: Fix | None = None,
+) -> Finding:
+    return Finding(
+        code=code,
+        name="test-rule",
+        message="msg",
+        path=path,
+        line=line,
+        col=col,
+        severity=Severity.WARNING,
+        fix=fix,
+    )
+
+
+def _fix(*edits: TextEdit, safety: FixSafety = FixSafety.SAFE) -> Fix:
+    return Fix(description="edit", edits=tuple(edits), safety=safety)
+
+
+class TestApplier:
+    def test_replacement_span(self):
+        sources = {"src/m.py": "x = 1 + 1\n"}
+        f = _finding(fix=_fix(TextEdit(1, 4, 1, 9, "2")))
+        outcome = apply_fixes([f], sources=sources)
+        assert outcome.n_applied == 1
+        assert sources["src/m.py"] == "x = 2\n"
+
+    def test_zero_width_insertion(self):
+        sources = {"src/m.py": "f()\n"}
+        f = _finding(fix=_fix(TextEdit(1, 2, 1, 2, "0")))
+        apply_fixes([f], sources=sources)
+        assert sources["src/m.py"] == "f(0)\n"
+
+    def test_multi_edit_fix_is_atomic(self):
+        sources = {"src/m.py": "a = 1\nb = 2\n"}
+        f = _finding(
+            fix=_fix(TextEdit(1, 4, 1, 5, "10"), TextEdit(2, 4, 2, 5, "20"))
+        )
+        outcome = apply_fixes([f], sources=sources)
+        assert outcome.n_applied == 1
+        assert sources["src/m.py"] == "a = 10\nb = 20\n"
+
+    def test_overlap_resolved_deterministically(self):
+        # two fixes claim intersecting spans: the one sorting first by
+        # (start, end, code, description) wins regardless of input order
+        a = _finding(code="R001", fix=_fix(TextEdit(1, 0, 1, 5, "win()")))
+        b = _finding(code="R002", fix=_fix(TextEdit(1, 3, 1, 8, "lose()")))
+        for order in ([a, b], [b, a]):
+            sources = {"src/m.py": "x = 1 + 1\n"}
+            outcome = apply_fixes(order, sources=sources)
+            assert outcome.n_applied == 1
+            assert outcome.files[0].n_skipped_overlap == 1
+            assert sources["src/m.py"] == "win() + 1\n"
+
+    def test_identical_start_offsets_conflict(self):
+        # two zero-width insertions at one offset would compose in an
+        # arbitrary order — the second is deferred to the next pass instead
+        a = _finding(code="R001", fix=_fix(TextEdit(1, 2, 1, 2, "0")))
+        b = _finding(code="R002", fix=_fix(TextEdit(1, 2, 1, 2, "1")))
+        sources = {"src/m.py": "f()\n"}
+        outcome = apply_fixes([b, a], sources=sources)
+        assert outcome.n_applied == 1
+        assert sources["src/m.py"] == "f(0)\n"  # R001 sorts first
+
+    def test_suggested_withheld_by_default(self):
+        f = _finding(fix=_fix(TextEdit(1, 2, 1, 2, "0"), safety=FixSafety.SUGGESTED))
+        sources = {"src/m.py": "f()\n"}
+        outcome = apply_fixes([f], sources=sources)
+        assert outcome.n_applied == 0
+        assert outcome.n_skipped_suggested == 1
+        assert sources["src/m.py"] == "f()\n"
+        outcome = apply_fixes([f], include_suggested=True, sources=sources)
+        assert outcome.n_applied == 1
+        assert sources["src/m.py"] == "f(0)\n"
+
+    def test_reparse_failure_reverts_whole_file(self):
+        f = _finding(fix=_fix(TextEdit(1, 0, 1, 1, ")(")))
+        sources = {"src/m.py": "x = 1\n"}
+        outcome = apply_fixes([f], sources=sources)
+        assert outcome.n_applied == 0
+        assert outcome.reparse_failures == ["src/m.py"]
+        assert sources["src/m.py"] == "x = 1\n"
+
+    def test_unreadable_path_skipped(self, tmp_path):
+        f = _finding(
+            path=str(tmp_path / "missing.py"),
+            fix=_fix(TextEdit(1, 0, 1, 0, "x")),
+        )
+        outcome = apply_fixes([f])
+        assert outcome.files == []
+        assert outcome.n_applied == 0
+
+    def test_write_back_to_disk(self, tmp_path):
+        target = tmp_path / "m.py"
+        target.write_text("f()\n", encoding="utf-8")
+        f = _finding(path=str(target), fix=_fix(TextEdit(1, 2, 1, 2, "0")))
+        apply_fixes([f], write=True)
+        assert target.read_text(encoding="utf-8") == "f(0)\n"
+
+    def test_findings_without_fix_are_ignored(self):
+        outcome = apply_fixes([_finding()], sources={"src/m.py": "x = 1\n"})
+        assert outcome.files == []
+
+    def test_diff_output_names_file(self):
+        sources = {"src/m.py": "f()\n"}
+        f = _finding(fix=_fix(TextEdit(1, 2, 1, 2, "0")))
+        outcome = apply_fixes([f], sources=sources)
+        diff = outcome.diff()
+        assert "a/src/m.py" in diff and "b/src/m.py" in diff
+        assert "-f()" in diff and "+f(0)" in diff
+
+
+class TestFixerGoldens:
+    @pytest.mark.parametrize("stem", sorted(FIXERS))
+    def test_before_matches_after_golden(self, stem, tmp_path):
+        code, suggested = FIXERS[stem]
+        work = tmp_path / f"{stem}.py"
+        shutil.copy(FIX_FIXTURES / f"{stem}_before.py", work)
+        report, outcome = fix_paths([work], include_suggested=suggested)
+        expected = (FIX_FIXTURES / f"{stem}_after.py").read_text(encoding="utf-8")
+        assert work.read_text(encoding="utf-8") == expected
+        assert outcome.n_applied > 0
+        assert outcome.reparse_failures == []
+        # the fixed tree no longer produces the fixer's code
+        assert code not in {f.code for f in report.findings}
+
+    @pytest.mark.parametrize("stem", sorted(FIXERS))
+    def test_fix_is_idempotent(self, stem, tmp_path):
+        """Running the fixer twice equals running it once."""
+        _, suggested = FIXERS[stem]
+        work = tmp_path / f"{stem}.py"
+        shutil.copy(FIX_FIXTURES / f"{stem}_before.py", work)
+        fix_paths([work], include_suggested=suggested)
+        once = work.read_text(encoding="utf-8")
+        _, again = fix_paths([work], include_suggested=suggested)
+        assert again.n_applied == 0
+        assert work.read_text(encoding="utf-8") == once
+
+    @pytest.mark.parametrize("stem", sorted(FIXERS))
+    def test_after_golden_is_already_clean(self, stem):
+        """The committed after-file must not fire its fixer's rule."""
+        code, _ = FIXERS[stem]
+        report = lint_paths([FIX_FIXTURES / f"{stem}_after.py"])
+        assert code not in {f.code for f in report.findings}
+
+
+class TestConvergence:
+    def test_several_stale_codes_on_one_marker(self, tmp_path):
+        """Overlapping marker edits converge over multiple passes and never
+        degrade the comment to a blanket ``noqa[]``."""
+        work = tmp_path / "m.py"
+        work.write_text(
+            "def f():\n"
+            "    return 1  # repro: noqa[R002,R003,R113] all long stale\n",
+            encoding="utf-8",
+        )
+        report, outcome = fix_paths([work])
+        assert report.clean
+        assert outcome.n_applied == 3
+        text = work.read_text(encoding="utf-8")
+        assert "noqa" not in text
+        assert text == "def f():\n    return 1\n"
+
+    def test_preview_mode_touches_nothing(self, tmp_path):
+        work = tmp_path / "m.py"
+        before = "import numpy as np\n\nrng = np.random.default_rng()\n"
+        work.write_text(before, encoding="utf-8")
+        report, outcome = fix_paths([work], write=False)
+        assert work.read_text(encoding="utf-8") == before
+        assert outcome.n_applied == 1  # would apply
+        assert not report.clean  # pre-fix view
+
+    def test_fixed_tree_lints_clean_for_fixable_codes(self, tmp_path):
+        """End to end: a tree with every fixable violation converges to one
+        where none of the fixer codes fire."""
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        for stem in FIXERS:
+            shutil.copy(FIX_FIXTURES / f"{stem}_before.py", pkg / f"{stem}.py")
+        report, _ = fix_paths([pkg], include_suggested=True)
+        fixable = {code for code, _ in FIXERS.values()}
+        assert fixable.isdisjoint({f.code for f in report.findings}), [
+            (f.code, f.path, f.line) for f in report.findings
+        ]

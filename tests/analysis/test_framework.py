@@ -32,10 +32,11 @@ from repro.analysis.runner import (
 
 class TestRegistry:
     def test_registered_rule_codes(self):
-        assert len(all_rules()) >= 19
+        assert len(all_rules()) >= 24
         expected = [f"R00{i}" for i in range(1, 10)]
         expected += [f"R10{i}" for i in range(1, 5)]
         expected += [f"R11{i}" for i in range(5)]
+        expected += [f"R12{i}" for i in range(5)]
         expected += ["W000"]
         assert sorted(all_rules()) == sorted(expected)
 

@@ -10,10 +10,11 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
-from repro.analysis import Finding, Severity, render_json
+from repro.analysis import Finding, Fix, FixSafety, Severity, TextEdit, render_json
 
 GOLDEN = Path(__file__).parent / "golden" / "lint_report.json"
 GOLDEN_CONCUR = Path(__file__).parent / "golden" / "lint_report_concur.json"
+GOLDEN_PERF = Path(__file__).parent / "golden" / "lint_report_perf.json"
 
 #: one minimal trigger per concurrency rule; linted for real so the golden
 #: pins the exact codes, names and message wording the reporter emits
@@ -61,6 +62,56 @@ def consume(x):
 
 def dispatch(pool, items):
     return [pool.submit(consume, i) for i in items]
+"""
+
+#: one minimal trigger per performance rule; linted for real so the golden
+#: pins the exact codes, names and message wording the reporter emits
+PERF_SOURCE = """\
+import numpy as np
+
+from repro.core.radius import robustness_radius
+
+
+def scale(xs):
+    xs = np.asarray(xs, dtype=float)
+    out = np.zeros(len(xs))
+    for i in range(len(xs)):
+        out[i] = xs[i] * 2.0
+    return out
+
+
+def fan_out(pool, n_tasks):
+    data = np.zeros((256, 256))
+    futs = []
+    for i in range(n_tasks):
+        futs.append(pool.submit(job, data, i))
+    return futs
+
+
+def job(arr, i):
+    return float(arr.sum()) + i
+
+
+def solve_many(mat, rhs_batch):
+    outs = []
+    for rhs in rhs_batch:
+        inv = np.linalg.inv(mat)
+        outs.append(inv @ rhs)
+    return outs
+
+
+def collect(chunks):
+    acc = np.zeros(0)
+    for c in chunks:
+        acc = np.append(acc, c)
+    return acc
+
+
+def sweep(system, mapping, loads, store):
+    out = []
+    for load in loads:
+        out.append(robustness_radius(system, mapping, load))
+    return out
 """
 
 
@@ -152,7 +203,83 @@ class TestJsonSchemaGolden:
         ]
         assert doc == json.loads(GOLDEN_CONCUR.read_text(encoding="utf-8"))
 
+    def test_perf_codes_match_golden_file(self):
+        """The rendered document for R120-R124 findings is pinned verbatim:
+        code vocabulary, rule names and message wording are all contract."""
+        from repro.analysis import lint_source
+
+        report = lint_source(
+            PERF_SOURCE,
+            path="src/repro/hot.py",
+            is_test=False,
+            select=["R120", "R121", "R122", "R123", "R124"],
+        )
+        rendered = render_json(report.findings, files_checked=1, n_suppressed=0)
+        doc = json.loads(rendered)
+        assert sorted(f["code"] for f in doc["findings"]) == [
+            "R120",
+            "R121",
+            "R122",
+            "R123",
+            "R124",
+        ]
+        assert doc == json.loads(GOLDEN_PERF.read_text(encoding="utf-8"))
+
     def test_output_is_deterministic(self):
         a = render_json(_findings(), files_checked=2, n_suppressed=1)
         b = render_json(list(reversed(_findings())), files_checked=2, n_suppressed=1)
         assert a == b
+
+
+class TestFixPayloadSchema:
+    """Findings that carry a fix serialize it additively: the ``fix`` key
+    appears only when a fix exists, so fix-less documents keep the exact
+    seven-key schema pinned above."""
+
+    def _fixed_finding(self) -> Finding:
+        return Finding(
+            code="R002",
+            name="unseeded-default-rng",
+            message="unseeded default_rng()",
+            path="src/repro/worker.py",
+            line=3,
+            col=6,
+            severity=Severity.ERROR,
+            fix=Fix(
+                description="seed default_rng() with an explicit 0 placeholder",
+                edits=(TextEdit(3, 28, 3, 28, "0"),),
+            ),
+        )
+
+    def test_fix_key_only_when_fix_present(self):
+        doc = json.loads(
+            render_json([self._fixed_finding()] + _findings(), files_checked=1)
+        )
+        with_fix = [e for e in doc["findings"] if "fix" in e]
+        assert len(with_fix) == 1
+        entry = with_fix[0]["fix"]
+        assert sorted(entry) == ["description", "edits", "safety"]
+        assert entry["safety"] == "safe"
+        assert entry["edits"] == [
+            {
+                "start_line": 3,
+                "start_col": 28,
+                "end_line": 3,
+                "end_col": 28,
+                "replacement": "0",
+            }
+        ]
+
+    def test_fix_round_trips_through_finding(self):
+        f = self._fixed_finding()
+        assert Finding.from_dict(f.to_dict()) == f
+
+    def test_suggested_safety_serializes(self):
+        fix = Fix(
+            description="re-raise",
+            edits=(TextEdit(1, 0, 1, 0, "raise"),),
+            safety=FixSafety.SUGGESTED,
+        )
+        restored = Fix.from_dict(fix.to_dict())
+        assert restored == fix
+        assert fix.to_dict()["safety"] == "suggested"

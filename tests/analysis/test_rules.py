@@ -36,6 +36,11 @@ EXPECTED_BAD = {
     "R112": 2,
     "R113": 2,
     "R114": 2,
+    "R120": 3,
+    "R121": 2,
+    "R122": 2,
+    "R123": 2,
+    "R124": 2,
     "W000": 2,
 }
 

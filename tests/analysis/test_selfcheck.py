@@ -70,6 +70,35 @@ class TestShippedTreeIsClean:
             assert report.clean, f"concur-rule violations in {tree}:\n{detail}"
             assert report.n_suppressed == 0, tree
 
+    def test_perf_rules_clean_with_zero_suppressions(self):
+        """The performance family (R120-R124) holds over src, tests and
+        benchmarks with no noqa escape hatches at all — the numeric hot
+        path these rules guard is our own, and it must satisfy them
+        outright (benchmarks' naive reference loops are exempt by the
+        rules' test-file carve-out, not by suppression)."""
+        perf = ["R120", "R121", "R122", "R123", "R124"]
+        src = Path(repro.__file__).resolve().parent
+        for tree in (src, REPO_ROOT / "tests", REPO_ROOT / "benchmarks"):
+            report = lint_paths([tree], select=perf)
+            detail = render_text(
+                report.findings,
+                files_checked=report.files_checked,
+                n_suppressed=report.n_suppressed,
+            )
+            assert report.clean, f"perf-rule violations in {tree}:\n{detail}"
+            assert report.n_suppressed == 0, tree
+
+    def test_fix_pass_on_committed_tree_is_empty(self):
+        """``repro lint --fix --diff`` on the shipped tree proposes nothing:
+        every fixable finding has already been fixed at source (the CI
+        fix-clean gate runs the same check)."""
+        from repro.analysis import fix_paths
+
+        src = Path(repro.__file__).resolve().parent
+        _, outcome = fix_paths([src], write=False)
+        assert outcome.diff() == ""
+        assert outcome.n_applied == 0
+
     def test_suppression_budget(self):
         """Suppressions are tracked: adding one must be a conscious act."""
         src = Path(repro.__file__).resolve().parent
