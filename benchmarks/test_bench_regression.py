@@ -41,6 +41,10 @@ CHECKS = [
     ("BENCH_lint.json", "perf_files_per_second", "higher", 0.4),
     ("BENCH_obs.json", "disabled_overhead_fraction", "lower", 0.02),
     ("BENCH_resilience.json", "steps_per_second", "higher", 0.3),
+    ("BENCH_serve.json", "rps_64", "higher", 0.2),
+    # tolerance doubles as the absolute ceiling: the micro-batcher must keep
+    # coalescing >2 requests per engine call at 64 clients (the service bar)
+    ("BENCH_serve.json", "batching_efficiency_ratio", "lower", 0.5),
 ]
 
 

@@ -31,6 +31,17 @@ without a store.
 This module is the *stable* surface — the deprecation policy in
 ``docs/API.md`` routes old entry points here, and nothing in it will change
 without a deprecation cycle.
+
+Served access
+-------------
+Every evaluator here is also reachable over HTTP: :mod:`repro.serve` wraps
+a shared engine in an asyncio JSON API (``repro serve`` at the command
+line) whose ``/evaluate``, ``/evaluate_population`` and
+``/robustness_curve`` endpoints mirror :func:`evaluate`,
+:func:`evaluate_population` and :func:`robustness_curve`.  Concurrent
+requests are micro-batched into the same stacked engine passes these
+functions make, so served results are bit-for-bit the in-process results;
+see ``docs/SERVE.md``.
 """
 
 from __future__ import annotations

@@ -207,6 +207,49 @@ def build_parser() -> argparse.ArgumentParser:
         "scaffolds such as re-raise insertion)",
     )
 
+    ps = sub.add_parser(
+        "serve",
+        help="serve robustness evaluations over HTTP (asyncio, micro-batched)",
+    )
+    ps.add_argument("--host", default="127.0.0.1")
+    ps.add_argument("--port", type=int, default=8471)
+    ps.add_argument(
+        "--batch-size",
+        type=int,
+        default=16,
+        metavar="N",
+        help="flush a coalescing group at N requests (default 16)",
+    )
+    ps.add_argument(
+        "--flush-ms",
+        type=float,
+        default=5.0,
+        metavar="MS",
+        help="deadline flush: max milliseconds a request waits to co-batch",
+    )
+    ps.add_argument(
+        "--max-pending",
+        type=int,
+        default=1024,
+        metavar="N",
+        help="waiting-request bound before 429 backpressure (default 1024)",
+    )
+    ps.add_argument(
+        "--rate",
+        type=float,
+        default=0.0,
+        metavar="R",
+        help="per-client requests/second quota (0 disables, the default)",
+    )
+    ps.add_argument(
+        "--burst",
+        type=float,
+        default=8.0,
+        metavar="B",
+        help="per-client token-bucket burst capacity (default 8)",
+    )
+    _add_backend_argument(ps)
+
     ptr = sub.add_parser(
         "trace",
         help="observability: run a subcommand traced, or validate a trace file",
@@ -732,6 +775,50 @@ def _cmd_trace(args) -> int:
     return status
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+    import os
+
+    from repro.serve import RobustnessServer, ServeConfig
+
+    # --backend beats REPRO_BACKEND beats the service default (asyncio —
+    # unlike library use, a server wants the loop-friendly substrate)
+    backend = args.backend or os.environ.get("REPRO_BACKEND") or "asyncio"
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        max_batch=args.batch_size,
+        flush_ms=args.flush_ms,
+        max_pending=args.max_pending,
+        rate=args.rate,
+        burst=args.burst,
+        backend=backend,
+    )
+    server = RobustnessServer(config)
+
+    async def run() -> None:
+        await server.start()
+        print(
+            f"repro serve: listening on http://{config.host}:{server.port} "
+            f"(batch={config.max_batch}, flush={config.flush_ms}ms, "
+            f"backend={config.backend})"
+        )
+        try:
+            while True:
+                await asyncio.sleep(3600)
+        except asyncio.CancelledError:
+            pass
+        finally:
+            print("repro serve: draining...")
+            await server.stop()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 _COMMANDS = {
     "fig3": _cmd_fig3,
     "fig4": _cmd_fig4,
@@ -739,6 +826,7 @@ _COMMANDS = {
     "validate": _cmd_validate,
     "heuristics": _cmd_heuristics,
     "monitor": _cmd_monitor,
+    "serve": _cmd_serve,
     "faults": _cmd_faults,
     "resilience": _cmd_resilience,
     "lint": _cmd_lint,

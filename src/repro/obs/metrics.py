@@ -20,8 +20,20 @@ taxonomy):
 - ``repro_pool_submits_total`` — futures submitted to the process pool;
 - ``repro_sanitizer_events_total`` — sanitizer ``kind=violation|fp-event``.
 
-Like tracing, metrics recording is gated on :func:`repro.obs.trace.enabled`
-at every call site — a disabled run never touches the registry.
+The HTTP service (:mod:`repro.serve`) adds its own family, recorded
+**unconditionally** (a server always wants its request metrics, and
+``GET /metrics`` scrapes this registry):
+
+- ``repro_serve_requests_total`` — responses by ``route`` and ``code``;
+- ``repro_serve_request_seconds`` — request latency histogram by ``route``;
+- ``repro_serve_batches_total`` — micro-batch flushes by
+  ``reason=full|deadline|drain``;
+- ``repro_serve_queue_depth`` — requests waiting in the batch queue;
+- ``repro_serve_rejections_total`` — shed requests by
+  ``reason=quota|queue_full|draining``.
+
+Engine-side metrics stay gated on :func:`repro.obs.trace.enabled` at every
+call site — a disabled run never touches the registry from the solve path.
 """
 
 from __future__ import annotations

@@ -1,0 +1,238 @@
+"""Micro-batching queue: coalesce single requests into engine-sized batches.
+
+The robustness engine amortizes per-call overhead across a whole population
+(:meth:`~repro.engine.RobustnessEngine.evaluate_allocation` is one stacked
+array pass no matter how many mappings ride in it), so a service that
+dispatched one engine call per HTTP request would throw that advantage
+away.  :class:`BatchQueue` is the coalescing core: requests enter one at a
+time, grouped by a *batch key* (problems that can legally share an engine
+call — same ETC matrix and tau, or any set of generic FePIA problems), and
+leave as :class:`Batch` objects when either
+
+- the group reaches ``max_batch`` items (a **full** flush, synchronous with
+  the triggering :meth:`~BatchQueue.add`), or
+- the oldest item of the group has waited ``deadline_s`` seconds (a
+  **deadline** flush, driven by the owner polling :meth:`flush_due` at
+  :meth:`next_deadline`), or
+- the owner shuts down and calls :meth:`flush_all` (a **drain** flush).
+
+The queue is deliberately *pure*: no asyncio, no threads, no wall clock of
+its own — time enters only through the injected
+:class:`~repro.utils.clock.Clock`, which is what makes the dispatch
+invariants property-testable with a :class:`~repro.utils.clock.FakeClock`
+(every request dispatched exactly once, no batch over ``max_batch``, no
+request waiting past its deadline).  The asyncio server wraps it with a
+timer task; nothing else in this module knows a network exists.
+
+Total occupancy is bounded: :meth:`add` raises :class:`QueueFullError` once
+``max_pending`` requests are waiting, which the server surfaces as HTTP 429
+with a ``Retry-After`` hint — backpressure, not an unbounded buffer.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Hashable, Iterator
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.exceptions import ReproError, ValidationError
+from repro.utils.clock import Clock, get_clock
+
+__all__ = ["Batch", "BatchQueue", "PendingRequest", "QueueFullError", "FLUSH_REASONS"]
+
+#: why a batch left the queue
+FLUSH_REASONS = ("full", "deadline", "drain")
+
+
+class QueueFullError(ReproError):
+    """The queue is at ``max_pending`` — the caller must shed load."""
+
+
+@dataclass(frozen=True)
+class PendingRequest:
+    """One enqueued request, opaque payload included.
+
+    The queue never looks inside ``payload`` — the server parks whatever it
+    needs to complete the request there (decoded problem, response future,
+    client id).  ``seq`` is unique per queue and strictly increasing, so it
+    doubles as an arrival-order tiebreaker and an exactly-once token.
+    """
+
+    #: coalescing key — requests batch together iff their keys are equal
+    key: Hashable
+    #: opaque request payload (decoded problem + completion handle)
+    payload: Any
+    #: optional client-supplied request id (echoed in responses)
+    request_id: str | None
+    #: queue-assigned arrival sequence number
+    seq: int
+    #: clock reading at enqueue time
+    enqueued_at: float
+
+
+@dataclass(frozen=True)
+class Batch:
+    """A flushed group of requests that share one engine call."""
+
+    #: the common batch key of every item
+    key: Hashable
+    #: the coalesced requests, in arrival order
+    items: tuple[PendingRequest, ...]
+    #: ``"full"`` | ``"deadline"`` | ``"drain"``
+    reason: str
+    #: clock reading at flush time
+    flushed_at: float
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+@dataclass
+class _Group:
+    """Mutable accumulation state of one batch key."""
+
+    items: list[PendingRequest] = field(default_factory=list)
+
+    @property
+    def oldest(self) -> float:
+        return self.items[0].enqueued_at
+
+
+class BatchQueue:
+    """Deadline-flushed, size-capped request coalescing (see module doc).
+
+    Parameters
+    ----------
+    max_batch:
+        Flush a group as soon as it holds this many requests.
+    deadline_s:
+        Flush a group once its oldest request has waited this long.  The
+        worst-case added latency of coalescing; ``0`` degenerates to
+        one-request batches flushed by the first :meth:`flush_due`.
+    max_pending:
+        Total requests allowed to wait across all groups; :meth:`add`
+        raises :class:`QueueFullError` beyond it (None = unbounded).
+    clock:
+        Time source; None uses the process-wide active clock
+        (:func:`repro.utils.clock.get_clock`), so installing a
+        :class:`~repro.utils.clock.FakeClock` makes the queue fully
+        deterministic.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_batch: int = 32,
+        deadline_s: float = 0.005,
+        max_pending: int | None = 1024,
+        clock: Clock | None = None,
+    ) -> None:
+        if int(max_batch) < 1:
+            raise ValidationError(f"max_batch must be >= 1, got {max_batch!r}")
+        if float(deadline_s) < 0:
+            raise ValidationError(f"deadline_s must be >= 0, got {deadline_s!r}")
+        if max_pending is not None and int(max_pending) < 1:
+            raise ValidationError(f"max_pending must be >= 1, got {max_pending!r}")
+        self.max_batch = int(max_batch)
+        self.deadline_s = float(deadline_s)
+        self.max_pending = None if max_pending is None else int(max_pending)
+        self._clock = clock
+        self._groups: dict[Hashable, _Group] = {}
+        self._pending = 0
+        self._seq = itertools.count()
+
+    # -- time ----------------------------------------------------------------
+    def _now(self) -> float:
+        clock = self._clock if self._clock is not None else get_clock()
+        return clock.monotonic()
+
+    # -- state ---------------------------------------------------------------
+    @property
+    def n_pending(self) -> int:
+        """Requests currently waiting (across all groups)."""
+        return self._pending
+
+    @property
+    def n_groups(self) -> int:
+        """Distinct batch keys currently accumulating."""
+        return len(self._groups)
+
+    def next_deadline(self) -> float | None:
+        """Clock reading at which the oldest group must flush (None = idle)."""
+        if not self._groups:
+            return None
+        return min(g.oldest for g in self._groups.values()) + self.deadline_s
+
+    # -- enqueue / flush -----------------------------------------------------
+    def add(
+        self,
+        key: Hashable,
+        payload: Any,
+        *,
+        request_id: str | None = None,
+    ) -> tuple[PendingRequest, list[Batch]]:
+        """Enqueue one request; returns it plus any batches its arrival filled.
+
+        A returned non-empty batch list means the request's own group hit
+        ``max_batch`` and flushed synchronously — the caller dispatches those
+        batches immediately and must *not* wait for a deadline tick.
+
+        Raises
+        ------
+        QueueFullError
+            when ``max_pending`` requests are already waiting.
+        """
+        if self.max_pending is not None and self._pending >= self.max_pending:
+            raise QueueFullError(
+                f"batch queue full ({self._pending}/{self.max_pending} pending)"
+            )
+        now = self._now()
+        req = PendingRequest(
+            key=key,
+            payload=payload,
+            request_id=request_id,
+            seq=next(self._seq),
+            enqueued_at=now,
+        )
+        group = self._groups.setdefault(key, _Group())
+        group.items.append(req)
+        self._pending += 1
+        flushed: list[Batch] = []
+        if len(group.items) >= self.max_batch:
+            flushed.append(self._flush_group(key, "full", now))
+        return req, flushed
+
+    def _flush_group(self, key: Hashable, reason: str, now: float) -> Batch:
+        group = self._groups.pop(key)
+        self._pending -= len(group.items)
+        return Batch(
+            key=key, items=tuple(group.items), reason=reason, flushed_at=now
+        )
+
+    def flush_due(self, now: float | None = None) -> list[Batch]:
+        """Flush every group whose oldest request has reached its deadline.
+
+        ``now`` defaults to the injected clock; passing it explicitly lets a
+        driver flush *at* a computed deadline without consuming a clock read
+        (and makes property tests exact).
+        """
+        if now is None:
+            now = self._now()
+        due = [
+            key
+            for key, group in self._groups.items()
+            if group.oldest + self.deadline_s <= now
+        ]
+        return [self._flush_group(key, "deadline", now) for key in due]
+
+    def flush_all(self, now: float | None = None) -> list[Batch]:
+        """Drain every group regardless of age (shutdown path)."""
+        if now is None:
+            now = self._now()
+        return [self._flush_group(key, "drain", now) for key in list(self._groups)]
+
+    def __iter__(self) -> Iterator[PendingRequest]:
+        """Iterate the waiting requests (observability/debugging aid)."""
+        for group in self._groups.values():
+            yield from group.items

@@ -1,0 +1,408 @@
+"""Wire protocol of the robustness service: JSON schemas and codecs.
+
+The service speaks plain JSON over HTTP/1.1.  A request envelope is::
+
+    {"id": "r-17", "problem": {...}}            # POST /evaluate
+    {"id": "r-18", "problems": [{...}, ...]}    # POST /evaluate_population
+    {"id": "r-19", "mappings": [[...], ...],    # POST /robustness_curve
+     "etc": [[...], ...], "taus": [...]}
+
+and every data-plane response is the envelope::
+
+    {"id": "r-17", "ok": true, "result": {...}, "failures": [...]}
+
+``result`` is the tagged ``to_dict`` payload of the engine result object
+(:class:`~repro.alloc.robustness.AllocationRobustness` /
+:class:`~repro.core.metric.MetricResult` /
+:class:`~repro.api.RobustnessCurve`), ``failures`` the
+:class:`~repro.engine.fault.FailureRecord` entries of *this* request only,
+and ``ok`` is false exactly when failures are present — a degraded request
+still answers 200 with structured failure detail; HTTP errors are reserved
+for requests the service never evaluated (malformed input, quota, overload).
+
+Two problem kinds are evaluable over the wire:
+
+- ``allocation`` — the paper's Eq. 6/7 independent-task problem: an
+  assignment vector, an ETC matrix and a tolerance ``tau``.  Closed form;
+  requests sharing the same ETC bytes and tau coalesce into one stacked
+  engine pass (their :func:`batch_key` is equal).
+- ``fepia`` — a generic FePIA problem: named features with JSON-describable
+  impacts (``affine`` or ``quadratic``) and a perturbation parameter.
+  Quadratic impacts route through the numeric solver and hence the
+  engine's execution backend, which is what makes the service's fault
+  ladder (and the chaos suite) reachable from the wire.
+
+A feature spec may carry a ``fault`` object (mode/on_call/... as accepted by
+:func:`repro.faults.wrap_feature`).  Fault injection is **disabled unless
+the server opts in** (``ServeConfig.allow_fault_injection``, meant for chaos
+testing only); a fault spec on a production server is a 400, never a
+silently-dropped field.
+
+Floats ride the :mod:`repro.utils.serialization` codec (``inf``/``nan`` as
+strings), so every payload is strict JSON — the server serializes with
+``allow_nan=False`` and a non-finite float leaking into a response is a
+loud bug, not a silently-invalid document.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.core.features import FeatureBounds, PerformanceFeature
+from repro.core.impact import AffineImpact, ImpactFunction
+from repro.core.perturbation import PerturbationParameter
+from repro.exceptions import ValidationError
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "QuadraticImpact",
+    "DecodedProblem",
+    "decode_problem",
+    "batch_key",
+    "parse_json_body",
+    "dump_json",
+    "outcome",
+    "error_outcome",
+    "response_envelope",
+    "PROBLEM_KINDS",
+]
+
+#: wire protocol version, echoed by ``/healthz``
+PROTOCOL_VERSION = 1
+
+#: problem kinds evaluable over the wire
+PROBLEM_KINDS = ("allocation", "fepia")
+
+#: request body size cap enforced by the server (bytes)
+DEFAULT_MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+class ProtocolError(ValidationError):
+    """A request the service cannot evaluate (HTTP 400)."""
+
+
+class QuadraticImpact(ImpactFunction):
+    """Weighted quadratic impact, describable in JSON and picklable.
+
+    ``value(pi) = sum_i w_i * pi_i**2`` with exact gradient ``2 * w * pi``.
+    Deliberately non-affine so wire requests can exercise the numeric
+    solver path (multi-start SLSQP, the execution backend, the fault
+    ladder) — an affine-only protocol would never leave the closed form.
+    Module-level and stateless, so it crosses process-backend boundaries
+    by ordinary pickling.
+    """
+
+    def __init__(self, weights: "np.ndarray | Sequence[float]") -> None:
+        weights = np.asarray(weights, dtype=float)
+        if weights.ndim != 1 or weights.size == 0:
+            raise ValidationError("quadratic weights must be a non-empty 1-D vector")
+        if not np.all(np.isfinite(weights)):
+            raise ValidationError("quadratic weights must be finite")
+        self.weights = weights
+
+    def __call__(self, pi: np.ndarray) -> float:
+        return float(np.sum(self.weights * np.square(pi)))
+
+    def gradient(self, pi: np.ndarray) -> np.ndarray:
+        """Exact gradient ``2 * w * pi``."""
+        return 2.0 * self.weights * np.asarray(pi, dtype=float)
+
+    @property
+    def is_affine(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"QuadraticImpact(weights={self.weights.tolist()!r})"
+
+
+@dataclass(frozen=True)
+class DecodedProblem:
+    """One wire problem, decoded and validated into engine inputs.
+
+    Exactly one of the two input groups is populated, selected by ``kind``;
+    :func:`batch_key` computes the coalescing key the micro-batcher groups
+    on.  ``source`` keeps the original JSON object for golden/echo tests.
+    """
+
+    kind: str
+    #: allocation inputs
+    mapping: np.ndarray | None = None
+    etc: np.ndarray | None = None
+    tau: float | None = None
+    #: fepia inputs
+    features: tuple[PerformanceFeature, ...] = ()
+    parameter: PerturbationParameter | None = None
+    #: the decoded-from JSON object
+    source: dict = field(default_factory=dict)
+
+    @property
+    def key(self) -> tuple:
+        """Coalescing key (see :func:`batch_key`)."""
+        return batch_key(self)
+
+
+def batch_key(problem: DecodedProblem) -> tuple:
+    """The coalescing key: problems with equal keys share one engine call.
+
+    Allocation problems batch when their ETC matrices are byte-identical
+    and their ``tau`` matches — the stacked Eq. 6 pass requires exactly
+    that.  Generic FePIA problems are mutually independent inside
+    :meth:`~repro.engine.RobustnessEngine.evaluate_population`, so they all
+    share a single key.
+    """
+    if problem.kind == "allocation":
+        assert problem.etc is not None and problem.tau is not None
+        digest = hashlib.sha256(
+            np.ascontiguousarray(problem.etc).tobytes()
+        ).hexdigest()
+        return ("allocation", problem.etc.shape, digest, problem.tau)
+    return ("fepia",)
+
+
+# -- JSON plumbing -------------------------------------------------------------
+
+
+def parse_json_body(body: bytes) -> dict:
+    """Decode a request body into a JSON object (:class:`ProtocolError` on
+    anything that is not a JSON object)."""
+    try:
+        doc = json.loads(body.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as err:
+        raise ProtocolError(f"request body is not valid JSON: {err}") from None
+    if not isinstance(doc, dict):
+        raise ProtocolError(
+            f"request body must be a JSON object, got {type(doc).__name__}"
+        )
+    return doc
+
+
+def dump_json(payload: dict) -> bytes:
+    """Serialize a response payload as strict JSON (``allow_nan=False``)."""
+    return json.dumps(payload, allow_nan=False, separators=(",", ":")).encode("utf-8")
+
+
+def _require(doc: dict, field_name: str, types: tuple[type, ...], where: str) -> Any:
+    if field_name not in doc:
+        raise ProtocolError(f"{where}: missing required field {field_name!r}")
+    value = doc[field_name]
+    if not isinstance(value, types):
+        raise ProtocolError(
+            f"{where}: field {field_name!r} must be "
+            f"{' or '.join(t.__name__ for t in types)}, got {type(value).__name__}"
+        )
+    return value
+
+
+def _decode_bound(value: Any, where: str) -> float:
+    """One bound: a number, or the strings ``"inf"`` / ``"-inf"``."""
+    if value is None:
+        raise ProtocolError(f"{where}: bound must not be null")
+    if isinstance(value, str):
+        if value in ("inf", "-inf"):
+            return float(value)
+        raise ProtocolError(f"{where}: bad bound string {value!r}")
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ProtocolError(f"{where}: bound must be a number, got {type(value).__name__}")
+    return float(value)
+
+
+def _decode_vector(value: Any, where: str) -> np.ndarray:
+    arr = np.asarray(value, dtype=float)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ProtocolError(f"{where}: expected a non-empty 1-D number array")
+    if not np.all(np.isfinite(arr)):
+        raise ProtocolError(f"{where}: values must be finite")
+    return arr
+
+
+def _decode_matrix(value: Any, where: str) -> np.ndarray:
+    try:
+        arr = np.asarray(value, dtype=float)
+    except (TypeError, ValueError) as err:
+        raise ProtocolError(f"{where}: not a numeric matrix ({err})") from None
+    if arr.ndim != 2 or arr.size == 0:
+        raise ProtocolError(f"{where}: expected a non-empty 2-D number array")
+    if not np.all(np.isfinite(arr)):
+        raise ProtocolError(f"{where}: values must be finite")
+    return arr
+
+
+# -- problem decoding ----------------------------------------------------------
+
+
+def _decode_impact(spec: Any, where: str) -> ImpactFunction:
+    if not isinstance(spec, dict):
+        raise ProtocolError(f"{where}: impact must be an object")
+    kind = _require(spec, "kind", (str,), where)
+    if kind == "affine":
+        coeffs = _decode_vector(
+            _require(spec, "coefficients", (list,), where), f"{where}.coefficients"
+        )
+        intercept = spec.get("intercept", 0.0)
+        if isinstance(intercept, bool) or not isinstance(intercept, (int, float)):
+            raise ProtocolError(f"{where}: intercept must be a number")
+        return AffineImpact(coeffs, float(intercept))
+    if kind == "quadratic":
+        weights = _decode_vector(
+            _require(spec, "weights", (list,), where), f"{where}.weights"
+        )
+        return QuadraticImpact(weights)
+    raise ProtocolError(
+        f"{where}: unknown impact kind {kind!r} (expected 'affine' or 'quadratic')"
+    )
+
+
+def _decode_fault(feature: PerformanceFeature, spec: Any, where: str) -> PerformanceFeature:
+    from repro.faults import wrap_feature
+    from repro.faults.inject import FAULT_MODES
+
+    if not isinstance(spec, dict):
+        raise ProtocolError(f"{where}: fault must be an object")
+    mode = _require(spec, "mode", (str,), where)
+    if mode not in FAULT_MODES:
+        raise ProtocolError(f"{where}: fault mode must be one of {FAULT_MODES}")
+    kwargs: dict[str, Any] = {}
+    for key in ("on_call", "heal_after_attempt"):
+        if key in spec:
+            kwargs[key] = int(spec[key])
+    if "hang_seconds" in spec:
+        kwargs["hang_seconds"] = float(spec["hang_seconds"])
+    kwargs["worker_only"] = bool(spec.get("worker_only", True))
+    return wrap_feature(feature, mode, **kwargs)
+
+
+def _decode_feature(
+    spec: Any, n_components: int, where: str, *, allow_faults: bool
+) -> PerformanceFeature:
+    if not isinstance(spec, dict):
+        raise ProtocolError(f"{where}: feature must be an object")
+    name = _require(spec, "name", (str,), where)
+    if not name:
+        raise ProtocolError(f"{where}: feature name must be non-empty")
+    impact = _decode_impact(spec.get("impact"), f"{where}.impact")
+    weights = getattr(impact, "weights", None)
+    coeffs = getattr(impact, "coefficients", None)
+    vector = weights if weights is not None else coeffs
+    if vector is not None and len(vector) != n_components:
+        raise ProtocolError(
+            f"{where}: impact dimension {len(vector)} does not match the "
+            f"parameter's {n_components} components"
+        )
+    bounds_spec = _require(spec, "bounds", (dict,), where)
+    bounds = FeatureBounds(
+        lower=_decode_bound(bounds_spec.get("lower", "-inf"), f"{where}.bounds.lower"),
+        upper=_decode_bound(bounds_spec.get("upper", "inf"), f"{where}.bounds.upper"),
+    )
+    feature = PerformanceFeature(name, impact, bounds)
+    if "fault" in spec:
+        if not allow_faults:
+            raise ProtocolError(
+                f"{where}: fault injection is disabled on this server "
+                "(chaos-testing harnesses opt in via allow_fault_injection)"
+            )
+        feature = _decode_fault(feature, spec["fault"], f"{where}.fault")
+    return feature
+
+
+def _decode_allocation(doc: dict, where: str) -> DecodedProblem:
+    etc = _decode_matrix(_require(doc, "etc", (list,), where), f"{where}.etc")
+    mapping_raw = _require(doc, "mapping", (list,), where)
+    mapping = np.asarray(mapping_raw)
+    if mapping.ndim != 1 or mapping.size == 0:
+        raise ProtocolError(f"{where}.mapping: expected a non-empty 1-D integer array")
+    if not np.issubdtype(mapping.dtype, np.integer):
+        raise ProtocolError(f"{where}.mapping: machine indices must be integers")
+    if mapping.size != etc.shape[0]:
+        raise ProtocolError(
+            f"{where}: mapping has {mapping.size} tasks but etc has "
+            f"{etc.shape[0]} rows"
+        )
+    if np.any(mapping < 0) or np.any(mapping >= etc.shape[1]):
+        raise ProtocolError(
+            f"{where}.mapping: machine indices must lie in [0, {etc.shape[1]})"
+        )
+    tau_raw = _require(doc, "tau", (int, float), where)
+    if isinstance(tau_raw, bool) or float(tau_raw) <= 0:
+        raise ProtocolError(f"{where}.tau: must be a positive number")
+    return DecodedProblem(
+        kind="allocation",
+        mapping=mapping.astype(np.int64),
+        etc=etc,
+        tau=float(tau_raw),
+        source=doc,
+    )
+
+
+def _decode_fepia(doc: dict, where: str, *, allow_faults: bool) -> DecodedProblem:
+    param_spec = _require(doc, "parameter", (dict,), where)
+    origin = _decode_vector(
+        _require(param_spec, "origin", (list,), f"{where}.parameter"),
+        f"{where}.parameter.origin",
+    )
+    name = param_spec.get("name", "pi")
+    if not isinstance(name, str) or not name:
+        raise ProtocolError(f"{where}.parameter.name: must be a non-empty string")
+    parameter = PerturbationParameter(
+        name, origin, discrete=bool(param_spec.get("discrete", False))
+    )
+    features_spec = _require(doc, "features", (list,), where)
+    if not features_spec:
+        raise ProtocolError(f"{where}.features: must be non-empty")
+    features = tuple(
+        _decode_feature(
+            spec, origin.size, f"{where}.features[{i}]", allow_faults=allow_faults
+        )
+        for i, spec in enumerate(features_spec)
+    )
+    return DecodedProblem(
+        kind="fepia", features=features, parameter=parameter, source=doc
+    )
+
+
+def decode_problem(doc: Any, *, allow_faults: bool = False) -> DecodedProblem:
+    """Decode and validate one wire problem object.
+
+    Raises :class:`ProtocolError` (HTTP 400) on anything malformed —
+    validation happens *before* batching, so a bad request can never poison
+    the engine call its neighbors share.
+    """
+    if not isinstance(doc, dict):
+        raise ProtocolError(f"problem must be a JSON object, got {type(doc).__name__}")
+    kind = _require(doc, "kind", (str,), "problem")
+    if kind == "allocation":
+        return _decode_allocation(doc, "problem")
+    if kind == "fepia":
+        return _decode_fepia(doc, "problem", allow_faults=allow_faults)
+    raise ProtocolError(
+        f"problem: unknown kind {kind!r} (expected one of {PROBLEM_KINDS})"
+    )
+
+
+# -- response assembly ---------------------------------------------------------
+
+
+def outcome(result_dict: dict, failures: Sequence[dict] = ()) -> dict:
+    """A per-request outcome: engine result plus this request's failures."""
+    return {
+        "ok": not failures,
+        "result": result_dict,
+        "failures": list(failures),
+        "error": None,
+    }
+
+
+def error_outcome(message: str) -> dict:
+    """A per-request outcome for a request whose engine call failed whole."""
+    return {"ok": False, "result": None, "failures": [], "error": message}
+
+
+def response_envelope(request_id: str | None, body: dict) -> dict:
+    """Wrap an outcome (or batch of outcomes) with the echoed request id."""
+    return {"id": request_id, "protocol": PROTOCOL_VERSION, **body}

@@ -1,0 +1,125 @@
+"""Per-client token-bucket quotas for the robustness service.
+
+A classic token bucket per client: ``rate`` tokens refill per second up to a
+``burst`` capacity, one request spends one token, and an empty bucket
+reports how long the client must wait for the next token — which the server
+turns into an HTTP 429 with a ``Retry-After`` header.  Clients are
+identified by the ``X-Client-Id`` request header when present, falling back
+to the peer address, so well-behaved tenants are isolated from a noisy
+neighbor without any shared-state coordination on the client side.
+
+Like the batch queue, the registry reads time only through an injected
+:class:`~repro.utils.clock.Clock`, so quota behavior is deterministic under
+a :class:`~repro.utils.clock.FakeClock`.  The registry is used exclusively
+from the server's event loop (single-threaded), so no locking is needed;
+bucket state is evicted least-recently-used beyond ``max_clients`` to bound
+memory against client-id churn.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.exceptions import ValidationError
+from repro.utils.clock import Clock, get_clock
+
+__all__ = ["TokenBucket", "ClientQuotas"]
+
+
+class TokenBucket:
+    """One client's refillable request allowance.
+
+    Parameters
+    ----------
+    rate:
+        Tokens refilled per second; ``rate <= 0`` disables the quota
+        entirely (every acquire succeeds).
+    burst:
+        Bucket capacity — the largest request burst served from a full
+        bucket before refill pacing kicks in.
+    clock:
+        Time source (None = the process-wide active clock).
+    """
+
+    __slots__ = ("rate", "burst", "_tokens", "_last", "_clock")
+
+    def __init__(self, rate: float, burst: float, clock: Clock | None = None) -> None:
+        if float(burst) < 1 and float(rate) > 0:
+            raise ValidationError(f"burst must be >= 1, got {burst!r}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._tokens = float(burst)
+        self._last: float | None = None
+        self._clock = clock
+
+    def _now(self) -> float:
+        clock = self._clock if self._clock is not None else get_clock()
+        return clock.monotonic()
+
+    def try_acquire(self, tokens: float = 1.0) -> float:
+        """Spend ``tokens`` if available.
+
+        Returns ``0.0`` on success, otherwise the seconds until the bucket
+        will hold enough tokens (the ``Retry-After`` hint).  A disabled
+        bucket (``rate <= 0``) always succeeds.
+        """
+        if self.rate <= 0:
+            return 0.0
+        now = self._now()
+        if self._last is not None:
+            self._tokens = min(self.burst, self._tokens + (now - self._last) * self.rate)
+        self._last = now
+        if self._tokens >= tokens:
+            self._tokens -= tokens
+            return 0.0
+        return (tokens - self._tokens) / self.rate
+
+    @property
+    def tokens(self) -> float:
+        """Tokens held at the last acquire (no refill applied)."""
+        return self._tokens
+
+
+class ClientQuotas:
+    """LRU-bounded registry of per-client token buckets."""
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        *,
+        max_clients: int = 1024,
+        clock: Clock | None = None,
+    ) -> None:
+        if int(max_clients) < 1:
+            raise ValidationError(f"max_clients must be >= 1, got {max_clients!r}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.max_clients = int(max_clients)
+        self._clock = clock
+        self._buckets: OrderedDict[str, TokenBucket] = OrderedDict()
+
+    @property
+    def enabled(self) -> bool:
+        """False when ``rate <= 0`` (quotas are a no-op)."""
+        return self.rate > 0
+
+    @property
+    def n_clients(self) -> int:
+        """Clients with live bucket state."""
+        return len(self._buckets)
+
+    def try_acquire(self, client_id: str) -> float:
+        """Spend one token of ``client_id``'s bucket (see
+        :meth:`TokenBucket.try_acquire` for the return contract)."""
+        if not self.enabled:
+            return 0.0
+        bucket = self._buckets.get(client_id)
+        if bucket is None:
+            bucket = TokenBucket(self.rate, self.burst, clock=self._clock)
+            self._buckets[client_id] = bucket
+            while len(self._buckets) > self.max_clients:
+                self._buckets.popitem(last=False)
+        else:
+            self._buckets.move_to_end(client_id)
+        return bucket.try_acquire()

@@ -1,0 +1,143 @@
+"""Unit tests of the micro-batching queue (deterministic, FakeClock-driven)."""
+
+import pytest
+
+from repro.serve.batcher import BatchQueue, QueueFullError
+from repro.utils.clock import FakeClock
+
+pytestmark = pytest.mark.serve
+
+
+def make_queue(**kwargs):
+    clock = kwargs.pop("clock", FakeClock(tick=0.0))
+    defaults = dict(max_batch=4, deadline_s=0.01, max_pending=16)
+    defaults.update(kwargs)
+    return BatchQueue(clock=clock, **defaults), clock
+
+
+class TestFullFlush:
+    def test_batch_flushes_synchronously_at_max_batch(self):
+        q, _ = make_queue(max_batch=3)
+        assert q.add("k", "a")[1] == []
+        assert q.add("k", "b")[1] == []
+        _, flushed = q.add("k", "c")
+        assert len(flushed) == 1
+        (batch,) = flushed
+        assert batch.reason == "full"
+        assert [r.payload for r in batch.items] == ["a", "b", "c"]
+        assert q.n_pending == 0
+
+    def test_items_keep_arrival_order_and_unique_seq(self):
+        q, _ = make_queue(max_batch=5)
+        for i in range(5):
+            _, flushed = q.add("k", i)
+        (batch,) = flushed
+        seqs = [r.seq for r in batch.items]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == 5
+        assert [r.payload for r in batch.items] == list(range(5))
+
+    def test_distinct_keys_accumulate_separately(self):
+        q, _ = make_queue(max_batch=2)
+        q.add("a", 1)
+        q.add("b", 2)
+        assert q.n_groups == 2
+        _, flushed = q.add("a", 3)
+        assert len(flushed) == 1
+        assert flushed[0].key == "a"
+        assert q.n_pending == 1  # "b" still waiting
+
+
+class TestDeadlineFlush:
+    def test_flush_due_respects_deadline(self):
+        clock = FakeClock(start=100.0, tick=0.0)
+        q = BatchQueue(max_batch=10, deadline_s=0.5, clock=clock)
+        q.add("k", "x")
+        assert q.flush_due() == []  # too early
+        clock.advance(0.499)
+        assert q.flush_due() == []
+        clock.advance(0.001)
+        flushed = q.flush_due()
+        assert len(flushed) == 1
+        assert flushed[0].reason == "deadline"
+
+    def test_next_deadline_tracks_oldest_request(self):
+        clock = FakeClock(start=10.0, tick=0.0)
+        q = BatchQueue(max_batch=10, deadline_s=1.0, clock=clock)
+        assert q.next_deadline() is None
+        q.add("a", 1)  # enqueued at t=10
+        clock.advance(0.25)
+        q.add("b", 2)  # enqueued at t=10.25
+        assert q.next_deadline() == pytest.approx(11.0)
+
+    def test_explicit_now_flushes_exactly_at_deadline(self):
+        clock = FakeClock(start=0.0, tick=0.0)
+        q = BatchQueue(max_batch=10, deadline_s=0.2, clock=clock)
+        q.add("k", "x")
+        assert q.flush_due(now=0.1999) == []
+        flushed = q.flush_due(now=0.2)
+        assert len(flushed) == 1
+
+    def test_only_due_groups_flush(self):
+        clock = FakeClock(start=0.0, tick=0.0)
+        q = BatchQueue(max_batch=10, deadline_s=0.1, clock=clock)
+        q.add("old", 1)
+        clock.advance(0.09)
+        q.add("young", 2)
+        clock.advance(0.02)
+        flushed = q.flush_due()
+        assert [b.key for b in flushed] == ["old"]
+        assert q.n_pending == 1
+
+
+class TestDrain:
+    def test_flush_all_empties_every_group(self):
+        q, _ = make_queue(max_batch=100)
+        q.add("a", 1)
+        q.add("b", 2)
+        q.add("a", 3)
+        flushed = q.flush_all()
+        assert sorted(b.key for b in flushed) == ["a", "b"]
+        assert all(b.reason == "drain" for b in flushed)
+        assert q.n_pending == 0
+        assert q.n_groups == 0
+
+
+class TestBackpressure:
+    def test_queue_full_raises(self):
+        q, _ = make_queue(max_batch=100, max_pending=2)
+        q.add("k", 1)
+        q.add("k", 2)
+        with pytest.raises(QueueFullError):
+            q.add("k", 3)
+        # flushing frees capacity again
+        q.flush_all()
+        q.add("k", 4)
+
+    def test_unbounded_when_max_pending_none(self):
+        q, _ = make_queue(max_batch=1000, max_pending=None)
+        for i in range(200):
+            q.add("k" if i % 2 else "j", i)
+        assert q.n_pending == 200
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_batch": 0},
+            {"deadline_s": -0.1},
+            {"max_pending": 0},
+        ],
+    )
+    def test_bad_parameters_rejected(self, kwargs):
+        from repro.exceptions import ValidationError
+
+        with pytest.raises(ValidationError):
+            make_queue(**kwargs)
+
+    def test_iter_lists_waiting_requests(self):
+        q, _ = make_queue(max_batch=100)
+        q.add("a", 1)
+        q.add("b", 2)
+        assert sorted(r.payload for r in q) == [1, 2]

@@ -1,0 +1,113 @@
+"""Hypothesis properties of the micro-batcher under generated arrival patterns.
+
+The driver emulates exactly what the server's timer task does — flush at
+:meth:`BatchQueue.next_deadline` before processing any arrival that happens
+after it — over arbitrary interleavings of arrivals (key, inter-arrival
+gap).  The invariants under test:
+
+1. every request is dispatched exactly once (no loss, no duplication);
+2. no batch exceeds ``max_batch``;
+3. no request waits past ``deadline_s`` beyond one flush tick;
+4. every dispatched batch maps back to the correct request ids, in order.
+"""
+
+import pytest
+
+from repro.serve.batcher import BatchQueue
+from repro.utils.clock import FakeClock
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+pytestmark = pytest.mark.serve
+
+DEADLINE_S = 0.05
+
+# one arrival: which coalescing group, and the gap since the previous arrival
+arrivals_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["alpha", "beta", "gamma"]),
+        st.floats(min_value=0.0, max_value=0.2, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+def drive(arrivals, max_batch):
+    """Feed ``arrivals`` through a queue, emulating the server timer exactly.
+
+    Returns ``(batches, enqueue_times)`` with ``enqueue_times[request_id]``
+    the clock reading at enqueue.
+    """
+    clock = FakeClock(start=0.0, tick=0.0)
+    queue = BatchQueue(
+        max_batch=max_batch, deadline_s=DEADLINE_S, max_pending=None, clock=clock
+    )
+    batches = []
+    enqueue_times = {}
+    now = 0.0
+    for i, (key, gap) in enumerate(arrivals):
+        target = now + gap
+        # fire every deadline that lapses strictly before this arrival
+        while True:
+            deadline = queue.next_deadline()
+            if deadline is None or deadline > target:
+                break
+            batches.extend(queue.flush_due(now=deadline))
+        now = target
+        clock.advance(now - clock.monotonic())
+        request_id = f"req-{i}"
+        enqueue_times[request_id] = now
+        _, full = queue.add(key, payload=i, request_id=request_id)
+        batches.extend(full)
+    # drain: fire all remaining deadlines, exactly as shutdown would
+    while True:
+        deadline = queue.next_deadline()
+        if deadline is None:
+            break
+        batches.extend(queue.flush_due(now=deadline))
+    assert queue.n_pending == 0
+    return batches, enqueue_times
+
+
+@settings(max_examples=200)
+@given(arrivals=arrivals_strategy, max_batch=st.integers(min_value=1, max_value=7))
+def test_every_request_dispatched_exactly_once(arrivals, max_batch):
+    batches, _ = drive(arrivals, max_batch)
+    dispatched = [req.payload for batch in batches for req in batch.items]
+    assert sorted(dispatched) == list(range(len(arrivals)))
+
+
+@settings(max_examples=200)
+@given(arrivals=arrivals_strategy, max_batch=st.integers(min_value=1, max_value=7))
+def test_no_batch_exceeds_max_batch(arrivals, max_batch):
+    batches, _ = drive(arrivals, max_batch)
+    assert all(len(batch) <= max_batch for batch in batches)
+
+
+@settings(max_examples=200)
+@given(arrivals=arrivals_strategy, max_batch=st.integers(min_value=1, max_value=7))
+def test_no_request_waits_past_its_deadline(arrivals, max_batch):
+    batches, enqueue_times = drive(arrivals, max_batch)
+    for batch in batches:
+        for req in batch.items:
+            waited = batch.flushed_at - enqueue_times[req.request_id]
+            # a request leaves by the flush tick at which the *oldest* group
+            # member's deadline lapses, so no member ever exceeds its own
+            assert waited <= DEADLINE_S + 1e-9
+
+
+@settings(max_examples=200)
+@given(arrivals=arrivals_strategy, max_batch=st.integers(min_value=1, max_value=7))
+def test_batches_map_back_to_correct_request_ids(arrivals, max_batch):
+    batches, _ = drive(arrivals, max_batch)
+    for batch in batches:
+        for req in batch.items:
+            # payload i belongs to request id "req-i" with the batch's key
+            assert req.request_id == f"req-{req.payload}"
+            assert arrivals[req.payload][0] == batch.key
+        # arrival order preserved inside the batch
+        seqs = [req.seq for req in batch.items]
+        assert seqs == sorted(seqs)

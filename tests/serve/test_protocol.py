@@ -1,0 +1,252 @@
+"""Wire-protocol codec tests: decoding, validation, batch keys, strict JSON."""
+
+import numpy as np
+import pytest
+
+from repro.faults.inject import FaultyImpact
+from repro.serve.protocol import (
+    DecodedProblem,
+    ProtocolError,
+    QuadraticImpact,
+    batch_key,
+    decode_problem,
+    dump_json,
+    error_outcome,
+    outcome,
+    parse_json_body,
+    response_envelope,
+)
+
+pytestmark = pytest.mark.serve
+
+ALLOCATION = {
+    "kind": "allocation",
+    "mapping": [0, 1, 0],
+    "etc": [[4.0, 8.0], [6.0, 3.0], [2.0, 5.0]],
+    "tau": 1.3,
+}
+
+FEPIA = {
+    "kind": "fepia",
+    "parameter": {"origin": [0.5, 0.5]},
+    "features": [
+        {
+            "name": "phi",
+            "impact": {"kind": "affine", "coefficients": [1.0, 2.0]},
+            "bounds": {"upper": 10.0},
+        }
+    ],
+}
+
+
+class TestQuadraticImpact:
+    def test_value_and_exact_gradient(self):
+        imp = QuadraticImpact([2.0, 3.0])
+        pi = np.array([1.0, 2.0])
+        assert imp(pi) == pytest.approx(2.0 + 12.0)
+        np.testing.assert_allclose(imp.gradient(pi), [4.0, 12.0])
+
+    def test_not_affine_so_it_routes_to_the_numeric_solver(self):
+        assert QuadraticImpact([1.0]).is_affine is False
+
+    def test_picklable_across_process_boundaries(self):
+        import pickle
+
+        imp = pickle.loads(pickle.dumps(QuadraticImpact([1.0, 2.0])))
+        assert imp(np.array([1.0, 1.0])) == pytest.approx(3.0)
+
+    @pytest.mark.parametrize("weights", [[], [[1.0, 2.0]], [float("nan")]])
+    def test_bad_weights_rejected(self, weights):
+        from repro.exceptions import ValidationError
+
+        with pytest.raises(ValidationError):
+            QuadraticImpact(weights)
+
+
+class TestDecodeAllocation:
+    def test_roundtrip_fields(self):
+        p = decode_problem(ALLOCATION)
+        assert p.kind == "allocation"
+        np.testing.assert_array_equal(p.mapping, [0, 1, 0])
+        assert p.etc.shape == (3, 2)
+        assert p.tau == 1.3
+
+    @pytest.mark.parametrize(
+        "patch",
+        [
+            {"mapping": [0, 1]},  # length mismatch with etc rows
+            {"mapping": [0, 5, 0]},  # machine index out of range
+            {"mapping": [0.5, 1, 0]},  # non-integer indices
+            {"tau": 0.0},  # tau must be positive
+            {"tau": -1.0},
+            {"etc": [[1.0, float("inf")], [1.0, 1.0], [1.0, 1.0]]},
+            {"etc": []},
+        ],
+    )
+    def test_malformed_allocation_rejected(self, patch):
+        with pytest.raises(ProtocolError):
+            decode_problem({**ALLOCATION, **patch})
+
+    def test_missing_field_names_the_field(self):
+        doc = dict(ALLOCATION)
+        del doc["tau"]
+        with pytest.raises(ProtocolError, match="tau"):
+            decode_problem(doc)
+
+
+class TestDecodeFepia:
+    def test_affine_and_quadratic_impacts(self):
+        doc = {
+            **FEPIA,
+            "features": FEPIA["features"]
+            + [
+                {
+                    "name": "psi",
+                    "impact": {"kind": "quadratic", "weights": [1.0, 1.0]},
+                    "bounds": {"upper": 4.0},
+                }
+            ],
+        }
+        p = decode_problem(doc)
+        assert p.kind == "fepia"
+        assert [f.name for f in p.features] == ["phi", "psi"]
+        assert p.features[0].impact.is_affine is True
+        assert p.features[1].impact.is_affine is False
+        assert p.parameter.origin.tolist() == [0.5, 0.5]
+
+    def test_string_infinity_bounds(self):
+        doc = {
+            **FEPIA,
+            "features": [
+                {
+                    "name": "phi",
+                    "impact": {"kind": "affine", "coefficients": [1.0, 2.0]},
+                    "bounds": {"lower": "-inf", "upper": 10.0},
+                }
+            ],
+        }
+        p = decode_problem(doc)
+        assert p.features[0].bounds.lower == float("-inf")
+
+    @pytest.mark.parametrize(
+        "impact",
+        [
+            {"kind": "mystery"},
+            {"kind": "affine", "coefficients": [1.0]},  # dimension mismatch
+            {"kind": "quadratic", "weights": [1.0, 2.0, 3.0]},  # dimension mismatch
+            {"kind": "affine"},  # missing coefficients
+        ],
+    )
+    def test_bad_impacts_rejected(self, impact):
+        doc = {
+            **FEPIA,
+            "features": [{"name": "phi", "impact": impact, "bounds": {"upper": 1.0}}],
+        }
+        with pytest.raises(ProtocolError):
+            decode_problem(doc)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown kind"):
+            decode_problem({"kind": "nope"})
+
+
+class TestFaultGating:
+    FAULTY = {
+        **FEPIA,
+        "features": [
+            {
+                "name": "phi",
+                "impact": {"kind": "affine", "coefficients": [1.0, 2.0]},
+                "bounds": {"upper": 10.0},
+                "fault": {"mode": "nan", "worker_only": False},
+            }
+        ],
+    }
+
+    def test_fault_specs_rejected_by_default(self):
+        with pytest.raises(ProtocolError, match="fault injection is disabled"):
+            decode_problem(self.FAULTY)
+
+    def test_fault_specs_wrap_when_opted_in(self):
+        p = decode_problem(self.FAULTY, allow_faults=True)
+        assert isinstance(p.features[0].impact, FaultyImpact)
+        assert p.features[0].impact.mode == "nan"
+
+    def test_bad_fault_mode_rejected(self):
+        doc = {
+            **FEPIA,
+            "features": [
+                {**self.FAULTY["features"][0], "fault": {"mode": "gremlins"}}
+            ],
+        }
+        with pytest.raises(ProtocolError, match="mode"):
+            decode_problem(doc, allow_faults=True)
+
+
+class TestBatchKeys:
+    def test_same_etc_and_tau_coalesce(self):
+        a = decode_problem(ALLOCATION)
+        b = decode_problem({**ALLOCATION, "mapping": [1, 0, 1]})
+        assert batch_key(a) == batch_key(b)
+
+    def test_different_tau_does_not_coalesce(self):
+        a = decode_problem(ALLOCATION)
+        b = decode_problem({**ALLOCATION, "tau": 1.5})
+        assert batch_key(a) != batch_key(b)
+
+    def test_different_etc_does_not_coalesce(self):
+        other = [[4.0, 8.0], [6.0, 3.0], [2.0, 5.1]]
+        a = decode_problem(ALLOCATION)
+        b = decode_problem({**ALLOCATION, "etc": other})
+        assert batch_key(a) != batch_key(b)
+
+    def test_all_fepia_problems_share_a_key(self):
+        a = decode_problem(FEPIA)
+        b = decode_problem(
+            {
+                **FEPIA,
+                "parameter": {"origin": [9.0, 9.0, 9.0]},
+                "features": [
+                    {
+                        "name": "other",
+                        "impact": {"kind": "quadratic", "weights": [1.0, 1.0, 1.0]},
+                        "bounds": {"upper": 1.0},
+                    }
+                ],
+            }
+        )
+        assert batch_key(a) == batch_key(b)
+
+    def test_allocation_never_coalesces_with_fepia(self):
+        assert batch_key(decode_problem(ALLOCATION)) != batch_key(decode_problem(FEPIA))
+
+    def test_key_property_matches_function(self):
+        p = decode_problem(ALLOCATION)
+        assert p.key == batch_key(p)
+        assert isinstance(p, DecodedProblem)
+
+
+class TestJsonPlumbing:
+    def test_parse_rejects_non_objects(self):
+        with pytest.raises(ProtocolError):
+            parse_json_body(b"[1, 2, 3]")
+        with pytest.raises(ProtocolError):
+            parse_json_body(b"not json")
+
+    def test_dump_is_strict_about_non_finite_floats(self):
+        with pytest.raises(ValueError):
+            dump_json({"x": float("nan")})
+
+    def test_outcome_shapes(self):
+        ok = outcome({"value": 1.0})
+        assert ok == {"ok": True, "result": {"value": 1.0}, "failures": [], "error": None}
+        degraded = outcome({"value": 1.0}, [{"stage": "crash"}])
+        assert degraded["ok"] is False
+        failed = error_outcome("boom")
+        assert failed == {"ok": False, "result": None, "failures": [], "error": "boom"}
+
+    def test_envelope_echoes_id_and_protocol(self):
+        env = response_envelope("r-1", outcome({"v": 2.0}))
+        assert env["id"] == "r-1"
+        assert env["protocol"] == 1
+        assert env["ok"] is True

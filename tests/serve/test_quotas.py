@@ -1,0 +1,75 @@
+"""Token-bucket quota tests (deterministic via FakeClock)."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.serve.quotas import ClientQuotas, TokenBucket
+from repro.utils.clock import FakeClock
+
+pytestmark = pytest.mark.serve
+
+
+class TestTokenBucket:
+    def test_burst_then_refusal_with_retry_hint(self):
+        clock = FakeClock(tick=0.0)
+        bucket = TokenBucket(rate=2.0, burst=3.0, clock=clock)
+        assert bucket.try_acquire() == 0.0
+        assert bucket.try_acquire() == 0.0
+        assert bucket.try_acquire() == 0.0
+        wait = bucket.try_acquire()
+        assert wait == pytest.approx(0.5)  # 1 token at 2 tokens/s
+
+    def test_refill_restores_capacity(self):
+        clock = FakeClock(tick=0.0)
+        bucket = TokenBucket(rate=10.0, burst=1.0, clock=clock)
+        assert bucket.try_acquire() == 0.0
+        assert bucket.try_acquire() > 0.0
+        clock.advance(0.1)  # exactly one token refilled
+        assert bucket.try_acquire() == 0.0
+
+    def test_refill_caps_at_burst(self):
+        clock = FakeClock(tick=0.0)
+        bucket = TokenBucket(rate=100.0, burst=2.0, clock=clock)
+        bucket.try_acquire()
+        clock.advance(60.0)  # would refill 6000 tokens; capped at burst
+        assert bucket.try_acquire() == 0.0
+        assert bucket.try_acquire() == 0.0
+        assert bucket.try_acquire() > 0.0
+
+    def test_disabled_bucket_always_succeeds(self):
+        bucket = TokenBucket(rate=0.0, burst=0.0, clock=FakeClock(tick=0.0))
+        assert all(bucket.try_acquire() == 0.0 for _ in range(100))
+
+    def test_burst_below_one_rejected_when_enabled(self):
+        with pytest.raises(ValidationError):
+            TokenBucket(rate=1.0, burst=0.5)
+
+
+class TestClientQuotas:
+    def test_clients_do_not_share_buckets(self):
+        clock = FakeClock(tick=0.0)
+        quotas = ClientQuotas(rate=1.0, burst=1.0, clock=clock)
+        assert quotas.try_acquire("alice") == 0.0
+        assert quotas.try_acquire("alice") > 0.0  # alice exhausted
+        assert quotas.try_acquire("bob") == 0.0  # bob unaffected
+
+    def test_disabled_quotas_track_no_state(self):
+        quotas = ClientQuotas(rate=0.0, burst=8.0)
+        assert quotas.enabled is False
+        assert all(quotas.try_acquire("c") == 0.0 for _ in range(10))
+        assert quotas.n_clients == 0
+
+    def test_lru_eviction_bounds_memory(self):
+        clock = FakeClock(tick=0.0)
+        quotas = ClientQuotas(rate=1.0, burst=1.0, max_clients=2, clock=clock)
+        quotas.try_acquire("a")
+        quotas.try_acquire("b")
+        quotas.try_acquire("a")  # refresh a: b is now least recent
+        quotas.try_acquire("c")  # evicts b
+        assert quotas.n_clients == 2
+        # b returns with a fresh (full) bucket
+        assert quotas.try_acquire("b") == 0.0
+
+    def test_max_clients_must_be_positive(self):
+        with pytest.raises(ValidationError):
+            ClientQuotas(rate=1.0, burst=1.0, max_clients=0)

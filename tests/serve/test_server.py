@@ -1,0 +1,298 @@
+"""End-to-end tests of the HTTP service: real sockets, real server thread."""
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.engine import RobustnessEngine
+from repro.serve import ServeConfig, ServerThread
+from repro.serve.protocol import dump_json
+
+pytestmark = pytest.mark.serve
+
+ETC = [[4.0, 8.0], [6.0, 3.0], [2.0, 5.0]]
+TAU = 1.3
+
+ALLOCATION = {"kind": "allocation", "mapping": [0, 1, 0], "etc": ETC, "tau": TAU}
+
+FEPIA = {
+    "kind": "fepia",
+    "parameter": {"origin": [0.5, 0.5]},
+    "features": [
+        {
+            "name": "phi",
+            "impact": {"kind": "affine", "coefficients": [1.0, 2.0]},
+            "bounds": {"upper": 10.0},
+        }
+    ],
+}
+
+
+def json_roundtrip(obj: dict) -> dict:
+    """Engine dict → exactly what the wire would carry."""
+    return json.loads(dump_json(obj))
+
+
+@pytest.fixture(scope="module")
+def harness():
+    with ServerThread(ServeConfig(port=0, max_batch=8, flush_ms=3.0)) as h:
+        yield h
+
+
+@pytest.fixture()
+def client(harness):
+    c = harness.client(client_id="test-server")
+    yield c
+    c.close()
+
+
+class TestHealthz:
+    def test_reports_status_and_introspection(self, client):
+        reply = client.healthz()
+        assert reply.status == 200
+        doc = reply.json
+        assert doc["status"] == "ok"
+        assert doc["protocol"] == 1
+        assert doc["backend"]
+        assert doc["queue_depth"] == 0
+
+
+class TestEvaluate:
+    def test_allocation_result_matches_direct_engine_call(self, client):
+        reply = client.evaluate(ALLOCATION, request_id="r-alloc")
+        assert reply.status == 200
+        doc = reply.json
+        assert doc["id"] == "r-alloc"
+        assert doc["ok"] is True
+        assert doc["failures"] == []
+        direct = (
+            RobustnessEngine()
+            .evaluate_allocation([ALLOCATION["mapping"]], np.array(ETC), TAU)
+            .result_for(0)
+            .to_dict()
+        )
+        assert doc["result"] == json_roundtrip(direct)
+
+    def test_fepia_analytic_problem(self, client):
+        reply = client.evaluate(FEPIA)
+        assert reply.status == 200
+        doc = reply.json
+        assert doc["ok"] is True
+        assert doc["result"]["type"] == "MetricResult"
+        # rho = distance from (0.5, 0.5) to the plane pi1 + 2 pi2 = 10
+        assert doc["result"]["value"] == pytest.approx(8.5 / np.sqrt(5.0))
+
+    def test_fepia_numeric_problem_runs_on_the_backend(self, client):
+        doc = {
+            **FEPIA,
+            "features": [
+                {
+                    "name": "psi",
+                    "impact": {"kind": "quadratic", "weights": [1.0, 1.0]},
+                    "bounds": {"upper": 4.0},
+                }
+            ],
+        }
+        reply = client.evaluate(doc)
+        assert reply.status == 200
+        body = reply.json
+        assert body["ok"] is True
+        # radius from (0.5, 0.5) to the circle pi1^2 + pi2^2 = 4
+        expected = 2.0 - np.sqrt(0.5)
+        assert body["result"]["value"] == pytest.approx(expected, rel=1e-6)
+
+    def test_missing_problem_field_is_400(self, client):
+        reply = client.post_json("/evaluate", {"id": "r-x"})
+        assert reply.status == 400
+        assert "problem" in reply.json["error"]
+
+    def test_fault_specs_rejected_without_opt_in(self, client):
+        doc = {
+            **FEPIA,
+            "features": [
+                {**FEPIA["features"][0], "fault": {"mode": "nan"}}
+            ],
+        }
+        reply = client.evaluate(doc)
+        assert reply.status == 400
+        assert "fault injection is disabled" in reply.json["error"]
+
+
+class TestEvaluatePopulation:
+    def test_outcomes_align_with_problems(self, client):
+        problems = [ALLOCATION, {**ALLOCATION, "mapping": [1, 0, 1]}, FEPIA]
+        reply = client.evaluate_population(problems, request_id="r-pop")
+        assert reply.status == 200
+        doc = reply.json
+        assert doc["id"] == "r-pop"
+        assert doc["ok"] is True
+        assert len(doc["outcomes"]) == 3
+        assert doc["outcomes"][0]["result"]["type"] == "AllocationRobustness"
+        assert doc["outcomes"][2]["result"]["type"] == "MetricResult"
+        # outcome 0 must equal a lone /evaluate of the same problem
+        lone = client.evaluate(ALLOCATION).json
+        assert doc["outcomes"][0]["result"] == lone["result"]
+
+    def test_empty_population_is_400(self, client):
+        reply = client.post_json("/evaluate_population", {"problems": []})
+        assert reply.status == 400
+
+
+class TestRobustnessCurve:
+    def test_matches_api_curve(self, client):
+        from repro.api import robustness_curve
+
+        mappings = [[0, 1, 0], [1, 0, 1]]
+        taus = [1.1, 1.2, 1.3]
+        reply = client.robustness_curve(mappings, ETC, taus, request_id="r-curve")
+        assert reply.status == 200
+        doc = reply.json
+        assert doc["ok"] is True
+        direct = robustness_curve(np.array(mappings), np.array(ETC), taus).to_dict()
+        assert doc["result"] == json_roundtrip(direct)
+
+    def test_bad_taus_is_400(self, client):
+        reply = client.robustness_curve([[0, 1, 0]], ETC, [])
+        assert reply.status == 400
+
+
+class TestHttpSurface:
+    def test_unknown_route_is_404(self, client):
+        assert client.request("GET", "/nope").status == 404
+
+    def test_wrong_method_is_405(self, client):
+        assert client.request("GET", "/evaluate").status == 405
+        assert client.request("POST", "/healthz").status == 405
+        assert client.request("POST", "/metrics").status == 405
+
+    def test_malformed_json_is_400(self, client):
+        assert client.request("POST", "/evaluate", body=b"{oops").status == 400
+
+    def test_request_ids_must_be_strings(self, client):
+        reply = client.post_json("/evaluate", {"id": 7, "problem": ALLOCATION})
+        assert reply.status == 400
+
+    def test_oversized_body_is_413(self, harness):
+        small = ServeConfig(port=0, max_body_bytes=64)
+        with ServerThread(small) as h:
+            reply = h.client().post_json("/evaluate", {"problem": ALLOCATION})
+            assert reply.status == 413
+
+    def test_keep_alive_reuses_one_connection(self, client):
+        first = client.healthz()
+        conn_before = client._conn
+        second = client.healthz()
+        assert first.status == second.status == 200
+        assert client._conn is conn_before
+
+
+class TestBatching:
+    def test_concurrent_requests_coalesce_into_fewer_engine_calls(self):
+        config = ServeConfig(port=0, max_batch=8, flush_ms=25.0)
+        n_clients = 8
+        with ServerThread(config) as h:
+            results = [None] * n_clients
+
+            def worker(i):
+                c = h.client(client_id=f"c{i}")
+                try:
+                    results[i] = c.evaluate(ALLOCATION, request_id=f"r{i}")
+                finally:
+                    c.close()
+
+            threads = [
+                threading.Thread(target=worker, args=(i,)) for i in range(n_clients)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert all(r is not None and r.status == 200 for r in results)
+            # every response identical (same problem) and individually addressed
+            bodies = [r.json for r in results]
+            assert {b["id"] for b in bodies} == {f"r{i}" for i in range(n_clients)}
+            assert len({json.dumps(b["result"], sort_keys=True) for b in bodies}) == 1
+            # coalescing must actually have happened
+            assert h.server.n_requests == n_clients
+            assert h.server.n_engine_calls < n_clients
+
+    def test_different_tau_requests_do_not_share_a_batch(self):
+        config = ServeConfig(port=0, max_batch=8, flush_ms=10.0)
+        with ServerThread(config) as h:
+            c = h.client()
+            a = c.evaluate(ALLOCATION).json
+            b = c.evaluate({**ALLOCATION, "tau": 2.0}).json
+            assert a["result"]["tau"] == TAU
+            assert b["result"]["tau"] == 2.0
+            c.close()
+
+
+class TestBackpressure:
+    def test_queue_full_answers_429_with_retry_after(self):
+        # one-slot queue that never deadline-flushes: the first request parks,
+        # the second must be shed
+        config = ServeConfig(port=0, max_batch=100, flush_ms=60_000.0, max_pending=1)
+        h = ServerThread(config).start()
+        try:
+            parked = {}
+
+            def park():
+                c = h.client(client_id="parked")
+                try:
+                    parked["reply"] = c.evaluate(ALLOCATION)
+                finally:
+                    c.close()
+
+            t = threading.Thread(target=park)
+            t.start()
+            probe = h.client(client_id="probe")
+            deadline = 50
+            for _ in range(deadline):
+                if h.client().healthz().json["queue_depth"] == 1:
+                    break
+                import time
+
+                time.sleep(0.02)
+            else:
+                pytest.fail("first request never reached the queue")
+            reply = probe.evaluate(ALLOCATION)
+            assert reply.status == 429
+            assert reply.retry_after is not None and reply.retry_after >= 1
+            probe.close()
+        finally:
+            # drain completes the parked request rather than dropping it
+            h.stop()
+        t.join(timeout=30)
+        assert parked["reply"].status == 200
+        assert parked["reply"].json["ok"] is True
+
+    def test_quota_exhaustion_answers_429(self):
+        config = ServeConfig(port=0, flush_ms=2.0, rate=0.001, burst=1.0)
+        with ServerThread(config) as h:
+            c = h.client(client_id="greedy")
+            assert c.evaluate(ALLOCATION).status == 200
+            reply = c.evaluate(ALLOCATION)
+            assert reply.status == 429
+            assert reply.retry_after is not None and reply.retry_after >= 1
+            # a different client is unaffected by the greedy one's bucket
+            other = h.client(client_id="modest")
+            assert other.evaluate(ALLOCATION).status == 200
+            other.close()
+            c.close()
+
+
+class TestDrain:
+    def test_stopped_server_refuses_new_connections(self):
+        h = ServerThread(ServeConfig(port=0)).start()
+        port = h.port
+        c = h.client()
+        assert c.healthz().status == 200
+        c.close()
+        h.stop()
+        late = h.server  # server object survives; the socket must not
+        assert late.draining is True
+        with pytest.raises(OSError):
+            h.client(timeout=2.0).healthz()
+        assert port  # silence unused warnings
